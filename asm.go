@@ -1,0 +1,162 @@
+package stash
+
+import (
+	"stash/internal/gpu"
+	"stash/internal/isa"
+)
+
+// Reg is a virtual register of the simulated mini ISA.
+type Reg int
+
+// Special identifies a read-only special register.
+type Special int
+
+// Special registers.
+const (
+	TID    Special = iota // thread index within the block
+	NTID                  // threads per block
+	CTAID                 // block index
+	NCTAID                // grid size in blocks
+	LANE                  // lane within the warp
+	WARPID                // warp within the block
+)
+
+var specMap = map[Special]isa.Spec{
+	TID: isa.SpecTid, NTID: isa.SpecNtid, CTAID: isa.SpecCtaid,
+	NCTAID: isa.SpecNctaid, LANE: isa.SpecLane, WARPID: isa.SpecWarpID,
+}
+
+// Asm assembles kernels and CPU programs for the simulated machine.
+// The instruction set mirrors the paper's CUDA-level operations: ALU
+// ops, structured IF/FOR control flow, barriers, loads and stores to
+// global memory (through the L1), the scratchpad, and the stash (with
+// the map-index-table slot encoded in the instruction, Section 3.2),
+// plus the AddMap/ChgMap and DMA intrinsics.
+type Asm struct {
+	b *isa.Builder
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm { return &Asm{b: isa.NewBuilder()} }
+
+// R allocates a fresh register.
+func (a *Asm) R() Reg { return Reg(a.b.Reg()) }
+
+// MovI sets rd to an immediate; Mov copies registers; Spec reads a
+// special register.
+func (a *Asm) MovI(rd Reg, v int64)       { a.b.MovImm(int(rd), v) }
+func (a *Asm) Mov(rd, ra Reg)             { a.b.Mov(int(rd), int(ra)) }
+func (a *Asm) Spec(rd Reg, s Special)     { a.b.Special(int(rd), specMap[s]) }
+func (a *Asm) Add(rd, ra, rb Reg)         { a.b.Add(int(rd), int(ra), int(rb)) }
+func (a *Asm) Sub(rd, ra, rb Reg)         { a.b.Sub(int(rd), int(ra), int(rb)) }
+func (a *Asm) Mul(rd, ra, rb Reg)         { a.b.Mul(int(rd), int(ra), int(rb)) }
+func (a *Asm) AddI(rd, ra Reg, v int64)   { a.b.AddImm(int(rd), int(ra), v) }
+func (a *Asm) MulI(rd, ra Reg, v int64)   { a.b.MulImm(int(rd), int(ra), v) }
+func (a *Asm) DivI(rd, ra Reg, v int64)   { a.b.DivImm(int(rd), int(ra), v) }
+func (a *Asm) ModI(rd, ra Reg, v int64)   { a.b.ModImm(int(rd), int(ra), v) }
+func (a *Asm) SetLt(rd, ra, rb Reg)       { a.b.SetLt(int(rd), int(ra), int(rb)) }
+func (a *Asm) SetLtI(rd, ra Reg, v int64) { a.b.SetLtImm(int(rd), int(ra), v) }
+func (a *Asm) SetEqI(rd, ra Reg, v int64) { a.b.SetEqImm(int(rd), int(ra), v) }
+func (a *Asm) Select(rd, c, rt, rf Reg)   { a.b.Select(int(rd), int(c), int(rt), int(rf)) }
+
+// Flops models n cycles of floating-point work.
+func (a *Asm) Flops(n int) { a.b.Flops(n) }
+
+// LdGlobal / StGlobal access global memory through the L1 (byte
+// address = ra + off).
+func (a *Asm) LdGlobal(rd, ra Reg, off int64) { a.b.LdGlobal(int(rd), int(ra), off) }
+func (a *Asm) StGlobal(ra Reg, off int64, rb Reg) {
+	a.b.StGlobal(int(ra), off, int(rb))
+}
+
+// LdShared / StShared access the scratchpad (word offset = ra + off).
+func (a *Asm) LdShared(rd, ra Reg, off int64) { a.b.LdShared(int(rd), int(ra), off) }
+func (a *Asm) StShared(ra Reg, off int64, rb Reg) {
+	a.b.StShared(int(ra), off, int(rb))
+}
+
+// LdStash / StStash access the stash under the given map-index-table
+// slot (word offset = ra + off).
+func (a *Asm) LdStash(rd, ra Reg, off int64, slot int) {
+	a.b.LdStash(int(rd), int(ra), off, slot)
+}
+func (a *Asm) StStash(ra Reg, off int64, rb Reg, slot int) {
+	a.b.StStash(int(ra), off, int(rb), slot)
+}
+
+// AddMap installs a stash mapping in the block's map index table slot.
+// The stash base is block-relative; the runtime rebases it onto the
+// block's local allocation.
+func (a *Asm) AddMap(slot int, m MapParams) { a.b.AddMap(slot, m.internal()) }
+
+// AddMapReg is AddMap with the stash base and global base taken from
+// registers (lane-0 values), for per-block tiles.
+func (a *Asm) AddMapReg(slot int, m MapParams, sbase, gbase Reg) {
+	a.b.AddMapReg(slot, m.internal(), int(sbase), int(gbase))
+}
+
+// ChgMap updates an existing mapping (paper Section 4.2).
+func (a *Asm) ChgMap(slot int, m MapParams) { a.b.ChgMap(slot, m.internal()) }
+
+// DMALoad / DMAStore transfer a tile between global memory and the
+// scratchpad through the DMA engine, blocking the whole CU.
+func (a *Asm) DMALoad(m MapParams, sbase, gbase Reg) {
+	a.b.DMALoadReg(m.internal(), int(sbase), int(gbase))
+}
+func (a *Asm) DMAStore(m MapParams, sbase, gbase Reg) {
+	a.b.DMAStoreReg(m.internal(), int(sbase), int(gbase))
+}
+
+// Barrier synchronizes the thread block.
+func (a *Asm) Barrier() { a.b.Barrier() }
+
+// If/Else/EndIf bracket a divergent region executing where c != 0.
+func (a *Asm) If(c Reg) { a.b.If(int(c)) }
+func (a *Asm) Else()    { a.b.Else() }
+func (a *Asm) EndIf()   { a.b.EndIf() }
+
+// For/EndFor bracket a counted loop; i runs 0..n-1.
+func (a *Asm) For(i Reg, n int64) { a.b.For(int(i), n) }
+func (a *Asm) EndFor()            { a.b.EndFor() }
+
+// Kernel finalizes the program as a GPU kernel. localWords is the
+// per-block scratchpad/stash allocation in words (chunk-aligned, 64 B).
+func (a *Asm) Kernel(blockDim, gridDim, localWords int) (*Kernel, error) {
+	p, err := a.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{k: &gpu.Kernel{
+		Prog:               p,
+		BlockDim:           blockDim,
+		GridDim:            gridDim,
+		LocalWordsPerBlock: localWords,
+	}}, nil
+}
+
+// MustKernel is Kernel for statically correct programs.
+func (a *Asm) MustKernel(blockDim, gridDim, localWords int) *Kernel {
+	k, err := a.Kernel(blockDim, gridDim, localWords)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Program finalizes the instruction sequence as a CPU program.
+func (a *Asm) Program() (*Program, error) {
+	p, err := a.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// MustProgram is Program for statically correct programs.
+func (a *Asm) MustProgram() *Program {
+	p, err := a.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,212 @@
+// Paperfigs regenerates every table and figure of the paper's
+// evaluation (ISCA 2015, Sections 5-6) from the simulator:
+//
+//	paperfigs -exp table1   # cache/scratchpad/stash feature matrix
+//	paperfigs -exp table2   # simulated system parameters
+//	paperfigs -exp table3   # per-access energies
+//	paperfigs -exp table4   # related-work comparison
+//	paperfigs -exp fig5     # microbenchmarks: time/energy/instr/traffic
+//	paperfigs -exp fig6     # applications: time/energy
+//	paperfigs -exp all
+//
+// Figures are printed as normalized tables (Scratch = 100), matching
+// the paper's bar charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"stash"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig5|fig6|all")
+	flag.Parse()
+	switch *exp {
+	case "table1":
+		table1()
+	case "table2":
+		table2()
+	case "table3":
+		table3()
+	case "table4":
+		table4()
+	case "fig5":
+		fig5()
+	case "fig6":
+		fig6()
+	case "all":
+		table1()
+		table2()
+		table3()
+		table4()
+		fig5()
+		fig6()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func header(s string) {
+	fmt.Println()
+	fmt.Println(s)
+	fmt.Println(strings.Repeat("=", len(s)))
+}
+
+func table1() {
+	header("Table 1: Comparison of cache, scratchpad, and stash")
+	fmt.Print(stash.RenderFeatures(stash.FeatureMatrix(), []string{"Cache", "Scratchpad", "Stash"}))
+}
+
+func table2() {
+	header("Table 2: Parameters of the simulated heterogeneous system")
+	rows := [][2]string{
+		{"GPU frequency (simulation clock)", "700 MHz"},
+		{"CUs (microbenchmarks, apps)", "1, 15"},
+		{"CPU cores (microbenchmarks, apps)", "15, 1"},
+		{"Scratchpad/Stash size", "16 KB, 32 banks"},
+		{"L1 size", "32 KB, 8-way"},
+		{"L2 size", "4 MB, 16 banks (NUCA)"},
+		{"Stash-map", "64 entries"},
+		{"TLB & RTLB (VP-map)", "64 entries each"},
+		{"Stash address translation", "10 cycles"},
+		{"L1 and stash hit latency", "1 cycle"},
+		{"Interconnect", "4x4 mesh, 3 cycles/hop, 16 B flits"},
+		{"Coherence", "DeNovo (word granularity states)"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-38s %s\n", r[0], r[1])
+	}
+}
+
+func table3() {
+	header("Table 3: Per-access energy for various hardware units")
+	fmt.Printf("  %-14s %12s %12s\n", "Hardware Unit", "Hit Energy", "Miss Energy")
+	for _, e := range stash.AccessEnergies() {
+		miss := "-"
+		if e.HasMissEntry {
+			miss = fmt.Sprintf("%.1f pJ", e.MissPJ)
+		}
+		fmt.Printf("  %-14s %9.1f pJ %12s\n", e.Unit, e.HitPJ, miss)
+	}
+}
+
+func table4() {
+	header("Table 4: Comparison of stash and prior work")
+	fmt.Print(stash.RenderFeatures(stash.RelatedWorkMatrix(),
+		[]string{"Bypass L1", "Change Data Layout", "Elide Tag", "Virtual Private Memories", "DMAs", "Stash"}))
+}
+
+// collect runs the workloads on every org and returns results[workload][org].
+func collect(names []string, orgs []stash.MemOrg) map[string]map[stash.MemOrg]stash.Result {
+	out := make(map[string]map[stash.MemOrg]stash.Result)
+	for _, name := range names {
+		out[name] = make(map[stash.MemOrg]stash.Result)
+		for _, org := range orgs {
+			res, err := stash.RunWorkload(name, org)
+			if err != nil {
+				log.Fatalf("%s on %v: %v", name, org, err)
+			}
+			out[name][org] = res
+		}
+	}
+	return out
+}
+
+// printNormalized prints one metric across workloads and orgs,
+// normalized to the Scratch configuration (x100, like the paper's
+// percentage axes), with a geometric-mean-free simple average row.
+func printNormalized(title string, names []string, orgs []stash.MemOrg,
+	res map[string]map[stash.MemOrg]stash.Result, metric func(stash.Result) float64) {
+	fmt.Println()
+	fmt.Println(title + " (normalized to Scratch = 100; lower is better)")
+	fmt.Printf("  %-12s", "")
+	for _, org := range orgs {
+		fmt.Printf(" %10s", org)
+	}
+	fmt.Println()
+	avg := make([]float64, len(orgs))
+	for _, name := range names {
+		base := metric(res[name][stash.Scratch])
+		fmt.Printf("  %-12s", name)
+		for i, org := range orgs {
+			v := 100 * metric(res[name][org]) / base
+			avg[i] += v
+			fmt.Printf(" %10.0f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  %-12s", "AVERAGE")
+	for i := range orgs {
+		fmt.Printf(" %10.0f", avg[i]/float64(len(names)))
+	}
+	fmt.Println()
+}
+
+func printEnergyBreakdown(names []string, orgs []stash.MemOrg,
+	res map[string]map[stash.MemOrg]stash.Result) {
+	comps := []string{"GPU core+", "L1 D$", "Scratch/Stash", "L2 $", "N/W"}
+	fmt.Println()
+	fmt.Println("Dynamic energy breakdown (% of the workload's Scratch total)")
+	for _, name := range names {
+		base := res[name][stash.Scratch].EnergyPJ
+		fmt.Printf("  %s\n", name)
+		fmt.Printf("    %-10s", "")
+		for _, c := range comps {
+			fmt.Printf(" %14s", c)
+		}
+		fmt.Printf(" %10s\n", "total")
+		for _, org := range orgs {
+			r := res[name][org]
+			fmt.Printf("    %-10s", org)
+			for _, c := range comps {
+				fmt.Printf(" %14.1f", 100*r.EnergyByComponent[c]/base)
+			}
+			fmt.Printf(" %10.1f\n", 100*r.EnergyPJ/base)
+		}
+	}
+}
+
+func fig5() {
+	header("Figure 5: Microbenchmarks (1 CU + 15 CPU cores)")
+	names := stash.Microbenchmarks()
+	orgs := []stash.MemOrg{stash.Scratch, stash.ScratchGD, stash.Cache, stash.Stash}
+	res := collect(names, orgs)
+	printNormalized("(a) Execution time", names, orgs, res,
+		func(r stash.Result) float64 { return float64(r.Cycles) })
+	printNormalized("(b) Dynamic energy", names, orgs, res,
+		func(r stash.Result) float64 { return r.EnergyPJ })
+	printEnergyBreakdown(names, orgs, res)
+	printNormalized("(c) GPU instruction count", names, orgs, res,
+		func(r stash.Result) float64 { return float64(r.GPUInstructions) })
+	printNormalized("(d) Network traffic (flit-crossings)", names, orgs, res,
+		func(r stash.Result) float64 { return float64(r.TotalFlitHops()) })
+	fmt.Println()
+	fmt.Println("Traffic by class (flit-hops):")
+	for _, name := range names {
+		fmt.Printf("  %-12s", name)
+		for _, org := range orgs {
+			r := res[name][org]
+			fmt.Printf("  %s[r=%d w=%d wb=%d]", org,
+				r.FlitHops["read"], r.FlitHops["write"], r.FlitHops["writeback"])
+		}
+		fmt.Println()
+	}
+}
+
+func fig6() {
+	header("Figure 6: Applications (15 CUs + 1 CPU core)")
+	names := stash.Applications()
+	orgs := []stash.MemOrg{stash.Scratch, stash.ScratchG, stash.Cache, stash.Stash, stash.StashG}
+	res := collect(names, orgs)
+	printNormalized("(a) Execution time", names, orgs, res,
+		func(r stash.Result) float64 { return float64(r.Cycles) })
+	printNormalized("(b) Dynamic energy", names, orgs, res,
+		func(r stash.Result) float64 { return r.EnergyPJ })
+	printEnergyBreakdown(names, orgs, res)
+}

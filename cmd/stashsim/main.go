@@ -1,0 +1,78 @@
+// Stashsim runs one workload on one memory organization and prints the
+// measured metrics (and, with -v, the full counter dump):
+//
+//	stashsim -workload reuse -org Stash
+//	stashsim -workload lud -org Cache -v
+//	stashsim -list
+//
+// Ablation flags map to the paper's design options:
+//
+//	-no-replication    disable the Section 4.5 data replication optimization
+//	-eager-writeback   write dirty stash data back at every kernel boundary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"stash"
+)
+
+func main() {
+	workload := flag.String("workload", "implicit", "workload name (see -list)")
+	orgName := flag.String("org", "Stash", "memory organization: Scratch|ScratchG|ScratchGD|Cache|Stash|StashG")
+	list := flag.Bool("list", false, "list workloads and exit")
+	verbose := flag.Bool("v", false, "dump all raw counters")
+	noRepl := flag.Bool("no-replication", false, "disable the data replication optimization")
+	eager := flag.Bool("eager-writeback", false, "eager (kernel-boundary) stash writebacks")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("microbenchmarks:", stash.Microbenchmarks())
+		fmt.Println("applications:   ", stash.Applications())
+		return
+	}
+
+	var org stash.MemOrg
+	found := false
+	for _, o := range stash.Orgs() {
+		if o.String() == *orgName {
+			org, found = o, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown org %q\n", *orgName)
+		os.Exit(2)
+	}
+
+	cfg := stash.MicroConfig(org)
+	if !stash.IsMicrobenchmark(*workload) {
+		cfg = stash.AppConfig(org)
+	}
+	cfg.DisableReplication = *noRepl
+	cfg.EagerWriteback = *eager
+
+	res, err := stash.RunWorkloadCfg(*workload, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s (%d CUs, %d CPU cores)\n", *workload, org, cfg.GPUs, cfg.CPUs)
+	fmt.Print(res)
+	fmt.Printf("  traffic: read=%d write=%d writeback=%d flit-hops\n",
+		res.FlitHops["read"], res.FlitHops["write"], res.FlitHops["writeback"])
+	if *verbose {
+		names := make([]string, 0, len(res.Counters))
+		for n := range res.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if res.Counters[n] != 0 {
+				fmt.Printf("  %-44s %12d\n", n, res.Counters[n])
+			}
+		}
+	}
+}

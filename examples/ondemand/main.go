@@ -1,0 +1,110 @@
+// Ondemand demonstrates on-demand data movement: a kernel that touches
+// only one element in eight, chosen by a runtime condition. The stash
+// transfers only what the program reads; a DMA-enhanced scratchpad must
+// conservatively move the whole mapped tile both ways.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stash"
+)
+
+const (
+	nElems   = 4096
+	blockDim = 128
+	grid     = nElems / blockDim
+	period   = 8
+)
+
+func shape() stash.MapParams {
+	return stash.MapParams{
+		FieldBytes: 4, ObjectBytes: 4, RowElems: blockDim, NumRows: 1, Coherent: true,
+	}
+}
+
+// prologue computes the per-block bases and the thread's selector.
+func prologue(a *stash.Asm, base, sel stash.Addr) (tid, sbase, gbase, cond stash.Reg) {
+	tid, sbase, gbase = a.R(), a.R(), a.R()
+	gtid, saddr := a.R(), a.R()
+	cond = a.R()
+	a.Spec(tid, stash.TID)
+	a.MovI(sbase, 0)
+	a.Spec(gbase, stash.CTAID)
+	a.MulI(gbase, gbase, blockDim*4)
+	a.AddI(gbase, gbase, int64(base))
+	a.Spec(gtid, stash.CTAID)
+	a.MulI(gtid, gtid, blockDim)
+	a.Add(gtid, gtid, tid)
+	a.MulI(saddr, gtid, 4)
+	a.AddI(saddr, saddr, int64(sel))
+	a.LdGlobal(cond, saddr, 0)
+	return
+}
+
+func stashKernel(base, sel stash.Addr) *stash.Kernel {
+	a := stash.NewAsm()
+	tid, sbase, gbase, cond := prologue(a, base, sel)
+	a.AddMapReg(0, shape(), sbase, gbase)
+	a.Barrier()
+	v := a.R()
+	a.If(cond)
+	a.LdStash(v, tid, 0, 0) // misses only for selected elements
+	a.AddI(v, v, 7)
+	a.StStash(tid, 0, v, 0)
+	a.EndIf()
+	return a.MustKernel(blockDim, grid, blockDim)
+}
+
+func dmaKernel(base, sel stash.Addr) *stash.Kernel {
+	a := stash.NewAsm()
+	tid, sbase, gbase, cond := prologue(a, base, sel)
+	a.DMALoad(shape(), sbase, gbase) // must move the whole tile in...
+	a.Barrier()
+	v := a.R()
+	a.If(cond)
+	a.LdShared(v, tid, 0)
+	a.AddI(v, v, 7)
+	a.StShared(tid, 0, v)
+	a.EndIf()
+	a.Barrier()
+	a.DMAStore(shape(), sbase, gbase) // ...and the whole tile back out.
+	return a.MustKernel(blockDim, grid, blockDim)
+}
+
+func run(org stash.MemOrg, mk func(base, sel stash.Addr) *stash.Kernel) stash.Result {
+	sys := stash.NewSystem(stash.MicroConfig(org))
+	base := sys.Alloc(nElems, func(i int) uint32 { return uint32(i) })
+	sel := sys.Alloc(nElems, func(i int) uint32 {
+		if i%period == 0 {
+			return 1
+		}
+		return 0
+	})
+	sys.RunKernel(mk(base, sel))
+	res := sys.Result()
+	sys.Flush()
+	for i := 0; i < nElems; i++ {
+		want := uint32(i)
+		if i%period == 0 {
+			want += 7
+		}
+		if got := sys.ReadWord(base + stash.Addr(4*i)); got != want {
+			log.Fatalf("%v: A[%d] = %d, want %d", org, i, got, want)
+		}
+	}
+	return res
+}
+
+func main() {
+	dma := run(stash.ScratchGD, dmaKernel)
+	st := run(stash.Stash, stashKernel)
+	fmt.Printf("On-demand access (1 element in %d touched)\n\n", period)
+	fmt.Printf("%-24s %14s %12s\n", "", "scratchpad+DMA", "stash")
+	fmt.Printf("%-24s %14d %12d\n", "network flit-hops", dma.TotalFlitHops(), st.TotalFlitHops())
+	fmt.Printf("%-24s %14.1f %12.1f\n", "dynamic energy (nJ)", dma.EnergyPJ/1e3, st.EnergyPJ/1e3)
+	fmt.Printf("%-24s %14d %12d\n", "cycles", dma.Cycles, st.Cycles)
+	fmt.Printf("\nThe DMA engine transfers all %d words in and out; the stash\nmoves only the ~%d words the kernel touches.\n",
+		nElems, nElems/period)
+}

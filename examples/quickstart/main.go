@@ -1,0 +1,32 @@
+// Quickstart runs one of the paper's microbenchmarks on every memory
+// organization and prints the headline metrics, normalized to the
+// scratchpad baseline the way the paper's Figure 5 is.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stash"
+)
+
+func main() {
+	const workload = "implicit"
+	base, err := stash.RunWorkload(workload, stash.Scratch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on the microbenchmark machine (1 CU + 15 CPU cores)\n\n", workload)
+	fmt.Printf("%-10s %10s %12s %14s %12s\n", "config", "cycles", "energy (nJ)", "instructions", "flit-hops")
+	for _, org := range []stash.MemOrg{stash.Scratch, stash.ScratchGD, stash.Cache, stash.Stash} {
+		res, err := stash.RunWorkload(workload, org)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := res.NormalizeTo(base)
+		fmt.Printf("%-10s %10d %12.1f %14d %12d   (norm: time %.2f energy %.2f)\n",
+			org, res.Cycles, res.EnergyPJ/1e3, res.GPUInstructions,
+			res.TotalFlitHops(), n.Cycles, n.Energy)
+	}
+	fmt.Println("\nLower is better; Scratch = 1.00.")
+}

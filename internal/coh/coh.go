@@ -1,0 +1,147 @@
+// Package coh defines the DeNovo-style coherence protocol the stash
+// paper builds on (Section 4.3): word-granularity coherence state with
+// line-granularity tags, registration (ownership) requests instead of
+// writer-initiated invalidations, and self-invalidation of non-registered
+// words at synchronization points (kernel boundaries).
+//
+// The package provides the protocol vocabulary shared by the L1 caches,
+// the stash, the DMA engine, and the LLC registry: word states, packet
+// types, message sizing/classing for the NoC, and the pending-writeback
+// buffer that keeps dirty data addressable while a writeback is in
+// flight (so forwarded remote reads never observe a torn line).
+package coh
+
+import (
+	"stash/internal/memdata"
+	"stash/internal/noc"
+)
+
+// State is the per-word DeNovo coherence state.
+type State uint8
+
+// Word states. PendingReg is local bookkeeping in the L1/stash MSHRs
+// (the word's value is written and owned by an in-flight registration);
+// the LLC never observes it, preserving DeNovo's no-transient-states
+// directory property.
+const (
+	Invalid State = iota
+	Shared
+	Registered
+	PendingReg
+)
+
+var stateNames = [...]string{"Invalid", "Shared", "Registered", "PendingReg"}
+
+// String returns the state name.
+func (s State) String() string { return stateNames[s] }
+
+// Readable reports whether a local load may consume the word.
+func (s State) Readable() bool { return s != Invalid }
+
+// Owned reports whether the local structure owns the word's latest value.
+func (s State) Owned() bool { return s == Registered || s == PendingReg }
+
+// Component identifies the structure a packet addresses within a node.
+type Component uint8
+
+// Packet targets within a node.
+const (
+	ToLLC Component = iota
+	ToL1
+	ToStash
+	ToDMA
+)
+
+// PacketType enumerates protocol messages.
+type PacketType uint8
+
+// Protocol message types.
+const (
+	ReadReq    PacketType = iota // request the masked words of a line
+	RegReq                       // request registration (ownership) of masked words
+	WBReq                        // write masked dirty words back to the LLC
+	WriteReq                     // uncached write of masked words (DMA writeout)
+	DataResp                     // data for masked words
+	RegAck                       // registration granted
+	WBAck                        // writeback (or uncached write) accepted
+	FwdReadReq                   // LLC-forwarded read: owner must answer requester
+	OwnerInv                     // old owner must drop its registration
+)
+
+var packetNames = [...]string{
+	"ReadReq", "RegReq", "WBReq", "WriteReq", "DataResp",
+	"RegAck", "WBAck", "FwdReadReq", "OwnerInv",
+}
+
+// String returns the packet type name.
+func (t PacketType) String() string { return packetNames[t] }
+
+// Packet is one protocol message. Line is always line-aligned and
+// physical; Mask selects words within it; Vals carries word values for
+// data-bearing packets (indexed by word position within the line).
+type Packet struct {
+	Type PacketType
+	Line memdata.PAddr
+	Mask memdata.WordMask
+	Vals [memdata.WordsPerLine]uint32
+
+	SrcNode int       // sending node
+	SrcComp Component // sending component
+	DstNode int
+	DstComp Component
+
+	// ReqNode/ReqComp identify the original requester for three-leg
+	// transactions (LLC forwards, owner answers the requester directly).
+	ReqNode int
+	ReqComp Component
+
+	// MapIdx is the stash-map index travelling with stash registrations
+	// and forwarded requests (paper Section 4.3, feature 3). -1 for
+	// cache traffic.
+	MapIdx int
+}
+
+// PayloadBytes returns the number of data bytes the packet carries on
+// the network (headers ride the head flit).
+func (p *Packet) PayloadBytes() int {
+	switch p.Type {
+	case DataResp, WBReq, WriteReq:
+		return p.Mask.Count() * memdata.WordBytes
+	default:
+		return 0
+	}
+}
+
+// Class returns the Figure 5d traffic class of the packet.
+func (p *Packet) Class() noc.Class {
+	switch p.Type {
+	case ReadReq, DataResp, FwdReadReq:
+		return noc.Read
+	case WBReq, WriteReq, WBAck:
+		return noc.Writeback
+	default: // RegReq, RegAck, OwnerInv
+		return noc.Write
+	}
+}
+
+// Send wraps the packet in a NoC message and injects it.
+func Send(n *noc.Network, p *Packet) {
+	n.Send(&noc.Message{
+		Src:     p.SrcNode,
+		Dst:     p.DstNode,
+		Class:   p.Class(),
+		Bytes:   p.PayloadBytes(),
+		Payload: p,
+	})
+}
+
+// Owner records who holds a word's registration in the LLC registry:
+// the owning node, whether the owner is a stash or an L1, and — for
+// stashes — the stash-map index needed to locate the word remotely.
+// In hardware this is encoded in the LLC data word itself (DeNovo), so
+// it costs no extra storage.
+type Owner struct {
+	Node   int
+	Comp   Component
+	MapIdx int
+}

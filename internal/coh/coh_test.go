@@ -1,0 +1,177 @@
+package coh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stash/internal/memdata"
+	"stash/internal/noc"
+)
+
+func TestStatePredicates(t *testing.T) {
+	if Invalid.Readable() {
+		t.Error("Invalid should not be readable")
+	}
+	for _, s := range []State{Shared, Registered, PendingReg} {
+		if !s.Readable() {
+			t.Errorf("%v should be readable", s)
+		}
+	}
+	if Shared.Owned() || Invalid.Owned() {
+		t.Error("Shared/Invalid must not be owned")
+	}
+	if !Registered.Owned() || !PendingReg.Owned() {
+		t.Error("Registered/PendingReg must be owned")
+	}
+}
+
+func TestPacketPayloadBytes(t *testing.T) {
+	p := &Packet{Type: DataResp, Mask: memdata.Bit(0) | memdata.Bit(5) | memdata.Bit(9)}
+	if got := p.PayloadBytes(); got != 12 {
+		t.Fatalf("DataResp payload = %d, want 12", got)
+	}
+	for _, typ := range []PacketType{ReadReq, RegReq, RegAck, WBAck, FwdReadReq, OwnerInv} {
+		p := &Packet{Type: typ, Mask: memdata.MaskAll}
+		if got := p.PayloadBytes(); got != 0 {
+			t.Errorf("%v payload = %d, want 0 (control message)", typ, got)
+		}
+	}
+}
+
+func TestPacketClasses(t *testing.T) {
+	cases := map[PacketType]noc.Class{
+		ReadReq:    noc.Read,
+		DataResp:   noc.Read,
+		FwdReadReq: noc.Read,
+		RegReq:     noc.Write,
+		RegAck:     noc.Write,
+		OwnerInv:   noc.Write,
+		WBReq:      noc.Writeback,
+		WriteReq:   noc.Writeback,
+		WBAck:      noc.Writeback,
+	}
+	for typ, want := range cases {
+		p := &Packet{Type: typ}
+		if got := p.Class(); got != want {
+			t.Errorf("Class(%v) = %v, want %v", typ, got, want)
+		}
+	}
+}
+
+func TestWBBufferLifecycle(t *testing.T) {
+	b := NewWBBuffer()
+	var vals [memdata.WordsPerLine]uint32
+	vals[2], vals[3] = 22, 33
+	b.Put(0x100, memdata.Bit(2)|memdata.Bit(3), vals)
+	if !b.Busy(0x100) {
+		t.Fatal("line should be busy")
+	}
+	mask, got := b.Lookup(0x100, memdata.MaskAll)
+	if mask != memdata.Bit(2)|memdata.Bit(3) || got[2] != 22 || got[3] != 33 {
+		t.Fatalf("Lookup mask=%v vals=%v", mask, got)
+	}
+	// Partial lookup intersects.
+	mask, _ = b.Lookup(0x100, memdata.Bit(3)|memdata.Bit(4))
+	if mask != memdata.Bit(3) {
+		t.Fatalf("intersect mask = %v, want bit 3", mask)
+	}
+	b.Release(0x100, memdata.Bit(2))
+	if !b.Busy(0x100) {
+		t.Fatal("line should remain busy with word 3 pending")
+	}
+	b.Release(0x100, memdata.Bit(3))
+	if b.Busy(0x100) || b.Len() != 0 {
+		t.Fatal("line should be released")
+	}
+}
+
+func TestWBBufferMerge(t *testing.T) {
+	b := NewWBBuffer()
+	var v1, v2 [memdata.WordsPerLine]uint32
+	v1[0] = 1
+	v2[1] = 2
+	b.Put(0x40, memdata.Bit(0), v1)
+	b.Put(0x40, memdata.Bit(1), v2)
+	mask, vals := b.Lookup(0x40, memdata.MaskAll)
+	if mask != memdata.Bit(0)|memdata.Bit(1) || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("merge failed: mask=%v vals=%v", mask, vals[:2])
+	}
+}
+
+func TestRouterDispatch(t *testing.T) {
+	r := NewRouter()
+	var got []Component
+	mk := func(c Component) Handler {
+		return handlerFunc(func(p *Packet) { got = append(got, c) })
+	}
+	r.Attach(ToLLC, mk(ToLLC))
+	r.Attach(ToStash, mk(ToStash))
+	r.Deliver(&Packet{DstComp: ToStash})
+	r.Deliver(&Packet{DstComp: ToLLC})
+	if len(got) != 2 || got[0] != ToStash || got[1] != ToLLC {
+		t.Fatalf("dispatch order = %v", got)
+	}
+}
+
+func TestRouterUnattachedPanics(t *testing.T) {
+	r := NewRouter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unattached component did not panic")
+		}
+	}()
+	r.Deliver(&Packet{DstComp: ToL1})
+}
+
+type handlerFunc func(*Packet)
+
+func (f handlerFunc) HandlePacket(p *Packet) { f(p) }
+
+// Property: after any sequence of Puts and Releases, Lookup returns
+// exactly the values of the most recent Put covering each still-pending
+// word.
+func TestWBBufferProperty(t *testing.T) {
+	type op struct {
+		Put  bool
+		Mask memdata.WordMask
+		Seed uint32
+	}
+	f := func(ops []op) bool {
+		b := NewWBBuffer()
+		want := make(map[int]uint32)
+		for _, o := range ops {
+			o.Mask &= memdata.MaskAll
+			if o.Put {
+				var vals [memdata.WordsPerLine]uint32
+				for i := 0; i < memdata.WordsPerLine; i++ {
+					if o.Mask.Has(i) {
+						vals[i] = o.Seed + uint32(i)
+						want[i] = vals[i]
+					}
+				}
+				b.Put(0x80, o.Mask, vals)
+			} else {
+				b.Release(0x80, o.Mask)
+				for i := 0; i < memdata.WordsPerLine; i++ {
+					if o.Mask.Has(i) {
+						delete(want, i)
+					}
+				}
+			}
+		}
+		mask, vals := b.Lookup(0x80, memdata.MaskAll)
+		for i := 0; i < memdata.WordsPerLine; i++ {
+			wv, pending := want[i]
+			if pending != mask.Has(i) {
+				return false
+			}
+			if pending && vals[i] != wv {
+				return false
+			}
+		}
+		return b.Busy(0x80) == (len(want) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package coh
+
+import "stash/internal/memdata"
+
+// WBBuffer holds dirty data for lines whose writeback is in flight.
+// An owner (L1 or stash) moves registered words here when it evicts or
+// lazily writes them back; the entry is released when the WBAck arrives.
+// Forwarded remote reads that race with the writeback are served from
+// this buffer, so a remote reader always observes the owned value.
+type WBBuffer struct {
+	pending map[memdata.PAddr]*wbEntry
+}
+
+type wbEntry struct {
+	mask memdata.WordMask
+	vals [memdata.WordsPerLine]uint32
+}
+
+// NewWBBuffer returns an empty buffer.
+func NewWBBuffer() *WBBuffer {
+	return &WBBuffer{pending: make(map[memdata.PAddr]*wbEntry)}
+}
+
+// Put records an in-flight writeback of the masked words of line.
+// Multiple writebacks of the same line merge.
+func (b *WBBuffer) Put(line memdata.PAddr, mask memdata.WordMask, vals [memdata.WordsPerLine]uint32) {
+	e := b.pending[line]
+	if e == nil {
+		e = &wbEntry{}
+		b.pending[line] = e
+	}
+	for i := 0; i < memdata.WordsPerLine; i++ {
+		if mask.Has(i) {
+			e.vals[i] = vals[i]
+		}
+	}
+	e.mask |= mask
+}
+
+// Lookup returns the buffered words of line that intersect mask.
+func (b *WBBuffer) Lookup(line memdata.PAddr, mask memdata.WordMask) (memdata.WordMask, [memdata.WordsPerLine]uint32) {
+	e := b.pending[line]
+	if e == nil {
+		return 0, [memdata.WordsPerLine]uint32{}
+	}
+	return e.mask & mask, e.vals
+}
+
+// Release drops the masked words of line after their writeback is
+// acknowledged; the entry disappears when no words remain.
+func (b *WBBuffer) Release(line memdata.PAddr, mask memdata.WordMask) {
+	e := b.pending[line]
+	if e == nil {
+		return
+	}
+	e.mask &^= mask
+	if e.mask == 0 {
+		delete(b.pending, line)
+	}
+}
+
+// Busy reports whether any words of line are awaiting acknowledgement.
+func (b *WBBuffer) Busy(line memdata.PAddr) bool { return b.pending[line] != nil }
+
+// Len reports the number of lines with in-flight writebacks.
+func (b *WBBuffer) Len() int { return len(b.pending) }
+
+// Handler consumes protocol packets addressed to one component.
+type Handler interface {
+	HandlePacket(p *Packet)
+}
+
+// Router dispatches packets arriving at a node to the right component.
+// It is the node's single NoC delivery handler.
+type Router struct {
+	handlers [4]Handler // indexed by Component
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router { return &Router{} }
+
+// Attach installs the handler for component c.
+func (r *Router) Attach(c Component, h Handler) { r.handlers[c] = h }
+
+// Deliver routes a packet to its destination component.
+func (r *Router) Deliver(p *Packet) {
+	h := r.handlers[p.DstComp]
+	if h == nil {
+		panic("coh: packet for unattached component " + p.Type.String())
+	}
+	h.HandlePacket(p)
+}

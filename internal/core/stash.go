@@ -1,0 +1,1012 @@
+package core
+
+import (
+	"fmt"
+
+	"stash/internal/coh"
+	"stash/internal/energy"
+	"stash/internal/llc"
+	"stash/internal/memdata"
+	"stash/internal/noc"
+	"stash/internal/sim"
+	"stash/internal/stats"
+	"stash/internal/vm"
+)
+
+// Params configures a stash.
+type Params struct {
+	SizeBytes    int
+	Banks        int
+	HitLat       sim.Cycle
+	TranslateLat sim.Cycle // stash address translation on a miss (Table 2: 10 cycles)
+	MapEntries   int       // stash-map size (Table 2: 64)
+	VPEntries    int       // VP-map TLB/RTLB size (Table 2: 64)
+	SlotsPerTB   int       // map index table entries per thread block (4)
+	NumLLCBanks  int
+	// EnableReplication turns on the data-replication optimization of
+	// Section 4.5 (on by default; the ablation benchmark disables it).
+	EnableReplication bool
+	// EagerWriteback forces scratchpad-style writeback of all dirty data
+	// at every kernel boundary instead of lazy writeback. Off in the real
+	// design; exists for the ablation study.
+	EagerWriteback bool
+}
+
+// DefaultParams returns the paper's Table 2 stash configuration.
+func DefaultParams() Params {
+	return Params{
+		SizeBytes:         16 << 10,
+		Banks:             32,
+		HitLat:            1,
+		TranslateLat:      10,
+		MapEntries:        64,
+		VPEntries:         64,
+		SlotsPerTB:        4,
+		NumLLCBanks:       16,
+		EnableReplication: true,
+	}
+}
+
+// ChunkWords is the writeback chunk granularity (64 B, Section 4.2).
+const ChunkWords = memdata.WordsPerLine
+
+// readMSHR tracks an outstanding fill of one global line. fills may
+// hold several stash destinations per word: two thread blocks can map
+// the same global data into different stash allocations concurrently
+// (the replication scenario of Section 4.5).
+type readMSHR struct {
+	requested memdata.WordMask
+	fills     map[int][]int // word index within global line -> stash word offsets
+	waiters   []*stashWaiter
+}
+
+// stashWaiter is one warp load waiting for fills. A load that misses in
+// several global lines is attached to every line's MSHR; fired ensures
+// it completes exactly once.
+type stashWaiter struct {
+	offsets []int
+	done    func(vals []uint32)
+	fired   bool
+}
+
+// Stash is one CU's stash (Figure 3). It attaches to the node's router
+// as coh.ToStash.
+type Stash struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	node int
+	p    Params
+	as   *vm.AddressSpace
+	acct *energy.Account
+
+	words []uint32
+	state []coh.State
+
+	chunkMap   []int // stash-map index last stored into the chunk
+	chunkDirty []bool
+	chunkWB    []bool
+
+	maps []mapEntry
+	tail int
+	gen  uint64
+
+	vp     *vpMap
+	tables map[int][]int // thread block -> map index table
+
+	mshrs      map[memdata.PAddr]*readMSHR
+	pendingReg map[memdata.PAddr]map[int][]int // line -> word index -> stash offsets
+	wbuf       *coh.WBBuffer
+
+	outstanding int
+	drainWait   []func()
+
+	hits        *stats.Counter
+	misses      *stats.Counter
+	missLines   *stats.Counter
+	remote      *stats.Counter
+	writebacks  *stats.Counter
+	addmaps     *stats.Counter
+	reuseHits   *stats.Counter
+	replCopies  *stats.Counter
+	lazyFlushes *stats.Counter
+}
+
+// New builds a stash for the CU at node, translating through as.
+func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, as *vm.AddressSpace, acct *energy.Account, set *stats.Set) *Stash {
+	nwords := p.SizeBytes / memdata.WordBytes
+	s := &Stash{
+		eng:        eng,
+		net:        net,
+		node:       node,
+		p:          p,
+		as:         as,
+		acct:       acct,
+		words:      make([]uint32, nwords),
+		state:      make([]coh.State, nwords),
+		chunkMap:   make([]int, nwords/ChunkWords),
+		chunkDirty: make([]bool, nwords/ChunkWords),
+		chunkWB:    make([]bool, nwords/ChunkWords),
+		maps:       make([]mapEntry, p.MapEntries),
+		vp:         newVPMap(p.VPEntries, as),
+		tables:     make(map[int][]int),
+		mshrs:      make(map[memdata.PAddr]*readMSHR),
+		pendingReg: make(map[memdata.PAddr]map[int][]int),
+		wbuf:       coh.NewWBBuffer(),
+
+		hits:        set.Counter(fmt.Sprintf("stash.%s.hits", name)),
+		misses:      set.Counter(fmt.Sprintf("stash.%s.misses", name)),
+		missLines:   set.Counter(fmt.Sprintf("stash.%s.miss_lines", name)),
+		remote:      set.Counter(fmt.Sprintf("stash.%s.remote_hits", name)),
+		writebacks:  set.Counter(fmt.Sprintf("stash.%s.writebacks", name)),
+		addmaps:     set.Counter(fmt.Sprintf("stash.%s.addmaps", name)),
+		reuseHits:   set.Counter(fmt.Sprintf("stash.%s.map_reuse", name)),
+		replCopies:  set.Counter(fmt.Sprintf("stash.%s.replication_copies", name)),
+		lazyFlushes: set.Counter(fmt.Sprintf("stash.%s.lazy_writeback_chunks", name)),
+	}
+	for i := range s.maps {
+		s.maps[i].reuseOf = -1
+	}
+	for i := range s.chunkMap {
+		s.chunkMap[i] = -1
+	}
+	return s
+}
+
+// Words returns the stash capacity in words.
+func (s *Stash) Words() int { return len(s.words) }
+
+// --- AddMap / ChgMap (Section 3.1, 4.2) ---
+
+// AddMap installs a stash-to-global mapping for thread block tb in map
+// index table slot, returning the stash-map index. Stash allocations
+// must be chunk (64 B) aligned so the per-chunk stash-map index is
+// unambiguous (cf. the paper's chunk-alignment requirement, fn. 4).
+func (s *Stash) AddMap(tb, slot int, m MapParams) int {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if m.StashBase%ChunkWords != 0 {
+		panic(fmt.Sprintf("core: stash base %d not chunk aligned", m.StashBase))
+	}
+	if m.StashBase+m.Words() > len(s.words) {
+		panic(fmt.Sprintf("core: mapping of %d words at %d exceeds stash size %d",
+			m.Words(), m.StashBase, len(s.words)))
+	}
+	if slot < 0 || slot >= s.p.SlotsPerTB {
+		panic(fmt.Sprintf("core: map index table slot %d out of range (max %d per thread block)", slot, s.p.SlotsPerTB))
+	}
+	s.addmaps.Inc()
+
+	table := s.tables[tb]
+	if table == nil {
+		table = make([]int, s.p.SlotsPerTB)
+		for i := range table {
+			table[i] = -1
+		}
+		s.tables[tb] = table
+	}
+
+	if s.p.EnableReplication {
+		for i := range s.maps {
+			e := &s.maps[i]
+			if !e.valid || !e.MapParams.sameTile(m) {
+				continue
+			}
+			if e.StashBase == m.StashBase && e.Coherent == m.Coherent {
+				// Perfect match including the stash allocation: reuse the
+				// entry; resident data and coherence state carry over, so
+				// a later kernel hits where a scratchpad would reload.
+				s.reuseHits.Inc()
+				e.active = true
+				table[slot] = i
+				return i
+			}
+		}
+	}
+
+	// The new allocation claims its stash range: any other valid entry
+	// overlapping it is retired now (dirty chunks written back, data
+	// invalidated), so stale entries can never serve replication copies
+	// of someone else's data.
+	for i := range s.maps {
+		e := &s.maps[i]
+		if !e.valid {
+			continue
+		}
+		if e.StashBase < m.StashBase+m.Words() && m.StashBase < e.StashBase+e.Words() {
+			if e.active {
+				panic(fmt.Sprintf("core: AddMap range [%d,%d) overlaps active mapping %d",
+					m.StashBase, m.StashBase+m.Words(), i))
+			}
+			s.retireEntry(i)
+		}
+	}
+
+	// Data replication (Section 4.5): an older mapping of the same tile
+	// at a different allocation lets load misses copy within the stash.
+	reusePartial := -1
+	if s.p.EnableReplication {
+		for i := range s.maps {
+			e := &s.maps[i]
+			if e.valid && e.MapParams.sameTile(m) {
+				reusePartial = i
+				break
+			}
+		}
+	}
+
+	idx := s.allocEntry()
+	e := &s.maps[idx]
+	s.gen++
+	*e = mapEntry{
+		MapParams:  m,
+		valid:      true,
+		active:     true,
+		fieldWords: m.FieldBytes / memdata.WordBytes,
+		reuseOf:    reusePartial,
+		generation: s.gen,
+	}
+
+	// Install the VP-map translations, reclaiming dead entries and, if
+	// necessary, retiring further stash-map entries (Section 4.2). When
+	// every entry belongs to an active mapping, the remaining pages are
+	// acquired lazily at the subsequent misses (Section 4.1.4's
+	// fallback) — the paper expects the programmer to size mappings so
+	// this stays rare, and vp.refills counts it.
+	s.installPages(e, idx)
+
+	// Prepare the stash range: chunks with a pending writeback keep
+	// their old data until first touch (lazy writeback); everything
+	// else is invalidated for the new allocation.
+	s.invalidateRangeExceptPendingWB(m.StashBase, m.Words())
+
+	table[slot] = idx
+	return idx
+}
+
+// ChgMap updates slot's existing mapping (Section 4.2). Dirty data of
+// the old coherent mapping is written back when the global target or
+// coherence mode changes; a non-coherent-to-coherent change issues
+// registrations for locally dirty words.
+func (s *Stash) ChgMap(tb, slot int, m MapParams) int {
+	table := s.tables[tb]
+	if table == nil || table[slot] < 0 {
+		panic("core: ChgMap on empty map index table slot")
+	}
+	idx := table[slot]
+	old := s.maps[idx]
+
+	if old.Coherent && !old.MapParams.sameTile(m) {
+		// New global addresses: write back old dirty data, invalidate.
+		s.flushEntryChunks(idx)
+	}
+	switch {
+	case old.Coherent && !m.Coherent:
+		s.flushEntryChunks(idx)
+	case !old.Coherent && m.Coherent && old.MapParams.sameTile(m):
+		// Locally dirty words become globally visible: register them.
+		s.registerLocalDirty(idx)
+	}
+
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	e := &s.maps[idx]
+	keep := e.generation
+	s.gen++
+	*e = mapEntry{MapParams: m, valid: true, active: true, fieldWords: m.FieldBytes / memdata.WordBytes, reuseOf: -1, generation: keep}
+	s.installPages(e, idx)
+	if !old.MapParams.sameTile(m) {
+		s.invalidateRangeExceptPendingWB(m.StashBase, m.Words())
+	}
+	return idx
+}
+
+// MapIndex returns the stash-map index stored in tb's map index table.
+func (s *Stash) MapIndex(tb, slot int) int {
+	table := s.tables[tb]
+	if table == nil || table[slot] < 0 {
+		panic(fmt.Sprintf("core: no mapping in slot %d of thread block %d", slot, tb))
+	}
+	return table[slot]
+}
+
+func (s *Stash) allocEntry() int {
+	for tries := 0; tries < len(s.maps); tries++ {
+		idx := s.tail
+		s.tail = (s.tail + 1) % len(s.maps)
+		if old := &s.maps[idx]; old.valid {
+			if old.active {
+				continue // never replace a running thread block's mapping
+			}
+			// Replacing a valid entry with unwritten dirty data: initiate
+			// its writebacks (the rare blocking case of Section 4.2).
+			s.retireEntry(idx)
+		}
+		return idx
+	}
+	panic("core: stash-map full of active mappings; too many AddMaps per resident thread blocks")
+}
+
+// installPages fills the VP-map for entry idx, reclaiming dead entries
+// and retiring inactive stash-map entries under pressure; pages that
+// still do not fit are acquired lazily at the first miss needing them.
+func (s *Stash) installPages(e *mapEntry, idx int) {
+	for _, page := range e.pages() {
+		for !s.vp.install(page, idx) {
+			if s.vp.reclaim(func(i int) bool { return s.maps[i].valid }) > 0 {
+				continue
+			}
+			victim := s.oldestValidEntry(idx)
+			if victim < 0 {
+				return // all entries active: fall back to lazy refills
+			}
+			s.retireEntry(victim)
+		}
+	}
+}
+
+func (s *Stash) oldestValidEntry(except int) int {
+	best, bestGen := -1, uint64(0)
+	for i := range s.maps {
+		e := &s.maps[i]
+		if !e.valid || e.active || i == except {
+			continue
+		}
+		if best < 0 || e.generation < bestGen {
+			best, bestGen = i, e.generation
+		}
+	}
+	return best
+}
+
+// retireEntry writes back any dirty chunks of entry idx and invalidates
+// it, releasing its VP-map translations.
+func (s *Stash) retireEntry(idx int) {
+	s.flushEntryChunks(idx)
+	s.maps[idx].valid = false
+	s.vp.dropUser(idx)
+}
+
+func (s *Stash) flushEntryChunks(idx int) {
+	for c := range s.chunkMap {
+		if s.chunkMap[c] == idx && (s.chunkDirty[c] || s.chunkWB[c]) {
+			s.flushChunk(c)
+		}
+	}
+}
+
+func (s *Stash) invalidateRangeExceptPendingWB(base, nwords int) {
+	for off := base; off < base+nwords; off++ {
+		c := off / ChunkWords
+		if s.chunkWB[c] || s.chunkDirty[c] {
+			continue // lazy writeback pending; first touch flushes it
+		}
+		s.state[off] = coh.Invalid
+	}
+}
+
+// registerLocalDirty sends registration requests for every locally
+// owned word of entry idx (the non-coherent-to-coherent ChgMap case).
+func (s *Stash) registerLocalDirty(idx int) {
+	e := &s.maps[idx]
+	groups := make(map[memdata.PAddr]map[int]int)
+	for off := e.StashBase; off < e.StashBase+e.Words(); off++ {
+		if s.state[off] != coh.Registered {
+			continue
+		}
+		va := e.stashToVirt(off)
+		pa := s.vp.translate(va)
+		line := memdata.LineOf(pa)
+		if groups[line] == nil {
+			groups[line] = make(map[int]int)
+		}
+		groups[line][memdata.WordIndex(pa)] = off
+		s.state[off] = coh.PendingReg
+	}
+	for line, fills := range groups {
+		s.sendRegReq(line, fills, idx)
+	}
+}
+
+// --- access path ---
+
+func (s *Stash) conflictRounds(offsets []int) int {
+	perBank := make(map[int]map[int]bool)
+	rounds := 1
+	for _, off := range offsets {
+		b := off % s.p.Banks
+		if perBank[b] == nil {
+			perBank[b] = make(map[int]bool)
+		}
+		perBank[b][off] = true
+		if n := len(perBank[b]); n > rounds {
+			rounds = n
+		}
+	}
+	return rounds
+}
+
+func (s *Stash) checkOffsets(offsets []int) {
+	for _, off := range offsets {
+		if off < 0 || off >= len(s.words) {
+			panic(fmt.Sprintf("core: stash offset %d out of range", off))
+		}
+	}
+}
+
+// touchChunk performs the per-access writeback-bit check (Section 4.2):
+// an access by mapping idx to a chunk whose pending writeback belongs
+// to an older mapping triggers the lazy writeback now.
+func (s *Stash) touchChunk(off, idx int) {
+	c := off / ChunkWords
+	if s.chunkWB[c] && s.chunkMap[c] != idx {
+		s.flushChunk(c)
+	}
+}
+
+// Load performs a warp load of the given absolute stash word offsets
+// under thread block tb's mapping in table slot. done receives the
+// values once every word is resident; hits complete after HitLat times
+// the bank-conflict rounds.
+func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
+	s.checkOffsets(offsets)
+	idx := s.MapIndex(tb, slot)
+	e := &s.maps[idx]
+	for _, off := range offsets {
+		s.touchChunk(off, idx)
+	}
+
+	var missing []int
+	for _, off := range offsets {
+		if s.state[off].Readable() {
+			continue
+		}
+		// Data replication (Section 4.5): on a load miss with the reuse
+		// bit set, first try to copy from the replicated old mapping.
+		if e.reuseOf >= 0 {
+			oldE := &s.maps[e.reuseOf]
+			if oldE.valid && oldE.StashBase != e.StashBase {
+				oldOff := oldE.StashBase + (off - e.StashBase)
+				if oldOff >= 0 && oldOff < len(s.words) && s.state[oldOff].Readable() {
+					s.words[off] = s.words[oldOff]
+					s.state[off] = coh.Shared
+					s.replCopies.Inc()
+					s.acct.Add(energy.StashHit, 1) // intra-stash copy read
+					continue
+				}
+			}
+		}
+		missing = append(missing, off)
+	}
+
+	rounds := s.conflictRounds(offsets)
+	if len(missing) == 0 {
+		s.hits.Inc()
+		s.acct.Add(energy.StashHit, uint64(rounds))
+		vals := s.gather(offsets)
+		s.eng.Schedule(s.p.HitLat*sim.Cycle(rounds), func() { done(vals) })
+		return
+	}
+	s.misses.Inc()
+	if len(missing) < len(offsets) {
+		// The hit portion still activates the array.
+		s.acct.Add(energy.StashHit, uint64(rounds))
+	}
+
+	// Miss: translate (six ALU ops through the stash-map plus a VP-map
+	// TLB access), then request the missing global lines, compactly
+	// filling every still-invalid stash word that maps to each line.
+	groups := make(map[memdata.PAddr]map[int]int) // global line -> word idx -> stash offset
+	for _, off := range missing {
+		va := e.stashToVirt(off)
+		pa := s.vp.translate(va)
+		line := memdata.LineOf(pa)
+		if groups[line] != nil {
+			continue // already planned by a sibling miss
+		}
+		g := make(map[int]int)
+		vline := memdata.VLineOf(va)
+		for w := 0; w < memdata.WordsPerLine; w++ {
+			wa := vline + memdata.VAddr(w*memdata.WordBytes)
+			soff, ok := e.virtToStash(wa)
+			if !ok || s.state[soff] != coh.Invalid {
+				continue
+			}
+			g[w] = soff
+		}
+		groups[line] = g
+	}
+	waiter := &stashWaiter{offsets: offsets, done: done}
+	s.eng.Schedule(s.p.TranslateLat, func() {
+		attached := false
+		for line, fills := range groups {
+			if s.requestLine(line, fills, waiter) {
+				attached = true
+			}
+		}
+		if !attached {
+			// Everything arrived (or was filled by a racing request)
+			// between planning and issue; answer from the array.
+			s.completeIfReady(waiter)
+		}
+	})
+}
+
+// requestLine asks the LLC for the still-missing words of a global
+// line, attaching the waiter to the line's MSHR. It reports whether the
+// waiter was attached (i.e. the line has outstanding fills).
+func (s *Stash) requestLine(line memdata.PAddr, fills map[int]int, w *stashWaiter) bool {
+	need := memdata.WordMask(0)
+	m := s.mshrs[line]
+	for wi, soff := range fills {
+		if s.state[soff] == coh.Invalid {
+			need |= memdata.Bit(wi)
+		}
+	}
+	if m == nil && need == 0 {
+		return false
+	}
+	if m == nil {
+		m = &readMSHR{fills: make(map[int][]int)}
+		s.mshrs[line] = m
+	}
+	for wi, soff := range fills {
+		m.fills[wi] = append(m.fills[wi], soff)
+	}
+	if newNeed := need &^ m.requested; newNeed != 0 {
+		m.requested |= newNeed
+		s.missLines.Inc()
+		s.acct.Add(energy.StashMiss, 1)
+		s.acct.Add(energy.TLBAccess, 1)
+		coh.Send(s.net, &coh.Packet{
+			Type: coh.ReadReq, Line: line, Mask: newNeed,
+			SrcNode: s.node, SrcComp: coh.ToStash,
+			DstNode: llc.BankOf(line, s.p.NumLLCBanks), DstComp: coh.ToLLC,
+			MapIdx: -1,
+		})
+	}
+	if m.requested == 0 {
+		// Nothing is in flight for this line (its fills landed between
+		// this access's translation and issue): no future response will
+		// recheck a waiter parked here, so do not attach one.
+		return false
+	}
+	m.waiters = append(m.waiters, w)
+	return true
+}
+
+func (s *Stash) gather(offsets []int) []uint32 {
+	vals := make([]uint32, len(offsets))
+	for i, off := range offsets {
+		vals[i] = s.words[off]
+	}
+	return vals
+}
+
+// Store performs a warp store. Data is accepted immediately (the warp
+// does not block); registration of newly owned words and the chunked
+// dirty bookkeeping of Section 4.2 happen in the background.
+func (s *Stash) Store(tb, slot int, offsets []int, vals []uint32, done func()) {
+	if len(vals) != len(offsets) {
+		panic("core: offsets/vals length mismatch")
+	}
+	s.checkOffsets(offsets)
+	idx := s.MapIndex(tb, slot)
+	e := &s.maps[idx]
+	for _, off := range offsets {
+		s.touchChunk(off, idx)
+	}
+
+	groups := make(map[memdata.PAddr]map[int]int)
+	anyMiss := false
+	for i, off := range offsets {
+		s.words[off] = vals[i]
+		if e.Coherent {
+			s.noteStore(off, idx)
+		}
+		if s.state[off].Owned() {
+			continue
+		}
+		if !e.Coherent {
+			// Mapped Non-coherent: locally owned, never made visible.
+			s.state[off] = coh.Registered
+			continue
+		}
+		s.state[off] = coh.PendingReg
+		anyMiss = true
+		va := e.stashToVirt(off)
+		pa := s.vp.translate(va)
+		line := memdata.LineOf(pa)
+		if groups[line] == nil {
+			groups[line] = make(map[int]int)
+		}
+		groups[line][memdata.WordIndex(pa)] = off
+	}
+
+	rounds := s.conflictRounds(offsets)
+	lat := s.p.HitLat * sim.Cycle(rounds)
+	if !anyMiss {
+		s.hits.Inc()
+		s.acct.Add(energy.StashHit, uint64(rounds))
+	} else {
+		s.misses.Inc()
+		s.acct.Add(energy.StashHit, uint64(rounds)) // array write itself
+		// Registration requests are injected in program order, before
+		// any later writeback of the same words can be sent: a WBReq
+		// reaching the LLC ahead of its own RegReq would be dropped as
+		// stale and strand the registration. The translation occupies
+		// the store for TranslateLat instead.
+		for line, fills := range groups {
+			s.sendRegReq(line, fills, idx)
+		}
+		lat += s.p.TranslateLat
+	}
+	s.eng.Schedule(lat, done)
+}
+
+// noteStore maintains the per-chunk dirty bit, stash-map index and the
+// entry's #DirtyData counter (Section 4.2).
+func (s *Stash) noteStore(off, idx int) {
+	c := off / ChunkWords
+	if s.chunkDirty[c] && s.chunkMap[c] == idx {
+		return
+	}
+	accounted := (s.chunkDirty[c] || s.chunkWB[c]) && s.chunkMap[c] == idx
+	s.chunkDirty[c] = true
+	s.chunkMap[c] = idx
+	if !accounted {
+		s.maps[idx].dirtyData++
+	}
+}
+
+func (s *Stash) sendRegReq(line memdata.PAddr, fills map[int]int, idx int) {
+	pend := s.pendingReg[line]
+	if pend == nil {
+		pend = make(map[int][]int)
+		s.pendingReg[line] = pend
+	}
+	mask := memdata.WordMask(0)
+	for wi, soff := range fills {
+		if len(pend[wi]) == 0 {
+			mask |= memdata.Bit(wi)
+		}
+		pend[wi] = append(pend[wi], soff)
+	}
+	if mask == 0 {
+		return
+	}
+	s.outstanding++
+	s.acct.Add(energy.StashMiss, 1)
+	s.acct.Add(energy.TLBAccess, 1)
+	coh.Send(s.net, &coh.Packet{
+		Type: coh.RegReq, Line: line, Mask: mask,
+		SrcNode: s.node, SrcComp: coh.ToStash,
+		DstNode: llc.BankOf(line, s.p.NumLLCBanks), DstComp: coh.ToLLC,
+		MapIdx: idx,
+	})
+}
+
+func (s *Stash) completeIfReady(w *stashWaiter) {
+	if w.fired {
+		return
+	}
+	for _, off := range w.offsets {
+		if !s.state[off].Readable() {
+			return
+		}
+	}
+	w.fired = true
+	vals := s.gather(w.offsets)
+	done := w.done
+	s.eng.Schedule(s.p.HitLat, func() { done(vals) })
+}
+
+// --- chunked lazy writeback (Section 4.2) ---
+
+// flushChunk writes back the owned words of a chunk through its
+// recorded stash-map entry and invalidates the chunk.
+func (s *Stash) flushChunk(c int) {
+	idx := s.chunkMap[c]
+	if idx < 0 {
+		return
+	}
+	e := &s.maps[idx]
+	s.lazyFlushes.Inc()
+	groups := make(map[memdata.PAddr]memdata.WordMask)
+	lineVals := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
+	base := c * ChunkWords
+	for off := base; off < base+ChunkWords; off++ {
+		if !s.state[off].Owned() {
+			if s.state[off] == coh.Shared {
+				s.state[off] = coh.Invalid
+			}
+			continue
+		}
+		if off < e.StashBase || off >= e.StashBase+e.Words() {
+			s.state[off] = coh.Invalid
+			continue
+		}
+		va := e.stashToVirt(off)
+		pa := s.vp.translate(va)
+		line := memdata.LineOf(pa)
+		vals := lineVals[line]
+		vals[memdata.WordIndex(pa)] = s.words[off]
+		lineVals[line] = vals
+		groups[line] |= memdata.Bit(memdata.WordIndex(pa))
+		s.state[off] = coh.Invalid
+	}
+	for line, mask := range groups {
+		vals := lineVals[line]
+		s.writebacks.Inc()
+		s.wbuf.Put(line, mask, vals)
+		s.outstanding++
+		// Reading the words out of the array for the writeback.
+		s.acct.Add(energy.StashHit, 1)
+		coh.Send(s.net, &coh.Packet{
+			Type: coh.WBReq, Line: line, Mask: mask, Vals: vals,
+			SrcNode: s.node, SrcComp: coh.ToStash,
+			DstNode: llc.BankOf(line, s.p.NumLLCBanks), DstComp: coh.ToLLC,
+			MapIdx: idx,
+		})
+	}
+	wasAccounted := s.chunkDirty[c] || s.chunkWB[c]
+	s.chunkDirty[c] = false
+	s.chunkWB[c] = false
+	s.chunkMap[c] = -1
+	if wasAccounted {
+		e.dirtyData--
+		if e.dirtyData == 0 && e.retired() {
+			s.maps[idx].valid = false
+		}
+	}
+}
+
+func (e *mapEntry) retired() bool { return !e.active }
+
+// --- kernel and thread-block boundaries ---
+
+// EndThreadBlock implements the paper's thread-block completion action:
+// per-chunk dirty bits of the block's mappings are cleared and their
+// writeback bits set, arming lazy writeback; the block's map index
+// table is released.
+func (s *Stash) EndThreadBlock(tb int) {
+	table := s.tables[tb]
+	if table == nil {
+		return
+	}
+	owned := make(map[int]bool)
+	for _, idx := range table {
+		if idx >= 0 {
+			owned[idx] = true
+			s.maps[idx].active = false
+		}
+	}
+	for c := range s.chunkDirty {
+		if s.chunkDirty[c] && owned[s.chunkMap[c]] {
+			s.chunkDirty[c] = false
+			s.chunkWB[c] = true
+		}
+	}
+	delete(s.tables, tb)
+}
+
+// SelfInvalidate implements the kernel-end action of Section 4.3: data
+// registered by this stash is kept; everything else is invalidated.
+// With EagerWriteback set (ablation), all dirty data is written back
+// scratchpad-style instead.
+func (s *Stash) SelfInvalidate() {
+	if s.p.EagerWriteback {
+		s.WritebackAll()
+		return
+	}
+	for off := range s.state {
+		if s.state[off] == coh.Shared {
+			s.state[off] = coh.Invalid
+		}
+	}
+}
+
+// WritebackAll flushes every dirty or writeback-armed chunk.
+func (s *Stash) WritebackAll() {
+	for c := range s.chunkMap {
+		if s.chunkDirty[c] || s.chunkWB[c] {
+			s.flushChunk(c)
+		}
+	}
+}
+
+// Drain calls done once all outstanding fills, registrations, and
+// writebacks have been acknowledged.
+func (s *Stash) Drain(done func()) {
+	s.drainWait = append(s.drainWait, done)
+	s.checkDrained()
+}
+
+func (s *Stash) checkDrained() {
+	// Purge MSHRs whose fills all arrived and whose waiters have fired
+	// through a sibling line's MSHR.
+	for line, m := range s.mshrs {
+		if m.requested != 0 {
+			continue
+		}
+		live := m.waiters[:0]
+		for _, w := range m.waiters {
+			if !w.fired {
+				live = append(live, w)
+			}
+		}
+		m.waiters = live
+		if len(m.waiters) == 0 {
+			delete(s.mshrs, line)
+		}
+	}
+	if s.outstanding != 0 || len(s.mshrs) != 0 || len(s.drainWait) == 0 {
+		return
+	}
+	w := s.drainWait
+	s.drainWait = nil
+	for _, fn := range w {
+		s.eng.Schedule(0, fn)
+	}
+}
+
+// --- protocol handling ---
+
+// HandlePacket implements coh.Handler.
+func (s *Stash) HandlePacket(p *coh.Packet) {
+	switch p.Type {
+	case coh.DataResp:
+		s.fill(p)
+	case coh.RegAck:
+		s.regAck(p)
+	case coh.WBAck:
+		s.wbuf.Release(p.Line, p.Mask)
+		s.outstanding--
+		s.checkDrained()
+	case coh.FwdReadReq:
+		s.serveRemote(p)
+	case coh.OwnerInv:
+		s.ownerInv(p)
+	default:
+		panic("core: unexpected packet " + p.Type.String())
+	}
+}
+
+func (s *Stash) fill(p *coh.Packet) {
+	m := s.mshrs[p.Line]
+	if m == nil {
+		return
+	}
+	for wi := 0; wi < memdata.WordsPerLine; wi++ {
+		if !p.Mask.Has(wi) {
+			continue
+		}
+		for _, soff := range m.fills[wi] {
+			if s.state[soff] == coh.Invalid {
+				s.words[soff] = p.Vals[wi]
+				s.state[soff] = coh.Shared
+			}
+		}
+	}
+	m.requested &^= p.Mask
+	remaining := m.waiters[:0]
+	for _, w := range m.waiters {
+		s.completeIfReady(w)
+		if !w.fired {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	if m.requested == 0 && len(m.waiters) == 0 {
+		delete(s.mshrs, p.Line)
+		s.checkDrained()
+	}
+}
+
+func (s *Stash) regAck(p *coh.Packet) {
+	pend := s.pendingReg[p.Line]
+	for wi := 0; wi < memdata.WordsPerLine; wi++ {
+		if !p.Mask.Has(wi) || pend == nil {
+			continue
+		}
+		for _, soff := range pend[wi] {
+			if s.state[soff] == coh.PendingReg {
+				s.state[soff] = coh.Registered
+			}
+		}
+		delete(pend, wi)
+	}
+	if len(pend) == 0 {
+		delete(s.pendingReg, p.Line)
+	}
+	s.outstanding--
+	s.checkDrained()
+}
+
+// serveRemote answers a forwarded read: the physical address is
+// reverse-translated through the VP-map RTLB and located in the stash
+// through the stash-map entry recorded at the directory (Section 4.3).
+func (s *Stash) serveRemote(p *coh.Packet) {
+	s.remote.Inc()
+	var vals [memdata.WordsPerLine]uint32
+	served := memdata.WordMask(0)
+
+	// In-flight writebacks first (the data may have just left the array).
+	bufMask, bufVals := s.wbuf.Lookup(p.Line, p.Mask)
+	for wi := 0; wi < memdata.WordsPerLine; wi++ {
+		if bufMask.Has(wi) {
+			vals[wi] = bufVals[wi]
+			served |= memdata.Bit(wi)
+		}
+	}
+	if rem := p.Mask &^ served; rem != 0 {
+		e := &s.maps[p.MapIdx]
+		for wi := 0; wi < memdata.WordsPerLine; wi++ {
+			if !rem.Has(wi) {
+				continue
+			}
+			pa := p.Line + memdata.PAddr(wi*memdata.WordBytes)
+			va := s.vp.reverse(pa)
+			soff, ok := e.virtToStash(va)
+			if !ok || !s.state[soff].Owned() {
+				continue
+			}
+			vals[wi] = s.words[soff]
+			served |= memdata.Bit(wi)
+		}
+	}
+	if served != p.Mask {
+		panic(fmt.Sprintf("core: stash %d cannot serve forwarded read (line %#x mask %v served %v)",
+			s.node, uint64(p.Line), p.Mask, served))
+	}
+	s.acct.Add(energy.StashHit, 1)
+	coh.Send(s.net, &coh.Packet{
+		Type: coh.DataResp, Line: p.Line, Mask: p.Mask, Vals: vals,
+		SrcNode: s.node, SrcComp: coh.ToStash,
+		DstNode: p.ReqNode, DstComp: p.ReqComp,
+	})
+}
+
+func (s *Stash) ownerInv(p *coh.Packet) {
+	e := &s.maps[p.MapIdx]
+	for wi := 0; wi < memdata.WordsPerLine; wi++ {
+		if !p.Mask.Has(wi) {
+			continue
+		}
+		pa := p.Line + memdata.PAddr(wi*memdata.WordBytes)
+		va := s.vp.reverse(pa)
+		if soff, ok := e.virtToStash(va); ok && s.state[soff] == coh.Registered {
+			s.state[soff] = coh.Invalid
+		}
+	}
+}
+
+// Peek returns the value and state of a stash word, for tests.
+func (s *Stash) Peek(off int) (uint32, coh.State) { return s.words[off], s.state[off] }
+
+// DebugString reports outstanding transaction state, for diagnosing hangs.
+func (s *Stash) DebugString() string {
+	out := fmt.Sprintf("outstanding=%d mshrs=%d pendingReg=%d wbuf=%d",
+		s.outstanding, len(s.mshrs), len(s.pendingReg), s.wbuf.Len())
+	for line, m := range s.mshrs {
+		out += fmt.Sprintf(" [line %#x req=%04x waiters=%d", uint64(line), uint16(m.requested), len(m.waiters))
+		for _, w := range m.waiters {
+			out += " unmet("
+			for _, off := range w.offsets {
+				if !s.state[off].Readable() {
+					out += fmt.Sprintf(" %d:%v", off, s.state[off])
+				}
+			}
+			out += ")"
+		}
+		out += "]"
+	}
+	return out
+}
+
+// MapEntryInfo reports a stash-map entry's liveness and #DirtyData, for
+// tests and introspection.
+func (s *Stash) MapEntryInfo(idx int) (valid bool, dirtyData int) {
+	return s.maps[idx].valid, s.maps[idx].dirtyData
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"stash/internal/memdata"
+	"stash/internal/vm"
+)
+
+// vpMap models the VP-map of Figure 3: the virtual-to-physical (TLB)
+// and physical-to-virtual (RTLB) translations needed by the active
+// stash-map entries. Each entry carries a back-pointer to the latest
+// stash-map entry requiring it; entries whose stash-map entry has been
+// replaced are reclaimable. Sizing the VP-map to cover all active
+// mappings guarantees remote requests never miss in the RTLB
+// (Section 4.1.4).
+type vpMap struct {
+	capacity int
+	as       *vm.AddressSpace
+	// Both directions are kept; a real design may merge them (paper fn. 3).
+	tlb  map[memdata.VAddr]*vpEntry // by virtual page
+	rtlb map[memdata.PAddr]*vpEntry // by physical page
+	// refills counts translations re-acquired after their entry was
+	// reclaimed (the paper: "the physical translation is acquired at
+	// the subsequent stash miss"). A well-sized VP-map keeps this near
+	// zero; it is exported through MapEntryInfo-style introspection.
+	refills uint64
+}
+
+type vpEntry struct {
+	vpage    memdata.VAddr
+	ppage    memdata.PAddr
+	lastUser int // stash-map index that most recently required this page
+}
+
+func newVPMap(capacity int, as *vm.AddressSpace) *vpMap {
+	return &vpMap{
+		capacity: capacity,
+		as:       as,
+		tlb:      make(map[memdata.VAddr]*vpEntry),
+		rtlb:     make(map[memdata.PAddr]*vpEntry),
+	}
+}
+
+// install ensures a translation for vpage exists and stamps it with the
+// using stash-map entry. It reports whether there was room; the caller
+// (AddMap) must free stash-map entries and retry when full.
+func (v *vpMap) install(vpage memdata.VAddr, mapIdx int) bool {
+	if e, ok := v.tlb[vpage]; ok {
+		e.lastUser = mapIdx
+		return true
+	}
+	if len(v.tlb) >= v.capacity {
+		return false
+	}
+	ppage := vm.PPageOf(v.as.Translate(vpage))
+	e := &vpEntry{vpage: vpage, ppage: ppage, lastUser: mapIdx}
+	v.tlb[vpage] = e
+	v.rtlb[ppage] = e
+	return true
+}
+
+// translate returns the physical address for va. Translations are
+// normally resident from AddMap time; one evicted under capacity
+// pressure is re-acquired from the page table (a TLB refill).
+func (v *vpMap) translate(va memdata.VAddr) memdata.PAddr {
+	vpage := vm.PageOf(va)
+	e, ok := v.tlb[vpage]
+	if !ok {
+		e = v.refill(vpage)
+	}
+	return e.ppage + memdata.PAddr(va-vpage)
+}
+
+// reverse returns the virtual address for pa using the RTLB. The paper
+// guarantees remote requests never miss here when the VP-map is sized
+// for all active mappings (Section 4.2); under pressure the entry is
+// re-acquired like a TLB refill and counted.
+func (v *vpMap) reverse(pa memdata.PAddr) memdata.VAddr {
+	ppage := vm.PPageOf(pa)
+	e, ok := v.rtlb[ppage]
+	if !ok {
+		va, found := v.as.Reverse(pa)
+		if !found {
+			panic(fmt.Sprintf("core: remote request for unmapped physical page %#x", uint64(pa)))
+		}
+		e = v.refill(vm.PageOf(va))
+	}
+	return e.vpage + memdata.VAddr(pa-ppage)
+}
+
+func (v *vpMap) refill(vpage memdata.VAddr) *vpEntry {
+	v.refills++
+	ppage := vm.PPageOf(v.as.Translate(vpage))
+	e := &vpEntry{vpage: vpage, ppage: ppage, lastUser: -1}
+	v.tlb[vpage] = e
+	v.rtlb[ppage] = e
+	return e
+}
+
+// reclaim removes entries whose back-pointer references a stash-map
+// entry that is no longer valid, returning the number reclaimed.
+func (v *vpMap) reclaim(isLive func(mapIdx int) bool) int {
+	n := 0
+	for vpage, e := range v.tlb {
+		if !isLive(e.lastUser) {
+			delete(v.tlb, vpage)
+			delete(v.rtlb, e.ppage)
+			n++
+		}
+	}
+	return n
+}
+
+// dropUser clears entries stamped by mapIdx that no other live mapping
+// re-stamped (called when a stash-map entry is invalidated).
+func (v *vpMap) dropUser(mapIdx int) {
+	for vpage, e := range v.tlb {
+		if e.lastUser == mapIdx {
+			delete(v.tlb, vpage)
+			delete(v.rtlb, e.ppage)
+		}
+	}
+}
+
+func (v *vpMap) len() int { return len(v.tlb) }

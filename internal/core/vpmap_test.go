@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"stash/internal/coh"
+	"stash/internal/memdata"
+)
+
+// A tiny VP-map forces capacity pressure: translations must be
+// re-acquired (refilled) rather than lost, and remote requests must
+// still reverse-translate correctly.
+func TestVPMapPressureRefills(t *testing.T) {
+	p := DefaultParams()
+	p.VPEntries = 2 // absurdly small: every mapping fights for entries
+	r := newRig(t, p)
+	// Two mappings spanning several pages each.
+	baseA := r.alloc(2048, func(i int) uint32 { return uint32(i) })
+	baseB := r.alloc(2048, func(i int) uint32 { return uint32(9000 + i) })
+	r.stash.AddMap(0, 0, linearMap(0, baseA, 1024))
+	r.stash.AddMap(0, 1, linearMap(1024, baseB, 1024))
+	got := r.load(0, 0, []int{0, 600})
+	if got[0] != 0 || got[1] != 600 {
+		t.Fatalf("A loads = %v", got)
+	}
+	got = r.load(0, 1, []int{1024, 1024 + 1023})
+	if got[0] != 9000 || got[1] != 10023 {
+		t.Fatalf("B loads = %v", got)
+	}
+	if r.stash.vp.refills == 0 {
+		t.Fatal("capacity pressure produced no refills (VP-map larger than configured?)")
+	}
+	// Stores + remote reads exercise the reverse (RTLB) refill path.
+	r.store(0, 0, []int{5}, []uint32{777})
+	if v := r.l1Read(baseA + 20); v != 777 {
+		t.Fatalf("remote read under VP pressure = %d, want 777", v)
+	}
+}
+
+// Mapped Non-coherent tiles still load their data implicitly from the
+// global space; only stores stay private (Section 3.3).
+func TestNonCoherentLoadsFetchGlobally(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	base := r.alloc(32, func(i int) uint32 { return uint32(100 + i) })
+	m := linearMap(0, base, 32)
+	m.Coherent = false
+	r.stash.AddMap(0, 0, m)
+	got := r.load(0, 0, []int{0, 31})
+	if got[0] != 100 || got[1] != 131 {
+		t.Fatalf("non-coherent load = %v, want [100 131]", got)
+	}
+}
+
+// After a perfect-match reuse, the entry's map index stays stable and
+// its data remains owned, so MapEntryInfo reflects a live entry.
+func TestMapEntryReuseKeepsIndex(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	base := r.alloc(32, func(i int) uint32 { return uint32(i) })
+	idx1 := r.stash.AddMap(0, 0, linearMap(0, base, 32))
+	r.store(0, 0, []int{0}, []uint32{1})
+	r.stash.EndThreadBlock(0)
+	r.stash.SelfInvalidate()
+	idx2 := r.stash.AddMap(1, 0, linearMap(0, base, 32))
+	if idx1 != idx2 {
+		t.Fatalf("reused mapping changed index: %d -> %d", idx1, idx2)
+	}
+	valid, dirty := r.stash.MapEntryInfo(idx2)
+	if !valid || dirty == 0 {
+		t.Fatalf("reused entry valid=%v dirty=%d, want live with dirty data", valid, dirty)
+	}
+	if _, st := r.stash.Peek(0); st != coh.Registered {
+		t.Fatalf("reused word state = %v, want Registered", st)
+	}
+}
+
+// An AddMap whose range overlaps a *running* thread block's mapping is
+// a programming error the stash rejects loudly.
+func TestOverlappingActiveMappingPanics(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	baseA := r.alloc(32, func(i int) uint32 { return 0 })
+	baseB := r.alloc(32, func(i int) uint32 { return 0 })
+	r.stash.AddMap(0, 0, linearMap(0, baseA, 32))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlap with active mapping did not panic")
+		}
+	}()
+	r.stash.AddMap(1, 0, linearMap(ChunkWords, baseB, 32))
+}
+
+var _ = memdata.WordBytes

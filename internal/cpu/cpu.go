@@ -1,0 +1,124 @@
+// Package cpu models a simple in-order CPU core executing width-1
+// programs of the shared mini ISA through a coherent L1. Per the
+// paper's methodology (Section 5.2), CPU core and CPU L1 energies are
+// not measured — only the network traffic the CPU induces is — so CPU
+// L1s are built with energy charging disabled.
+package cpu
+
+import (
+	"fmt"
+
+	"stash/internal/cache"
+	"stash/internal/isa"
+	"stash/internal/memdata"
+	"stash/internal/sim"
+	"stash/internal/stats"
+	"stash/internal/vm"
+)
+
+// Core is one CPU core.
+type Core struct {
+	eng  *sim.Engine
+	node int
+	as   *vm.AddressSpace
+	l1   *cache.Cache
+
+	warp *isa.Warp
+	done func()
+
+	instrs *stats.Counter
+}
+
+// New builds a core over the given (CPU) L1.
+func New(eng *sim.Engine, node int, name string, as *vm.AddressSpace, l1 *cache.Cache, set *stats.Set) *Core {
+	return &Core{
+		eng:    eng,
+		node:   node,
+		as:     as,
+		l1:     l1,
+		instrs: set.Counter(fmt.Sprintf("cpu.%s.instructions", name)),
+	}
+}
+
+// L1 returns the core's cache.
+func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// Run executes prog as thread threadID of numThreads (the program reads
+// its identity from SpecCtaid/SpecNctaid) and calls done when the
+// program has finished and the L1 has drained. The core self-invalidates
+// first: starting a phase is an acquire under DeNovo.
+func (c *Core) Run(prog *isa.Program, threadID, numThreads int, done func()) {
+	if c.warp != nil {
+		panic("cpu: core already running")
+	}
+	c.l1.SelfInvalidate()
+	c.warp = isa.NewWarp(prog, isa.WarpConfig{
+		Width:    1,
+		BlockDim: 1,
+		BlockID:  threadID,
+		GridDim:  numThreads,
+	})
+	c.done = done
+	c.eng.Schedule(1, c.step)
+}
+
+func (c *Core) step() {
+	p := c.warp.Step()
+	if p.Kind != isa.PendDone {
+		c.instrs.Inc()
+	}
+	switch p.Kind {
+	case isa.PendDone:
+		c.finish()
+	case isa.PendALU:
+		c.eng.Schedule(sim.Cycle(p.Cycles), c.step)
+	case isa.PendLoad:
+		c.load(p)
+	case isa.PendStore:
+		c.store(p)
+	default:
+		panic(fmt.Sprintf("cpu: unsupported operation kind %d on a CPU core", p.Kind))
+	}
+}
+
+func (c *Core) load(p *isa.Pending) {
+	if p.Space != isa.Global {
+		panic("cpu: CPU cores have no scratchpad or stash")
+	}
+	if len(p.Lanes) == 0 {
+		c.eng.Schedule(1, c.step)
+		return
+	}
+	pa := c.as.Translate(memdata.VAddr(p.Addrs[0]))
+	line := memdata.LineOf(pa)
+	w := memdata.WordIndex(pa)
+	c.l1.Load(line, memdata.Bit(w), func(vals [memdata.WordsPerLine]uint32) {
+		c.warp.CompleteLoad(p, []uint32{vals[w]})
+		c.eng.Schedule(1, c.step)
+	})
+}
+
+func (c *Core) store(p *isa.Pending) {
+	if p.Space != isa.Global {
+		panic("cpu: CPU cores have no scratchpad or stash")
+	}
+	if len(p.Lanes) == 0 {
+		c.eng.Schedule(1, c.step)
+		return
+	}
+	pa := c.as.Translate(memdata.VAddr(p.Addrs[0]))
+	line := memdata.LineOf(pa)
+	w := memdata.WordIndex(pa)
+	var vals [memdata.WordsPerLine]uint32
+	vals[w] = p.Vals[0]
+	// Continue once the L1 accepts the store (it may replay under
+	// store-buffer pressure), preserving same-address store order.
+	c.l1.Store(line, memdata.Bit(w), vals, func() { c.eng.Schedule(0, c.step) })
+}
+
+func (c *Core) finish() {
+	done := c.done
+	c.warp = nil
+	c.done = nil
+	c.l1.Drain(func() { done() })
+}

@@ -1,0 +1,185 @@
+package cpu
+
+import (
+	"testing"
+
+	"stash/internal/cache"
+	"stash/internal/coh"
+	"stash/internal/energy"
+	"stash/internal/isa"
+	"stash/internal/llc"
+	"stash/internal/memdata"
+	"stash/internal/noc"
+	"stash/internal/sim"
+	"stash/internal/stats"
+	"stash/internal/vm"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	mem   *memdata.Memory
+	as    *vm.AddressSpace
+	core  *Core
+	set   *stats.Set
+	banks []*llc.Bank
+	nw    *noc.Network
+}
+
+type sink struct{}
+
+func (sink) HandlePacket(*coh.Packet) {}
+
+// read returns the coherent value of va (LLC copy if resident, else DRAM).
+func (r *rig) read(va memdata.VAddr) uint32 {
+	pa := r.as.Translate(va)
+	b := r.banks[llc.BankOf(memdata.LineOf(pa), 16)]
+	if v, owner, ok := b.Peek(pa); ok {
+		if owner != nil {
+			panic("rig.read: word still registered")
+		}
+		return v
+	}
+	return r.mem.LoadWord(pa)
+}
+
+// write deposits a value as another core's acknowledged write would:
+// straight into DRAM, evicting any LLC copy is unnecessary because the
+// tests write lines the LLC has not cached dirty.
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	net := noc.New(eng, 4, 4, acct, set)
+	mem := memdata.NewMemory()
+	as := vm.NewAddressSpace()
+	r := &rig{eng: eng, mem: mem, as: as, set: set, nw: net}
+	for n := 0; n < 16; n++ {
+		router := coh.NewRouter()
+		bank := llc.NewBank(eng, net, n, llc.DefaultParams(), mem, acct, set)
+		r.banks = append(r.banks, bank)
+		router.Attach(coh.ToLLC, bank)
+		if n == 3 {
+			router.Attach(coh.ToDMA, sink{}) // ack target for test writes
+		}
+		if n == 1 {
+			p := cache.DefaultParams()
+			p.ChargeEnergy = false
+			l1 := cache.New(eng, net, n, "cpu1", p, acct, set)
+			router.Attach(coh.ToL1, l1)
+			r.core = New(eng, n, "cpu1", as, l1, set)
+		}
+		net.Register(n, func(m *noc.Message) { router.Deliver(m.Payload.(*coh.Packet)) })
+	}
+	return r
+}
+
+func TestCoreRunsProgram(t *testing.T) {
+	r := newRig(t)
+	eng, mem, as, c, set := r.eng, r.mem, r.as, r.core, r.set
+	base := as.Alloc(16 * 4)
+	for i := 0; i < 16; i++ {
+		mem.StoreWord(as.Translate(base+memdata.VAddr(4*i)), uint32(i))
+	}
+	b := isa.NewBuilder()
+	i, addr, v, sum, sumAddr := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.MovImm(sum, 0)
+	b.For(i, 16)
+	b.MulImm(addr, i, 4)
+	b.AddImm(addr, addr, int64(base))
+	b.LdGlobal(v, addr, 0)
+	b.Add(sum, sum, v)
+	b.EndFor()
+	out := as.Alloc(4)
+	b.MovImm(sumAddr, int64(out))
+	b.StGlobal(sumAddr, 0, sum)
+	finished := false
+	c.Run(b.MustBuild(), 0, 1, func() { finished = true })
+	eng.Run()
+	if !finished {
+		t.Fatal("program did not finish")
+	}
+	c.L1().WritebackAll()
+	eng.Run()
+	if got := r.read(out); got != 120 {
+		t.Fatalf("sum = %d, want 120", got)
+	}
+	if set.Sum("cpu.cpu1.instructions") == 0 {
+		t.Fatal("no instructions counted")
+	}
+}
+
+func TestCoreThreadIdentity(t *testing.T) {
+	r := newRig(t)
+	eng, as, c := r.eng, r.as, r.core
+	out := as.Alloc(4)
+	b := isa.NewBuilder()
+	id, addr := b.Reg(), b.Reg()
+	b.Special(id, isa.SpecCtaid)
+	b.MovImm(addr, int64(out))
+	b.StGlobal(addr, 0, id)
+	c.Run(b.MustBuild(), 7, 15, func() {})
+	eng.Run()
+	c.L1().WritebackAll()
+	eng.Run()
+	if got := r.read(out); got != 7 {
+		t.Fatalf("thread id = %d, want 7", got)
+	}
+}
+
+func TestCoreSelfInvalidatesOnRun(t *testing.T) {
+	r := newRig(t)
+	eng, mem, as, c := r.eng, r.mem, r.as, r.core
+	base := as.Alloc(4)
+	mem.StoreWord(as.Translate(base), 1)
+	// A producer L1 on another node writes through the protocol.
+	// (Registered by node 2; the CPU's read must forward to it, which
+	// only happens if the CPU drops its stale Shared copy at Run.)
+	read := func() uint32 {
+		out := as.Alloc(4)
+		b := isa.NewBuilder()
+		addr, v, oaddr := b.Reg(), b.Reg(), b.Reg()
+		b.MovImm(addr, int64(base))
+		b.LdGlobal(v, addr, 0)
+		b.MovImm(oaddr, int64(out))
+		b.StGlobal(oaddr, 0, v)
+		c.Run(b.MustBuild(), 0, 1, func() {})
+		eng.Run()
+		c.L1().WritebackAll()
+		eng.Run()
+		return r.read(out)
+	}
+	if got := read(); got != 1 {
+		t.Fatalf("first read = %d, want 1", got)
+	}
+	// Another core's write lands at the LLC (via an uncached write).
+	var vals [memdata.WordsPerLine]uint32
+	pa := as.Translate(base)
+	vals[memdata.WordIndex(pa)] = 2
+	coh.Send(r.nw, &coh.Packet{
+		Type: coh.WriteReq, Line: memdata.LineOf(pa),
+		Mask: memdata.Bit(memdata.WordIndex(pa)), Vals: vals,
+		SrcNode: 3, SrcComp: coh.ToDMA,
+		DstNode: llc.BankOf(memdata.LineOf(pa), 16), DstComp: coh.ToLLC, MapIdx: -1,
+	})
+	eng.Run()
+	// Cached copy must not be reused across Run boundaries (acquire).
+	if got := read(); got != 2 {
+		t.Fatalf("second read = %d, want 2 (stale cache not self-invalidated)", got)
+	}
+}
+
+func TestRejectsLocalMemoryOps(t *testing.T) {
+	r := newRig(t)
+	eng, c := r.eng, r.core
+	b := isa.NewBuilder()
+	v := b.Reg()
+	b.LdShared(v, v, 0)
+	c.Run(b.MustBuild(), 0, 1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scratchpad op on CPU did not panic")
+		}
+	}()
+	eng.Run()
+}

@@ -1,0 +1,247 @@
+// Package dma implements a D2MA-style DMA engine for scratchpads
+// (paper Section 5.3): it preloads strided global tiles directly into
+// the scratchpad (bypassing the L1 and the core's registers) and writes
+// dirty tiles back out at kernel end.
+//
+// Following the paper's implementation: transfers block the compute
+// unit at core granularity (all warps wait until the whole DMA
+// completes), stores are supported in addition to loads, and the engine
+// itself is conservatively charged no energy — only its scratchpad
+// accesses and network traffic are. Unlike the stash, the engine must
+// move the entire mapped tile whether or not the program touches it,
+// and it cannot exploit reuse across kernels because the scratchpad is
+// not globally visible.
+package dma
+
+import (
+	"fmt"
+
+	"stash/internal/coh"
+	"stash/internal/core"
+	"stash/internal/llc"
+	"stash/internal/memdata"
+	"stash/internal/noc"
+	"stash/internal/scratch"
+	"stash/internal/sim"
+	"stash/internal/stats"
+	"stash/internal/vm"
+)
+
+// Params configures the engine.
+type Params struct {
+	NumLLCBanks int
+	// IssueGap is the pacing between successive line requests; the
+	// burstiness of DMA traffic is a paper-observed artifact, so the
+	// default keeps it at one request per cycle.
+	IssueGap sim.Cycle
+}
+
+// DefaultParams returns the default engine configuration.
+func DefaultParams() Params { return Params{NumLLCBanks: 16, IssueGap: 1} }
+
+type transfer struct {
+	remaining int
+	done      func()
+}
+
+// Engine is one CU's DMA engine, attached to the node router as
+// coh.ToDMA.
+type Engine struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	node int
+	p    Params
+	sp   *scratch.Scratchpad
+	as   *vm.AddressSpace
+
+	nextID    uint64
+	transfers map[memdata.PAddr]map[uint64]*transferRef // line -> waiting transfers
+	loads     *stats.Counter
+	stores    *stats.Counter
+	lines     *stats.Counter
+}
+
+type transferRef struct {
+	t       *transfer
+	offsets map[int]int      // word index in line -> scratchpad word offset
+	pending memdata.WordMask // words still to arrive (loads) / one-shot ack (stores: 0)
+}
+
+// New builds a DMA engine serving the scratchpad sp.
+func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, sp *scratch.Scratchpad, as *vm.AddressSpace, set *stats.Set) *Engine {
+	return &Engine{
+		eng:       eng,
+		net:       net,
+		node:      node,
+		p:         p,
+		sp:        sp,
+		as:        as,
+		transfers: make(map[memdata.PAddr]map[uint64]*transferRef),
+		loads:     set.Counter(fmt.Sprintf("dma.%s.loads", name)),
+		stores:    set.Counter(fmt.Sprintf("dma.%s.stores", name)),
+		lines:     set.Counter(fmt.Sprintf("dma.%s.lines", name)),
+	}
+}
+
+// lineGroups walks the tile and groups its words by global line.
+// The scratchpad destination of tile word i is region.StashBase+i.
+func (e *Engine) lineGroups(region core.MapParams) map[memdata.PAddr]map[int]int {
+	groups := make(map[memdata.PAddr]map[int]int)
+	for i := 0; i < region.Words(); i++ {
+		va := region.VirtAddrOf(i)
+		pa := e.as.Translate(va)
+		line := memdata.LineOf(pa)
+		if groups[line] == nil {
+			groups[line] = make(map[int]int)
+		}
+		groups[line][memdata.WordIndex(pa)] = region.StashBase + i
+	}
+	return groups
+}
+
+// Load preloads the whole tile into the scratchpad and calls done when
+// every word has arrived. The entire tile is transferred regardless of
+// what the kernel will touch.
+func (e *Engine) Load(region core.MapParams, done func()) {
+	e.loads.Inc()
+	groups := e.lineGroups(region)
+	t := &transfer{remaining: len(groups), done: done}
+	if t.remaining == 0 {
+		e.eng.Schedule(1, done)
+		return
+	}
+	gap := sim.Cycle(0)
+	for line, offsets := range groups {
+		line, offsets := line, offsets
+		e.lines.Inc()
+		id := e.nextID
+		e.nextID++
+		if e.transfers[line] == nil {
+			e.transfers[line] = make(map[uint64]*transferRef)
+		}
+		mask := memdata.WordMask(0)
+		for wi := range offsets {
+			mask |= memdata.Bit(wi)
+		}
+		e.transfers[line][id] = &transferRef{t: t, offsets: offsets, pending: mask}
+		e.eng.Schedule(gap, func() {
+			coh.Send(e.net, &coh.Packet{
+				Type: coh.ReadReq, Line: line, Mask: mask,
+				SrcNode: e.node, SrcComp: coh.ToDMA,
+				DstNode: llc.BankOf(line, e.p.NumLLCBanks), DstComp: coh.ToLLC,
+				MapIdx: -1,
+			})
+		})
+		gap += e.p.IssueGap
+	}
+}
+
+// Store writes the whole tile from the scratchpad out to global memory
+// and calls done once every line is acknowledged.
+func (e *Engine) Store(region core.MapParams, done func()) {
+	e.stores.Inc()
+	groups := e.lineGroups(region)
+	t := &transfer{remaining: len(groups), done: done}
+	if t.remaining == 0 {
+		e.eng.Schedule(1, done)
+		return
+	}
+	gap := sim.Cycle(0)
+	for line, offsets := range groups {
+		line, offsets := line, offsets
+		e.lines.Inc()
+		id := e.nextID
+		e.nextID++
+		if e.transfers[line] == nil {
+			e.transfers[line] = make(map[uint64]*transferRef)
+		}
+		e.transfers[line][id] = &transferRef{t: t}
+		var mask memdata.WordMask
+		var vals [memdata.WordsPerLine]uint32
+		spOffsets := make([]int, 0, len(offsets))
+		order := make([]int, 0, len(offsets))
+		for wi, soff := range offsets {
+			mask |= memdata.Bit(wi)
+			spOffsets = append(spOffsets, soff)
+			order = append(order, wi)
+		}
+		// Read the words out of the scratchpad (charged like any access).
+		read, _ := e.sp.Load(spOffsets)
+		for k, wi := range order {
+			vals[wi] = read[k]
+		}
+		e.eng.Schedule(gap, func() {
+			coh.Send(e.net, &coh.Packet{
+				Type: coh.WriteReq, Line: line, Mask: mask, Vals: vals,
+				SrcNode: e.node, SrcComp: coh.ToDMA,
+				DstNode: llc.BankOf(line, e.p.NumLLCBanks), DstComp: coh.ToLLC,
+				MapIdx: -1,
+			})
+		})
+		gap += e.p.IssueGap
+	}
+}
+
+// HandlePacket implements coh.Handler for the engine's responses.
+// A line's data may arrive split across several DataResps (part from
+// the LLC, part forwarded from a remote owner), so loads track a
+// pending word mask per transfer.
+func (e *Engine) HandlePacket(p *coh.Packet) {
+	refs := e.transfers[p.Line]
+	switch p.Type {
+	case coh.DataResp:
+		// A response may be redundant: when two transfers request the
+		// same line, the first response can satisfy both, leaving the
+		// second with nothing to fill.
+		for id, ref := range refs {
+			got := ref.pending & p.Mask
+			if got == 0 {
+				continue
+			}
+			offsets := make([]int, 0, got.Count())
+			vals := make([]uint32, 0, got.Count())
+			for wi, soff := range ref.offsets {
+				if got.Has(wi) {
+					offsets = append(offsets, soff)
+					vals = append(vals, p.Vals[wi])
+				}
+			}
+			e.sp.Store(offsets, vals)
+			ref.pending &^= got
+			if ref.pending == 0 {
+				delete(refs, id)
+				e.finish(ref)
+			}
+		}
+	case coh.WBAck:
+		// One ack completes the oldest outstanding store to this line.
+		var oldest uint64
+		first := true
+		for id, ref := range refs {
+			if ref.offsets != nil {
+				continue // a load, not a store
+			}
+			if first || id < oldest {
+				oldest, first = id, false
+			}
+		}
+		if first {
+			panic(fmt.Sprintf("dma: WBAck for line %#x with no outstanding store", uint64(p.Line)))
+		}
+		ref := refs[oldest]
+		delete(refs, oldest)
+		e.finish(ref)
+	default:
+		panic("dma: unexpected packet " + p.Type.String())
+	}
+	if len(refs) == 0 {
+		delete(e.transfers, p.Line)
+	}
+}
+
+func (e *Engine) finish(ref *transferRef) {
+	ref.t.remaining--
+	if ref.t.remaining == 0 {
+		e.eng.Schedule(0, ref.t.done)
+	}
+}

@@ -1,0 +1,110 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCostsMatchPaperTable3(t *testing.T) {
+	c := DefaultCosts()
+	// Paper Table 3 values, exactly.
+	cases := []struct {
+		e    Event
+		want float64
+	}{
+		{ScratchAccess, 55.3},
+		{StashHit, 55.4},
+		{StashMiss, 86.8},
+		{L1Hit, 177.0},
+		{L1Miss, 197.0},
+		{TLBAccess, 14.1},
+	}
+	for _, tc := range cases {
+		if c[tc.e] != tc.want {
+			t.Errorf("cost[%v] = %v, want %v (paper Table 3)", tc.e, c[tc.e], tc.want)
+		}
+	}
+}
+
+func TestPaperEnergyRelations(t *testing.T) {
+	c := DefaultCosts()
+	// "scratchpad access energy is 29% of the L1 cache hit energy"
+	if r := c[ScratchAccess] / c[L1Hit]; math.Abs(r-0.31) > 0.03 {
+		t.Errorf("scratch/L1 hit ratio = %.2f, want ~0.31 (paper: 29%% incl. TLB)", r)
+	}
+	// "stash's miss energy is 41% of the L1 cache miss energy"
+	if r := c[StashMiss] / c[L1Miss]; math.Abs(r-0.44) > 0.04 {
+		t.Errorf("stash miss/L1 miss ratio = %.2f, want ~0.44", r)
+	}
+	// "Stash's hit energy is comparable to that of scratchpad."
+	if math.Abs(c[StashHit]-c[ScratchAccess]) > 1.0 {
+		t.Errorf("stash hit %.1f vs scratch %.1f: not comparable", c[StashHit], c[ScratchAccess])
+	}
+}
+
+func TestEventComponentMapping(t *testing.T) {
+	cases := map[Event]Component{
+		GPUInst:       GPUCore,
+		L1Hit:         L1,
+		L1Miss:        L1,
+		TLBAccess:     L1,
+		ScratchAccess: ScratchStash,
+		StashHit:      ScratchStash,
+		StashMiss:     ScratchStash,
+		L2Access:      L2,
+		NoCFlitHop:    NoC,
+		DRAMAccess:    DRAM,
+	}
+	for e, want := range cases {
+		if got := ComponentOf(e); got != want {
+			t.Errorf("ComponentOf(%v) = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestAccountAccumulation(t *testing.T) {
+	a := NewAccount(DefaultCosts())
+	a.Add(StashHit, 10)
+	a.Add(StashMiss, 2)
+	if a.Count(StashHit) != 10 {
+		t.Fatalf("Count = %d, want 10", a.Count(StashHit))
+	}
+	want := 10*55.4 + 2*86.8
+	if got := a.TotalPJ(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TotalPJ = %v, want %v", got, want)
+	}
+	if got := a.ComponentPJ(ScratchStash); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ComponentPJ(ScratchStash) = %v, want %v", got, want)
+	}
+	if got := a.ComponentPJ(L2); got != 0 {
+		t.Fatalf("ComponentPJ(L2) = %v, want 0", got)
+	}
+}
+
+// Property: the component breakdown always sums to the total.
+func TestBreakdownSumsToTotalProperty(t *testing.T) {
+	f := func(counts [10]uint16) bool {
+		a := NewAccount(DefaultCosts())
+		for e := Event(0); e < numEvents; e++ {
+			a.Add(e, uint64(counts[e]))
+		}
+		var sum float64
+		for _, v := range a.Breakdown() {
+			sum += v
+		}
+		return math.Abs(sum-a.TotalPJ()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventAndComponentNames(t *testing.T) {
+	if StashHit.String() != "stash_hit" {
+		t.Errorf("StashHit.String() = %q", StashHit.String())
+	}
+	if ScratchStash.String() != "Scratch/Stash" {
+		t.Errorf("ScratchStash.String() = %q", ScratchStash.String())
+	}
+}

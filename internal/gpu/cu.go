@@ -1,0 +1,535 @@
+// Package gpu models a GPU compute unit (CU, analogous to an NVIDIA
+// SM): resident thread blocks, 32-lane warps in lockstep, a round-robin
+// single-issue warp scheduler, a memory coalescer that groups lane
+// accesses into line transactions, block-wide barriers, and the
+// AddMap/ChgMap/DMA intrinsics wired to the node's stash, scratchpad
+// and DMA engine.
+package gpu
+
+import (
+	"fmt"
+
+	"stash/internal/cache"
+	"stash/internal/core"
+	"stash/internal/dma"
+	"stash/internal/energy"
+	"stash/internal/isa"
+	"stash/internal/memdata"
+	"stash/internal/scratch"
+	"stash/internal/sim"
+	"stash/internal/stats"
+	"stash/internal/vm"
+)
+
+// Params configures a CU.
+type Params struct {
+	WarpSize  int // lanes per warp
+	MaxBlocks int // resident thread blocks (Table 2 discussion: up to 8)
+}
+
+// DefaultParams returns the paper's CU configuration.
+func DefaultParams() Params { return Params{WarpSize: 32, MaxBlocks: 8} }
+
+// Kernel is a launched grid: every thread block runs Prog.
+//
+// LocalWordsPerBlock is the scratchpad/stash allocation of one thread
+// block in words. As on real GPUs, the runtime assigns each resident
+// block a slot in the local SRAM and rebases the program's block-
+// relative local addresses (and AddMap/DMA stash bases) onto it; the
+// number of concurrently resident blocks is limited by the allocation
+// (occupancy), exactly like CUDA shared-memory pressure.
+type Kernel struct {
+	Prog               *isa.Program
+	BlockDim           int // threads per block
+	GridDim            int // total blocks in the grid (across all CUs)
+	LocalWordsPerBlock int
+}
+
+type warpState int
+
+const (
+	wReady warpState = iota
+	wBlocked
+	wBarrier
+	wDone
+)
+
+type warpCtx struct {
+	warp  *isa.Warp
+	state warpState
+	block *blockCtx
+}
+
+type blockCtx struct {
+	id        int // global block id (CTAID)
+	slot      int // resident slot: selects the block's local SRAM region
+	localBase int // first local word of the block's allocation
+	warps     []*warpCtx
+	alive     int // warps not yet done
+	waiting   int // warps at the current barrier
+}
+
+// CU is one GPU compute unit.
+type CU struct {
+	eng  *sim.Engine
+	node int
+	p    Params
+	as   *vm.AddressSpace
+	acct *energy.Account
+
+	l1     *cache.Cache
+	sp     *scratch.Scratchpad
+	stash  *core.Stash
+	dmaEng *dma.Engine
+
+	kernel      *Kernel
+	pending     []int // block ids still to dispatch
+	resident    []*blockCtx
+	warpList    []*warpCtx // flattened resident warps (scheduler view)
+	maxResident int        // MaxBlocks clamped by local-memory occupancy
+	freeSlots   []int      // available local SRAM slots
+	rrCursor    int
+	dmaBlocked  bool
+	scheduled   bool
+	kernelDone  func()
+
+	instrs     *stats.Counter
+	cycles     *stats.Counter
+	coalesced  *stats.Counter
+	blocksDone *stats.Counter
+}
+
+// New builds a CU. sp, stash and dmaEng may each be nil when the
+// simulated configuration lacks that structure; executing an
+// instruction that needs a missing structure panics, which is always a
+// workload/configuration mismatch.
+func New(eng *sim.Engine, node int, name string, p Params, as *vm.AddressSpace,
+	l1 *cache.Cache, sp *scratch.Scratchpad, st *core.Stash, dmaEng *dma.Engine,
+	acct *energy.Account, set *stats.Set) *CU {
+	return &CU{
+		eng:        eng,
+		node:       node,
+		p:          p,
+		as:         as,
+		acct:       acct,
+		l1:         l1,
+		sp:         sp,
+		stash:      st,
+		dmaEng:     dmaEng,
+		instrs:     set.Counter(fmt.Sprintf("cu.%s.instructions", name)),
+		cycles:     set.Counter(fmt.Sprintf("cu.%s.issue_cycles", name)),
+		coalesced:  set.Counter(fmt.Sprintf("cu.%s.global_transactions", name)),
+		blocksDone: set.Counter(fmt.Sprintf("cu.%s.blocks", name)),
+	}
+}
+
+// Stash returns the CU's stash (nil if the configuration has none).
+func (c *CU) Stash() *core.Stash { return c.stash }
+
+// Scratchpad returns the CU's scratchpad (nil if none).
+func (c *CU) Scratchpad() *scratch.Scratchpad { return c.sp }
+
+// L1 returns the CU's L1 cache.
+func (c *CU) L1() *cache.Cache { return c.l1 }
+
+// Launch runs blocks [firstBlock, firstBlock+numBlocks) of kernel k on
+// this CU and calls done when every block has finished and the L1 and
+// stash have drained their outstanding protocol transactions.
+func (c *CU) Launch(k *Kernel, firstBlock, numBlocks int, done func()) {
+	if c.kernel != nil {
+		panic("gpu: CU already running a kernel")
+	}
+	c.kernel = k
+	c.kernelDone = done
+	c.maxResident = c.p.MaxBlocks
+	if k.LocalWordsPerBlock > 0 {
+		localWords := 0
+		if c.stash != nil {
+			localWords = c.stash.Words()
+		} else if c.sp != nil {
+			localWords = c.sp.Words()
+		}
+		if localWords > 0 {
+			if k.LocalWordsPerBlock > localWords {
+				panic(fmt.Sprintf("gpu: block needs %d local words, SRAM has %d", k.LocalWordsPerBlock, localWords))
+			}
+			if byOcc := localWords / k.LocalWordsPerBlock; byOcc < c.maxResident {
+				c.maxResident = byOcc
+			}
+		}
+	}
+	c.freeSlots = c.freeSlots[:0]
+	for s := c.maxResident - 1; s >= 0; s-- {
+		c.freeSlots = append(c.freeSlots, s) // pop order: slot 0 first
+	}
+	c.pending = c.pending[:0]
+	for b := 0; b < numBlocks; b++ {
+		c.pending = append(c.pending, firstBlock+b)
+	}
+	c.fillResident()
+	if len(c.resident) == 0 {
+		// Empty launch.
+		c.finishKernel()
+		return
+	}
+	c.wake()
+}
+
+func (c *CU) fillResident() {
+	changed := false
+	for len(c.resident) < c.maxResident && len(c.pending) > 0 {
+		id := c.pending[0]
+		c.pending = c.pending[1:]
+		c.resident = append(c.resident, c.newBlock(id))
+		changed = true
+	}
+	if changed {
+		c.rebuildWarpList()
+	}
+}
+
+func (c *CU) newBlock(id int) *blockCtx {
+	k := c.kernel
+	slot := c.freeSlots[len(c.freeSlots)-1]
+	c.freeSlots = c.freeSlots[:len(c.freeSlots)-1]
+	numWarps := (k.BlockDim + c.p.WarpSize - 1) / c.p.WarpSize
+	b := &blockCtx{id: id, slot: slot, localBase: slot * k.LocalWordsPerBlock, alive: numWarps}
+	for wi := 0; wi < numWarps; wi++ {
+		w := isa.NewWarp(k.Prog, isa.WarpConfig{
+			Width:       c.p.WarpSize,
+			BlockDim:    k.BlockDim,
+			BlockID:     id,
+			GridDim:     k.GridDim,
+			WarpID:      wi,
+			FirstThread: wi * c.p.WarpSize,
+		})
+		b.warps = append(b.warps, &warpCtx{warp: w, block: b})
+	}
+	return b
+}
+
+// wake schedules an issue slot if one is not already scheduled.
+func (c *CU) wake() {
+	if c.scheduled || c.kernel == nil {
+		return
+	}
+	c.scheduled = true
+	c.eng.Schedule(1, c.tick)
+}
+
+func (c *CU) rebuildWarpList() {
+	c.warpList = c.warpList[:0]
+	for _, b := range c.resident {
+		c.warpList = append(c.warpList, b.warps...)
+	}
+	c.rrCursor = 0
+}
+
+func (c *CU) nextReady() *warpCtx {
+	n := len(c.warpList)
+	for i := 0; i < n; i++ {
+		w := c.warpList[(c.rrCursor+i)%n]
+		if w.state == wReady {
+			c.rrCursor = (c.rrCursor + i + 1) % n
+			return w
+		}
+	}
+	return nil
+}
+
+// tick issues at most one instruction from one ready warp.
+func (c *CU) tick() {
+	c.scheduled = false
+	if c.kernel == nil || c.dmaBlocked {
+		return
+	}
+	wc := c.nextReady()
+	if wc == nil {
+		return // a completion callback will wake us
+	}
+	c.cycles.Inc()
+	p := wc.warp.Step()
+	if p.Kind != isa.PendDone {
+		c.instrs.Inc()
+		c.acct.Add(energy.GPUInst, 1)
+	}
+	switch p.Kind {
+	case isa.PendALU:
+		if p.Cycles > 1 {
+			wc.state = wBlocked
+			c.eng.Schedule(sim.Cycle(p.Cycles), func() { c.unblock(wc) })
+		}
+	case isa.PendLoad:
+		c.issueLoad(wc, p)
+	case isa.PendStore:
+		c.issueStore(wc, p)
+	case isa.PendBarrier:
+		c.barrier(wc)
+	case isa.PendAddMap, isa.PendChgMap:
+		c.mapIntrinsic(wc, p)
+	case isa.PendDMALoad, isa.PendDMAStore:
+		c.dmaIntrinsic(wc, p)
+	case isa.PendDone:
+		c.warpDone(wc)
+	}
+	c.wake()
+}
+
+func (c *CU) unblock(wc *warpCtx) {
+	if wc.state == wBlocked {
+		wc.state = wReady
+	}
+	c.wake()
+}
+
+// --- memory ---
+
+type laneTarget struct {
+	lane int
+	line memdata.PAddr
+	word int
+}
+
+// coalesceGlobal translates and groups the lanes' byte addresses into
+// line transactions.
+func (c *CU) coalesceGlobal(p *isa.Pending) (map[memdata.PAddr]memdata.WordMask, []laneTarget) {
+	lines := make(map[memdata.PAddr]memdata.WordMask)
+	targets := make([]laneTarget, len(p.Lanes))
+	for i, a := range p.Addrs {
+		pa := c.as.Translate(memdata.VAddr(a))
+		line := memdata.LineOf(pa)
+		w := memdata.WordIndex(pa)
+		lines[line] |= memdata.Bit(w)
+		targets[i] = laneTarget{lane: p.Lanes[i], line: line, word: w}
+	}
+	return lines, targets
+}
+
+func (c *CU) issueLoad(wc *warpCtx, p *isa.Pending) {
+	switch p.Space {
+	case isa.Global:
+		lines, targets := c.coalesceGlobal(p)
+		wc.state = wBlocked
+		remaining := len(lines)
+		results := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
+		for line, mask := range lines {
+			line := line
+			c.coalesced.Inc()
+			c.l1.Load(line, mask, func(vals [memdata.WordsPerLine]uint32) {
+				results[line] = vals
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				out := make([]uint32, len(targets))
+				for i, tg := range targets {
+					out[i] = results[tg.line][tg.word]
+				}
+				wc.warp.CompleteLoad(p, out)
+				c.unblock(wc)
+			})
+		}
+	case isa.Shared:
+		offsets := intOffsets(p.Addrs, wc.block.localBase)
+		vals, lat := c.sp.Load(offsets)
+		wc.warp.CompleteLoad(p, vals)
+		if lat > 1 {
+			wc.state = wBlocked
+			c.eng.Schedule(lat, func() { c.unblock(wc) })
+		}
+	case isa.Stash:
+		wc.state = wBlocked
+		c.stash.Load(wc.block.id, p.Slot, intOffsets(p.Addrs, wc.block.localBase), func(vals []uint32) {
+			wc.warp.CompleteLoad(p, vals)
+			c.unblock(wc)
+		})
+	}
+}
+
+func (c *CU) issueStore(wc *warpCtx, p *isa.Pending) {
+	switch p.Space {
+	case isa.Global:
+		lines, targets := c.coalesceGlobal(p)
+		vals := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
+		for i, tg := range targets {
+			lv := vals[tg.line]
+			lv[tg.word] = p.Vals[i]
+			vals[tg.line] = lv
+		}
+		// The warp blocks until the L1 accepts every transaction (it
+		// may replay under MSHR/store-buffer pressure); acceptance
+		// order preserves the warp's same-address store ordering.
+		wc.state = wBlocked
+		remaining := len(lines)
+		for line, mask := range lines {
+			c.coalesced.Inc()
+			c.l1.Store(line, mask, vals[line], func() {
+				remaining--
+				if remaining == 0 {
+					c.unblock(wc)
+				}
+			})
+		}
+	case isa.Shared:
+		lat := c.sp.Store(intOffsets(p.Addrs, wc.block.localBase), p.Vals)
+		if lat > 1 {
+			wc.state = wBlocked
+			c.eng.Schedule(lat, func() { c.unblock(wc) })
+		}
+	case isa.Stash:
+		c.stash.Store(wc.block.id, p.Slot, intOffsets(p.Addrs, wc.block.localBase), p.Vals, func() {})
+	}
+}
+
+// intOffsets rebases block-relative local word offsets onto the block's
+// SRAM slot (the runtime address mapping of paper Section 4).
+func intOffsets(addrs []uint64, localBase int) []int {
+	out := make([]int, len(addrs))
+	for i, a := range addrs {
+		out[i] = int(a) + localBase
+	}
+	return out
+}
+
+// --- control ---
+
+func (c *CU) barrier(wc *warpCtx) {
+	b := wc.block
+	wc.state = wBarrier
+	b.waiting++
+	if b.waiting < b.alive {
+		return
+	}
+	b.waiting = 0
+	for _, w := range b.warps {
+		if w.state == wBarrier {
+			w.state = wReady
+		}
+	}
+}
+
+func (c *CU) mapIntrinsic(wc *warpCtx, p *isa.Pending) {
+	// Executed once per thread block, by warp 0 (other warps treat the
+	// instruction as a NOP so every warp sees the same program).
+	if wc.warp != wc.block.warps[0].warp {
+		return
+	}
+	if c.stash == nil {
+		panic("gpu: AddMap/ChgMap without a stash in this configuration")
+	}
+	m := p.Map
+	m.StashBase += wc.block.localBase
+	if p.Kind == isa.PendAddMap {
+		c.stash.AddMap(wc.block.id, p.Slot, m)
+	} else {
+		c.stash.ChgMap(wc.block.id, p.Slot, m)
+	}
+}
+
+func (c *CU) dmaIntrinsic(wc *warpCtx, p *isa.Pending) {
+	if wc.warp != wc.block.warps[0].warp {
+		return
+	}
+	if c.dmaEng == nil {
+		panic("gpu: DMA instruction without a DMA engine in this configuration")
+	}
+	// D2MA-style: the transfer blocks the CU at core granularity.
+	c.dmaBlocked = true
+	resume := func() {
+		c.dmaBlocked = false
+		c.wake()
+	}
+	m := p.Map
+	m.StashBase += wc.block.localBase
+	if p.Kind == isa.PendDMALoad {
+		c.dmaEng.Load(m, resume)
+	} else {
+		c.dmaEng.Store(m, resume)
+	}
+}
+
+func (c *CU) warpDone(wc *warpCtx) {
+	if wc.state == wDone {
+		return
+	}
+	wc.state = wDone
+	b := wc.block
+	b.alive--
+	// A barrier may now be satisfiable.
+	if b.alive > 0 && b.waiting == b.alive {
+		b.waiting = 0
+		for _, w := range b.warps {
+			if w.state == wBarrier {
+				w.state = wReady
+			}
+		}
+	}
+	if b.alive > 0 {
+		return
+	}
+	// Block complete: arm lazy writebacks and release its stash table.
+	if c.stash != nil {
+		c.stash.EndThreadBlock(b.id)
+	}
+	c.blocksDone.Inc()
+	c.freeSlots = append(c.freeSlots, b.slot)
+	for i, rb := range c.resident {
+		if rb == b {
+			c.resident = append(c.resident[:i], c.resident[i+1:]...)
+			break
+		}
+	}
+	c.rebuildWarpList()
+	c.fillResident()
+	if len(c.resident) == 0 && len(c.pending) == 0 {
+		c.finishKernel()
+	}
+}
+
+func (c *CU) finishKernel() {
+	done := c.kernelDone
+	c.kernel = nil
+	c.kernelDone = nil
+	// Drain outstanding registrations and writebacks before reporting
+	// kernel completion (the kernel's stores must be globally ordered
+	// before the next phase begins).
+	remaining := 1 // guard released below, after all drains registered
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	if c.stash != nil {
+		remaining++
+		c.stash.Drain(finish)
+	}
+	remaining++
+	c.l1.Drain(finish)
+	finish()
+}
+
+// DebugString reports the CU's scheduling state, for diagnosing hangs.
+func (c *CU) DebugString() string {
+	if c.kernel == nil {
+		return "idle"
+	}
+	s := fmt.Sprintf("dmaBlocked=%v scheduled=%v pending=%d resident=%d [", c.dmaBlocked, c.scheduled, len(c.pending), len(c.resident))
+	for _, b := range c.resident {
+		s += fmt.Sprintf("blk%d(slot%d alive%d wait%d:", b.id, b.slot, b.alive, b.waiting)
+		for _, w := range b.warps {
+			s += fmt.Sprintf(" %d@pc%d", w.state, w.warp.PC())
+		}
+		s += ") "
+	}
+	return s + "]"
+}
+
+// SelfInvalidate applies the kernel-boundary self-invalidation to the
+// CU's L1 and stash (DeNovo synchronization; Section 4.3).
+func (c *CU) SelfInvalidate() {
+	c.l1.SelfInvalidate()
+	if c.stash != nil {
+		c.stash.SelfInvalidate()
+	}
+}

@@ -1,0 +1,220 @@
+package gpu
+
+import (
+	"testing"
+
+	"stash/internal/cache"
+	"stash/internal/coh"
+	"stash/internal/core"
+	"stash/internal/energy"
+	"stash/internal/isa"
+	"stash/internal/llc"
+	"stash/internal/memdata"
+	"stash/internal/noc"
+	"stash/internal/scratch"
+	"stash/internal/sim"
+	"stash/internal/stats"
+	"stash/internal/vm"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	mem   *memdata.Memory
+	as    *vm.AddressSpace
+	cu    *CU
+	set   *stats.Set
+	acct  *energy.Account
+	banks []*llc.Bank
+}
+
+// read returns the coherent value of va: the LLC copy if resident,
+// else DRAM. Callers flush owners first.
+func (r *rig) read(va memdata.VAddr) uint32 {
+	pa := r.as.Translate(va)
+	b := r.banks[llc.BankOf(memdata.LineOf(pa), 16)]
+	if v, owner, ok := b.Peek(pa); ok {
+		if owner != nil {
+			panic("rig.read: word still registered")
+		}
+		return v
+	}
+	return r.mem.LoadWord(pa)
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	net := noc.New(eng, 4, 4, acct, set)
+	mem := memdata.NewMemory()
+	as := vm.NewAddressSpace()
+	r := &rig{eng: eng, mem: mem, as: as, set: set, acct: acct}
+	for n := 0; n < 16; n++ {
+		router := coh.NewRouter()
+		bank := llc.NewBank(eng, net, n, llc.DefaultParams(), mem, acct, set)
+		r.banks = append(r.banks, bank)
+		router.Attach(coh.ToLLC, bank)
+		if n == 0 {
+			l1 := cache.New(eng, net, n, "cu", cache.DefaultParams(), acct, set)
+			router.Attach(coh.ToL1, l1)
+			sp := scratch.New("cu", scratch.DefaultParams(), acct, set)
+			st := core.New(eng, net, n, "cu", core.DefaultParams(), as, acct, set)
+			router.Attach(coh.ToStash, st)
+			r.cu = New(eng, n, "cu", DefaultParams(), as, l1, sp, st, nil, acct, set)
+		}
+		net.Register(n, func(m *noc.Message) { router.Deliver(m.Payload.(*coh.Packet)) })
+	}
+	return r
+}
+
+func (r *rig) alloc(n int, gen func(i int) uint32) memdata.VAddr {
+	base := r.as.Alloc(n * 4)
+	if gen != nil {
+		for i := 0; i < n; i++ {
+			r.mem.StoreWord(r.as.Translate(base+memdata.VAddr(4*i)), gen(i))
+		}
+	}
+	return base
+}
+
+func (r *rig) run(k *Kernel, blocks int) {
+	done := false
+	r.cu.Launch(k, 0, blocks, func() { done = true })
+	r.eng.Run()
+	if !done {
+		panic("kernel did not complete")
+	}
+}
+
+func TestCoalescingGroupsLanesIntoLines(t *testing.T) {
+	r := newRig(t)
+	base := r.alloc(64, func(i int) uint32 { return uint32(i) })
+	b := isa.NewBuilder()
+	tid, addr, v := b.Reg(), b.Reg(), b.Reg()
+	b.Special(tid, isa.SpecTid)
+	b.MulImm(addr, tid, 4)
+	b.AddImm(addr, addr, int64(base))
+	b.LdGlobal(v, addr, 0)
+	k := &Kernel{Prog: b.MustBuild(), BlockDim: 32, GridDim: 1}
+	r.run(k, 1)
+	// 32 consecutive words = 2 cache-line transactions, not 32.
+	if got := r.set.Sum("cu.cu.global_transactions"); got != 2 {
+		t.Fatalf("transactions = %d, want 2", got)
+	}
+}
+
+func TestBarrierOrdersScratchpadPhases(t *testing.T) {
+	r := newRig(t)
+	out := r.alloc(64, nil)
+	// Thread i writes scratch[i]; after the barrier thread i reads
+	// scratch[63-i] — correct only if the barrier separates the phases.
+	b := isa.NewBuilder()
+	tid, rev, v, addr := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Special(tid, isa.SpecTid)
+	b.AddImm(v, tid, 1000)
+	b.StShared(tid, 0, v)
+	b.Barrier()
+	b.MovImm(rev, 63)
+	b.Sub(rev, rev, tid)
+	b.LdShared(v, rev, 0)
+	b.MulImm(addr, tid, 4)
+	b.AddImm(addr, addr, int64(out))
+	b.StGlobal(addr, 0, v)
+	k := &Kernel{Prog: b.MustBuild(), BlockDim: 64, GridDim: 1, LocalWordsPerBlock: 64}
+	r.run(k, 1)
+	r.cu.L1().WritebackAll()
+	r.eng.Run()
+	for i := 0; i < 64; i++ {
+		want := uint32(1000 + 63 - i)
+		if got := r.read(out + memdata.VAddr(4*i)); got != want {
+			t.Fatalf("out[%d] = %d, want %d (barrier not enforced)", i, got, want)
+		}
+	}
+}
+
+func TestMultipleWarpsInterleave(t *testing.T) {
+	r := newRig(t)
+	base := r.alloc(256, func(i int) uint32 { return 1 })
+	b := isa.NewBuilder()
+	tid, addr, v := b.Reg(), b.Reg(), b.Reg()
+	b.Special(tid, isa.SpecTid)
+	b.MulImm(addr, tid, 4)
+	b.AddImm(addr, addr, int64(base))
+	b.LdGlobal(v, addr, 0)
+	b.AddImm(v, v, 1)
+	b.StGlobal(addr, 0, v)
+	k := &Kernel{Prog: b.MustBuild(), BlockDim: 256, GridDim: 1}
+	r.run(k, 1)
+	r.cu.L1().WritebackAll()
+	r.eng.Run()
+	for i := 0; i < 256; i++ {
+		if got := r.read(base + memdata.VAddr(4*i)); got != 2 {
+			t.Fatalf("A[%d] = %d, want 2", i, got)
+		}
+	}
+}
+
+func TestLatencyHidingAcrossWarps(t *testing.T) {
+	// With 8 warps each issuing an independent global load, total time
+	// must be far less than 8x a single warp's time (memory overlap).
+	r := newRig(t)
+	base := r.alloc(4096, func(i int) uint32 { return 0 })
+	mk := func(blockDim int) *Kernel {
+		b := isa.NewBuilder()
+		tid, addr, v := b.Reg(), b.Reg(), b.Reg()
+		b.Special(tid, isa.SpecTid)
+		b.MulImm(addr, tid, 4)
+		b.AddImm(addr, addr, int64(base))
+		b.LdGlobal(v, addr, 0)
+		return &Kernel{Prog: b.MustBuild(), BlockDim: blockDim, GridDim: 1}
+	}
+	r.run(mk(32), 1)
+	t1 := r.eng.Now()
+	r2 := newRig(t)
+	base2 := r2.alloc(4096, func(i int) uint32 { return 0 })
+	_ = base2
+	r2.run(mk(256), 1)
+	t8 := r2.eng.Now()
+	if t8 >= t1*4 {
+		t.Fatalf("8 warps took %d cycles vs 1 warp %d: no latency hiding", t8, t1)
+	}
+}
+
+func TestIntrinsicOncePerBlock(t *testing.T) {
+	r := newRig(t)
+	base := r.alloc(64, func(i int) uint32 { return uint32(i) })
+	b := isa.NewBuilder()
+	tid, v := b.Reg(), b.Reg()
+	b.Special(tid, isa.SpecTid)
+	b.AddMap(0, core.MapParams{
+		StashBase: 0, GlobalBase: base,
+		FieldBytes: 4, ObjectBytes: 4, RowElems: 64, NumRows: 1, Coherent: true,
+	})
+	b.Barrier()
+	b.LdStash(v, tid, 0, 0)
+	k := &Kernel{Prog: b.MustBuild(), BlockDim: 64, GridDim: 1, LocalWordsPerBlock: 64}
+	r.run(k, 1)
+	// Two warps executed the AddMap instruction, but only one AddMap
+	// reached the stash.
+	if got := r.set.Sum("stash.cu.addmaps"); got != 1 {
+		t.Fatalf("addmaps = %d, want 1 (once per thread block)", got)
+	}
+}
+
+func TestInstructionAndEnergyCounting(t *testing.T) {
+	r := newRig(t)
+	b := isa.NewBuilder()
+	x := b.Reg()
+	b.MovImm(x, 1)
+	b.AddImm(x, x, 1)
+	b.AddImm(x, x, 1)
+	k := &Kernel{Prog: b.MustBuild(), BlockDim: 32, GridDim: 1}
+	r.run(k, 1)
+	if got := r.set.Sum("cu.cu.instructions"); got != 3 {
+		t.Fatalf("instructions = %d, want 3", got)
+	}
+	if got := r.acct.Count(energy.GPUInst); got != 3 {
+		t.Fatalf("GPU inst energy events = %d, want 3", got)
+	}
+}

@@ -1,0 +1,259 @@
+package isa
+
+import (
+	"fmt"
+
+	"stash/internal/core"
+)
+
+// Builder assembles a Program with structured control flow. Misnested
+// If/For blocks are caught at Build time.
+type Builder struct {
+	code   []Instr
+	regs   int
+	blocks []block // open structured blocks
+	err    error
+}
+
+type block struct {
+	kind  Op // OpIf or OpFor
+	start int
+	elseI int // index of OpElse, -1 if none yet
+}
+
+// NewBuilder returns an empty kernel builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() int {
+	r := b.regs
+	b.regs++
+	return r
+}
+
+func (b *Builder) emit(i Instr) int {
+	b.code = append(b.code, i)
+	return len(b.code) - 1
+}
+
+// --- ALU ---
+
+// MovImm sets rd to an immediate.
+func (b *Builder) MovImm(rd int, v int64) { b.emit(Instr{Op: OpMovImm, Rd: rd, Imm: v}) }
+
+// Special reads a special register.
+func (b *Builder) Special(rd int, s Spec) { b.emit(Instr{Op: OpMovSpec, Rd: rd, Spec: s}) }
+
+// Mov copies ra to rd.
+func (b *Builder) Mov(rd, ra int) { b.emit(Instr{Op: OpMov, Rd: rd, Ra: ra}) }
+
+// Add emits rd = ra + rb; the other two-operand helpers follow suit.
+func (b *Builder) Add(rd, ra, rb int) { b.emit(Instr{Op: OpAdd, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) Sub(rd, ra, rb int) { b.emit(Instr{Op: OpSub, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) Mul(rd, ra, rb int) { b.emit(Instr{Op: OpMul, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) Div(rd, ra, rb int) { b.emit(Instr{Op: OpDiv, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) Mod(rd, ra, rb int) { b.emit(Instr{Op: OpMod, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) And(rd, ra, rb int) { b.emit(Instr{Op: OpAnd, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) Or(rd, ra, rb int)  { b.emit(Instr{Op: OpOr, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) Xor(rd, ra, rb int) { b.emit(Instr{Op: OpXor, Rd: rd, Ra: ra, Rb: rb}) }
+
+// AddImm emits rd = ra + v; the other immediate helpers follow suit.
+func (b *Builder) AddImm(rd, ra int, v int64) { b.emit(Instr{Op: OpAddImm, Rd: rd, Ra: ra, Imm: v}) }
+func (b *Builder) MulImm(rd, ra int, v int64) { b.emit(Instr{Op: OpMulImm, Rd: rd, Ra: ra, Imm: v}) }
+func (b *Builder) DivImm(rd, ra int, v int64) { b.emit(Instr{Op: OpDivImm, Rd: rd, Ra: ra, Imm: v}) }
+func (b *Builder) ModImm(rd, ra int, v int64) { b.emit(Instr{Op: OpModImm, Rd: rd, Ra: ra, Imm: v}) }
+func (b *Builder) AndImm(rd, ra int, v int64) { b.emit(Instr{Op: OpAndImm, Rd: rd, Ra: ra, Imm: v}) }
+func (b *Builder) ShlImm(rd, ra int, v int64) { b.emit(Instr{Op: OpShlImm, Rd: rd, Ra: ra, Imm: v}) }
+func (b *Builder) ShrImm(rd, ra int, v int64) { b.emit(Instr{Op: OpShrImm, Rd: rd, Ra: ra, Imm: v}) }
+
+// SetLt emits rd = (ra < rb); the other comparison helpers follow suit.
+func (b *Builder) SetLt(rd, ra, rb int) { b.emit(Instr{Op: OpSetLt, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) SetGe(rd, ra, rb int) { b.emit(Instr{Op: OpSetGe, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) SetEq(rd, ra, rb int) { b.emit(Instr{Op: OpSetEq, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) SetNe(rd, ra, rb int) { b.emit(Instr{Op: OpSetNe, Rd: rd, Ra: ra, Rb: rb}) }
+
+// SetLtImm emits rd = (ra < v).
+func (b *Builder) SetLtImm(rd, ra int, v int64) {
+	b.emit(Instr{Op: OpSetLtImm, Rd: rd, Ra: ra, Imm: v})
+}
+
+// SetEqImm emits rd = (ra == v).
+func (b *Builder) SetEqImm(rd, ra int, v int64) {
+	b.emit(Instr{Op: OpSetEqImm, Rd: rd, Ra: ra, Imm: v})
+}
+
+// Select emits rd = ra != 0 ? rb : rc.
+func (b *Builder) Select(rd, ra, rb, rc int) {
+	b.emit(Instr{Op: OpSelect, Rd: rd, Ra: ra, Rb: rb, Rc: rc})
+}
+
+// MadImm emits rd = ra*v + rb (one integer multiply-add, as GPU address
+// units provide).
+func (b *Builder) MadImm(rd, ra int, v int64, rb int) {
+	b.emit(Instr{Op: OpMadImm, Rd: rd, Ra: ra, Rb: rb, Imm: v})
+}
+
+// Flops models n cycles of floating-point work on the active lanes.
+func (b *Builder) Flops(n int) { b.emit(Instr{Op: OpFlops, Imm: int64(n)}) }
+
+// --- memory ---
+
+// LdGlobal emits rd = global[ra + off] (byte address).
+func (b *Builder) LdGlobal(rd, ra int, off int64) {
+	b.emit(Instr{Op: OpLdGlobal, Rd: rd, Ra: ra, Imm: off})
+}
+
+// StGlobal emits global[ra + off] = rb.
+func (b *Builder) StGlobal(ra int, off int64, rb int) {
+	b.emit(Instr{Op: OpStGlobal, Ra: ra, Rb: rb, Imm: off})
+}
+
+// LdShared emits rd = scratch[ra + off] (word offset).
+func (b *Builder) LdShared(rd, ra int, off int64) {
+	b.emit(Instr{Op: OpLdShared, Rd: rd, Ra: ra, Imm: off})
+}
+
+// StShared emits scratch[ra + off] = rb.
+func (b *Builder) StShared(ra int, off int64, rb int) {
+	b.emit(Instr{Op: OpStShared, Ra: ra, Rb: rb, Imm: off})
+}
+
+// LdStash emits rd = stash[ra + off] under map index table slot.
+func (b *Builder) LdStash(rd, ra int, off int64, slot int) {
+	b.emit(Instr{Op: OpLdStash, Rd: rd, Ra: ra, Imm: off, Slot: slot})
+}
+
+// StStash emits stash[ra + off] = rb under map index table slot.
+func (b *Builder) StStash(ra int, off int64, rb, slot int) {
+	b.emit(Instr{Op: OpStStash, Ra: ra, Rb: rb, Imm: off, Slot: slot})
+}
+
+// --- intrinsics ---
+
+// AddMap emits the AddMap intrinsic with a static tile.
+func (b *Builder) AddMap(slot int, m core.MapParams) {
+	b.emit(Instr{Op: OpAddMap, Slot: slot, Map: m})
+}
+
+// AddMapReg emits AddMap taking the stash base from register ra and the
+// global base from register rb (lane-0 values), with the static shape m.
+func (b *Builder) AddMapReg(slot int, m core.MapParams, ra, rb int) {
+	b.emit(Instr{Op: OpAddMap, Slot: slot, Map: m, Ra: ra, Rb: rb, UseRegBase: true})
+}
+
+// ChgMap emits the ChgMap intrinsic.
+func (b *Builder) ChgMap(slot int, m core.MapParams) {
+	b.emit(Instr{Op: OpChgMap, Slot: slot, Map: m})
+}
+
+// DMALoad emits a blocking DMA preload of the tile into the scratchpad.
+func (b *Builder) DMALoad(m core.MapParams) { b.emit(Instr{Op: OpDMALoad, Map: m}) }
+
+// DMALoadReg is DMALoad with register bases like AddMapReg.
+func (b *Builder) DMALoadReg(m core.MapParams, ra, rb int) {
+	b.emit(Instr{Op: OpDMALoad, Map: m, Ra: ra, Rb: rb, UseRegBase: true})
+}
+
+// DMAStore emits a blocking DMA writeout of the tile from the scratchpad.
+func (b *Builder) DMAStore(m core.MapParams) { b.emit(Instr{Op: OpDMAStore, Map: m}) }
+
+// DMAStoreReg is DMAStore with register bases.
+func (b *Builder) DMAStoreReg(m core.MapParams, ra, rb int) {
+	b.emit(Instr{Op: OpDMAStore, Map: m, Ra: ra, Rb: rb, UseRegBase: true})
+}
+
+// --- control flow ---
+
+// Barrier synchronizes all warps of the thread block.
+func (b *Builder) Barrier() { b.emit(Instr{Op: OpBarrier}) }
+
+// If opens a divergent region executing where ra != 0.
+func (b *Builder) If(ra int) {
+	idx := b.emit(Instr{Op: OpIf, Ra: ra})
+	b.blocks = append(b.blocks, block{kind: OpIf, start: idx, elseI: -1})
+}
+
+// Else flips the current If region.
+func (b *Builder) Else() {
+	if len(b.blocks) == 0 || b.blocks[len(b.blocks)-1].kind != OpIf {
+		b.fail("Else outside If")
+		return
+	}
+	idx := b.emit(Instr{Op: OpElse})
+	b.blocks[len(b.blocks)-1].elseI = idx
+}
+
+// EndIf closes the innermost If.
+func (b *Builder) EndIf() {
+	if len(b.blocks) == 0 || b.blocks[len(b.blocks)-1].kind != OpIf {
+		b.fail("EndIf outside If")
+		return
+	}
+	blk := b.blocks[len(b.blocks)-1]
+	b.blocks = b.blocks[:len(b.blocks)-1]
+	idx := b.emit(Instr{Op: OpEndIf})
+	if blk.elseI >= 0 {
+		b.code[blk.start].Target = blk.elseI
+		b.code[blk.elseI].Target = idx
+	} else {
+		b.code[blk.start].Target = idx
+	}
+}
+
+// For opens a counted loop: counter runs 0..n-1 in register rd. The trip
+// count must be warp-uniform.
+func (b *Builder) For(rd int, n int64) {
+	idx := b.emit(Instr{Op: OpFor, Rd: rd, Imm: n, Ra: -1})
+	b.blocks = append(b.blocks, block{kind: OpFor, start: idx})
+}
+
+// ForReg opens a counted loop whose trip count comes from register ra
+// (lane-0 value; must be warp-uniform).
+func (b *Builder) ForReg(rd, ra int) {
+	idx := b.emit(Instr{Op: OpFor, Rd: rd, Ra: ra})
+	b.blocks = append(b.blocks, block{kind: OpFor, start: idx})
+}
+
+// EndFor closes the innermost For.
+func (b *Builder) EndFor() {
+	if len(b.blocks) == 0 || b.blocks[len(b.blocks)-1].kind != OpFor {
+		b.fail("EndFor outside For")
+		return
+	}
+	blk := b.blocks[len(b.blocks)-1]
+	b.blocks = b.blocks[:len(b.blocks)-1]
+	idx := b.emit(Instr{Op: OpEndFor, Target: blk.start})
+	b.code[blk.start].Target = idx
+}
+
+func (b *Builder) fail(msg string) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa: %s at instruction %d", msg, len(b.code))
+	}
+}
+
+// Build finalizes the program, validating structure and register use.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.blocks) != 0 {
+		return nil, fmt.Errorf("isa: %d unclosed control blocks", len(b.blocks))
+	}
+	code := append([]Instr(nil), b.code...)
+	code = append(code, Instr{Op: OpExit})
+	regs := b.regs
+	if regs == 0 {
+		regs = 1
+	}
+	return &Program{Code: code, Regs: regs}, nil
+}
+
+// MustBuild is Build for statically correct kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

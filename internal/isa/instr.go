@@ -1,0 +1,119 @@
+// Package isa defines the mini SIMT instruction set the simulated GPU
+// compute units and CPU cores execute, a builder for writing kernels in
+// Go, and the warp-level interpreter with structured control-flow
+// divergence (mask stacks).
+//
+// The ISA stands in for CUDA 3.1 in the paper's methodology: kernels
+// are register programs with ALU ops, structured IF/ELSE/ENDIF and FOR
+// loops, barriers, and loads/stores to three spaces — global memory
+// (byte-addressed, through the L1), scratchpad "shared memory"
+// (word-offset addressed), and the stash (word-offset addressed, with a
+// map-index-table slot carried by the instruction exactly as Section
+// 3.2 describes). AddMap/ChgMap and DMA transfers are intrinsics.
+package isa
+
+import "stash/internal/core"
+
+// Op enumerates instruction opcodes.
+type Op int
+
+// Opcodes.
+const (
+	OpNop Op = iota
+
+	// ALU: Rd = Ra <op> Rb (or immediate forms).
+	OpMovImm  // Rd = Imm
+	OpMovSpec // Rd = special register Spec
+	OpMov     // Rd = Ra
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpAddImm
+	OpMulImm
+	OpDivImm
+	OpModImm
+	OpAndImm
+	OpShlImm
+	OpShrImm
+	OpSetLt // Rd = Ra < Rb
+	OpSetGe
+	OpSetEq
+	OpSetNe
+	OpSetLtImm
+	OpSetEqImm
+	OpSelect // Rd = Ra != 0 ? Rb : Rc ... encoded via Extra register
+	OpMadImm // Rd = Ra*Imm + Rb (integer multiply-add, for addressing)
+	OpFlops  // placeholder FP work: occupies the lane for Imm cycles
+
+	// Memory.
+	OpLdGlobal // Rd = global[Ra + Imm]      (byte address)
+	OpStGlobal // global[Ra + Imm] = Rb
+	OpLdShared // Rd = scratch[Ra + Imm]     (word offset)
+	OpStShared // scratch[Ra + Imm] = Rb
+	OpLdStash  // Rd = stash[Ra + Imm], map slot Slot (word offset)
+	OpStStash  // stash[Ra + Imm] = Rb, map slot Slot
+
+	// Intrinsics (executed once per thread block, by warp 0).
+	OpAddMap   // install Map (bases resolved from Ra=stash base, Rb=global base)
+	OpChgMap   // change mapping in Slot
+	OpDMALoad  // DMA the Map tile into the scratchpad (blocks the CU)
+	OpDMAStore // DMA the Map tile out of the scratchpad (blocks the CU)
+
+	// Control flow (structured; Target indices resolved by the builder).
+	OpBarrier
+	OpIf    // push mask; active &= (Ra != 0); Target = matching Else/EndIf
+	OpElse  // flip within pushed mask; Target = matching EndIf
+	OpEndIf // pop mask
+	OpFor   // Rd = loop counter; trip count = Ra's lane-0 value or Imm; Target = matching EndFor
+	OpEndFor
+	OpExit
+)
+
+// Spec selects a special register for OpMovSpec.
+type Spec int
+
+// Special registers.
+const (
+	SpecTid    Spec = iota // thread index within the block
+	SpecNtid               // block dimension (threads per block)
+	SpecCtaid              // block index within the grid
+	SpecNctaid             // grid dimension (number of blocks)
+	SpecLane               // lane index within the warp
+	SpecWarpID             // warp index within the block
+)
+
+// Instr is one instruction. Fields are used as each opcode requires.
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb int
+	Rc         int   // OpSelect's third operand
+	Imm        int64 // immediate / trip count / flop cycles
+	Spec       Spec
+	Slot       int            // stash map index table slot for LdStash/StStash/AddMap/ChgMap
+	Map        core.MapParams // tile shape for AddMap/ChgMap/DMA (bases may be overridden by registers)
+	UseRegBase bool           // AddMap/DMA: take StashBase from Ra and GlobalBase from Rb (lane 0)
+	Target     int            // matching structured-control-flow index
+}
+
+// Space identifies a memory space.
+type Space int
+
+// Memory spaces.
+const (
+	Global Space = iota
+	Shared
+	Stash
+)
+
+// Program is a validated instruction sequence plus its register needs.
+type Program struct {
+	Code []Instr
+	Regs int
+}

@@ -1,0 +1,322 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// run executes a program to completion on one warp, servicing memory
+// against a trivial flat memory, and returns the warp.
+func run(t *testing.T, prog *Program, cfg WarpConfig, mem map[uint64]uint32) *Warp {
+	t.Helper()
+	w := NewWarp(prog, cfg)
+	for steps := 0; ; steps++ {
+		if steps > 1_000_000 {
+			t.Fatal("program did not terminate")
+		}
+		p := w.Step()
+		switch p.Kind {
+		case PendDone:
+			return w
+		case PendLoad:
+			vals := make([]uint32, len(p.Lanes))
+			for i, a := range p.Addrs {
+				vals[i] = mem[a]
+			}
+			w.CompleteLoad(p, vals)
+		case PendStore:
+			for i, a := range p.Addrs {
+				mem[a] = p.Vals[i]
+			}
+		}
+	}
+}
+
+func cfg1() WarpConfig  { return WarpConfig{Width: 1, BlockDim: 1, GridDim: 1} }
+func cfg32() WarpConfig { return WarpConfig{Width: 32, BlockDim: 32, GridDim: 1} }
+
+func TestALUBasics(t *testing.T) {
+	b := NewBuilder()
+	a, c, d := b.Reg(), b.Reg(), b.Reg()
+	b.MovImm(a, 6)
+	b.MovImm(c, 7)
+	b.Mul(d, a, c)
+	b.AddImm(d, d, 8)
+	w := run(t, b.MustBuild(), cfg1(), nil)
+	if got := w.Reg(0, d); got != 50 {
+		t.Fatalf("result = %d, want 50", got)
+	}
+}
+
+func TestSpecialRegisters(t *testing.T) {
+	b := NewBuilder()
+	tid, ctaid := b.Reg(), b.Reg()
+	b.Special(tid, SpecTid)
+	b.Special(ctaid, SpecCtaid)
+	cfg := WarpConfig{Width: 32, BlockDim: 64, BlockID: 3, GridDim: 8, WarpID: 1, FirstThread: 32}
+	w := run(t, b.MustBuild(), cfg, nil)
+	if w.Reg(5, tid) != 37 {
+		t.Fatalf("tid lane5 = %d, want 37", w.Reg(5, tid))
+	}
+	if w.Reg(0, ctaid) != 3 {
+		t.Fatalf("ctaid = %d, want 3", w.Reg(0, ctaid))
+	}
+}
+
+func TestForLoopSum(t *testing.T) {
+	b := NewBuilder()
+	i, sum := b.Reg(), b.Reg()
+	b.MovImm(sum, 0)
+	b.For(i, 10)
+	b.Add(sum, sum, i)
+	b.EndFor()
+	w := run(t, b.MustBuild(), cfg1(), nil)
+	if got := w.Reg(0, sum); got != 45 {
+		t.Fatalf("sum 0..9 = %d, want 45", got)
+	}
+}
+
+func TestForZeroTripSkips(t *testing.T) {
+	b := NewBuilder()
+	i, x := b.Reg(), b.Reg()
+	b.MovImm(x, 1)
+	b.For(i, 0)
+	b.MovImm(x, 99)
+	b.EndFor()
+	w := run(t, b.MustBuild(), cfg1(), nil)
+	if got := w.Reg(0, x); got != 1 {
+		t.Fatalf("x = %d, want 1 (zero-trip loop body executed)", got)
+	}
+}
+
+func TestForRegTripCount(t *testing.T) {
+	b := NewBuilder()
+	n, i, c := b.Reg(), b.Reg(), b.Reg()
+	b.MovImm(n, 5)
+	b.MovImm(c, 0)
+	b.ForReg(i, n)
+	b.AddImm(c, c, 1)
+	b.EndFor()
+	w := run(t, b.MustBuild(), cfg1(), nil)
+	if got := w.Reg(0, c); got != 5 {
+		t.Fatalf("iterations = %d, want 5", got)
+	}
+}
+
+func TestIfElseDivergence(t *testing.T) {
+	// Even lanes get 10, odd lanes get 20.
+	b := NewBuilder()
+	lane, even, out := b.Reg(), b.Reg(), b.Reg()
+	b.Special(lane, SpecLane)
+	b.AndImm(even, lane, 1)
+	b.SetEqImm(even, even, 0)
+	b.If(even)
+	b.MovImm(out, 10)
+	b.Else()
+	b.MovImm(out, 20)
+	b.EndIf()
+	w := run(t, b.MustBuild(), cfg32(), nil)
+	for l := 0; l < 32; l++ {
+		want := uint32(10)
+		if l%2 == 1 {
+			want = 20
+		}
+		if got := w.Reg(l, out); got != want {
+			t.Fatalf("lane %d = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestNestedIf(t *testing.T) {
+	b := NewBuilder()
+	lane, c1, c2, out := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Special(lane, SpecLane)
+	b.SetLtImm(c1, lane, 16)
+	b.SetLtImm(c2, lane, 8)
+	b.MovImm(out, 0)
+	b.If(c1)
+	b.MovImm(out, 1)
+	b.If(c2)
+	b.MovImm(out, 2)
+	b.EndIf()
+	b.EndIf()
+	w := run(t, b.MustBuild(), cfg32(), nil)
+	for l := 0; l < 32; l++ {
+		want := uint32(0)
+		switch {
+		case l < 8:
+			want = 2
+		case l < 16:
+			want = 1
+		}
+		if got := w.Reg(l, out); got != want {
+			t.Fatalf("lane %d = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestEmptyBranchSkips(t *testing.T) {
+	// If no lane takes the branch, the body must not cost steps.
+	b := NewBuilder()
+	zero, x := b.Reg(), b.Reg()
+	b.MovImm(zero, 0)
+	b.If(zero)
+	for i := 0; i < 100; i++ {
+		b.AddImm(x, x, 1)
+	}
+	b.EndIf()
+	prog := b.MustBuild()
+	w := NewWarp(prog, cfg1())
+	steps := 0
+	for w.Step().Kind != PendDone {
+		steps++
+		if steps > 50 {
+			t.Fatal("untaken branch body was executed")
+		}
+	}
+}
+
+func TestGlobalLoadStore(t *testing.T) {
+	b := NewBuilder()
+	lane, addr, v := b.Reg(), b.Reg(), b.Reg()
+	b.Special(lane, SpecLane)
+	b.MulImm(addr, lane, 4)
+	b.AddImm(addr, addr, 0x1000)
+	b.LdGlobal(v, addr, 0)
+	b.AddImm(v, v, 1)
+	b.StGlobal(addr, 128, v)
+	mem := make(map[uint64]uint32)
+	for l := 0; l < 32; l++ {
+		mem[uint64(0x1000+4*l)] = uint32(l * 10)
+	}
+	run(t, b.MustBuild(), cfg32(), mem)
+	for l := 0; l < 32; l++ {
+		want := uint32(l*10 + 1)
+		if got := mem[uint64(0x1000+128+4*l)]; got != want {
+			t.Fatalf("mem[%d] = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestPartialLastWarpMasksLanes(t *testing.T) {
+	b := NewBuilder()
+	lane, addr := b.Reg(), b.Reg()
+	b.Special(lane, SpecTid)
+	b.MulImm(addr, lane, 4)
+	b.StGlobal(addr, 0, lane)
+	mem := make(map[uint64]uint32)
+	// Block of 20 threads: lanes 20..31 inactive.
+	cfg := WarpConfig{Width: 32, BlockDim: 20, GridDim: 1}
+	run(t, b.MustBuild(), cfg, mem)
+	if len(mem) != 20 {
+		t.Fatalf("stores = %d, want 20", len(mem))
+	}
+}
+
+func TestBuilderRejectsMisnesting(t *testing.T) {
+	b := NewBuilder()
+	r := b.Reg()
+	b.If(r)
+	b.EndFor()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("misnested EndFor accepted")
+	}
+	b2 := NewBuilder()
+	b2.If(b2.Reg())
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("unclosed If accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	b := NewBuilder()
+	lane, c, a1, a2, out := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Special(lane, SpecLane)
+	b.SetLtImm(c, lane, 4)
+	b.MovImm(a1, 100)
+	b.MovImm(a2, 200)
+	b.Select(out, c, a1, a2)
+	w := run(t, b.MustBuild(), cfg32(), nil)
+	if w.Reg(0, out) != 100 || w.Reg(10, out) != 200 {
+		t.Fatal("select wrong")
+	}
+}
+
+func TestFlopsOccupancy(t *testing.T) {
+	b := NewBuilder()
+	b.Flops(17)
+	w := NewWarp(b.MustBuild(), cfg1())
+	p := w.Step()
+	if p.Kind != PendALU || p.Cycles != 17 {
+		t.Fatalf("Flops pending = %+v", p)
+	}
+}
+
+func TestBarrierPending(t *testing.T) {
+	b := NewBuilder()
+	b.Barrier()
+	w := NewWarp(b.MustBuild(), cfg1())
+	if p := w.Step(); p.Kind != PendBarrier {
+		t.Fatalf("barrier kind = %v", p.Kind)
+	}
+}
+
+// Property: a generated chain of ALU ops computes the same result as a
+// direct Go evaluation.
+func TestALUProperty(t *testing.T) {
+	type step struct {
+		Op  uint8
+		Imm int16
+	}
+	f := func(init uint32, steps []step) bool {
+		b := NewBuilder()
+		r := b.Reg()
+		b.MovImm(r, int64(init))
+		want := init
+		for _, s := range steps {
+			imm := int64(s.Imm)
+			switch s.Op % 5 {
+			case 0:
+				b.AddImm(r, r, imm)
+				want += uint32(imm)
+			case 1:
+				b.MulImm(r, r, imm)
+				want *= uint32(imm)
+			case 2:
+				b.AndImm(r, r, imm)
+				want &= uint32(imm)
+			case 3:
+				b.ShlImm(r, r, 3)
+				want <<= 3
+			case 4:
+				b.ShrImm(r, r, 2)
+				want >>= 2
+			}
+		}
+		w := run(t, b.MustBuild(), cfg1(), nil)
+		return w.Reg(0, r) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested uniform For loops execute exactly n*m iterations.
+func TestNestedForProperty(t *testing.T) {
+	f := func(n, m uint8) bool {
+		nn, mm := int64(n%10), int64(m%10)
+		b := NewBuilder()
+		i, j, c := b.Reg(), b.Reg(), b.Reg()
+		b.MovImm(c, 0)
+		b.For(i, nn)
+		b.For(j, mm)
+		b.AddImm(c, c, 1)
+		b.EndFor()
+		b.EndFor()
+		w := run(t, b.MustBuild(), cfg1(), nil)
+		return w.Reg(0, c) == uint32(nn*mm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,391 @@
+package isa
+
+import (
+	"fmt"
+
+	"stash/internal/core"
+	"stash/internal/memdata"
+)
+
+// WarpConfig positions a warp within its grid.
+type WarpConfig struct {
+	Width       int // lanes per warp (32 on the GPU, 1 on a CPU core)
+	BlockDim    int // threads per block
+	BlockID     int
+	GridDim     int
+	WarpID      int // warp index within the block
+	FirstThread int // block-relative thread index of lane 0
+}
+
+// PendKind classifies what a Step produced.
+type PendKind int
+
+// Step results.
+const (
+	PendALU      PendKind = iota // executed inline; costs Cycles (>=1)
+	PendLoad                     // memory load awaiting data
+	PendStore                    // memory store to issue
+	PendBarrier                  // block-wide synchronization point
+	PendAddMap                   // stash AddMap intrinsic
+	PendChgMap                   // stash ChgMap intrinsic
+	PendDMALoad                  // blocking DMA preload
+	PendDMAStore                 // blocking DMA writeout
+	PendDone                     // program finished
+)
+
+// Pending describes the work a Step handed to the core model.
+type Pending struct {
+	Kind   PendKind
+	Space  Space
+	Slot   int
+	Lanes  []int    // active lane indices
+	Addrs  []uint64 // per active lane: global byte address, or space word offset
+	Vals   []uint32 // per active lane: store values
+	DstReg int      // load destination register
+	Map    core.MapParams
+	Cycles int // ALU occupancy (1 for simple ops, Imm for Flops)
+}
+
+type ifFrame struct {
+	saved []bool
+	cond  []bool
+}
+
+type forFrame struct {
+	start int // index of the OpFor
+	iter  int64
+	count int64
+}
+
+// Warp interprets a program over Width lanes in lockstep with
+// structured divergence. Arithmetic is 32-bit; comparisons are signed.
+type Warp struct {
+	prog   *Program
+	cfg    WarpConfig
+	pc     int
+	regs   [][]uint32 // [lane][reg]
+	active []bool
+	ifs    []ifFrame
+	fors   []forFrame
+	done   bool
+}
+
+// NewWarp creates a warp at the start of prog. Lanes whose thread index
+// falls outside the block are permanently inactive.
+func NewWarp(prog *Program, cfg WarpConfig) *Warp {
+	w := &Warp{prog: prog, cfg: cfg}
+	w.regs = make([][]uint32, cfg.Width)
+	w.active = make([]bool, cfg.Width)
+	for l := 0; l < cfg.Width; l++ {
+		w.regs[l] = make([]uint32, prog.Regs)
+		w.active[l] = cfg.FirstThread+l < cfg.BlockDim
+	}
+	return w
+}
+
+// Done reports whether the warp has finished its program.
+func (w *Warp) Done() bool { return w.done }
+
+// PC returns the current program counter, for debugging.
+func (w *Warp) PC() int { return w.pc }
+
+func (w *Warp) special(s Spec, lane int) uint32 {
+	switch s {
+	case SpecTid:
+		return uint32(w.cfg.FirstThread + lane)
+	case SpecNtid:
+		return uint32(w.cfg.BlockDim)
+	case SpecCtaid:
+		return uint32(w.cfg.BlockID)
+	case SpecNctaid:
+		return uint32(w.cfg.GridDim)
+	case SpecLane:
+		return uint32(lane)
+	case SpecWarpID:
+		return uint32(w.cfg.WarpID)
+	}
+	panic("isa: unknown special register")
+}
+
+func (w *Warp) firstActive() int {
+	for l, a := range w.active {
+		if a {
+			return l
+		}
+	}
+	return -1
+}
+
+func (w *Warp) anyActive() bool { return w.firstActive() >= 0 }
+
+// Step executes one instruction and reports what happened. For memory
+// and intrinsic operations the caller performs the work; loads must be
+// completed with CompleteLoad before the warp steps again.
+func (w *Warp) Step() *Pending {
+	if w.done {
+		return &Pending{Kind: PendDone}
+	}
+	ins := &w.prog.Code[w.pc]
+	switch ins.Op {
+	case OpExit:
+		w.done = true
+		return &Pending{Kind: PendDone}
+
+	case OpIf:
+		fr := ifFrame{saved: append([]bool(nil), w.active...), cond: make([]bool, w.cfg.Width)}
+		any := false
+		for l := range w.active {
+			if w.active[l] && w.regs[l][ins.Ra] != 0 {
+				fr.cond[l] = true
+				any = true
+			}
+		}
+		w.ifs = append(w.ifs, fr)
+		copy(w.active, fr.cond)
+		if any {
+			w.pc++
+		} else {
+			w.pc = ins.Target // skip straight to Else/EndIf
+		}
+		return &Pending{Kind: PendALU, Cycles: 1}
+
+	case OpElse:
+		fr := &w.ifs[len(w.ifs)-1]
+		any := false
+		for l := range w.active {
+			w.active[l] = fr.saved[l] && !fr.cond[l]
+			any = any || w.active[l]
+		}
+		if any {
+			w.pc++
+		} else {
+			w.pc = ins.Target // skip to EndIf
+		}
+		return &Pending{Kind: PendALU, Cycles: 1}
+
+	case OpEndIf:
+		fr := w.ifs[len(w.ifs)-1]
+		w.ifs = w.ifs[:len(w.ifs)-1]
+		copy(w.active, fr.saved)
+		w.pc++
+		return &Pending{Kind: PendALU, Cycles: 1}
+
+	case OpFor:
+		count := ins.Imm
+		if ins.Ra >= 0 {
+			l := w.firstActive()
+			if l < 0 {
+				count = 0
+			} else {
+				count = int64(int32(w.regs[l][ins.Ra]))
+			}
+		}
+		if count <= 0 || !w.anyActive() {
+			w.pc = ins.Target + 1 // skip the loop entirely
+			return &Pending{Kind: PendALU, Cycles: 1}
+		}
+		for l := range w.active {
+			if w.active[l] {
+				w.regs[l][ins.Rd] = 0
+			}
+		}
+		w.fors = append(w.fors, forFrame{start: w.pc, count: count})
+		w.pc++
+		return &Pending{Kind: PendALU, Cycles: 1}
+
+	case OpEndFor:
+		fr := &w.fors[len(w.fors)-1]
+		fr.iter++
+		forIns := &w.prog.Code[fr.start]
+		if fr.iter < fr.count {
+			for l := range w.active {
+				if w.active[l] {
+					w.regs[l][forIns.Rd] = uint32(fr.iter)
+				}
+			}
+			w.pc = fr.start + 1
+		} else {
+			w.fors = w.fors[:len(w.fors)-1]
+			w.pc++
+		}
+		return &Pending{Kind: PendALU, Cycles: 1}
+
+	case OpBarrier:
+		w.pc++
+		return &Pending{Kind: PendBarrier, Cycles: 1}
+
+	case OpFlops:
+		w.pc++
+		c := int(ins.Imm)
+		if c < 1 {
+			c = 1
+		}
+		return &Pending{Kind: PendALU, Cycles: c}
+
+	case OpLdGlobal, OpLdShared, OpLdStash:
+		p := w.memPending(ins, false)
+		w.pc++
+		return p
+
+	case OpStGlobal, OpStShared, OpStStash:
+		p := w.memPending(ins, true)
+		w.pc++
+		return p
+
+	case OpAddMap, OpChgMap, OpDMALoad, OpDMAStore:
+		m := ins.Map
+		if ins.UseRegBase {
+			if l := w.firstActive(); l >= 0 {
+				m.StashBase = int(w.regs[l][ins.Ra])
+				m.GlobalBase = memdata.VAddr(w.regs[l][ins.Rb])
+			}
+		}
+		kind := map[Op]PendKind{
+			OpAddMap: PendAddMap, OpChgMap: PendChgMap,
+			OpDMALoad: PendDMALoad, OpDMAStore: PendDMAStore,
+		}[ins.Op]
+		w.pc++
+		return &Pending{Kind: kind, Slot: ins.Slot, Map: m, Cycles: 1}
+
+	default:
+		w.alu(ins)
+		w.pc++
+		return &Pending{Kind: PendALU, Cycles: 1}
+	}
+}
+
+func (w *Warp) memPending(ins *Instr, store bool) *Pending {
+	p := &Pending{Slot: ins.Slot, DstReg: ins.Rd, Cycles: 1}
+	switch ins.Op {
+	case OpLdGlobal, OpStGlobal:
+		p.Space = Global
+	case OpLdShared, OpStShared:
+		p.Space = Shared
+	case OpLdStash, OpStStash:
+		p.Space = Stash
+	}
+	if store {
+		p.Kind = PendStore
+	} else {
+		p.Kind = PendLoad
+	}
+	for l := range w.active {
+		if !w.active[l] {
+			continue
+		}
+		p.Lanes = append(p.Lanes, l)
+		addr := uint64(w.regs[l][ins.Ra]) + uint64(ins.Imm)
+		p.Addrs = append(p.Addrs, addr)
+		if store {
+			p.Vals = append(p.Vals, w.regs[l][ins.Rb])
+		}
+	}
+	return p
+}
+
+// CompleteLoad writes loaded values (one per active lane of p, in lane
+// order) into the destination register.
+func (w *Warp) CompleteLoad(p *Pending, vals []uint32) {
+	if len(vals) != len(p.Lanes) {
+		panic(fmt.Sprintf("isa: CompleteLoad got %d values for %d lanes", len(vals), len(p.Lanes)))
+	}
+	for i, l := range p.Lanes {
+		w.regs[l][p.DstReg] = vals[i]
+	}
+}
+
+func (w *Warp) alu(ins *Instr) {
+	for l := range w.active {
+		if !w.active[l] {
+			continue
+		}
+		r := w.regs[l]
+		a := r[ins.Ra]
+		var bv uint32
+		if ins.Op != OpMovImm && ins.Op != OpMovSpec {
+			bv = r[ins.Rb]
+		}
+		switch ins.Op {
+		case OpNop:
+		case OpMovImm:
+			r[ins.Rd] = uint32(ins.Imm)
+		case OpMovSpec:
+			r[ins.Rd] = w.special(ins.Spec, l)
+		case OpMov:
+			r[ins.Rd] = a
+		case OpAdd:
+			r[ins.Rd] = a + bv
+		case OpSub:
+			r[ins.Rd] = a - bv
+		case OpMul:
+			r[ins.Rd] = a * bv
+		case OpDiv:
+			r[ins.Rd] = a / nonzero(bv)
+		case OpMod:
+			r[ins.Rd] = a % nonzero(bv)
+		case OpAnd:
+			r[ins.Rd] = a & bv
+		case OpOr:
+			r[ins.Rd] = a | bv
+		case OpXor:
+			r[ins.Rd] = a ^ bv
+		case OpShl:
+			r[ins.Rd] = a << (bv & 31)
+		case OpShr:
+			r[ins.Rd] = a >> (bv & 31)
+		case OpAddImm:
+			r[ins.Rd] = a + uint32(ins.Imm)
+		case OpMulImm:
+			r[ins.Rd] = a * uint32(ins.Imm)
+		case OpDivImm:
+			r[ins.Rd] = a / nonzero(uint32(ins.Imm))
+		case OpModImm:
+			r[ins.Rd] = a % nonzero(uint32(ins.Imm))
+		case OpAndImm:
+			r[ins.Rd] = a & uint32(ins.Imm)
+		case OpShlImm:
+			r[ins.Rd] = a << (uint32(ins.Imm) & 31)
+		case OpShrImm:
+			r[ins.Rd] = a >> (uint32(ins.Imm) & 31)
+		case OpSetLt:
+			r[ins.Rd] = boolToU32(int32(a) < int32(bv))
+		case OpSetGe:
+			r[ins.Rd] = boolToU32(int32(a) >= int32(bv))
+		case OpSetEq:
+			r[ins.Rd] = boolToU32(a == bv)
+		case OpSetNe:
+			r[ins.Rd] = boolToU32(a != bv)
+		case OpSetLtImm:
+			r[ins.Rd] = boolToU32(int32(a) < int32(ins.Imm))
+		case OpSetEqImm:
+			r[ins.Rd] = boolToU32(a == uint32(ins.Imm))
+		case OpSelect:
+			if a != 0 {
+				r[ins.Rd] = r[ins.Rb]
+			} else {
+				r[ins.Rd] = r[ins.Rc]
+			}
+		case OpMadImm:
+			r[ins.Rd] = a*uint32(ins.Imm) + bv
+		default:
+			panic(fmt.Sprintf("isa: unhandled opcode %d", ins.Op))
+		}
+	}
+}
+
+func nonzero(v uint32) uint32 {
+	if v == 0 {
+		panic("isa: division by zero")
+	}
+	return v
+}
+
+func boolToU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Reg returns a lane's register value, for tests.
+func (w *Warp) Reg(lane, reg int) uint32 { return w.regs[lane][reg] }

@@ -1,0 +1,361 @@
+// Package llc implements the shared last-level cache: 16 NUCA banks
+// (one per mesh node) that together act as the DeNovo registry.
+//
+// Each word of a cached line is either backed by data at the LLC or
+// registered to exactly one owner (an L1 or a stash). Registrations for
+// stash words also record the owner's stash-map index so a remote
+// request can locate the word inside the owner's stash (paper
+// Section 4.3, extension 3). In hardware the owner record lives in the
+// LLC data word itself, so it adds no storage; here it is a parallel
+// array for clarity.
+package llc
+
+import (
+	"fmt"
+
+	"stash/internal/coh"
+	"stash/internal/energy"
+	"stash/internal/memdata"
+	"stash/internal/noc"
+	"stash/internal/sim"
+	"stash/internal/stats"
+)
+
+// Params configures an LLC bank.
+type Params struct {
+	BankBytes int       // capacity of this bank
+	Ways      int       // set associativity
+	AccessLat sim.Cycle // tag+data access latency
+	OccupyLat sim.Cycle // bank busy time per access (throughput)
+	DRAMLat   sim.Cycle // additional latency for a fill from memory
+	NumBanks  int       // banks in the system (for address interleaving)
+}
+
+// DefaultParams returns the paper's Table 2 L2 configuration: 4 MB
+// across 16 banks, 16-way, with latencies that land L2 hits in the
+// 29-61 cycle range and memory accesses in the 197-261 range once NoC
+// traversal is added.
+func DefaultParams() Params {
+	return Params{
+		BankBytes: 256 << 10,
+		Ways:      16,
+		AccessLat: 24,
+		OccupyLat: 2,
+		DRAMLat:   170,
+		NumBanks:  16,
+	}
+}
+
+// BankOf returns the bank index that caches the given line under
+// line-interleaved NUCA mapping.
+func BankOf(line memdata.PAddr, numBanks int) int {
+	return int(line/memdata.LineBytes) % numBanks
+}
+
+type line struct {
+	addr  memdata.PAddr
+	vals  [memdata.WordsPerLine]uint32
+	owner [memdata.WordsPerLine]*coh.Owner
+	dirty memdata.WordMask // words newer than DRAM
+	live  bool
+}
+
+func (l *line) pinned() bool {
+	for _, o := range l.owner {
+		if o != nil {
+			return true
+		}
+	}
+	return false
+}
+
+type cacheSet struct {
+	lines []*line // LRU order: front = most recent
+}
+
+// Bank is one LLC bank, attached to a node's router as coh.ToLLC.
+type Bank struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	node int
+	p    Params
+	mem  *memdata.Memory
+	acct *energy.Account
+
+	sets     []cacheSet
+	nextFree sim.Cycle
+
+	hits      *stats.Counter
+	misses    *stats.Counter
+	forwards  *stats.Counter
+	regs      *stats.Counter
+	wbs       *stats.Counter
+	evictions *stats.Counter
+}
+
+// NewBank builds the bank resident at node, using mem as backing DRAM.
+func NewBank(eng *sim.Engine, net *noc.Network, node int, p Params, mem *memdata.Memory, acct *energy.Account, set *stats.Set) *Bank {
+	numLines := p.BankBytes / memdata.LineBytes
+	numSets := numLines / p.Ways
+	if numSets == 0 {
+		panic("llc: bank too small for associativity")
+	}
+	b := &Bank{
+		eng:       eng,
+		net:       net,
+		node:      node,
+		p:         p,
+		mem:       mem,
+		acct:      acct,
+		sets:      make([]cacheSet, numSets),
+		hits:      set.Counter(fmt.Sprintf("llc.%d.hits", node)),
+		misses:    set.Counter(fmt.Sprintf("llc.%d.misses", node)),
+		forwards:  set.Counter(fmt.Sprintf("llc.%d.forwards", node)),
+		regs:      set.Counter(fmt.Sprintf("llc.%d.registrations", node)),
+		wbs:       set.Counter(fmt.Sprintf("llc.%d.writebacks", node)),
+		evictions: set.Counter(fmt.Sprintf("llc.%d.evictions", node)),
+	}
+	return b
+}
+
+func (b *Bank) setIndex(addr memdata.PAddr) int {
+	return int(addr/(memdata.LineBytes*memdata.PAddr(b.p.NumBanks))) % len(b.sets)
+}
+
+// lookup returns the resident line for addr, refreshing LRU, or nil.
+func (b *Bank) lookup(addr memdata.PAddr) *line {
+	s := &b.sets[b.setIndex(addr)]
+	for i, l := range s.lines {
+		if l.addr == addr && l.live {
+			copy(s.lines[1:i+1], s.lines[:i])
+			s.lines[0] = l
+			return l
+		}
+	}
+	return nil
+}
+
+// fetch ensures addr's line is resident, filling from DRAM if needed.
+// It reports whether a DRAM fill occurred.
+func (b *Bank) fetch(addr memdata.PAddr) (*line, bool) {
+	if l := b.lookup(addr); l != nil {
+		return l, false
+	}
+	s := &b.sets[b.setIndex(addr)]
+	l := &line{addr: addr, vals: b.mem.LoadLine(addr), live: true}
+	b.acct.Add(energy.DRAMAccess, 1)
+	if len(s.lines) < b.p.Ways {
+		s.lines = append([]*line{l}, s.lines...)
+		return l, true
+	}
+	// Evict the least recently used non-pinned line. Registered words pin
+	// a line: the registry entry must survive until written back.
+	victim := -1
+	for i := len(s.lines) - 1; i >= 0; i-- {
+		if !s.lines[i].pinned() {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		panic(fmt.Sprintf("llc: all ways pinned in set %d (bank %d); increase capacity", b.setIndex(addr), b.node))
+	}
+	v := s.lines[victim]
+	if v.dirty != 0 {
+		b.mem.StoreMasked(v.addr, v.dirty, v.vals)
+		b.acct.Add(energy.DRAMAccess, 1)
+	}
+	b.evictions.Inc()
+	copy(s.lines[1:victim+1], s.lines[:victim])
+	s.lines[0] = l
+	return l, true
+}
+
+// HandlePacket implements coh.Handler. Requests are serialized through
+// the bank with OccupyLat throughput and answered after AccessLat
+// (plus DRAMLat on a fill).
+func (b *Bank) HandlePacket(p *coh.Packet) {
+	start := b.eng.Now()
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	b.nextFree = start + b.p.OccupyLat
+	b.acct.Add(energy.L2Access, 1)
+	b.eng.At(start+b.p.AccessLat, func() { b.process(p) })
+}
+
+func (b *Bank) process(p *coh.Packet) {
+	switch p.Type {
+	case coh.ReadReq:
+		b.read(p)
+	case coh.RegReq:
+		b.register(p)
+	case coh.WBReq:
+		b.writeback(p)
+	case coh.WriteReq:
+		b.write(p)
+	default:
+		panic("llc: unexpected packet " + p.Type.String())
+	}
+}
+
+// respond finishes a transaction, adding DRAM latency if the line was
+// just filled.
+func (b *Bank) respond(filled bool, send func()) {
+	if filled {
+		b.eng.Schedule(b.p.DRAMLat, send)
+	} else {
+		b.eng.Schedule(0, send)
+	}
+}
+
+func (b *Bank) read(p *coh.Packet) {
+	l, filled := b.fetch(p.Line)
+	if filled {
+		b.misses.Inc()
+	} else {
+		b.hits.Inc()
+	}
+	direct := memdata.WordMask(0)
+	fwd := make(map[coh.Owner]memdata.WordMask)
+	for i := 0; i < memdata.WordsPerLine; i++ {
+		if !p.Mask.Has(i) {
+			continue
+		}
+		if o := l.owner[i]; o != nil {
+			fwd[*o] |= memdata.Bit(i)
+		} else {
+			direct |= memdata.Bit(i)
+		}
+	}
+	b.respond(filled, func() {
+		if direct != 0 {
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.DataResp, Line: p.Line, Mask: direct, Vals: l.vals,
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: p.SrcNode, DstComp: p.SrcComp,
+			})
+		}
+		for o, m := range fwd {
+			b.forwards.Inc()
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.FwdReadReq, Line: p.Line, Mask: m,
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: o.Node, DstComp: o.Comp,
+				ReqNode: p.SrcNode, ReqComp: p.SrcComp,
+				MapIdx: o.MapIdx,
+			})
+		}
+	})
+}
+
+func (b *Bank) register(p *coh.Packet) {
+	l, filled := b.fetch(p.Line)
+	b.regs.Inc()
+	newOwner := coh.Owner{Node: p.SrcNode, Comp: p.SrcComp, MapIdx: p.MapIdx}
+	inv := make(map[coh.Owner]memdata.WordMask)
+	for i := 0; i < memdata.WordsPerLine; i++ {
+		if !p.Mask.Has(i) {
+			continue
+		}
+		if o := l.owner[i]; o != nil && *o != newOwner {
+			inv[*o] |= memdata.Bit(i)
+		}
+		o := newOwner
+		l.owner[i] = &o
+	}
+	b.respond(filled, func() {
+		for o, m := range inv {
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.OwnerInv, Line: p.Line, Mask: m,
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: o.Node, DstComp: o.Comp,
+				MapIdx: o.MapIdx,
+			})
+		}
+		coh.Send(b.net, &coh.Packet{
+			Type: coh.RegAck, Line: p.Line, Mask: p.Mask,
+			SrcNode: b.node, SrcComp: coh.ToLLC,
+			DstNode: p.SrcNode, DstComp: p.SrcComp,
+			MapIdx: p.MapIdx,
+		})
+	})
+}
+
+func (b *Bank) writeback(p *coh.Packet) {
+	l, filled := b.fetch(p.Line)
+	b.wbs.Inc()
+	sender := coh.Owner{Node: p.SrcNode, Comp: p.SrcComp, MapIdx: p.MapIdx}
+	for i := 0; i < memdata.WordsPerLine; i++ {
+		if !p.Mask.Has(i) {
+			continue
+		}
+		o := l.owner[i]
+		if o == nil || o.Node != sender.Node || o.Comp != sender.Comp {
+			// The word was re-registered (or never owned by the sender):
+			// the incoming value is stale; the current owner is
+			// authoritative. Drop it.
+			continue
+		}
+		l.vals[i] = p.Vals[i]
+		l.owner[i] = nil
+		l.dirty |= memdata.Bit(i)
+	}
+	b.respond(filled, func() {
+		coh.Send(b.net, &coh.Packet{
+			Type: coh.WBAck, Line: p.Line, Mask: p.Mask,
+			SrcNode: b.node, SrcComp: coh.ToLLC,
+			DstNode: p.SrcNode, DstComp: p.SrcComp,
+		})
+	})
+}
+
+// write handles uncached writes (DMA scratchpad writeout): the data is
+// deposited at the LLC, displacing any stale registration.
+func (b *Bank) write(p *coh.Packet) {
+	l, filled := b.fetch(p.Line)
+	b.wbs.Inc()
+	inv := make(map[coh.Owner]memdata.WordMask)
+	for i := 0; i < memdata.WordsPerLine; i++ {
+		if !p.Mask.Has(i) {
+			continue
+		}
+		if o := l.owner[i]; o != nil {
+			inv[*o] |= memdata.Bit(i)
+			l.owner[i] = nil
+		}
+		l.vals[i] = p.Vals[i]
+		l.dirty |= memdata.Bit(i)
+	}
+	b.respond(filled, func() {
+		for o, m := range inv {
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.OwnerInv, Line: p.Line, Mask: m,
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: o.Node, DstComp: o.Comp,
+				MapIdx: o.MapIdx,
+			})
+		}
+		coh.Send(b.net, &coh.Packet{
+			Type: coh.WBAck, Line: p.Line, Mask: p.Mask,
+			SrcNode: b.node, SrcComp: coh.ToLLC,
+			DstNode: p.SrcNode, DstComp: p.SrcComp,
+		})
+	})
+}
+
+// Peek returns the word's value and owner as seen by the registry,
+// for tests and end-of-run verification. The second result is nil when
+// the LLC itself holds the data; ok is false when the line is not
+// resident (the value then lives in DRAM).
+func (b *Bank) Peek(addr memdata.PAddr) (val uint32, owner *coh.Owner, ok bool) {
+	lineAddr := memdata.LineOf(addr)
+	s := &b.sets[b.setIndex(lineAddr)]
+	for _, l := range s.lines {
+		if l.live && l.addr == lineAddr {
+			w := memdata.WordIndex(addr)
+			return l.vals[w], l.owner[w], true
+		}
+	}
+	return 0, nil, false
+}

@@ -1,0 +1,111 @@
+// Package memdata defines the simulator's address types, cache-line
+// geometry helpers, and the word-addressed backing memory (DRAM).
+//
+// The simulator is value-accurate: every load observes the value the
+// coherence protocol says it should, so functional correctness of the
+// stash, caches, and protocol is testable, not assumed.
+package memdata
+
+import "fmt"
+
+// VAddr is a virtual byte address.
+type VAddr uint64
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// Cache-line geometry shared by every level of the hierarchy.
+const (
+	WordBytes    = 4  // the coherence and stash tracking granularity
+	LineBytes    = 64 // cache line and stash chunk size
+	WordsPerLine = LineBytes / WordBytes
+)
+
+// LineOf returns the line-aligned base of physical address a.
+func LineOf(a PAddr) PAddr { return a &^ (LineBytes - 1) }
+
+// WordOf returns the word-aligned base of physical address a.
+func WordOf(a PAddr) PAddr { return a &^ (WordBytes - 1) }
+
+// WordIndex returns the index (0..15) of address a's word within its line.
+func WordIndex(a PAddr) int { return int(a%LineBytes) / WordBytes }
+
+// VLineOf returns the line-aligned base of virtual address a.
+func VLineOf(a VAddr) VAddr { return a &^ (LineBytes - 1) }
+
+// VWordIndex returns the index of virtual address a's word within its line.
+func VWordIndex(a VAddr) int { return int(a%LineBytes) / WordBytes }
+
+// WordMask is a bitmask over the 16 words of a line.
+type WordMask uint16
+
+// MaskAll covers every word of a line.
+const MaskAll WordMask = 1<<WordsPerLine - 1
+
+// Bit returns the mask with only word i set.
+func Bit(i int) WordMask { return 1 << uint(i) }
+
+// Has reports whether word i is in the mask.
+func (m WordMask) Has(i int) bool { return m&Bit(i) != 0 }
+
+// Count returns the number of words in the mask.
+func (m WordMask) Count() int {
+	n := 0
+	for i := 0; i < WordsPerLine; i++ {
+		if m.Has(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Memory is the simulated DRAM: a sparse, word-granularity physical
+// memory holding 32-bit values. Unwritten words read as zero.
+type Memory struct {
+	words map[PAddr]uint32
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{words: make(map[PAddr]uint32)} }
+
+// LoadWord returns the 32-bit word at physical address a (word aligned).
+func (m *Memory) LoadWord(a PAddr) uint32 {
+	checkAligned(a)
+	return m.words[a]
+}
+
+// StoreWord writes the 32-bit word at physical address a (word aligned).
+func (m *Memory) StoreWord(a PAddr, v uint32) {
+	checkAligned(a)
+	m.words[a] = v
+}
+
+// LoadLine reads the full line containing a.
+func (m *Memory) LoadLine(a PAddr) [WordsPerLine]uint32 {
+	base := LineOf(a)
+	var out [WordsPerLine]uint32
+	for i := 0; i < WordsPerLine; i++ {
+		out[i] = m.words[base+PAddr(i*WordBytes)]
+	}
+	return out
+}
+
+// StoreMasked writes the words selected by mask from vals into the line
+// containing a. vals is indexed by word position within the line.
+func (m *Memory) StoreMasked(a PAddr, mask WordMask, vals [WordsPerLine]uint32) {
+	base := LineOf(a)
+	for i := 0; i < WordsPerLine; i++ {
+		if mask.Has(i) {
+			m.words[base+PAddr(i*WordBytes)] = vals[i]
+		}
+	}
+}
+
+// Footprint reports the number of distinct words ever written.
+func (m *Memory) Footprint() int { return len(m.words) }
+
+func checkAligned(a PAddr) {
+	if a%WordBytes != 0 {
+		panic(fmt.Sprintf("memdata: unaligned word address %#x", uint64(a)))
+	}
+}

@@ -1,0 +1,131 @@
+package memdata
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineGeometry(t *testing.T) {
+	if WordsPerLine != 16 {
+		t.Fatalf("WordsPerLine = %d, want 16", WordsPerLine)
+	}
+	cases := []struct {
+		a        PAddr
+		line     PAddr
+		wordIdx  int
+		wordBase PAddr
+	}{
+		{0, 0, 0, 0},
+		{4, 0, 1, 4},
+		{63, 0, 15, 60},
+		{64, 64, 0, 64},
+		{0x1fc, 0x1c0, 15, 0x1fc},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.a); got != c.line {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", c.a, got, c.line)
+		}
+		if got := WordIndex(c.a); got != c.wordIdx {
+			t.Errorf("WordIndex(%#x) = %d, want %d", c.a, got, c.wordIdx)
+		}
+		if got := WordOf(c.a); got != c.wordBase {
+			t.Errorf("WordOf(%#x) = %#x, want %#x", c.a, got, c.wordBase)
+		}
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	m := Bit(0) | Bit(15)
+	if !m.Has(0) || !m.Has(15) || m.Has(7) {
+		t.Fatalf("mask membership wrong: %016b", m)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", m.Count())
+	}
+	if MaskAll.Count() != WordsPerLine {
+		t.Fatalf("MaskAll.Count = %d, want %d", MaskAll.Count(), WordsPerLine)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	m := NewMemory()
+	if v := m.LoadWord(0x100); v != 0 {
+		t.Fatalf("unwritten word = %d, want 0", v)
+	}
+	m.StoreWord(0x100, 42)
+	if v := m.LoadWord(0x100); v != 42 {
+		t.Fatalf("LoadWord = %d, want 42", v)
+	}
+	if m.Footprint() != 1 {
+		t.Fatalf("Footprint = %d, want 1", m.Footprint())
+	}
+}
+
+func TestMemoryUnalignedPanics(t *testing.T) {
+	m := NewMemory()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned access did not panic")
+		}
+	}()
+	m.LoadWord(0x101)
+}
+
+func TestLoadLineAndStoreMasked(t *testing.T) {
+	m := NewMemory()
+	var vals [WordsPerLine]uint32
+	for i := range vals {
+		vals[i] = uint32(100 + i)
+	}
+	m.StoreMasked(0x40, Bit(3)|Bit(7), vals)
+	line := m.LoadLine(0x40)
+	for i := range line {
+		want := uint32(0)
+		if i == 3 || i == 7 {
+			want = uint32(100 + i)
+		}
+		if line[i] != want {
+			t.Fatalf("line[%d] = %d, want %d", i, line[i], want)
+		}
+	}
+}
+
+// Property: StoreMasked writes exactly the masked words and nothing else.
+func TestStoreMaskedProperty(t *testing.T) {
+	f := func(mask WordMask, seedVals [WordsPerLine]uint32) bool {
+		mask &= MaskAll
+		m := NewMemory()
+		// Pre-fill with sentinel values.
+		var sentinel [WordsPerLine]uint32
+		for i := range sentinel {
+			sentinel[i] = 0xdead0000 + uint32(i)
+		}
+		m.StoreMasked(0x80, MaskAll, sentinel)
+		m.StoreMasked(0x80, mask, seedVals)
+		line := m.LoadLine(0x80)
+		for i := 0; i < WordsPerLine; i++ {
+			want := sentinel[i]
+			if mask.Has(i) {
+				want = seedVals[i]
+			}
+			if line[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WordIndex and LineOf decompose any aligned address exactly.
+func TestAddressDecompositionProperty(t *testing.T) {
+	f := func(a PAddr) bool {
+		a = WordOf(a)
+		return LineOf(a)+PAddr(WordIndex(a)*WordBytes) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

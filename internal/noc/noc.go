@@ -1,0 +1,187 @@
+// Package noc models the on-chip interconnect: a Garnet-like 2D mesh
+// (4x4 in the paper's configuration, Figure 4) with XY dimension-order
+// routing, wormhole-style latency, per-link contention, and
+// flit-crossing accounting by message class (the metric of Figure 5d).
+package noc
+
+import (
+	"fmt"
+
+	"stash/internal/energy"
+	"stash/internal/sim"
+	"stash/internal/stats"
+)
+
+// Class categorizes traffic the way the paper's Figure 5d does.
+type Class int
+
+// Message classes.
+const (
+	Read      Class = iota // load requests and their data responses
+	Write                  // stores, registrations, invalidations, acks
+	Writeback              // dirty data written back toward the LLC
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"read", "write", "writeback"}
+
+// String returns the class name used in stats and figure output.
+func (c Class) String() string { return classNames[c] }
+
+// Message is one network transaction. Payload is opaque to the network.
+type Message struct {
+	Src, Dst int
+	Class    Class
+	Bytes    int // payload bytes, excluding the header flit
+	Payload  any
+}
+
+// Network geometry and timing parameters.
+const (
+	FlitBytes     = 16 // data carried per flit; the header rides the first flit
+	RouterLatency = 3  // cycles per hop (router pipeline + link traversal)
+	LocalLatency  = 1  // cycles for a node to reach its own L2 bank
+)
+
+// Flits returns the number of flits needed for a message with the given
+// payload size: one head flit (header + first 8 payload bytes' worth of
+// headroom) plus payload flits.
+func Flits(payloadBytes int) int {
+	if payloadBytes < 0 {
+		panic("noc: negative payload")
+	}
+	return 1 + (payloadBytes+FlitBytes-1)/FlitBytes
+}
+
+type link struct {
+	nextFree sim.Cycle
+}
+
+// Network is a W x H mesh. Node IDs are y*W + x.
+type Network struct {
+	eng      *sim.Engine
+	w, h     int
+	handlers []func(*Message)
+	// links[from][dir]: 0=+x, 1=-x, 2=+y, 3=-y
+	links map[[2]int]*link
+	acct  *energy.Account
+
+	flitHops [NumClasses]*stats.Counter
+	messages *stats.Counter
+}
+
+// New returns a w x h mesh attached to the engine, charging flit-hop
+// energy to acct and counting flit-crossings in set.
+func New(eng *sim.Engine, w, h int, acct *energy.Account, set *stats.Set) *Network {
+	n := &Network{
+		eng:      eng,
+		w:        w,
+		h:        h,
+		handlers: make([]func(*Message), w*h),
+		links:    make(map[[2]int]*link),
+		acct:     acct,
+		messages: set.Counter("noc.messages"),
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		n.flitHops[c] = set.Counter("noc.flit_hops." + c.String())
+	}
+	return n
+}
+
+// Nodes returns the number of nodes in the mesh.
+func (n *Network) Nodes() int { return n.w * n.h }
+
+// Register installs the delivery handler for a node. Each node must be
+// registered exactly once before any message addressed to it arrives.
+func (n *Network) Register(node int, h func(*Message)) {
+	if n.handlers[node] != nil {
+		panic(fmt.Sprintf("noc: node %d registered twice", node))
+	}
+	n.handlers[node] = h
+}
+
+func (n *Network) coords(node int) (x, y int) { return node % n.w, node / n.w }
+
+// Hops returns the XY-routing hop count between two nodes.
+func (n *Network) Hops(src, dst int) int {
+	sx, sy := n.coords(src)
+	dx, dy := n.coords(dst)
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+// path returns the ordered list of directed links (from-node, to-node)
+// the message traverses under XY routing.
+func (n *Network) path(src, dst int) [][2]int {
+	sx, sy := n.coords(src)
+	dx, dy := n.coords(dst)
+	var out [][2]int
+	x, y := sx, sy
+	for x != dx {
+		nx := x + sign(dx-x)
+		out = append(out, [2]int{y*n.w + x, y*n.w + nx})
+		x = nx
+	}
+	for y != dy {
+		ny := y + sign(dy-y)
+		out = append(out, [2]int{y*n.w + x, ny*n.w + x})
+		y = ny
+	}
+	return out
+}
+
+// Send injects the message and schedules its delivery at the destination
+// node. Messages between a node and itself (a core and its colocated L2
+// bank) take LocalLatency and cross no links.
+func (n *Network) Send(m *Message) {
+	n.messages.Inc()
+	if m.Src == m.Dst {
+		n.eng.Schedule(LocalLatency, func() { n.deliver(m) })
+		return
+	}
+	flits := Flits(m.Bytes)
+	path := n.path(m.Src, m.Dst)
+	t := n.eng.Now()
+	for _, key := range path {
+		lk := n.links[key]
+		if lk == nil {
+			lk = &link{}
+			n.links[key] = lk
+		}
+		start := t
+		if lk.nextFree > start {
+			start = lk.nextFree
+		}
+		t = start + RouterLatency
+		lk.nextFree = t + sim.Cycle(flits-1)
+	}
+	hops := len(path)
+	n.flitHops[m.Class].Add(uint64(flits * hops))
+	n.acct.Add(energy.NoCFlitHop, uint64(flits*hops))
+	arrival := t + sim.Cycle(flits-1)
+	n.eng.At(arrival, func() { n.deliver(m) })
+}
+
+func (n *Network) deliver(m *Message) {
+	h := n.handlers[m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: message to unregistered node %d", m.Dst))
+	}
+	h(m)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,219 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stash/internal/energy"
+	"stash/internal/sim"
+	"stash/internal/stats"
+)
+
+func newTestNet() (*sim.Engine, *Network, *energy.Account, *stats.Set) {
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	n := New(eng, 4, 4, acct, set)
+	for i := 0; i < 16; i++ {
+		n.Register(i, func(*Message) {})
+	}
+	return eng, n, acct, set
+}
+
+func TestFlits(t *testing.T) {
+	cases := []struct{ bytes, want int }{
+		{0, 1}, {1, 2}, {16, 2}, {17, 3}, {64, 5},
+	}
+	for _, c := range cases {
+		if got := Flits(c.bytes); got != c.want {
+			t.Errorf("Flits(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestHopsXY(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 4, 4, energy.NewAccount(energy.DefaultCosts()), stats.NewSet())
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 15, 6}, // corner to corner on 4x4
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	n := New(eng, 4, 4, acct, set)
+	var at sim.Cycle
+	delivered := false
+	n.Register(3, func(m *Message) { delivered = true; at = eng.Now() })
+	for i := 0; i < 16; i++ {
+		if i != 3 {
+			n.Register(i, func(*Message) {})
+		}
+	}
+	n.Send(&Message{Src: 3, Dst: 3, Class: Read, Bytes: 64})
+	eng.Run()
+	if !delivered || at != LocalLatency {
+		t.Fatalf("local delivery at %d (delivered=%v), want cycle %d", at, delivered, LocalLatency)
+	}
+	if set.Sum("noc.flit_hops.") != 0 {
+		t.Fatal("local delivery crossed links")
+	}
+	if acct.Count(energy.NoCFlitHop) != 0 {
+		t.Fatal("local delivery charged NoC energy")
+	}
+}
+
+func TestRemoteLatencyUncontended(t *testing.T) {
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	n := New(eng, 4, 4, acct, set)
+	var at sim.Cycle
+	n.Register(15, func(m *Message) { at = eng.Now() })
+	for i := 0; i < 15; i++ {
+		n.Register(i, func(*Message) {})
+	}
+	// 0 -> 15: 6 hops. Control message, 0 payload -> 1 flit.
+	n.Send(&Message{Src: 0, Dst: 15, Class: Write, Bytes: 0})
+	eng.Run()
+	want := sim.Cycle(6 * RouterLatency)
+	if at != want {
+		t.Fatalf("delivery at %d, want %d", at, want)
+	}
+}
+
+func TestSerializationLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	n := New(eng, 4, 4, acct, set)
+	var at sim.Cycle
+	n.Register(1, func(m *Message) { at = eng.Now() })
+	for i := 0; i < 16; i++ {
+		if i != 1 {
+			n.Register(i, func(*Message) {})
+		}
+	}
+	n.Send(&Message{Src: 0, Dst: 1, Class: Read, Bytes: 64}) // 5 flits
+	eng.Run()
+	want := sim.Cycle(1*RouterLatency + 5 - 1)
+	if at != want {
+		t.Fatalf("delivery at %d, want %d", at, want)
+	}
+}
+
+func TestFlitHopAccounting(t *testing.T) {
+	eng, n, acct, set := newTestNet()
+	n.Send(&Message{Src: 0, Dst: 15, Class: Writeback, Bytes: 64}) // 5 flits x 6 hops
+	eng.Run()
+	if got := set.Sum("noc.flit_hops.writeback"); got != 30 {
+		t.Fatalf("writeback flit-hops = %d, want 30", got)
+	}
+	if got := acct.Count(energy.NoCFlitHop); got != 30 {
+		t.Fatalf("NoC energy events = %d, want 30", got)
+	}
+}
+
+func TestClassSeparation(t *testing.T) {
+	eng, n, _, set := newTestNet()
+	n.Send(&Message{Src: 0, Dst: 1, Class: Read, Bytes: 0})
+	n.Send(&Message{Src: 0, Dst: 1, Class: Write, Bytes: 0})
+	eng.Run()
+	if set.Sum("noc.flit_hops.read") != 1 || set.Sum("noc.flit_hops.write") != 1 {
+		t.Fatalf("class accounting wrong: %v", set.Snapshot())
+	}
+	if set.Sum("noc.messages") != 2 {
+		t.Fatalf("messages = %d, want 2", set.Sum("noc.messages"))
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	n := New(eng, 4, 4, acct, set)
+	var arrivals []sim.Cycle
+	n.Register(1, func(m *Message) { arrivals = append(arrivals, eng.Now()) })
+	for i := 0; i < 16; i++ {
+		if i != 1 {
+			n.Register(i, func(*Message) {})
+		}
+	}
+	// Two 5-flit messages over the same single link, same cycle.
+	n.Send(&Message{Src: 0, Dst: 1, Class: Read, Bytes: 64})
+	n.Send(&Message{Src: 0, Dst: 1, Class: Read, Bytes: 64})
+	eng.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[1] <= arrivals[0] {
+		t.Fatalf("contended messages arrived together: %v", arrivals)
+	}
+	// Second head flit cannot enter the link until the first's tail left.
+	if arrivals[1]-arrivals[0] < 4 {
+		t.Fatalf("contention gap %d too small for 5-flit message", arrivals[1]-arrivals[0])
+	}
+}
+
+func TestUnregisteredDestinationPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 2, 2, energy.NewAccount(energy.DefaultCosts()), stats.NewSet())
+	n.Register(0, func(*Message) {})
+	n.Send(&Message{Src: 0, Dst: 1, Class: Read, Bytes: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery to unregistered node did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+func TestDoubleRegisterPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 2, 2, energy.NewAccount(energy.DefaultCosts()), stats.NewSet())
+	n.Register(0, func(*Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Register did not panic")
+		}
+	}()
+	n.Register(0, func(*Message) {})
+}
+
+// Property: flit-hop accounting equals Flits(bytes) * Hops(src,dst) for
+// any single message, and total energy events match total flit-hops.
+func TestFlitHopProperty(t *testing.T) {
+	f := func(src, dst uint8, bytes uint16, cls uint8) bool {
+		s, d := int(src%16), int(dst%16)
+		b := int(bytes % 256)
+		c := Class(cls % uint8(NumClasses))
+		eng := sim.NewEngine()
+		acct := energy.NewAccount(energy.DefaultCosts())
+		set := stats.NewSet()
+		n := New(eng, 4, 4, acct, set)
+		for i := 0; i < 16; i++ {
+			n.Register(i, func(*Message) {})
+		}
+		n.Send(&Message{Src: s, Dst: d, Class: c, Bytes: b})
+		eng.Run()
+		want := uint64(0)
+		if s != d {
+			want = uint64(Flits(b) * n.Hops(s, d))
+		}
+		return set.Sum("noc.flit_hops.") == want && acct.Count(energy.NoCFlitHop) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package scratch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stash/internal/energy"
+	"stash/internal/stats"
+)
+
+func newPad() (*Scratchpad, *energy.Account, *stats.Set) {
+	acct := energy.NewAccount(energy.DefaultCosts())
+	set := stats.NewSet()
+	return New("t", DefaultParams(), acct, set), acct, set
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	sp, _, _ := newPad()
+	offsets := []int{0, 1, 2, 3}
+	vals := []uint32{10, 11, 12, 13}
+	sp.Store(offsets, vals)
+	got, lat := sp.Load(offsets)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("load[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+	if lat != 1 {
+		t.Fatalf("conflict-free latency = %d, want 1", lat)
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	sp, _, set := newPad()
+	// Offsets 0, 32, 64 all map to bank 0 with 32 banks: 3 rounds.
+	_, lat := sp.Load([]int{0, 32, 64})
+	if lat != 3 {
+		t.Fatalf("3-way conflict latency = %d, want 3", lat)
+	}
+	if set.Sum("scratch.t.conflict_rounds") != 2 {
+		t.Fatalf("conflict rounds = %d, want 2 extra", set.Sum("scratch.t.conflict_rounds"))
+	}
+}
+
+func TestBroadcastIsFree(t *testing.T) {
+	sp, _, _ := newPad()
+	// All lanes reading the same word: broadcast, one round.
+	_, lat := sp.Load([]int{5, 5, 5, 5})
+	if lat != 1 {
+		t.Fatalf("broadcast latency = %d, want 1", lat)
+	}
+}
+
+func TestEnergyPerActivationRound(t *testing.T) {
+	sp, acct, _ := newPad()
+	sp.Load([]int{0, 1, 2, 3}) // 1 round
+	sp.Load([]int{0, 32})      // 2 rounds
+	if got := acct.Count(energy.ScratchAccess); got != 3 {
+		t.Fatalf("scratch activations = %d, want 3", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	sp, _, _ := newPad()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range offset did not panic")
+		}
+	}()
+	sp.Load([]int{sp.Words()})
+}
+
+func TestMismatchedStorePanics(t *testing.T) {
+	sp, _, _ := newPad()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched store did not panic")
+		}
+	}()
+	sp.Store([]int{0, 1}, []uint32{7})
+}
+
+// Property: distinct offsets within one bank-width stride are always
+// conflict-free; values written are read back exactly.
+func TestScratchpadProperty(t *testing.T) {
+	f := func(base uint16, vals []uint32) bool {
+		sp, _, _ := newPad()
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		start := int(base) % (sp.Words() - 32)
+		offsets := make([]int, len(vals))
+		for i := range vals {
+			offsets[i] = start + i
+		}
+		lat := sp.Store(offsets, vals)
+		if lat != 1 {
+			return false
+		}
+		got, _ := sp.Load(offsets)
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

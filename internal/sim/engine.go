@@ -1,0 +1,109 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All timing in the simulator is expressed in GPU core cycles (700 MHz in
+// the paper's configuration). Components schedule closures at absolute or
+// relative cycle times; events scheduled for the same cycle run in the
+// order they were scheduled, which makes every simulation fully
+// deterministic and therefore exactly reproducible in tests.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in (or duration of) simulated time, measured in cycles.
+type Cycle uint64
+
+type event struct {
+	at  Cycle
+	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// NewEngine returns an engine with the clock at cycle 0 and no events.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Steps reports the total number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule runs fn after delay cycles (delay 0 runs it later in the
+// current cycle, after all previously scheduled same-cycle events).
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute cycle t. Scheduling in the past panics: it is
+// always a component bug, never a recoverable condition.
+func (e *Engine) At(t Cycle, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single earliest pending event.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := e.events.popEvent()
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t if it has not already passed it.
+func (e *Engine) RunUntil(t Cycle) {
+	for len(e.events) > 0 && e.events.peek().at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d cycles past the current time.
+func (e *Engine) RunFor(d Cycle) { e.RunUntil(e.now + d) }

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var fired Cycle
+	e.Schedule(10, func() { fired = e.Now() })
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("event fired at %d, want 10", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Cycle
+	e.Schedule(5, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(3, func() { trace = append(trace, e.Now()) })
+		e.Schedule(0, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []Cycle{5, 5, 8}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(3, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycle
+	for _, d := range []Cycle{2, 4, 6, 8} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 2 and 4 only", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %d, want 5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4", fired)
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(3, func() {})
+	e.Run()
+	e.RunFor(10)
+	if e.Now() != 13 {
+		t.Fatalf("Now() = %d, want 13", e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step() on empty engine returned true")
+	}
+	e.Schedule(1, func() {})
+	if !e.Step() {
+		t.Fatal("Step() with pending event returned false")
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1", e.Steps())
+	}
+}
+
+// Property: regardless of insertion order, events execute in
+// non-decreasing timestamp order, and same-timestamp events execute in
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%64) + 1
+		type rec struct {
+			at  Cycle
+			seq int
+		}
+		var got []rec
+		for i := 0; i < count; i++ {
+			at := Cycle(rng.Intn(16))
+			i := i
+			e.Schedule(at, func() { got = append(got, rec{e.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != count {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine is deterministic — two identical runs produce an
+// identical execution trace.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []Cycle {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var trace []Cycle
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth < 3 {
+				k := rng.Intn(3)
+				for i := 0; i < k; i++ {
+					e.Schedule(Cycle(rng.Intn(5)), func() { spawn(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 8; i++ {
+			e.Schedule(Cycle(rng.Intn(10)), func() { spawn(0) })
+		}
+		e.Run()
+		return trace
+	}
+	f := func(seed int64) bool {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package stats provides a small named-counter registry used by every
+// simulator component to expose event counts (hits, misses, writebacks,
+// flit-crossings, instructions) to the results layer.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count. Components hold a
+// *Counter and call Add on the hot path; the registry only matters when
+// snapshotting results.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Set is a registry of named counters. The zero value is not usable;
+// call NewSet.
+type Set struct {
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter registry.
+func NewSet() *Set { return &Set{counters: make(map[string]*Counter)} }
+
+// Counter returns the counter registered under name, creating it at zero
+// on first use. Names are hierarchical by convention, e.g. "l1.0.hits".
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	s.counters[name] = c
+	return c
+}
+
+// Sum returns the total of all counters whose name has the given prefix.
+func (s *Set) Sum(prefix string) uint64 {
+	var total uint64
+	for name, c := range s.counters {
+		if strings.HasPrefix(name, prefix) {
+			total += c.n
+		}
+	}
+	return total
+}
+
+// Snapshot returns a copy of all counter values.
+func (s *Set) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.n
+	}
+	return out
+}
+
+// String renders all non-zero counters, sorted by name, one per line.
+func (s *Set) String() string {
+	names := make([]string, 0, len(s.counters))
+	for name, c := range s.counters {
+		if c.n != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-40s %12d\n", name, s.counters[name].n)
+	}
+	return b.String()
+}

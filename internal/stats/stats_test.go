@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("l1.hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	if c.Name() != "l1.hits" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestCounterIdentity(t *testing.T) {
+	s := NewSet()
+	a := s.Counter("x")
+	b := s.Counter("x")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counters with same name do not share state")
+	}
+}
+
+func TestSumPrefix(t *testing.T) {
+	s := NewSet()
+	s.Counter("l1.0.hits").Add(3)
+	s.Counter("l1.1.hits").Add(4)
+	s.Counter("l2.hits").Add(100)
+	if got := s.Sum("l1."); got != 7 {
+		t.Fatalf("Sum(l1.) = %d, want 7", got)
+	}
+	if got := s.Sum(""); got != 107 {
+		t.Fatalf("Sum(\"\") = %d, want 107", got)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Add(1)
+	snap := s.Snapshot()
+	s.Counter("a").Add(1)
+	if snap["a"] != 1 {
+		t.Fatal("snapshot mutated by later Add")
+	}
+}
+
+func TestStringSortedNonZero(t *testing.T) {
+	s := NewSet()
+	s.Counter("zebra").Add(1)
+	s.Counter("alpha").Add(2)
+	s.Counter("silent") // zero: excluded
+	out := s.String()
+	if strings.Contains(out, "silent") {
+		t.Fatal("zero counter rendered")
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zebra") {
+		t.Fatal("output not sorted")
+	}
+}
+
+// Property: Sum over the empty prefix equals the sum of every snapshot value.
+func TestSumMatchesSnapshotProperty(t *testing.T) {
+	f := func(adds []uint8) bool {
+		s := NewSet()
+		names := []string{"a.x", "a.y", "b.x"}
+		for i, v := range adds {
+			s.Counter(names[i%len(names)]).Add(uint64(v))
+		}
+		var total uint64
+		for _, v := range s.Snapshot() {
+			total += v
+		}
+		return s.Sum("") == total && s.Sum("a.")+s.Sum("b.") == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

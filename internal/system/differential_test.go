@@ -1,0 +1,149 @@
+package system
+
+import (
+	"testing"
+
+	"stash/internal/core"
+	"stash/internal/gpu"
+	"stash/internal/isa"
+	"stash/internal/memdata"
+)
+
+// TestCrossConfigDifferential runs the same computation — a strided
+// AoS-field update with a data-dependent branch — on every memory
+// organization and over several shapes, and requires every
+// configuration to produce the exact same memory image as a plain Go
+// reference. This is the strongest end-to-end check that the
+// scratchpad copies, DMA transfers, stash implicit movement, and
+// coherence protocol all implement the same semantics.
+func TestCrossConfigDifferential(t *testing.T) {
+	type shape struct {
+		n, objWords, blockDim, period int
+	}
+	shapes := []shape{
+		{n: 256, objWords: 1, blockDim: 32, period: 2},
+		{n: 512, objWords: 4, blockDim: 64, period: 3},
+		{n: 384, objWords: 8, blockDim: 128, period: 1},
+		{n: 1024, objWords: 2, blockDim: 256, period: 5},
+	}
+	orgs := []MemOrg{Scratch, ScratchG, ScratchGD, CacheOnly, StashOrg, StashG}
+	for _, sh := range shapes {
+		ref := make([]uint32, sh.n)
+		for i := range ref {
+			v := uint32(i * 3)
+			if i%sh.period == 0 {
+				v = v*5 + 11
+			}
+			ref[i] = v
+		}
+		for _, org := range orgs {
+			s := New(MicrobenchConfig(org))
+			base := s.Alloc(sh.n*sh.objWords, func(i int) uint32 {
+				if i%sh.objWords == 0 {
+					return uint32(i / sh.objWords * 3)
+				}
+				return 0x5a5a
+			})
+			s.RunKernel(fieldUpdateKernel(org, base, sh.n, sh.objWords, sh.blockDim, sh.period))
+			s.FlushForVerify()
+			for i := 0; i < sh.n; i++ {
+				got := s.ReadGlobal(base + memdata.VAddr(i*sh.objWords*4))
+				if got != ref[i] {
+					t.Fatalf("%v shape=%+v: field %d = %d, want %d", org, sh, i, got, ref[i])
+				}
+				if sh.objWords > 1 {
+					if pad := s.ReadGlobal(base + memdata.VAddr((i*sh.objWords+1)*4)); pad != 0x5a5a {
+						t.Fatalf("%v shape=%+v: untouched field %d clobbered (%#x)", org, sh, i, pad)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldUpdateKernel builds the per-organization kernel: each thread
+// conditionally transforms its element's first field.
+func fieldUpdateKernel(org MemOrg, base memdata.VAddr, n, objWords, blockDim, period int) *gpu.Kernel {
+	b := isa.NewBuilder()
+	objBytes := objWords * 4
+	grid := (n + blockDim - 1) / blockDim
+	tid, gtid, sbase, gbase, v, cond, tmp := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.Special(tid, isa.SpecTid)
+	b.Special(gtid, isa.SpecCtaid)
+	b.MulImm(gtid, gtid, int64(blockDim))
+	b.Add(gtid, gtid, tid)
+	b.MovImm(sbase, 0)
+	b.MulImm(gbase, gtid, int64(objBytes))
+	b.AddImm(gbase, gbase, int64(base))
+	inRange := b.Reg()
+	b.SetLtImm(inRange, gtid, int64(n))
+	b.ModImm(cond, gtid, int64(period))
+	b.SetEqImm(cond, cond, 0)
+	b.And(cond, cond, inRange)
+
+	shape := core.MapParams{FieldBytes: 4, ObjectBytes: objBytes, RowElems: 1, NumRows: 1, Coherent: true}
+	local := 0
+	loadV := func() { b.LdGlobal(v, gbase, 0) }
+	storeV := func() { b.StGlobal(gbase, 0, v) }
+	switch {
+	case org.HasStash():
+		// Per-thread single-element mapping exercises many small maps.
+		// Use a per-block tile instead: one AddMap per block.
+		shape.RowElems = blockDim
+		blockBase := b.Reg()
+		b.Special(blockBase, isa.SpecCtaid)
+		b.MulImm(blockBase, blockBase, int64(blockDim*objBytes))
+		b.AddImm(blockBase, blockBase, int64(base))
+		b.AddMapReg(0, shape, sbase, blockBase)
+		b.Barrier()
+		loadV = func() { b.LdStash(v, tid, 0, 0) }
+		storeV = func() { b.StStash(tid, 0, v, 0) }
+		local = core.ChunkWords * ((blockDim + core.ChunkWords - 1) / core.ChunkWords)
+	case org.HasDMA():
+		shape.RowElems = blockDim
+		blockBase := b.Reg()
+		b.Special(blockBase, isa.SpecCtaid)
+		b.MulImm(blockBase, blockBase, int64(blockDim*objBytes))
+		b.AddImm(blockBase, blockBase, int64(base))
+		b.DMALoadReg(shape, sbase, blockBase)
+		b.Barrier()
+		loadV = func() { b.LdShared(v, tid, 0) }
+		storeV = func() { b.StShared(tid, 0, v) }
+		local = core.ChunkWords * ((blockDim + core.ChunkWords - 1) / core.ChunkWords)
+	case org.HasScratchpad():
+		// Explicit copy-in of the thread's field.
+		b.If(inRange)
+		b.LdGlobal(tmp, gbase, 0)
+		b.StShared(tid, 0, tmp)
+		b.EndIf()
+		b.Barrier()
+		loadV = func() { b.LdShared(v, tid, 0) }
+		storeV = func() { b.StShared(tid, 0, v) }
+		local = core.ChunkWords * ((blockDim + core.ChunkWords - 1) / core.ChunkWords)
+	}
+
+	b.If(cond)
+	loadV()
+	b.MulImm(v, v, 5)
+	b.AddImm(v, v, 11)
+	storeV()
+	b.EndIf()
+
+	// Scratchpad configurations copy the whole tile back explicitly.
+	if org.HasScratchpad() && !org.HasDMA() {
+		b.Barrier()
+		b.If(inRange)
+		b.LdShared(tmp, tid, 0)
+		b.StGlobal(gbase, 0, tmp)
+		b.EndIf()
+	}
+	if org.HasDMA() {
+		b.Barrier()
+		blockBase := b.Reg()
+		b.Special(blockBase, isa.SpecCtaid)
+		b.MulImm(blockBase, blockBase, int64(blockDim*objBytes))
+		b.AddImm(blockBase, blockBase, int64(base))
+		b.DMAStoreReg(shape, sbase, blockBase)
+	}
+	return &gpu.Kernel{Prog: b.MustBuild(), BlockDim: blockDim, GridDim: grid, LocalWordsPerBlock: local}
+}

@@ -1,0 +1,284 @@
+// Package system assembles the simulated machine of the paper's
+// Figure 4: a 4x4 mesh whose nodes carry GPU CUs (with L1 +
+// scratchpad, stash, or cache-only SRAM per the evaluated memory
+// organization) and CPU cores (with L1s), one shared-LLC bank per
+// node, a unified virtual address space, and the DeNovo coherence
+// protocol throughout.
+package system
+
+import (
+	"fmt"
+
+	"stash/internal/cache"
+	"stash/internal/coh"
+	"stash/internal/core"
+	"stash/internal/cpu"
+	"stash/internal/dma"
+	"stash/internal/energy"
+	"stash/internal/gpu"
+	"stash/internal/isa"
+	"stash/internal/llc"
+	"stash/internal/memdata"
+	"stash/internal/noc"
+	"stash/internal/scratch"
+	"stash/internal/sim"
+	"stash/internal/stats"
+	"stash/internal/vm"
+)
+
+// MemOrg selects one of the six simulated memory configurations
+// (paper Section 5.3). Scratch/ScratchG and Stash/StashG differ only
+// in the kernels the workloads generate; the hardware is the same.
+type MemOrg int
+
+// Memory organizations.
+const (
+	Scratch   MemOrg = iota // 16 KB scratchpad + 32 KB L1
+	ScratchG                // Scratch, global accesses converted to scratchpad
+	ScratchGD               // ScratchG + DMA engine
+	CacheOnly               // 32 KB L1 only
+	StashOrg                // 16 KB stash + 32 KB L1
+	StashG                  // Stash, global accesses converted to stash
+)
+
+var orgNames = [...]string{"Scratch", "ScratchG", "ScratchGD", "Cache", "Stash", "StashG"}
+
+// String returns the configuration name as used in the paper's figures.
+func (o MemOrg) String() string { return orgNames[o] }
+
+// HasScratchpad reports whether the organization includes a scratchpad.
+func (o MemOrg) HasScratchpad() bool { return o == Scratch || o == ScratchG || o == ScratchGD }
+
+// HasStash reports whether the organization includes a stash.
+func (o MemOrg) HasStash() bool { return o == StashOrg || o == StashG }
+
+// HasDMA reports whether the organization includes a DMA engine.
+func (o MemOrg) HasDMA() bool { return o == ScratchGD }
+
+// Config parameterizes a System.
+type Config struct {
+	MeshW, MeshH int
+	GPUNodes     []int // mesh nodes hosting CUs
+	CPUNodes     []int // mesh nodes hosting CPU cores
+	Org          MemOrg
+	L1           cache.Params
+	L2           llc.Params
+	Stash        core.Params
+	Scratch      scratch.Params
+	DMA          dma.Params
+	CU           gpu.Params
+	Costs        energy.Costs
+}
+
+// MicrobenchConfig returns the paper's microbenchmark machine: 1 GPU CU
+// and 15 CPU cores (Table 2).
+func MicrobenchConfig(org MemOrg) Config {
+	cfg := baseConfig(org)
+	cfg.GPUNodes = []int{0}
+	for n := 1; n < 16; n++ {
+		cfg.CPUNodes = append(cfg.CPUNodes, n)
+	}
+	return cfg
+}
+
+// AppConfig returns the paper's application machine: 15 GPU CUs and 1
+// CPU core (Table 2).
+func AppConfig(org MemOrg) Config {
+	cfg := baseConfig(org)
+	for n := 0; n < 15; n++ {
+		cfg.GPUNodes = append(cfg.GPUNodes, n)
+	}
+	cfg.CPUNodes = []int{15}
+	return cfg
+}
+
+func baseConfig(org MemOrg) Config {
+	return Config{
+		MeshW:   4,
+		MeshH:   4,
+		Org:     org,
+		L1:      cache.DefaultParams(),
+		L2:      llc.DefaultParams(),
+		Stash:   core.DefaultParams(),
+		Scratch: scratch.DefaultParams(),
+		DMA:     dma.DefaultParams(),
+		CU:      gpu.DefaultParams(),
+		Costs:   energy.DefaultCosts(),
+	}
+}
+
+// System is one assembled machine.
+type System struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Net   *noc.Network
+	Mem   *memdata.Memory
+	AS    *vm.AddressSpace
+	Acct  *energy.Account
+	Stats *stats.Set
+	CUs   []*gpu.CU
+	CPUs  []*cpu.Core
+
+	banks []*llc.Bank
+}
+
+// New builds the machine described by cfg.
+func New(cfg Config) *System {
+	eng := sim.NewEngine()
+	acct := energy.NewAccount(cfg.Costs)
+	set := stats.NewSet()
+	net := noc.New(eng, cfg.MeshW, cfg.MeshH, acct, set)
+	mem := memdata.NewMemory()
+	as := vm.NewAddressSpace()
+	s := &System{Cfg: cfg, Eng: eng, Net: net, Mem: mem, AS: as, Acct: acct, Stats: set}
+
+	gpuAt := make(map[int]bool)
+	for _, n := range cfg.GPUNodes {
+		gpuAt[n] = true
+	}
+	cpuAt := make(map[int]bool)
+	for _, n := range cfg.CPUNodes {
+		cpuAt[n] = true
+	}
+
+	for n := 0; n < net.Nodes(); n++ {
+		router := coh.NewRouter()
+		bank := llc.NewBank(eng, net, n, cfg.L2, mem, acct, set)
+		s.banks = append(s.banks, bank)
+		router.Attach(coh.ToLLC, bank)
+
+		switch {
+		case gpuAt[n]:
+			name := fmt.Sprintf("gpu%d", n)
+			l1p := cfg.L1
+			l1p.ChargeEnergy = true
+			l1 := cache.New(eng, net, n, name, l1p, acct, set)
+			router.Attach(coh.ToL1, l1)
+			var sp *scratch.Scratchpad
+			var st *core.Stash
+			var dm *dma.Engine
+			if cfg.Org.HasScratchpad() {
+				sp = scratch.New(name, cfg.Scratch, acct, set)
+			}
+			if cfg.Org.HasStash() {
+				st = core.New(eng, net, n, name, cfg.Stash, as, acct, set)
+				router.Attach(coh.ToStash, st)
+			}
+			if cfg.Org.HasDMA() {
+				dm = dma.New(eng, net, n, name, cfg.DMA, sp, as, set)
+				router.Attach(coh.ToDMA, dm)
+			}
+			s.CUs = append(s.CUs, gpu.New(eng, n, name, cfg.CU, as, l1, sp, st, dm, acct, set))
+		case cpuAt[n]:
+			name := fmt.Sprintf("cpu%d", n)
+			l1p := cfg.L1
+			l1p.ChargeEnergy = false // paper: CPU L1 energy not measured
+			l1 := cache.New(eng, net, n, name, l1p, acct, set)
+			router.Attach(coh.ToL1, l1)
+			s.CPUs = append(s.CPUs, cpu.New(eng, n, name, as, l1, set))
+		}
+		net.Register(n, func(m *noc.Message) { router.Deliver(m.Payload.(*coh.Packet)) })
+	}
+	return s
+}
+
+// Alloc reserves n words of global memory initialized by gen (gen may
+// be nil for zeros) and returns the virtual base address.
+func (s *System) Alloc(nwords int, gen func(i int) uint32) memdata.VAddr {
+	base := s.AS.Alloc(nwords * memdata.WordBytes)
+	if gen != nil {
+		for i := 0; i < nwords; i++ {
+			s.Mem.StoreWord(s.AS.Translate(base+memdata.VAddr(i*memdata.WordBytes)), gen(i))
+		}
+	}
+	return base
+}
+
+// ReadGlobal returns the coherent value of the word at va: the owner's
+// copy if registered, else the LLC's, else DRAM. Used by verification
+// after the simulation has quiesced and all owners flushed.
+func (s *System) ReadGlobal(va memdata.VAddr) uint32 {
+	pa := s.AS.Translate(va)
+	bank := s.banks[llc.BankOf(memdata.LineOf(pa), s.Cfg.L2.NumBanks)]
+	if v, owner, ok := bank.Peek(pa); ok {
+		if owner != nil {
+			panic(fmt.Sprintf("system: ReadGlobal(%#x) while word is still registered to node %d; flush first",
+				uint64(va), owner.Node))
+		}
+		return v
+	}
+	return s.Mem.LoadWord(pa)
+}
+
+// RunKernel launches k across all CUs (grid blocks split contiguously),
+// runs the simulation until the kernel completes and drains, applies
+// the kernel-boundary self-invalidations, and returns.
+func (s *System) RunKernel(k *gpu.Kernel) {
+	if len(s.CUs) == 0 {
+		panic("system: no CUs configured")
+	}
+	remaining := 0
+	per := (k.GridDim + len(s.CUs) - 1) / len(s.CUs)
+	next := 0
+	for _, cu := range s.CUs {
+		n := per
+		if next+n > k.GridDim {
+			n = k.GridDim - next
+		}
+		if n <= 0 {
+			break
+		}
+		remaining++
+		cu.Launch(k, next, n, func() { remaining-- })
+		next += n
+	}
+	s.Eng.Run()
+	if remaining != 0 {
+		panic("system: kernel did not complete (deadlock)")
+	}
+	for _, cu := range s.CUs {
+		cu.SelfInvalidate()
+	}
+}
+
+// RunCPUPhase runs prog as numThreads logical threads spread across the
+// CPU cores (each core runs its share sequentially), returning when all
+// complete. Each core self-invalidates at phase start (acquire).
+func (s *System) RunCPUPhase(prog *isa.Program, numThreads int) {
+	if len(s.CPUs) == 0 {
+		panic("system: no CPU cores configured")
+	}
+	for c := 0; c < len(s.CPUs) && c < numThreads; c++ {
+		core := s.CPUs[c]
+		first := c
+		var runNext func(tid int)
+		runNext = func(tid int) {
+			core.Run(prog, tid, numThreads, func() {
+				nt := tid + len(s.CPUs)
+				if nt < numThreads {
+					runNext(nt)
+				}
+			})
+		}
+		runNext(first)
+	}
+	s.Eng.Run()
+}
+
+// FlushForVerify writes every owned word back to the LLC so ReadGlobal
+// can observe final values. Call only after measurement snapshots.
+func (s *System) FlushForVerify() {
+	for _, cu := range s.CUs {
+		if st := cu.Stash(); st != nil {
+			st.WritebackAll()
+		}
+		cu.L1().WritebackAll()
+	}
+	for _, c := range s.CPUs {
+		c.L1().WritebackAll()
+	}
+	s.Eng.Run()
+}
+
+// Cycles returns the current simulated time.
+func (s *System) Cycles() sim.Cycle { return s.Eng.Now() }

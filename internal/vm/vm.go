@@ -1,0 +1,104 @@
+// Package vm implements the simulator's virtual memory: a 4 KB page
+// table with forward (TLB) and reverse (RTLB) translation, and a simple
+// virtual-address-space allocator used by workloads to place their data
+// structures.
+//
+// The paper does not model TLB misses (footnote 8): every translation is
+// charged as a TLB hit by the energy model. The page table here still
+// tracks real mappings so that the stash's VP-map (forward translation on
+// stash misses and writebacks, reverse translation on remote requests)
+// operates on genuine virtual/physical pairs.
+package vm
+
+import (
+	"fmt"
+
+	"stash/internal/memdata"
+)
+
+// PageBytes is the page size.
+const PageBytes = 4096
+
+// PageOf returns the page-aligned base of a virtual address.
+func PageOf(v memdata.VAddr) memdata.VAddr { return v &^ (PageBytes - 1) }
+
+// PPageOf returns the page-aligned base of a physical address.
+func PPageOf(p memdata.PAddr) memdata.PAddr { return p &^ (PageBytes - 1) }
+
+// AddressSpace is a process address space: an allocator plus a page table.
+type AddressSpace struct {
+	nextVirt  memdata.VAddr
+	nextFrame memdata.PAddr
+	vToP      map[memdata.VAddr]memdata.PAddr // page-aligned virtual -> physical
+	pToV      map[memdata.PAddr]memdata.VAddr // page-aligned physical -> virtual
+}
+
+// NewAddressSpace returns an empty address space. Virtual allocations
+// start above the null page; physical frames are interleaved across a
+// non-identity layout so reverse translation is a real computation.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		nextVirt:  0x1000_0000,
+		nextFrame: 0x0020_0000,
+		vToP:      make(map[memdata.VAddr]memdata.PAddr),
+		pToV:      make(map[memdata.PAddr]memdata.VAddr),
+	}
+}
+
+// Alloc reserves size bytes of virtual address space, maps every page it
+// covers, and returns the (line-aligned) base virtual address.
+func (as *AddressSpace) Alloc(size int) memdata.VAddr {
+	if size <= 0 {
+		panic("vm: Alloc of non-positive size")
+	}
+	base := as.nextVirt
+	// Keep allocations line-aligned and separated by at least a line so
+	// distinct arrays never share a cache line (the paper's chunked
+	// writeback requires chunk-aligned structures, Section 4.2).
+	end := base + memdata.VAddr(size)
+	as.nextVirt = (end + 2*memdata.LineBytes - 1) &^ (memdata.LineBytes - 1)
+	for p := PageOf(base); p < end; p += PageBytes {
+		as.ensureMapped(p)
+	}
+	return base
+}
+
+func (as *AddressSpace) ensureMapped(vpage memdata.VAddr) {
+	if _, ok := as.vToP[vpage]; ok {
+		return
+	}
+	frame := as.nextFrame
+	as.nextFrame += PageBytes
+	as.vToP[vpage] = frame
+	as.pToV[frame] = vpage
+}
+
+// Translate returns the physical address of virtual address v.
+// The page must have been allocated; a fault panics, because workloads
+// only ever touch memory they allocated.
+func (as *AddressSpace) Translate(v memdata.VAddr) memdata.PAddr {
+	frame, ok := as.vToP[PageOf(v)]
+	if !ok {
+		panic(fmt.Sprintf("vm: page fault at %#x", uint64(v)))
+	}
+	return frame + memdata.PAddr(v-PageOf(v))
+}
+
+// Reverse returns the virtual address mapped to physical address p and
+// whether such a mapping exists.
+func (as *AddressSpace) Reverse(p memdata.PAddr) (memdata.VAddr, bool) {
+	vpage, ok := as.pToV[PPageOf(p)]
+	if !ok {
+		return 0, false
+	}
+	return vpage + memdata.VAddr(p-PPageOf(p)), true
+}
+
+// Mapped reports whether virtual address v has a page mapping.
+func (as *AddressSpace) Mapped(v memdata.VAddr) bool {
+	_, ok := as.vToP[PageOf(v)]
+	return ok
+}
+
+// PageCount reports the number of mapped pages.
+func (as *AddressSpace) PageCount() int { return len(as.vToP) }

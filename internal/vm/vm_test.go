@@ -1,0 +1,111 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stash/internal/memdata"
+)
+
+func TestAllocReturnsLineAligned(t *testing.T) {
+	as := NewAddressSpace()
+	for i := 0; i < 5; i++ {
+		base := as.Alloc(100)
+		if uint64(base)%memdata.LineBytes != 0 {
+			t.Fatalf("Alloc returned unaligned base %#x", uint64(base))
+		}
+	}
+}
+
+func TestAllocationsDoNotShareLines(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Alloc(100)
+	b := as.Alloc(100)
+	endA := a + 100
+	if memdata.VLineOf(b) <= memdata.VLineOf(endA) {
+		t.Fatalf("allocations share a line: a=[%#x,%#x) b=%#x", uint64(a), uint64(endA), uint64(b))
+	}
+}
+
+func TestTranslateRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	v := as.Alloc(3 * PageBytes)
+	for off := 0; off < 3*PageBytes; off += 512 {
+		va := v + memdata.VAddr(off)
+		pa := as.Translate(va)
+		back, ok := as.Reverse(pa)
+		if !ok || back != va {
+			t.Fatalf("Reverse(Translate(%#x)) = %#x, ok=%v", uint64(va), uint64(back), ok)
+		}
+	}
+}
+
+func TestTranslatePreservesPageOffset(t *testing.T) {
+	as := NewAddressSpace()
+	v := as.Alloc(PageBytes)
+	va := v + 123*memdata.WordBytes
+	pa := as.Translate(va)
+	if uint64(pa)%PageBytes != uint64(va)%PageBytes {
+		t.Fatalf("offset not preserved: va=%#x pa=%#x", uint64(va), uint64(pa))
+	}
+}
+
+func TestUnmappedPanics(t *testing.T) {
+	as := NewAddressSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Translate on unmapped page did not panic")
+		}
+	}()
+	as.Translate(0xdead0000)
+}
+
+func TestReverseUnmapped(t *testing.T) {
+	as := NewAddressSpace()
+	if _, ok := as.Reverse(0xdead0000); ok {
+		t.Fatal("Reverse of unmapped frame reported ok")
+	}
+}
+
+func TestDistinctPagesGetDistinctFrames(t *testing.T) {
+	as := NewAddressSpace()
+	v := as.Alloc(8 * PageBytes)
+	seen := make(map[memdata.PAddr]bool)
+	for i := 0; i < 8; i++ {
+		frame := PPageOf(as.Translate(v + memdata.VAddr(i*PageBytes)))
+		if seen[frame] {
+			t.Fatalf("frame %#x mapped twice", uint64(frame))
+		}
+		seen[frame] = true
+	}
+	if as.PageCount() < 8 {
+		t.Fatalf("PageCount = %d, want >= 8", as.PageCount())
+	}
+}
+
+// Property: for any in-bounds offset of any allocation, translation round
+// trips and preserves the page offset.
+func TestTranslationProperty(t *testing.T) {
+	f := func(sizes []uint16, pick uint16, off uint32) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		as := NewAddressSpace()
+		bases := make([]memdata.VAddr, 0, len(sizes))
+		szs := make([]int, 0, len(sizes))
+		for _, s := range sizes {
+			size := int(s)%20000 + 4
+			bases = append(bases, as.Alloc(size))
+			szs = append(szs, size)
+		}
+		i := int(pick) % len(bases)
+		va := bases[i] + memdata.VAddr(int(off)%szs[i])
+		va = memdata.VAddr(memdata.WordOf(memdata.PAddr(va)))
+		pa := as.Translate(va)
+		back, ok := as.Reverse(pa)
+		return ok && back == va && uint64(pa)%PageBytes == uint64(va)%PageBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

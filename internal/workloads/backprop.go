@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"stash/internal/core"
+	"stash/internal/gpu"
+	"stash/internal/memdata"
+	"stash/internal/system"
+)
+
+// Backprop is the Rodinia neural-network training step at the paper's
+// 32 KB input size: an 8192-unit input layer and a 16-unit hidden
+// layer. The forward kernel computes per-block partial sums of
+// input x weight products with a shared-memory tree reduction (the
+// product matrix is a temporary tile: scratchpad temporary mode /
+// stash Mapped Non-coherent); the update kernel adjusts every weight
+// by delta[h] * input[i].
+func Backprop() *Workload {
+	const (
+		inputs   = 8192
+		hidden   = 16
+		perBlock = 16 // input units per block
+		blockDim = perBlock * hidden
+		grid     = inputs / perBlock
+	)
+	var inBase, wBase, deltaBase, partialBase memdata.VAddr
+	var inRef, wRef, deltaRef []uint32
+	w := &Workload{Name: "backprop", Micro: false}
+
+	inputTile := func() TileSpec {
+		return TileSpec{
+			Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: perBlock, NumRows: 1},
+			GBase: func(e *Env) int {
+				r := e.B.Reg()
+				e.B.MulImm(r, e.Ctaid(), perBlock*4)
+				e.B.AddImm(r, r, int64(inBase))
+				return r
+			},
+			In: true,
+		}
+	}
+	weightTile := func(out bool) TileSpec {
+		return TileSpec{
+			Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: perBlock * hidden, NumRows: 1},
+			GBase: func(e *Env) int {
+				r := e.B.Reg()
+				e.B.MulImm(r, e.Ctaid(), perBlock*hidden*4)
+				e.B.AddImm(r, r, int64(wBase))
+				return r
+			},
+			In: true, Out: out,
+		}
+	}
+
+	buildForward := func(org system.MemOrg) *gpu.Kernel {
+		tiles := []TileSpec{
+			inputTile(),
+			weightTile(false),
+			{ // product matrix: a pure temporary
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: blockDim, NumRows: 1},
+				GBase: func(e *Env) int {
+					// Temporaries still name a (scratch) global range so
+					// the mapped modes have an address; it is never
+					// transferred (NonCoherent, neither In nor Out).
+					r := e.B.Reg()
+					e.B.MulImm(r, e.Ctaid(), blockDim*4)
+					e.B.AddImm(r, r, int64(partialBase)+int64(grid*hidden*4))
+					return r
+				},
+				NonCoherent: true,
+			},
+			{ // partial sums out: partial[block*16 + h]
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: hidden, NumRows: 1},
+				GBase: func(e *Env) int {
+					r := e.B.Reg()
+					e.B.MulImm(r, e.Ctaid(), hidden*4)
+					e.B.AddImm(r, r, int64(partialBase))
+					return r
+				},
+				Out: true, GOnly: true,
+			},
+		}
+		return BuildKernel(org, blockDim, grid, tiles, func(e *Env) {
+			b := e.B
+			ii, h, off, x, wv, s, cond, v2 := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.DivImm(ii, e.Tid(), hidden)
+			b.ModImm(h, e.Tid(), hidden)
+			e.LdTile(x, 0, ii)
+			e.LdTile(wv, 1, e.Tid())
+			b.Mul(x, x, wv)
+			b.Flops(1)
+			e.StTile(2, e.Tid(), x)
+			b.Barrier()
+			// Tree reduction over the input dimension.
+			for stride := perBlock / 2; stride >= 1; stride /= 2 {
+				b.SetLtImm(cond, ii, int64(stride))
+				b.If(cond)
+				e.LdTile(x, 2, e.Tid())
+				b.AddImm(off, e.Tid(), int64(stride*hidden))
+				e.LdTile(v2, 2, off)
+				b.Add(x, x, v2)
+				e.StTile(2, e.Tid(), x)
+				b.EndIf()
+				b.Barrier()
+			}
+			b.SetEqImm(cond, ii, 0)
+			b.If(cond)
+			e.LdTile(x, 2, h)
+			e.StTile(3, h, x)
+			b.EndIf()
+			_ = s
+		})
+	}
+
+	buildUpdate := func(org system.MemOrg) *gpu.Kernel {
+		tiles := []TileSpec{
+			inputTile(),
+			weightTile(true),
+			{ // delta: one 16-word vector shared by all blocks (global)
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: hidden, NumRows: 1},
+				GBase: func(e *Env) int {
+					r := e.B.Reg()
+					e.B.MovImm(r, int64(deltaBase))
+					return r
+				},
+				In: true, GOnly: true,
+			},
+		}
+		return BuildKernel(org, blockDim, grid, tiles, func(e *Env) {
+			b := e.B
+			ii, h, x, d, wv := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.DivImm(ii, e.Tid(), hidden)
+			b.ModImm(h, e.Tid(), hidden)
+			e.LdTile(x, 0, ii)
+			e.LdTile(d, 2, h)
+			b.Mul(x, x, d)
+			e.LdTile(wv, 1, e.Tid())
+			b.Add(wv, wv, x)
+			b.Flops(1)
+			e.StTile(1, e.Tid(), wv)
+		})
+	}
+
+	w.Run = func(s *system.System, org system.MemOrg) {
+		inRef = make([]uint32, inputs)
+		for i := range inRef {
+			inRef[i] = uint32(i%9 + 1)
+		}
+		wRef = make([]uint32, inputs*hidden)
+		for i := range wRef {
+			wRef[i] = uint32(i%7 + 1)
+		}
+		deltaRef = make([]uint32, hidden)
+		for i := range deltaRef {
+			deltaRef[i] = uint32(i + 1)
+		}
+		inBase = s.Alloc(inputs, func(i int) uint32 { return inRef[i] })
+		wBase = s.Alloc(len(wRef), func(i int) uint32 { return wRef[i] })
+		deltaBase = s.Alloc(hidden, func(i int) uint32 { return deltaRef[i] })
+		// partial sums plus a scratch-address region for the temporary.
+		partialBase = s.Alloc(grid*hidden+grid*blockDim, nil)
+		s.RunKernel(buildForward(org))
+		s.RunKernel(buildUpdate(org))
+	}
+	w.Verify = func(s *system.System) error {
+		s.FlushForVerify()
+		// Partial sums from the forward pass (pre-update weights).
+		for blk := 0; blk < grid; blk++ {
+			for h := 0; h < hidden; h++ {
+				var want uint32
+				for ii := 0; ii < perBlock; ii++ {
+					i := blk*perBlock + ii
+					want += inRef[i] * wRef[i*hidden+h]
+				}
+				got := s.ReadGlobal(partialBase + memdata.VAddr((blk*hidden+h)*4))
+				if got != want {
+					return errf("backprop: partial[%d][%d] = %d, want %d", blk, h, got, want)
+				}
+			}
+		}
+		// Updated weights.
+		for i := 0; i < inputs; i++ {
+			for h := 0; h < hidden; h++ {
+				want := wRef[i*hidden+h] + inRef[i]*deltaRef[h]
+				got := s.ReadGlobal(wBase + memdata.VAddr((i*hidden+h)*4))
+				if got != want {
+					return errf("backprop: w[%d][%d] = %d, want %d", i, h, got, want)
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,366 @@
+// Package workloads implements the paper's evaluation programs: the
+// four microbenchmarks of Section 5.4.1 (Implicit, Pollution,
+// On-demand, Reuse) and the seven applications of Section 5.4.2 (LUD,
+// Backprop, NW, Pathfinder, SGEMM, Stencil, SURF), each generated for
+// all six memory configurations.
+//
+// The tiling environment in this file captures the structural
+// difference between the configurations once, so every workload states
+// its tiles and compute body a single time:
+//
+//   - Scratch:    explicit copy-in loops (global->register->scratchpad,
+//     polluting the L1), compute on the scratchpad, explicit
+//     copy-out loops — the Figure 1a pattern;
+//   - ScratchG:   like Scratch, with the workload's remaining global
+//     accesses also converted to scratchpad tiles;
+//   - ScratchGD:  like ScratchG, but tiles move via the DMA engine;
+//   - Cache:      tile accesses become global accesses with explicit
+//     index arithmetic, through the L1;
+//   - Stash:      AddMap + direct stash access, implicit movement —
+//     the Figure 1b pattern;
+//   - StashG:     like Stash, with remaining global accesses also
+//     mapped to the stash.
+package workloads
+
+import (
+	"fmt"
+
+	"stash/internal/core"
+	"stash/internal/gpu"
+	"stash/internal/isa"
+	"stash/internal/memdata"
+	"stash/internal/system"
+)
+
+// TileSpec declares one per-block tile of a global data structure.
+type TileSpec struct {
+	// Shape describes the tile: FieldBytes/ObjectBytes/RowElems/
+	// StrideBytes/NumRows (StashBase is assigned by the environment;
+	// GlobalBase is computed per block by GBase).
+	Shape core.MapParams
+	// GBase emits code computing the block's global base address for
+	// this tile into a register (may use e.Ctaid()).
+	GBase func(e *Env) int
+	// In: the kernel reads pre-existing global data from the tile.
+	// Out: the kernel's writes must become globally visible.
+	In, Out bool
+	// GOnly marks data the original application accesses globally; it
+	// is tiled into local memory only in the "G" configurations.
+	GOnly bool
+	// NonCoherent maps the tile in Mapped Non-coherent mode (stash) /
+	// skips the copy-out (scratchpad): for temporaries.
+	NonCoherent bool
+}
+
+func (t TileSpec) words() int { return t.Shape.Words() }
+
+// tileState is the per-build state of one tile.
+type tileState struct {
+	spec      TileSpec
+	slot      int
+	localBase int // block-relative local word offset
+	gbaseReg  int
+	local     bool // accessed via scratchpad/stash (vs global)
+}
+
+// Env is passed to a workload's compute-body generator. It provides
+// configuration-independent tile access.
+type Env struct {
+	B    *isa.Builder
+	org  system.MemOrg
+	tile []*tileState
+
+	ctaidReg int
+	tidReg   int
+}
+
+// Ctaid returns a register holding the block index.
+func (e *Env) Ctaid() int { return e.ctaidReg }
+
+// Tid returns a register holding the thread index within the block.
+func (e *Env) Tid() int { return e.tidReg }
+
+// Org returns the memory organization the kernel is being built for.
+func (e *Env) Org() system.MemOrg { return e.org }
+
+// isG reports whether the configuration converts global accesses to
+// local ones.
+func isG(org system.MemOrg) bool {
+	return org == system.ScratchG || org == system.ScratchGD || org == system.StashG
+}
+
+// addrFromTileOffset emits the index arithmetic translating a tile word
+// offset into a global byte address — the computation the stash-map
+// performs in hardware and the core must perform for cache accesses
+// (paper Section 6.3). Divisions by powers of two strength-reduce to
+// shifts/masks and multiply-adds fuse, as the CUDA compiler would.
+func (e *Env) addrFromTileOffset(t *tileState, offReg int) int {
+	b := e.B
+	s := t.spec.Shape
+	fieldWords := s.FieldBytes / memdata.WordBytes
+	addr := b.Reg()
+	if s.ObjectBytes == s.FieldBytes && s.NumRows == 1 {
+		// Dense linear tile: addr = off*4 + gbase.
+		b.MadImm(addr, offReg, memdata.WordBytes, t.gbaseReg)
+		return addr
+	}
+	rowWords := s.RowElems * fieldWords
+	if s.ObjectBytes == s.FieldBytes {
+		// Dense rows of a strided matrix:
+		// addr = (off/rowW)*stride + (off%rowW)*4 + gbase.
+		row, col := b.Reg(), b.Reg()
+		e.divmod(row, col, offReg, rowWords)
+		b.MadImm(addr, row, int64(s.StrideBytes), t.gbaseReg)
+		b.MadImm(addr, col, memdata.WordBytes, addr)
+		return addr
+	}
+	// General AoS tile.
+	elem, w, row, col := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	e.divmod(elem, w, offReg, fieldWords)
+	e.divmod(row, col, elem, s.RowElems)
+	b.MadImm(addr, row, int64(s.StrideBytes), t.gbaseReg)
+	b.MadImm(addr, col, int64(s.ObjectBytes), addr)
+	b.MadImm(addr, w, memdata.WordBytes, addr)
+	return addr
+}
+
+// divmod emits q = a/n, r = a%n, using shift/mask when n is a power of
+// two (and nothing at all when n is 1).
+func (e *Env) divmod(q, r, a, n int) {
+	b := e.B
+	if n == 1 {
+		b.Mov(q, a)
+		b.MovImm(r, 0)
+		return
+	}
+	if n&(n-1) == 0 {
+		sh := 0
+		for 1<<sh < n {
+			sh++
+		}
+		b.ShrImm(q, a, int64(sh))
+		b.AndImm(r, a, int64(n-1))
+		return
+	}
+	b.DivImm(q, a, int64(n))
+	b.ModImm(r, a, int64(n))
+}
+
+// LdTile emits a load of tile word [offReg] into dst.
+func (e *Env) LdTile(dst, tile, offReg int) {
+	t := e.tile[tile]
+	b := e.B
+	if !t.local {
+		b.LdGlobal(dst, e.addrFromTileOffset(t, offReg), 0)
+		return
+	}
+	local := b.Reg()
+	b.AddImm(local, offReg, int64(t.localBase))
+	switch {
+	case e.org.HasStash():
+		b.LdStash(dst, local, 0, t.slot)
+	default:
+		b.LdShared(dst, local, 0)
+	}
+}
+
+// StTile emits a store of src into tile word [offReg].
+func (e *Env) StTile(tile, offReg, src int) {
+	t := e.tile[tile]
+	b := e.B
+	if !t.local {
+		b.StGlobal(e.addrFromTileOffset(t, offReg), 0, src)
+		return
+	}
+	local := b.Reg()
+	b.AddImm(local, offReg, int64(t.localBase))
+	switch {
+	case e.org.HasStash():
+		b.StStash(local, 0, src, t.slot)
+	default:
+		b.StShared(local, 0, src)
+	}
+}
+
+// chunkAlign rounds n up to the stash chunk granularity.
+func chunkAlign(n int) int {
+	return (n + core.ChunkWords - 1) &^ (core.ChunkWords - 1)
+}
+
+// BuildKernel generates the kernel for org from the tile declarations
+// and compute body. blockDim is threads per block; grid is the number
+// of blocks.
+func BuildKernel(org system.MemOrg, blockDim, grid int, tiles []TileSpec, body func(e *Env)) *gpu.Kernel {
+	if len(tiles) > 4 {
+		panic(fmt.Sprintf("workloads: %d tiles exceed the 4 map-index-table slots per block", len(tiles)))
+	}
+	b := isa.NewBuilder()
+	e := &Env{B: b, org: org, ctaidReg: b.Reg(), tidReg: b.Reg()}
+	b.Special(e.ctaidReg, isa.SpecCtaid)
+	b.Special(e.tidReg, isa.SpecTid)
+
+	localWords := 0
+	for slot, spec := range tiles {
+		t := &tileState{spec: spec, slot: slot}
+		t.local = !spec.GOnly || isG(org)
+		if org == system.CacheOnly {
+			t.local = false
+		}
+		t.gbaseReg = spec.GBase(e)
+		if t.local {
+			t.localBase = localWords
+			localWords += chunkAlign(spec.words())
+		}
+		e.tile = append(e.tile, t)
+	}
+
+	// Prologue: bring tiles in.
+	switch {
+	case org.HasStash():
+		for _, t := range e.tile {
+			if !t.local {
+				continue
+			}
+			shape := t.spec.Shape
+			shape.Coherent = !t.spec.NonCoherent
+			sbase := b.Reg()
+			b.MovImm(sbase, int64(t.localBase))
+			b.AddMapReg(t.slot, shape, sbase, t.gbaseReg)
+		}
+		b.Barrier()
+	case org == system.ScratchGD:
+		for _, t := range e.tile {
+			if !t.local || !t.spec.In {
+				continue
+			}
+			shape := t.spec.Shape
+			sbase := b.Reg()
+			b.MovImm(sbase, int64(t.localBase))
+			b.DMALoadReg(shape, sbase, t.gbaseReg)
+		}
+		b.Barrier()
+	case org.HasScratchpad():
+		for _, t := range e.tile {
+			if !t.local || !t.spec.In {
+				continue
+			}
+			emitCopyLoop(e, t, blockDim, true)
+		}
+		b.Barrier()
+	}
+
+	body(e)
+
+	// Epilogue: write tiles out. The stash needs nothing: writebacks
+	// are implicit and lazy.
+	switch {
+	case org == system.ScratchGD:
+		b.Barrier()
+		for _, t := range e.tile {
+			if !t.local || !t.spec.Out || t.spec.NonCoherent {
+				continue
+			}
+			shape := t.spec.Shape
+			sbase := b.Reg()
+			b.MovImm(sbase, int64(t.localBase))
+			b.DMAStoreReg(shape, sbase, t.gbaseReg)
+		}
+	case org.HasScratchpad():
+		b.Barrier()
+		for _, t := range e.tile {
+			if !t.local || !t.spec.Out || t.spec.NonCoherent {
+				continue
+			}
+			emitCopyLoop(e, t, blockDim, false)
+		}
+	}
+
+	return &gpu.Kernel{
+		Prog:               b.MustBuild(),
+		BlockDim:           blockDim,
+		GridDim:            grid,
+		LocalWordsPerBlock: localWords,
+	}
+}
+
+// emitCopyLoop generates the explicit scratchpad copy loop of Figure
+// 1a: each thread strides over the tile words; data moves through the
+// L1 and the register file.
+func emitCopyLoop(e *Env, t *tileState, blockDim int, in bool) {
+	b := e.B
+	words := t.spec.words()
+	iters := (words + blockDim - 1) / blockDim
+	i, off, v, local, cond := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.For(i, int64(iters))
+	b.MulImm(off, i, int64(blockDim))
+	b.Add(off, off, e.tidReg)
+	b.SetLtImm(cond, off, int64(words))
+	b.If(cond)
+	b.AddImm(local, off, int64(t.localBase))
+	if in {
+		b.LdGlobal(v, e.addrFromTileOffset(t, off), 0)
+		b.StShared(local, 0, v)
+	} else {
+		b.LdShared(v, local, 0)
+		b.StGlobal(e.addrFromTileOffset(t, off), 0, v)
+	}
+	b.EndIf()
+	b.EndFor()
+}
+
+// Workload is one runnable experiment. Run executes the measured
+// phases; Verify (called after metrics are snapshotted) flushes the
+// hierarchy and checks functional correctness against a Go reference.
+// Instances are single-use: build a fresh one per run.
+type Workload struct {
+	Name   string
+	Micro  bool // microbenchmark machine (1 CU + 15 CPUs) vs app machine
+	Run    func(s *system.System, org system.MemOrg)
+	Verify func(s *system.System) error
+}
+
+// verifyWords compares n consecutive global words at base against want.
+func verifyWords(s *system.System, name string, base memdata.VAddr, want []uint32) error {
+	for i, w := range want {
+		if got := s.ReadGlobal(base + memdata.VAddr(i*memdata.WordBytes)); got != w {
+			return fmt.Errorf("%s: word %d = %d, want %d", name, i, got, w)
+		}
+	}
+	return nil
+}
+
+// throttle caps a kernel's resident blocks per CU by padding its local
+// allocation — the CUDA shared-memory occupancy trick. Kernels whose
+// tiles span many virtual pages use it to keep all active mappings
+// within the 64-entry VP-map (paper Section 4.1.4: "the compiler or
+// programmer is aware of this requirement").
+func throttle(k *gpu.Kernel, maxBlocks int) *gpu.Kernel {
+	if k.LocalWordsPerBlock == 0 {
+		return k // cache-only configuration: no local memory in use
+	}
+	words := core.DefaultParams().SizeBytes / memdata.WordBytes / maxBlocks
+	words &^= core.ChunkWords - 1 // keep slot bases chunk-aligned
+	if k.LocalWordsPerBlock < words {
+		k.LocalWordsPerBlock = words
+	}
+	return k
+}
+
+// errf is fmt.Errorf, short enough to keep verification code readable.
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// fieldAddr returns the virtual address of element i's mapped field in
+// an AoS array laid out from base.
+func fieldAddr(base memdata.VAddr, objBytes, i int) memdata.VAddr {
+	return base + memdata.VAddr(i*objBytes)
+}
+
+// verifyFields checks the mapped field of each AoS element.
+func verifyFields(s *system.System, name string, base memdata.VAddr, objBytes int, want []uint32) error {
+	for i, w := range want {
+		if got := s.ReadGlobal(fieldAddr(base, objBytes, i)); got != w {
+			return fmt.Errorf("%s: field %d = %d, want %d", name, i, got, w)
+		}
+	}
+	return nil
+}

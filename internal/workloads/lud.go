@@ -1,0 +1,291 @@
+package workloads
+
+import (
+	"stash/internal/core"
+	"stash/internal/gpu"
+	"stash/internal/memdata"
+	"stash/internal/system"
+)
+
+// LUD is the Rodinia blocked LU decomposition at the paper's 256x256
+// size: for each step k, a diagonal kernel factorizes tile (k,k), a
+// perimeter kernel updates row tiles (k,j) and column tiles (i,k), and
+// an internal kernel applies the rank-16 update to the trailing
+// submatrix. Tiles are staged in local memory exactly as Rodinia's
+// shared-memory version does.
+//
+// The input is constructed as A = L*U with unit diagonals, making all
+// eliminations exact in 32-bit integer arithmetic (divisions are by 1),
+// so the in-place result must equal L below the diagonal and U on and
+// above it.
+func LUD() *Workload {
+	const (
+		n  = 256
+		t  = 16
+		nb = n / t
+		tw = t * t // words per tile
+	)
+	var aBase memdata.VAddr
+	var lRef, uRef []uint32
+	w := &Workload{Name: "lud", Micro: false}
+
+	// tileSpec builds a 16x16 tile of the matrix whose block coordinates
+	// are produced by coords (emitting registers for blockRow, blockCol).
+	tileSpec := func(in, out bool, coords func(e *Env) (br, bc int)) TileSpec {
+		return TileSpec{
+			Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: t, StrideBytes: n * 4, NumRows: t},
+			GBase: func(e *Env) int {
+				b := e.B
+				br, bc := coords(e)
+				r := b.Reg()
+				b.MulImm(r, br, int64(t*n*4))
+				b.MulImm(bc, bc, int64(t*4))
+				b.Add(r, r, bc)
+				b.AddImm(r, r, int64(aBase))
+				return r
+			},
+			In: in, Out: out,
+		}
+	}
+	constCoords := func(br, bc int) func(e *Env) (int, int) {
+		return func(e *Env) (int, int) {
+			b := e.B
+			r, c := b.Reg(), b.Reg()
+			b.MovImm(r, int64(br))
+			b.MovImm(c, int64(bc))
+			return r, c
+		}
+	}
+
+	// Diagonal kernel: in-place LU of tile (k,k). 16 threads; thread j
+	// owns column j.
+	buildDiag := func(org system.MemOrg, k int) *gpu.Kernel {
+		tiles := []TileSpec{tileSpec(true, true, constCoords(k, k))}
+		return BuildKernel(org, t, 1, tiles, func(e *Env) {
+			b := e.B
+			j := e.Tid()
+			p, r, off, v, d, cond, pivot := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.For(p, t)
+			// Thread p scales column p below the pivot.
+			b.SetEq(cond, j, p)
+			b.If(cond)
+			b.MulImm(off, p, t)
+			b.Add(off, off, p)
+			e.LdTile(pivot, 0, off)
+			b.For(r, t)
+			b.SetLt(cond, p, r) // r > p
+			b.If(cond)
+			b.MulImm(off, r, t)
+			b.Add(off, off, p)
+			e.LdTile(v, 0, off)
+			b.Div(v, v, pivot)
+			e.StTile(0, off, v)
+			b.EndIf()
+			b.EndFor()
+			b.EndIf()
+			b.Barrier()
+			// All threads with column j > p update the trailing block.
+			b.SetLt(cond, p, j)
+			b.If(cond)
+			b.MulImm(off, p, t)
+			b.Add(off, off, j)
+			e.LdTile(d, 0, off) // D[p][j]
+			b.For(r, t)
+			b.SetLt(cond, p, r)
+			b.If(cond)
+			b.MulImm(off, r, t)
+			b.Add(off, off, p)
+			e.LdTile(v, 0, off) // D[r][p]
+			b.Mul(v, v, d)
+			b.MulImm(off, r, t)
+			b.Add(off, off, j)
+			e.LdTile(pivot, 0, off)
+			b.Sub(pivot, pivot, v)
+			e.StTile(0, off, pivot)
+			b.EndIf()
+			b.EndFor()
+			b.EndIf()
+			b.Barrier()
+			b.EndFor()
+		})
+	}
+
+	// Perimeter kernel: the first half of the grid updates row tiles
+	// (k, k+1+c), the second half column tiles (k+1+c, k). 16 threads.
+	buildPerimeter := func(org system.MemOrg, k int) *gpu.Kernel {
+		half := nb - 1 - k
+		tiles := []TileSpec{
+			tileSpec(true, false, constCoords(k, k)), // factorized diagonal tile
+			tileSpec(true, true, func(e *Env) (int, int) { // own tile
+				b := e.B
+				br, bc, isRow, c := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+				b.SetLtImm(isRow, e.Ctaid(), int64(half))
+				b.ModImm(c, e.Ctaid(), int64(half))
+				b.AddImm(c, c, int64(k+1))
+				kreg := b.Reg()
+				b.MovImm(kreg, int64(k))
+				b.Select(br, isRow, kreg, c)
+				b.Select(bc, isRow, c, kreg)
+				return br, bc
+			}),
+		}
+		return BuildKernel(org, t, 2*half, tiles, func(e *Env) {
+			b := e.B
+			tid := e.Tid()
+			isRow, p, off, v, d, x, cond := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.SetLtImm(isRow, e.Ctaid(), int64(half))
+			b.If(isRow)
+			// Row tile: forward substitution; thread owns column tid.
+			b.For(p, t)
+			b.MulImm(off, p, t)
+			b.Add(off, off, tid)
+			e.LdTile(x, 1, off) // Row[p][tid]
+			rr := b.Reg()
+			b.For(rr, t)
+			b.SetLt(cond, p, rr)
+			b.If(cond)
+			b.MulImm(off, rr, t)
+			b.Add(off, off, p)
+			e.LdTile(d, 0, off) // D[r][p]
+			b.Mul(d, d, x)
+			b.MulImm(off, rr, t)
+			b.Add(off, off, tid)
+			e.LdTile(v, 1, off)
+			b.Sub(v, v, d)
+			e.StTile(1, off, v)
+			b.EndIf()
+			b.EndFor()
+			b.EndFor()
+			b.Else()
+			// Column tile: backward substitution against U; thread owns
+			// row tid.
+			b.For(p, t)
+			b.MulImm(off, p, t)
+			b.Add(off, off, p)
+			e.LdTile(d, 0, off) // D[p][p]
+			b.MulImm(off, tid, t)
+			b.Add(off, off, p)
+			e.LdTile(x, 1, off)
+			b.Div(x, x, d)
+			e.StTile(1, off, x)
+			cc := b.Reg()
+			b.For(cc, t)
+			b.SetLt(cond, p, cc)
+			b.If(cond)
+			b.MulImm(off, p, t)
+			b.Add(off, off, cc)
+			e.LdTile(d, 0, off) // D[p][c]
+			b.Mul(d, d, x)
+			b.MulImm(off, tid, t)
+			b.Add(off, off, cc)
+			e.LdTile(v, 1, off)
+			b.Sub(v, v, d)
+			e.StTile(1, off, v)
+			b.EndIf()
+			b.EndFor()
+			b.EndFor()
+			b.EndIf()
+		})
+	}
+
+	// Internal kernel: block (i, j) does A[i][j] -= Col(i,k) x Row(k,j).
+	// 256 threads, one per element.
+	buildInternal := func(org system.MemOrg, k int) *gpu.Kernel {
+		side := nb - 1 - k
+		tiles := []TileSpec{
+			tileSpec(true, false, func(e *Env) (int, int) { // Col tile (i, k)
+				b := e.B
+				br, bc := b.Reg(), b.Reg()
+				b.DivImm(br, e.Ctaid(), int64(side))
+				b.AddImm(br, br, int64(k+1))
+				b.MovImm(bc, int64(k))
+				return br, bc
+			}),
+			tileSpec(true, false, func(e *Env) (int, int) { // Row tile (k, j)
+				b := e.B
+				br, bc := b.Reg(), b.Reg()
+				b.MovImm(br, int64(k))
+				b.ModImm(bc, e.Ctaid(), int64(side))
+				b.AddImm(bc, bc, int64(k+1))
+				return br, bc
+			}),
+			tileSpec(true, true, func(e *Env) (int, int) { // own tile (i, j)
+				b := e.B
+				br, bc := b.Reg(), b.Reg()
+				b.DivImm(br, e.Ctaid(), int64(side))
+				b.AddImm(br, br, int64(k+1))
+				b.ModImm(bc, e.Ctaid(), int64(side))
+				b.AddImm(bc, bc, int64(k+1))
+				return br, bc
+			}),
+		}
+		return BuildKernel(org, tw, side*side, tiles, func(e *Env) {
+			b := e.B
+			r, c, p, off, acc, lv, uv := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.DivImm(r, e.Tid(), t)
+			b.ModImm(c, e.Tid(), t)
+			e.LdTile(acc, 2, e.Tid())
+			b.For(p, t)
+			b.MulImm(off, r, t)
+			b.Add(off, off, p)
+			e.LdTile(lv, 0, off)
+			b.MulImm(off, p, t)
+			b.Add(off, off, c)
+			e.LdTile(uv, 1, off)
+			b.Mul(lv, lv, uv)
+			b.Sub(acc, acc, lv)
+			b.Flops(1)
+			b.EndFor()
+			e.StTile(2, e.Tid(), acc)
+		})
+	}
+
+	w.Run = func(s *system.System, org system.MemOrg) {
+		lRef = make([]uint32, n*n)
+		uRef = make([]uint32, n*n)
+		for i := 0; i < n; i++ {
+			lRef[i*n+i] = 1
+			uRef[i*n+i] = 1
+			for j := 0; j < i; j++ {
+				lRef[i*n+j] = uint32((i*7 + j*3) % 4)
+			}
+			for j := i + 1; j < n; j++ {
+				uRef[i*n+j] = uint32((i*5 + j) % 4)
+			}
+		}
+		aBase = s.Alloc(n*n, func(idx int) uint32 {
+			i, j := idx/n, idx%n
+			var acc uint32
+			for p := 0; p <= i && p <= j; p++ {
+				acc += lRef[i*n+p] * uRef[p*n+j]
+			}
+			return acc
+		})
+		for k := 0; k < nb; k++ {
+			s.RunKernel(buildDiag(org, k))
+			if k < nb-1 {
+				// Matrix tiles span ~5 pages each; four resident blocks
+				// keep the active mappings within the VP-map.
+				s.RunKernel(throttle(buildPerimeter(org, k), 4))
+				s.RunKernel(throttle(buildInternal(org, k), 4))
+			}
+		}
+	}
+	w.Verify = func(s *system.System) error {
+		s.FlushForVerify()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := uRef[i*n+j]
+				if i > j {
+					want = lRef[i*n+j]
+				}
+				got := s.ReadGlobal(aBase + memdata.VAddr((i*n+j)*4))
+				if got != want {
+					return errf("lud: M[%d][%d] = %d, want %d", i, j, got, want)
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"stash/internal/core"
+	"stash/internal/gpu"
+	"stash/internal/memdata"
+	"stash/internal/system"
+)
+
+// NW is the Rodinia Needleman-Wunsch sequence alignment at the paper's
+// 512x512 size. The (n+1)x(n+1) score matrix is filled in 16x16 tiles
+// processed along anti-diagonals of blocks (one kernel launch per
+// block diagonal); each block stages its 17x17 score tile (with top and
+// left halo from neighbouring blocks) and 16x16 reference tile in local
+// memory and sweeps 31 intra-tile diagonals. Arithmetic is 32-bit
+// two's-complement with signed comparisons, matching the Go reference.
+func NW() *Workload {
+	const (
+		n        = 512
+		tile     = 16
+		nb       = n / tile
+		dim      = n + 1
+		gap      = 3
+		blockDim = tile
+	)
+	var refBase, scoreBase memdata.VAddr
+	var refVals []uint32
+	w := &Workload{Name: "nw", Micro: false}
+
+	buildDiag := func(org system.MemOrg, d int) *gpu.Kernel {
+		lo := 0
+		if d > nb-1 {
+			lo = d - (nb - 1)
+		}
+		hi := d
+		if hi > nb-1 {
+			hi = nb - 1
+		}
+		grid := hi - lo + 1
+		// bi = lo + ctaid; bj = d - bi.
+		biOf := func(e *Env) (bi, bj int) {
+			b := e.B
+			bi = b.Reg()
+			bj = b.Reg()
+			b.AddImm(bi, e.Ctaid(), int64(lo))
+			b.MovImm(bj, int64(d))
+			b.Sub(bj, bj, bi)
+			return
+		}
+		tiles := []TileSpec{
+			{ // 17x17 score tile including top/left halo
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: tile + 1, StrideBytes: dim * 4, NumRows: tile + 1},
+				GBase: func(e *Env) int {
+					b := e.B
+					bi, bj := biOf(e)
+					r := b.Reg()
+					b.MulImm(r, bi, int64(tile*dim*4))
+					b.MulImm(bj, bj, int64(tile*4))
+					b.Add(r, r, bj)
+					b.AddImm(r, r, int64(scoreBase))
+					return r
+				},
+				In: true, Out: true,
+			},
+			{ // 16x16 reference tile
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: tile, StrideBytes: n * 4, NumRows: tile},
+				GBase: func(e *Env) int {
+					b := e.B
+					bi, bj := biOf(e)
+					r := b.Reg()
+					b.MulImm(r, bi, int64(tile*n*4))
+					b.MulImm(bj, bj, int64(tile*4))
+					b.Add(r, r, bj)
+					b.AddImm(r, r, int64(refBase))
+					return r
+				},
+				In: true,
+			},
+		}
+		return BuildKernel(org, blockDim, grid, tiles, func(e *Env) {
+			b := e.B
+			j := e.Tid() // thread j owns tile column j
+			dd, i, active, cond := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			nw, west, north, rv, best, off, t := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.For(dd, 2*tile-1)
+			// Cell (i, j) with i = dd - j, valid when 0 <= i < tile.
+			b.Sub(i, dd, j)
+			b.SetLtImm(active, i, tile)
+			b.SetLtImm(cond, i, 0)
+			b.SetEqImm(cond, cond, 0) // i >= 0
+			b.And(active, active, cond)
+			b.If(active)
+			// Score-tile coordinates are shifted by the halo: cell (i,j)
+			// lives at tile position (i+1, j+1).
+			b.MulImm(off, i, tile+1)
+			b.Add(off, off, j) // (i, j) -> nw neighbour (i, j) in tile coords
+			e.LdTile(nw, 0, off)
+			b.AddImm(t, off, 1) // (i, j+1): north
+			e.LdTile(north, 0, t)
+			b.AddImm(t, off, tile+1) // (i+1, j): west
+			e.LdTile(west, 0, t)
+			b.MulImm(t, i, tile)
+			b.Add(t, t, j)
+			e.LdTile(rv, 1, t)
+			b.Add(nw, nw, rv)
+			b.AddImm(west, west, -gap)
+			b.AddImm(north, north, -gap)
+			b.SetLt(cond, nw, west)
+			b.Select(best, cond, west, nw)
+			b.SetLt(cond, best, north)
+			b.Select(best, cond, north, best)
+			b.AddImm(t, off, tile+2) // (i+1, j+1): the cell itself
+			e.StTile(0, t, best)
+			b.EndIf()
+			b.Barrier()
+			b.EndFor()
+		})
+	}
+
+	w.Run = func(s *system.System, org system.MemOrg) {
+		refVals = make([]uint32, n*n)
+		for i := range refVals {
+			refVals[i] = uint32((i*11)%10) - 4 // scores in [-4, 5]
+		}
+		refBase = s.Alloc(len(refVals), func(i int) uint32 { return refVals[i] })
+		scoreBase = s.Alloc(dim*dim, func(i int) uint32 {
+			row, col := i/dim, i%dim
+			switch {
+			case row == 0:
+				return uint32(-col * gap)
+			case col == 0:
+				return uint32(-row * gap)
+			}
+			return 0
+		})
+		for d := 0; d < 2*nb-1; d++ {
+			// The 17x17 strided score tiles span ~19 pages per block;
+			// three resident blocks keep active mappings within the VP-map.
+			s.RunKernel(throttle(buildDiag(org, d), 3))
+		}
+	}
+	w.Verify = func(s *system.System) error {
+		s.FlushForVerify()
+		score := make([]int64, dim*dim)
+		for i := 0; i <= n; i++ {
+			score[i] = int64(-i * gap)
+			score[i*dim] = int64(-i * gap)
+		}
+		max := func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				r := int64(int32(refVals[(i-1)*n+(j-1)]))
+				v := max(score[(i-1)*dim+j-1]+r,
+					max(score[i*dim+j-1]-gap, score[(i-1)*dim+j]-gap))
+				score[i*dim+j] = v
+			}
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				got := int32(s.ReadGlobal(scoreBase + memdata.VAddr((i*dim+j)*4)))
+				if int64(got) != score[i*dim+j] {
+					return errf("nw: score[%d][%d] = %d, want %d", i, j, got, score[i*dim+j])
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"stash/internal/core"
+	"stash/internal/memdata"
+	"stash/internal/system"
+)
+
+// SGEMM is the Parboil dense matrix multiply, C = A x B, at the paper's
+// problem size (A: 128x96, B: 96x160). Each thread block computes one
+// 16x16 tile of C; the block's A row-strip and B column-strip are
+// staged in local memory (the application's scratchpad tiles), and C is
+// written globally (converted to a local tile in the G configurations).
+// Arithmetic is 32-bit integer modulo 2^32, matching the Go reference.
+func SGEMM() *Workload {
+	const (
+		m, kdim, ndim = 128, 96, 160
+		tile          = 16
+		blockDim      = tile * tile
+		gridY         = m / tile
+		gridX         = ndim / tile
+	)
+	var aBase, bBase, cBase memdata.VAddr
+	var aRef, bRef []uint32
+	w := &Workload{Name: "sgemm", Micro: false}
+	w.Run = func(s *system.System, org system.MemOrg) {
+		aRef = make([]uint32, m*kdim)
+		for i := range aRef {
+			aRef[i] = uint32(i%7 + 1)
+		}
+		bRef = make([]uint32, kdim*ndim)
+		for i := range bRef {
+			bRef[i] = uint32(i%5 + 1)
+		}
+		aBase = s.Alloc(len(aRef), func(i int) uint32 { return aRef[i] })
+		bBase = s.Alloc(len(bRef), func(i int) uint32 { return bRef[i] })
+		cBase = s.Alloc(m*ndim, nil)
+
+		tiles := []TileSpec{
+			{ // A row-strip: 16 rows x 96 columns.
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: kdim, StrideBytes: kdim * 4, NumRows: tile},
+				GBase: func(e *Env) int {
+					by := e.B.Reg()
+					e.B.DivImm(by, e.Ctaid(), gridX)
+					e.B.MulImm(by, by, int64(tile*kdim*4))
+					e.B.AddImm(by, by, int64(aBase))
+					return by
+				},
+				In: true,
+			},
+			{ // B column-strip: 96 rows x 16 columns.
+				Shape: core.MapParams{FieldBytes: 4 * tile, ObjectBytes: 4 * tile, RowElems: 1, StrideBytes: ndim * 4, NumRows: kdim},
+				GBase: func(e *Env) int {
+					bx := e.B.Reg()
+					e.B.ModImm(bx, e.Ctaid(), gridX)
+					e.B.MulImm(bx, bx, int64(tile*4))
+					e.B.AddImm(bx, bx, int64(bBase))
+					return bx
+				},
+				In: true,
+			},
+			{ // C tile: written once per thread; global in the original.
+				Shape: core.MapParams{FieldBytes: 4 * tile, ObjectBytes: 4 * tile, RowElems: 1, StrideBytes: ndim * 4, NumRows: tile},
+				GBase: func(e *Env) int {
+					b := e.B
+					by, bx, r := b.Reg(), b.Reg(), b.Reg()
+					b.DivImm(by, e.Ctaid(), gridX)
+					b.ModImm(bx, e.Ctaid(), gridX)
+					b.MulImm(r, by, int64(tile*ndim*4))
+					b.MulImm(bx, bx, int64(tile*4))
+					b.Add(r, r, bx)
+					b.AddImm(r, r, int64(cBase))
+					return r
+				},
+				Out: true, GOnly: true,
+			},
+		}
+		k := BuildKernel(org, blockDim, gridY*gridX, tiles, func(e *Env) {
+			b := e.B
+			ty, tx, kk, acc, av, bv, aOff, bOff, cOff := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.DivImm(ty, e.Tid(), tile)
+			b.ModImm(tx, e.Tid(), tile)
+			b.MovImm(acc, 0)
+			b.For(kk, kdim)
+			b.MulImm(aOff, ty, kdim)
+			b.Add(aOff, aOff, kk)
+			e.LdTile(av, 0, aOff)
+			b.MulImm(bOff, kk, tile)
+			b.Add(bOff, bOff, tx)
+			e.LdTile(bv, 1, bOff)
+			b.Mul(av, av, bv)
+			b.Add(acc, acc, av)
+			b.Flops(1)
+			b.EndFor()
+			b.MulImm(cOff, ty, tile)
+			b.Add(cOff, cOff, tx)
+			e.StTile(2, cOff, acc)
+		})
+		s.RunKernel(k)
+	}
+	w.Verify = func(s *system.System) error {
+		s.FlushForVerify()
+		want := make([]uint32, m*ndim)
+		for i := 0; i < m; i++ {
+			for j := 0; j < ndim; j++ {
+				var acc uint32
+				for kk := 0; kk < kdim; kk++ {
+					acc += aRef[i*kdim+kk] * bRef[kk*ndim+j]
+				}
+				want[i*ndim+j] = acc
+			}
+		}
+		return verifyWords(s, w.Name, cBase, want)
+	}
+	return w
+}

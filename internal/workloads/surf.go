@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"stash/internal/core"
+	"stash/internal/gpu"
+	"stash/internal/memdata"
+	"stash/internal/system"
+)
+
+// SURF is the computer-vision interest-point detector evaluated at the
+// paper's 66 KB image size (we use a 128x128 single-channel image,
+// 64 KB). Three kernels reproduce the detector's memory structure:
+// per-row inclusive prefix sums (shared-memory Hillis-Steele scan),
+// per-column prefix sums (completing the integral image), and a
+// difference-of-boxes response computed per 16x16 pixel tile from a
+// 25x25 integral-image patch staged in local memory.
+func SURF() *Workload {
+	const (
+		n        = 128
+		tile     = 16
+		halo     = 5                 // box lookups reach from -5 to +4
+		patch    = tile + 2*halo - 1 // 25
+		interior = n/tile - 2        // tiles away from the border: 6
+		blockDim = tile * tile
+	)
+	var imgBase, integBase, respBase memdata.VAddr
+	var imgRef []uint32
+	w := &Workload{Name: "surf", Micro: false}
+
+	// scanKernel builds a per-row or per-column inclusive prefix scan.
+	scanKernel := func(org system.MemOrg, byRow bool) *gpu.Kernel {
+		shape := core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: n, NumRows: 1}
+		stridePerBlock := int64(n * 4)
+		if !byRow {
+			shape = core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: 1, StrideBytes: n * 4, NumRows: n}
+			stridePerBlock = 4
+		}
+		tiles := []TileSpec{{
+			Shape: shape,
+			GBase: func(e *Env) int {
+				r := e.B.Reg()
+				e.B.MulImm(r, e.Ctaid(), stridePerBlock)
+				e.B.AddImm(r, r, int64(integBase))
+				return r
+			},
+			In: true, Out: true,
+		}}
+		return BuildKernel(org, n, n, tiles, func(e *Env) {
+			b := e.B
+			t := e.Tid()
+			x, y, off, cond := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			for d := 1; d < n; d *= 2 {
+				e.LdTile(x, 0, t)
+				b.SetLtImm(cond, t, int64(d))
+				b.SetEqImm(cond, cond, 0) // t >= d
+				b.If(cond)
+				b.AddImm(off, t, int64(-d))
+				e.LdTile(y, 0, off)
+				b.Add(x, x, y)
+				b.EndIf()
+				b.Barrier()
+				e.StTile(0, t, x)
+				b.Barrier()
+			}
+		})
+	}
+
+	// responseKernel computes resp = 9*small - big for interior pixels,
+	// where small and big are box sums over the integral image.
+	responseKernel := func(org system.MemOrg) *gpu.Kernel {
+		tiles := []TileSpec{
+			{ // 25x25 integral patch, offset (-5, -5) from the pixel tile
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: patch, StrideBytes: n * 4, NumRows: patch},
+				GBase: func(e *Env) int {
+					b := e.B
+					by, bx, r := b.Reg(), b.Reg(), b.Reg()
+					b.DivImm(by, e.Ctaid(), interior)
+					b.AddImm(by, by, 1)
+					b.ModImm(bx, e.Ctaid(), interior)
+					b.AddImm(bx, bx, 1)
+					b.MulImm(r, by, int64(tile*n*4))
+					b.MulImm(bx, bx, int64(tile*4))
+					b.Add(r, r, bx)
+					b.AddImm(r, r, int64(integBase)-int64(halo*(n+1)*4))
+					return r
+				},
+				In: true,
+			},
+			{ // 16x16 response tile
+				Shape: core.MapParams{FieldBytes: 4, ObjectBytes: 4, RowElems: tile, StrideBytes: n * 4, NumRows: tile},
+				GBase: func(e *Env) int {
+					b := e.B
+					by, bx, r := b.Reg(), b.Reg(), b.Reg()
+					b.DivImm(by, e.Ctaid(), interior)
+					b.AddImm(by, by, 1)
+					b.ModImm(bx, e.Ctaid(), interior)
+					b.AddImm(bx, bx, 1)
+					b.MulImm(r, by, int64(tile*n*4))
+					b.MulImm(bx, bx, int64(tile*4))
+					b.Add(r, r, bx)
+					b.AddImm(r, r, int64(respBase))
+					return r
+				},
+				Out: true,
+			},
+		}
+		return BuildKernel(org, blockDim, interior*interior, tiles, func(e *Env) {
+			b := e.B
+			py, px := b.Reg(), b.Reg()
+			b.DivImm(py, e.Tid(), tile)
+			b.ModImm(px, e.Tid(), tile)
+			// Patch coordinates of the pixel: (py+halo, px+halo).
+			// rect(dy0,dx0,dy1,dx1) relative to the pixel, using the
+			// inclusive-prefix identity.
+			acc := b.Reg()
+			rect := func(dst int, dy0, dx0, dy1, dx1 int) {
+				corner := func(out int, dy, dx int) {
+					off := b.Reg()
+					b.AddImm(off, py, int64(halo+dy))
+					b.MulImm(off, off, patch)
+					t := b.Reg()
+					b.AddImm(t, px, int64(halo+dx))
+					b.Add(off, off, t)
+					e.LdTile(out, 0, off)
+				}
+				c1, c2, c3 := b.Reg(), b.Reg(), b.Reg()
+				corner(dst, dy1, dx1)
+				corner(c1, dy0-1, dx1)
+				corner(c2, dy1, dx0-1)
+				corner(c3, dy0-1, dx0-1)
+				b.Sub(dst, dst, c1)
+				b.Sub(dst, dst, c2)
+				b.Add(dst, dst, c3)
+			}
+			big, small := b.Reg(), b.Reg()
+			rect(big, -4, -4, 4, 4)
+			rect(small, -2, -2, 2, 2)
+			b.MulImm(small, small, 9)
+			b.Sub(acc, small, big)
+			b.Flops(2)
+			e.StTile(1, e.Tid(), acc)
+		})
+	}
+
+	w.Run = func(s *system.System, org system.MemOrg) {
+		imgRef = make([]uint32, n*n)
+		for i := range imgRef {
+			imgRef[i] = uint32((i*31)%16 + 1)
+		}
+		imgBase = s.Alloc(n*n, func(i int) uint32 { return imgRef[i] })
+		integBase = s.Alloc(n*n, func(i int) uint32 { return imgRef[i] }) // scanned in place
+		respBase = s.Alloc(n*n, nil)
+		_ = imgBase
+		s.RunKernel(scanKernel(org, true))
+		// A column tile touches one page per 8 rows (16 pages); three
+		// resident blocks keep the active mappings within the VP-map.
+		s.RunKernel(throttle(scanKernel(org, false), 3))
+		s.RunKernel(responseKernel(org))
+	}
+	w.Verify = func(s *system.System) error {
+		s.FlushForVerify()
+		// Reference integral image.
+		integ := make([]uint32, n*n)
+		copy(integ, imgRef)
+		for y := 0; y < n; y++ {
+			for x := 1; x < n; x++ {
+				integ[y*n+x] += integ[y*n+x-1]
+			}
+		}
+		for x := 0; x < n; x++ {
+			for y := 1; y < n; y++ {
+				integ[y*n+x] += integ[(y-1)*n+x]
+			}
+		}
+		at := func(y, x int) uint32 { return integ[y*n+x] }
+		rect := func(y, x, dy0, dx0, dy1, dx1 int) uint32 {
+			return at(y+dy1, x+dx1) - at(y+dy0-1, x+dx1) - at(y+dy1, x+dx0-1) + at(y+dy0-1, x+dx0-1)
+		}
+		for by := 1; by <= interior; by++ {
+			for bx := 1; bx <= interior; bx++ {
+				for py := 0; py < tile; py++ {
+					for px := 0; px < tile; px++ {
+						y, x := by*tile+py, bx*tile+px
+						want := 9*rect(y, x, -2, -2, 2, 2) - rect(y, x, -4, -4, 4, 4)
+						got := s.ReadGlobal(respBase + memdata.VAddr((y*n+x)*4))
+						if got != want {
+							return errf("surf: resp[%d][%d] = %d, want %d", y, x, got, want)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// Applications returns fresh instances of the seven applications in the
+// paper's Figure 6 order.
+func Applications() []*Workload {
+	return []*Workload{LUD(), SURF(), Backprop(), NW(), Pathfinder(), SGEMM(), Stencil()}
+}

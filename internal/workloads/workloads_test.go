@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"testing"
+
+	"stash/internal/system"
+)
+
+// runOne builds the right machine for the workload, runs it on org, and
+// verifies functional correctness against the Go reference.
+func runOne(t *testing.T, mk func() *Workload, org system.MemOrg) *system.System {
+	t.Helper()
+	w := mk()
+	var cfg system.Config
+	if w.Micro {
+		cfg = system.MicrobenchConfig(org)
+	} else {
+		cfg = system.AppConfig(org)
+	}
+	s := system.New(cfg)
+	w.Run(s, org)
+	if err := w.Verify(s); err != nil {
+		t.Fatalf("%s on %v: %v", w.Name, org, err)
+	}
+	return s
+}
+
+var microCtors = map[string]func() *Workload{
+	"implicit":  Implicit,
+	"pollution": Pollution,
+	"on-demand": OnDemand,
+	"reuse":     Reuse,
+}
+
+var appCtors = map[string]func() *Workload{
+	"lud":        LUD,
+	"backprop":   Backprop,
+	"nw":         NW,
+	"pathfinder": Pathfinder,
+	"sgemm":      SGEMM,
+	"stencil":    Stencil,
+	"surf":       SURF,
+}
+
+// Microbenchmarks run on the four configurations of Figure 5.
+func TestMicrobenchmarksAllConfigs(t *testing.T) {
+	orgs := []system.MemOrg{system.Scratch, system.ScratchGD, system.CacheOnly, system.StashOrg}
+	for name, mk := range microCtors {
+		for _, org := range orgs {
+			t.Run(name+"/"+org.String(), func(t *testing.T) {
+				runOne(t, mk, org)
+			})
+		}
+	}
+}
+
+// Applications run on the five configurations of Figure 6 (plus
+// ScratchGD, which the paper measured but plotted separately).
+func TestApplicationsAllConfigs(t *testing.T) {
+	orgs := []system.MemOrg{
+		system.Scratch, system.ScratchG, system.ScratchGD,
+		system.CacheOnly, system.StashOrg, system.StashG,
+	}
+	if testing.Short() {
+		orgs = []system.MemOrg{system.Scratch, system.StashOrg}
+	}
+	for name, mk := range appCtors {
+		for _, org := range orgs {
+			t.Run(name+"/"+org.String(), func(t *testing.T) {
+				runOne(t, mk, org)
+			})
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"implicit", "pollution", "on-demand", "reuse",
+		"lud", "backprop", "nw", "pathfinder", "sgemm", "stencil", "surf"} {
+		w, err := ByName(name)
+		if err != nil || w == nil || w.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, w, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// The stash must beat the scratchpad on instruction count for the
+// Implicit microbenchmark (the paper's headline -40%).
+func TestImplicitInstructionReduction(t *testing.T) {
+	sScratch := runOne(t, Implicit, system.Scratch)
+	sStash := runOne(t, Implicit, system.StashOrg)
+	ni := sScratch.Stats.Sum("cu.gpu0.instructions")
+	nj := sStash.Stats.Sum("cu.gpu0.instructions")
+	if nj >= ni {
+		t.Fatalf("stash instructions %d >= scratch %d", nj, ni)
+	}
+	reduction := 1 - float64(nj)/float64(ni)
+	if reduction < 0.25 {
+		t.Fatalf("instruction reduction %.0f%% too small (paper: ~40%%)", reduction*100)
+	}
+}
+
+// Cross-kernel reuse: the stash's second and later kernels must produce
+// far less read traffic than the scratchpad configuration.
+func TestReuseTrafficReduction(t *testing.T) {
+	sScratch := runOne(t, Reuse, system.Scratch)
+	sStash := runOne(t, Reuse, system.StashOrg)
+	tScratch := sScratch.Stats.Sum("noc.flit_hops.")
+	tStash := sStash.Stats.Sum("noc.flit_hops.")
+	if tStash >= tScratch {
+		t.Fatalf("stash traffic %d >= scratch %d", tStash, tScratch)
+	}
+}

@@ -1,0 +1,210 @@
+// Package stash is a from-scratch reproduction of the memory system
+// proposed in "Stash: Have Your Scratchpad and Cache It Too"
+// (Komuravelli et al., ISCA 2015) as an executable Go library.
+//
+// The stash is an SRAM organization for heterogeneous CPU-GPU systems
+// that is directly addressed and compactly stored like a scratchpad —
+// no tag or TLB access on hits, no conflict misses, only useful words
+// resident — while remaining globally addressable and visible like a
+// cache: data moves implicitly and on demand, writebacks are lazy, and
+// values are kept coherent across compute units, enabling reuse across
+// kernels.
+//
+// The package front-ends a full simulated machine (see DESIGN.md): GPU
+// compute units executing a mini SIMT ISA, scratchpads, stashes, a DMA
+// engine, DeNovo word-granularity coherence, a banked shared LLC, a 4x4
+// mesh NoC, virtual memory, and a GPUWattch-style energy model. Every
+// table and figure of the paper's evaluation can be regenerated through
+// the benchmarks in bench_test.go and cmd/paperfigs.
+//
+// Quick start:
+//
+//	res, err := stash.RunWorkload("implicit", stash.Stash)
+//	// res.Cycles, res.EnergyPJ, res.FlitHops, ...
+//
+// Custom kernels are written against System, Asm and MapParams; see
+// examples/ for complete programs.
+package stash
+
+import (
+	"fmt"
+
+	"stash/internal/core"
+	"stash/internal/gpu"
+	"stash/internal/isa"
+	"stash/internal/memdata"
+	"stash/internal/system"
+)
+
+// MemOrg selects one of the paper's six memory organizations
+// (Section 5.3).
+type MemOrg int
+
+// Memory organizations, in the paper's order.
+const (
+	// Scratch: 16 KB scratchpad + 32 KB L1; explicit copies.
+	Scratch MemOrg = iota
+	// ScratchG: Scratch with global accesses converted to scratchpad.
+	ScratchG
+	// ScratchGD: ScratchG with a D2MA-style DMA engine.
+	ScratchGD
+	// Cache: 32 KB L1 only.
+	Cache
+	// Stash: 16 KB stash + 32 KB L1 (the paper's contribution).
+	Stash
+	// StashG: Stash with global accesses converted to stash accesses.
+	StashG
+)
+
+// Orgs lists all six memory organizations in the paper's order.
+func Orgs() []MemOrg { return []MemOrg{Scratch, ScratchG, ScratchGD, Cache, Stash, StashG} }
+
+// String returns the configuration name as used in the paper's figures.
+func (o MemOrg) String() string { return o.internal().String() }
+
+func (o MemOrg) internal() system.MemOrg {
+	switch o {
+	case Scratch:
+		return system.Scratch
+	case ScratchG:
+		return system.ScratchG
+	case ScratchGD:
+		return system.ScratchGD
+	case Cache:
+		return system.CacheOnly
+	case Stash:
+		return system.StashOrg
+	case StashG:
+		return system.StashG
+	}
+	panic(fmt.Sprintf("stash: invalid MemOrg %d", int(o)))
+}
+
+// Config describes a machine to simulate. The zero value is not valid;
+// start from MicroConfig or AppConfig.
+type Config struct {
+	// Org selects the memory organization.
+	Org MemOrg
+	// GPUs and CPUs place compute units and CPU cores on the 16-node
+	// mesh (GPUs first). GPUs+CPUs must not exceed 16.
+	GPUs, CPUs int
+	// DisableReplication turns off the data-replication optimization of
+	// paper Section 4.5 (for ablation).
+	DisableReplication bool
+	// EagerWriteback makes the stash write dirty data back at every
+	// kernel boundary, scratchpad-style (for ablation).
+	EagerWriteback bool
+	// ChunkWords overrides the lazy-writeback chunk granularity in
+	// words (default 16 = 64 B; for ablation). Currently informational:
+	// the simulated chunk granularity is fixed at 64 B.
+	ChunkWords int
+}
+
+// MicroConfig is the paper's microbenchmark machine: 1 GPU CU and 15
+// CPU cores (Table 2).
+func MicroConfig(org MemOrg) Config { return Config{Org: org, GPUs: 1, CPUs: 15} }
+
+// AppConfig is the paper's application machine: 15 GPU CUs and 1 CPU
+// core (Table 2).
+func AppConfig(org MemOrg) Config { return Config{Org: org, GPUs: 15, CPUs: 1} }
+
+func (c Config) internal() system.Config {
+	if c.GPUs < 1 || c.GPUs+c.CPUs > 16 {
+		panic(fmt.Sprintf("stash: invalid placement: %d GPUs + %d CPUs on a 16-node mesh", c.GPUs, c.CPUs))
+	}
+	cfg := system.MicrobenchConfig(c.Org.internal())
+	cfg.GPUNodes = nil
+	cfg.CPUNodes = nil
+	for n := 0; n < c.GPUs; n++ {
+		cfg.GPUNodes = append(cfg.GPUNodes, n)
+	}
+	for n := c.GPUs; n < c.GPUs+c.CPUs; n++ {
+		cfg.CPUNodes = append(cfg.CPUNodes, n)
+	}
+	cfg.Stash.EnableReplication = !c.DisableReplication
+	cfg.Stash.EagerWriteback = c.EagerWriteback
+	return cfg
+}
+
+// Addr is a virtual address in the simulated unified address space.
+type Addr uint64
+
+// System is one simulated machine instance. Systems are single-use:
+// allocate data, run kernels and CPU phases, then read results.
+type System struct {
+	sys *system.System
+}
+
+// NewSystem builds a machine.
+func NewSystem(cfg Config) *System {
+	return &System{sys: system.New(cfg.internal())}
+}
+
+// Alloc reserves words of global memory, optionally initialized by gen,
+// and returns its base address.
+func (s *System) Alloc(words int, gen func(i int) uint32) Addr {
+	return Addr(s.sys.Alloc(words, gen))
+}
+
+// RunKernel launches the kernel across all CUs and runs the simulation
+// until it completes, drains, and self-invalidates (a full kernel
+// boundary).
+func (s *System) RunKernel(k *Kernel) { s.sys.RunKernel(k.k) }
+
+// RunCPU runs prog as n logical threads over the CPU cores (an
+// acquire-release synchronized CPU phase).
+func (s *System) RunCPU(prog *Program, n int) { s.sys.RunCPUPhase(prog.p, n) }
+
+// Cycles returns the simulated time elapsed so far.
+func (s *System) Cycles() uint64 { return uint64(s.sys.Cycles()) }
+
+// Flush writes all owned data back to the LLC so ReadWord observes
+// final values. Call after measurements: flushing adds traffic.
+func (s *System) Flush() { s.sys.FlushForVerify() }
+
+// ReadWord returns the coherent value of the word at a (Flush first).
+func (s *System) ReadWord(a Addr) uint32 { return s.sys.ReadGlobal(memdata.VAddr(a)) }
+
+// Result snapshots the system's measurements; see Measure.
+func (s *System) Result() Result { return measure(s.sys) }
+
+// MapParams is the AddMap intrinsic's argument list (paper Section 3.1):
+// it maps a 1D or 2D, possibly strided, tile of a global array-of-
+// structures field onto dense local words.
+type MapParams struct {
+	// StashBase is the first block-relative local word of the tile.
+	StashBase int
+	// GlobalBase is the tile's first mapped field address.
+	GlobalBase Addr
+	// FieldBytes is the mapped field's size; ObjectBytes the AoS
+	// element size (equal for scalar arrays).
+	FieldBytes, ObjectBytes int
+	// RowElems elements per tile row; StrideBytes between rows;
+	// NumRows rows ("rowSize", "strideSize", "numStrides").
+	RowElems, StrideBytes, NumRows int
+	// Coherent selects Mapped Coherent vs Mapped Non-coherent mode.
+	Coherent bool
+}
+
+func (m MapParams) internal() core.MapParams {
+	return core.MapParams{
+		StashBase:   m.StashBase,
+		GlobalBase:  memdata.VAddr(m.GlobalBase),
+		FieldBytes:  m.FieldBytes,
+		ObjectBytes: m.ObjectBytes,
+		RowElems:    m.RowElems,
+		StrideBytes: m.StrideBytes,
+		NumRows:     m.NumRows,
+		Coherent:    m.Coherent,
+	}
+}
+
+// Kernel is a compiled GPU grid.
+type Kernel struct {
+	k *gpu.Kernel
+}
+
+// Program is a compiled instruction sequence (for CPU phases).
+type Program struct {
+	p *isa.Program
+}

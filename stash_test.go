@@ -1,0 +1,171 @@
+package stash
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOrgsRoundTrip(t *testing.T) {
+	names := []string{"Scratch", "ScratchG", "ScratchGD", "Cache", "Stash", "StashG"}
+	for i, o := range Orgs() {
+		if o.String() != names[i] {
+			t.Errorf("org %d = %q, want %q", i, o.String(), names[i])
+		}
+	}
+}
+
+func TestWorkloadLists(t *testing.T) {
+	if len(Microbenchmarks()) != 4 || len(Applications()) != 7 || len(Workloads()) != 11 {
+		t.Fatalf("workload lists wrong: %d micro, %d apps",
+			len(Microbenchmarks()), len(Applications()))
+	}
+	if !IsMicrobenchmark("reuse") || IsMicrobenchmark("lud") {
+		t.Fatal("IsMicrobenchmark misclassifies")
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	if _, err := RunWorkload("not-a-workload", Stash); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunWorkloadImplicitStashVsScratch(t *testing.T) {
+	scratch, err := RunWorkload("implicit", Scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunWorkload("implicit", Stash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := st.NormalizeTo(scratch)
+	if n.Instructions >= 1 || n.Energy >= 1 {
+		t.Fatalf("stash not better than scratch: %+v", n)
+	}
+}
+
+func TestCustomKernelThroughPublicAPI(t *testing.T) {
+	// The Figure 1b program, written against the public API.
+	const n = 256
+	sys := NewSystem(MicroConfig(Stash))
+	base := sys.Alloc(n, func(i int) uint32 { return uint32(i) })
+
+	a := NewAsm()
+	tid, sbase, gbase, v := a.R(), a.R(), a.R(), a.R()
+	a.Spec(tid, TID)
+	a.MovI(sbase, 0)
+	a.Spec(gbase, CTAID)
+	a.MulI(gbase, gbase, 128*4)
+	a.AddI(gbase, gbase, int64(base))
+	a.AddMapReg(0, MapParams{
+		FieldBytes: 4, ObjectBytes: 4, RowElems: 128, NumRows: 1, Coherent: true,
+	}, sbase, gbase)
+	a.Barrier()
+	a.LdStash(v, tid, 0, 0)
+	a.AddI(v, v, 100)
+	a.StStash(tid, 0, v, 0)
+	k := a.MustKernel(128, n/128, 128)
+
+	sys.RunKernel(k)
+	res := sys.Result()
+	if res.Cycles == 0 || res.GPUInstructions == 0 {
+		t.Fatalf("no activity measured: %+v", res)
+	}
+	sys.Flush()
+	for i := 0; i < n; i++ {
+		if got := sys.ReadWord(base + Addr(4*i)); got != uint32(i+100) {
+			t.Fatalf("A[%d] = %d, want %d", i, got, i+100)
+		}
+	}
+}
+
+func TestCPUProgramThroughPublicAPI(t *testing.T) {
+	sys := NewSystem(MicroConfig(Cache))
+	src := sys.Alloc(64, func(i int) uint32 { return uint32(i * 2) })
+	dst := sys.Alloc(15, nil)
+	a := NewAsm()
+	id, addr, v, sum, i, idx, cond := a.R(), a.R(), a.R(), a.R(), a.R(), a.R(), a.R()
+	a.Spec(id, CTAID)
+	a.MovI(sum, 0)
+	a.For(i, 5)
+	a.MulI(idx, id, 5)
+	a.Add(idx, idx, i)
+	a.SetLtI(cond, idx, 64)
+	a.If(cond)
+	a.MulI(addr, idx, 4)
+	a.AddI(addr, addr, int64(src))
+	a.LdGlobal(v, addr, 0)
+	a.Add(sum, sum, v)
+	a.EndIf()
+	a.EndFor()
+	a.MulI(addr, id, 4)
+	a.AddI(addr, addr, int64(dst))
+	a.StGlobal(addr, 0, sum)
+	sys.RunCPU(a.MustProgram(), 15)
+	sys.Flush()
+	for tid := 0; tid < 13; tid++ { // threads 0..12 cover 0..64
+		var want uint32
+		for j := tid * 5; j < tid*5+5 && j < 64; j++ {
+			want += uint32(j * 2)
+		}
+		if got := sys.ReadWord(dst + Addr(4*tid)); got != want {
+			t.Fatalf("sum[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := FeatureMatrix()
+	if len(t1) != 9 {
+		t.Fatalf("Table 1 rows = %d, want 9", len(t1))
+	}
+	for _, r := range t1 {
+		if r.Support["Stash"] == "" || r.Support["Cache"] == "" || r.Support["Scratchpad"] == "" {
+			t.Fatalf("Table 1 row %q incomplete", r.Benefit)
+		}
+	}
+	t4 := RelatedWorkMatrix()
+	if len(t4) != 10 {
+		t.Fatalf("Table 4 rows = %d, want 10", len(t4))
+	}
+	out := RenderFeatures(t1, []string{"Cache", "Scratchpad", "Stash"})
+	if !strings.Contains(out, "No conflict misses") {
+		t.Fatal("rendered table missing rows")
+	}
+	e := AccessEnergies()
+	if len(e) != 4 || e[0].HitPJ != 55.3 || e[1].MissPJ != 86.8 {
+		t.Fatalf("Table 3 energies wrong: %+v", e)
+	}
+}
+
+func TestNormalizeTo(t *testing.T) {
+	base := Result{Cycles: 100, EnergyPJ: 200, GPUInstructions: 50,
+		FlitHops: map[string]uint64{"read": 10}}
+	r := Result{Cycles: 50, EnergyPJ: 100, GPUInstructions: 25,
+		FlitHops: map[string]uint64{"read": 5}}
+	n := r.NormalizeTo(base)
+	for _, v := range []float64{n.Cycles, n.Energy, n.Instructions, n.Traffic} {
+		if math.Abs(v-0.5) > 1e-9 {
+			t.Fatalf("normalized = %+v, want all 0.5", n)
+		}
+	}
+}
+
+func TestAblationConfigs(t *testing.T) {
+	cfg := MicroConfig(Stash)
+	cfg.DisableReplication = true
+	noRepl, err := RunWorkloadCfg("reuse", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRepl, err := RunWorkload("reuse", Stash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noRepl.TotalFlitHops() <= withRepl.TotalFlitHops() {
+		t.Fatalf("replication off traffic %d <= on %d",
+			noRepl.TotalFlitHops(), withRepl.TotalFlitHops())
+	}
+}

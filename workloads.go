@@ -1,0 +1,70 @@
+package stash
+
+import (
+	"fmt"
+
+	"stash/internal/system"
+	"stash/internal/workloads"
+)
+
+// Microbenchmarks lists the paper's four microbenchmarks (Section
+// 5.4.1) in the Figure 5 order.
+func Microbenchmarks() []string {
+	return []string{"implicit", "pollution", "on-demand", "reuse"}
+}
+
+// Applications lists the paper's seven applications (Section 5.4.2) in
+// the Figure 6 order.
+func Applications() []string {
+	return []string{"lud", "surf", "backprop", "nw", "pathfinder", "sgemm", "stencil"}
+}
+
+// Workloads lists every reproducible workload.
+func Workloads() []string {
+	return append(Microbenchmarks(), Applications()...)
+}
+
+// IsMicrobenchmark reports whether the named workload runs on the
+// microbenchmark machine (1 CU + 15 CPU cores).
+func IsMicrobenchmark(name string) bool {
+	for _, m := range Microbenchmarks() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunWorkload simulates the named workload on the given memory
+// organization (on the machine the paper used for it), verifies
+// functional correctness against a Go reference, and returns the
+// measurements. Measurement snapshots are taken before the final
+// verification flush, exactly as the paper measures.
+func RunWorkload(name string, org MemOrg) (Result, error) {
+	return RunWorkloadCfg(name, configFor(name, org))
+}
+
+// RunWorkloadCfg is RunWorkload with an explicit machine configuration
+// (for ablations: replication off, eager writeback, different core
+// counts).
+func RunWorkloadCfg(name string, cfg Config) (Result, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	s := system.New(cfg.internal())
+	iorg := cfg.Org.internal()
+	w.Run(s, iorg)
+	res := measure(s)
+	if err := w.Verify(s); err != nil {
+		return res, fmt.Errorf("stash: %s on %v failed verification: %w", name, cfg.Org, err)
+	}
+	return res, nil
+}
+
+func configFor(name string, org MemOrg) Config {
+	if IsMicrobenchmark(name) {
+		return MicroConfig(org)
+	}
+	return AppConfig(org)
+}
