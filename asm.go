@@ -119,7 +119,20 @@ func (a *Asm) EndIf()   { a.b.EndIf() }
 func (a *Asm) For(i Reg, n int64) { a.b.For(int(i), n) }
 func (a *Asm) EndFor()            { a.b.EndFor() }
 
-// Kernel finalizes the program as a GPU kernel. localWords is the
+// Assemble finalizes and validates the instruction stream — balanced
+// If/For regions, well-formed register use — and reports the first
+// builder error without materializing a launchable artifact. Kernel
+// and Program perform the same assembly; call Assemble directly to
+// check a program before choosing a launch shape. Assembly is
+// idempotent: more instructions may be appended and the program
+// assembled again.
+func (a *Asm) Assemble() error {
+	_, err := a.b.Build()
+	return err
+}
+
+// Kernel assembles the program as a GPU kernel, returning any builder
+// error (see Assemble) instead of panicking. localWords is the
 // per-block scratchpad/stash allocation in words (chunk-aligned, 64 B).
 func (a *Asm) Kernel(blockDim, gridDim, localWords int) (*Kernel, error) {
 	p, err := a.b.Build()
@@ -134,29 +147,12 @@ func (a *Asm) Kernel(blockDim, gridDim, localWords int) (*Kernel, error) {
 	}}, nil
 }
 
-// MustKernel is Kernel for statically correct programs.
-func (a *Asm) MustKernel(blockDim, gridDim, localWords int) *Kernel {
-	k, err := a.Kernel(blockDim, gridDim, localWords)
-	if err != nil {
-		panic(err)
-	}
-	return k
-}
-
-// Program finalizes the instruction sequence as a CPU program.
+// Program assembles the instruction sequence as a CPU program,
+// returning any builder error (see Assemble) instead of panicking.
 func (a *Asm) Program() (*Program, error) {
 	p, err := a.b.Build()
 	if err != nil {
 		return nil, err
 	}
 	return &Program{p: p}, nil
-}
-
-// MustProgram is Program for statically correct programs.
-func (a *Asm) MustProgram() *Program {
-	p, err := a.Program()
-	if err != nil {
-		panic(err)
-	}
-	return p
 }

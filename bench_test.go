@@ -1,6 +1,9 @@
 package stash
 
 import (
+	"context"
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -133,6 +136,56 @@ func BenchmarkAblationLazyWriteback(b *testing.B) {
 			b.ReportMetric(float64(res.Cycles), "sim_cycles")
 			b.ReportMetric(res.EnergyPJ/1e3, "nJ")
 			b.ReportMetric(float64(res.TotalFlitHops()), "flit_hops")
+		})
+	}
+}
+
+// BenchmarkAblationChunkGranularity sweeps the lazy-writeback chunk
+// size (Section 4.2) on the Implicit microbenchmark: finer chunks mean
+// more, smaller flush operations for the same dirty footprint.
+func BenchmarkAblationChunkGranularity(b *testing.B) {
+	for _, chunk := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("chunk-%dw", chunk), func(b *testing.B) {
+			var res Result
+			for i := 0; i < b.N; i++ {
+				cfg := MicroConfig(Stash)
+				cfg.ChunkWords = chunk
+				var err error
+				res, err = RunWorkloadCfg("implicit", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "sim_cycles")
+			b.ReportMetric(res.EnergyPJ/1e3, "nJ")
+			b.ReportMetric(float64(res.TotalFlitHops()), "flit_hops")
+			var flushes uint64
+			for name, v := range res.Counters {
+				if strings.HasSuffix(name, ".lazy_writeback_chunks") {
+					flushes += v
+				}
+			}
+			b.ReportMetric(float64(flushes), "chunk_flushes")
+		})
+	}
+}
+
+// BenchmarkSweepFig5 runs the whole Figure 5 grid through the parallel
+// sweep engine at different worker counts; ns/op is the wall time of
+// the full 16-cell sweep (compare -cpu runs on a multi-core host).
+func BenchmarkSweepFig5(b *testing.B) {
+	specs := Grid(Microbenchmarks(), []MemOrg{Scratch, ScratchGD, Cache, Stash})
+	for _, workers := range []int{1, 0} {
+		label := "serial"
+		if workers == 0 {
+			label = "gomaxprocs"
+		}
+		b.Run(label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(context.Background(), specs, SweepOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

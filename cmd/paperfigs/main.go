@@ -11,17 +11,41 @@
 //
 // Figures are printed as normalized tables (Scratch = 100), matching
 // the paper's bar charts.
+//
+// The figure grids are embarrassingly parallel (every cell is one
+// independent simulation), so they run on a worker pool:
+//
+//	paperfigs -exp fig6 -j 8          # 8 concurrent simulations
+//	paperfigs -exp fig6 -j 1          # serial: identical output, slower
+//	paperfigs -exp all -json out.json # raw sweep results as JSON
+//
+// Each simulation is deterministic and results are assembled in grid
+// order, so the tables printed to stdout are byte-identical for every
+// -j value; per-sweep wall times go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"stash"
 )
+
+var (
+	jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations for fig5/fig6 (1 = serial)")
+	jsonOut = flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
+	quiet   = flag.Bool("q", false, "suppress per-sweep wall-time reports on stderr")
+)
+
+// sweptResults accumulates every figure cell simulated in this
+// invocation for the optional -json dump.
+var sweptResults []stash.SweepResult
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig5|fig6|all")
@@ -49,6 +73,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	writeJSON()
+}
+
+func writeJSON() {
+	if *jsonOut == "" || len(sweptResults) == 0 {
+		return
+	}
+	out := os.Stdout
+	if *jsonOut != "-" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := stash.EncodeJSON(out, sweptResults); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -102,18 +145,31 @@ func table4() {
 		[]string{"Bypass L1", "Change Data Layout", "Elide Tag", "Virtual Private Memories", "DMAs", "Stash"}))
 }
 
-// collect runs the workloads on every org and returns results[workload][org].
-func collect(names []string, orgs []stash.MemOrg) map[string]map[stash.MemOrg]stash.Result {
+// collect sweeps the workloads across every org on the worker pool and
+// returns results[workload][org]. The sweep fails fast: any
+// verification failure aborts the figure.
+func collect(figure string, names []string, orgs []stash.MemOrg) map[string]map[stash.MemOrg]stash.Result {
+	specs := stash.Grid(names, orgs)
+	start := time.Now()
+	results, err := stash.Sweep(context.Background(), specs, stash.SweepOptions{
+		Workers:  *jobs,
+		FailFast: true,
+	})
+	if err != nil {
+		log.Fatalf("%s sweep: %v", figure, err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "%s: %d simulations on %d workers in %v\n",
+			figure, len(specs), *jobs, time.Since(start).Round(time.Millisecond))
+	}
+	sweptResults = append(sweptResults, results...)
+
 	out := make(map[string]map[stash.MemOrg]stash.Result)
-	for _, name := range names {
-		out[name] = make(map[stash.MemOrg]stash.Result)
-		for _, org := range orgs {
-			res, err := stash.RunWorkload(name, org)
-			if err != nil {
-				log.Fatalf("%s on %v: %v", name, org, err)
-			}
-			out[name][org] = res
+	for _, r := range results {
+		if out[r.Spec.Workload] == nil {
+			out[r.Spec.Workload] = make(map[stash.MemOrg]stash.Result)
 		}
+		out[r.Spec.Workload][r.Spec.Config.Org] = r.Result
 	}
 	return out
 }
@@ -176,7 +232,7 @@ func fig5() {
 	header("Figure 5: Microbenchmarks (1 CU + 15 CPU cores)")
 	names := stash.Microbenchmarks()
 	orgs := []stash.MemOrg{stash.Scratch, stash.ScratchGD, stash.Cache, stash.Stash}
-	res := collect(names, orgs)
+	res := collect("fig5", names, orgs)
 	printNormalized("(a) Execution time", names, orgs, res,
 		func(r stash.Result) float64 { return float64(r.Cycles) })
 	printNormalized("(b) Dynamic energy", names, orgs, res,
@@ -203,7 +259,7 @@ func fig6() {
 	header("Figure 6: Applications (15 CUs + 1 CPU core)")
 	names := stash.Applications()
 	orgs := []stash.MemOrg{stash.Scratch, stash.ScratchG, stash.Cache, stash.Stash, stash.StashG}
-	res := collect(names, orgs)
+	res := collect("fig6", names, orgs)
 	printNormalized("(a) Execution time", names, orgs, res,
 		func(r stash.Result) float64 { return float64(r.Cycles) })
 	printNormalized("(b) Dynamic energy", names, orgs, res,

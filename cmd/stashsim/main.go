@@ -1,33 +1,49 @@
-// Stashsim runs one workload on one memory organization and prints the
+// Stashsim runs workloads on memory organizations and prints the
 // measured metrics (and, with -v, the full counter dump):
 //
 //	stashsim -workload reuse -org Stash
 //	stashsim -workload lud -org Cache -v
 //	stashsim -list
 //
+// Both -workload and -org accept comma-separated lists or the keyword
+// "all" ("micro" and "apps" also work for -workload); the cross
+// product runs as one parallel sweep and reports are printed in grid
+// order, so output is identical for every -j value:
+//
+//	stashsim -workload all -org Scratch,Stash -j 8
+//	stashsim -workload micro -org all -json results.json
+//
 // Ablation flags map to the paper's design options:
 //
 //	-no-replication    disable the Section 4.5 data replication optimization
 //	-eager-writeback   write dirty stash data back at every kernel boundary
+//	-chunk-words N     lazy-writeback chunk granularity (power of two, <=16)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
+	"time"
 
 	"stash"
 )
 
 func main() {
-	workload := flag.String("workload", "implicit", "workload name (see -list)")
-	orgName := flag.String("org", "Stash", "memory organization: Scratch|ScratchG|ScratchGD|Cache|Stash|StashG")
+	workload := flag.String("workload", "implicit", "comma-separated workload names, or all|micro|apps (see -list)")
+	orgName := flag.String("org", "Stash", "comma-separated memory organizations, or all: Scratch|ScratchG|ScratchGD|Cache|Stash|StashG")
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "dump all raw counters")
 	noRepl := flag.Bool("no-replication", false, "disable the data replication optimization")
 	eager := flag.Bool("eager-writeback", false, "eager (kernel-boundary) stash writebacks")
+	chunkWords := flag.Int("chunk-words", 0, "lazy-writeback chunk granularity in words (0 = default 16)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial)")
+	jsonOut := flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -36,34 +52,55 @@ func main() {
 		return
 	}
 
-	var org stash.MemOrg
-	found := false
-	for _, o := range stash.Orgs() {
-		if o.String() == *orgName {
-			org, found = o, true
+	workloads := expandWorkloads(*workload)
+	orgs := expandOrgs(*orgName)
+
+	specs := make([]stash.RunSpec, 0, len(workloads)*len(orgs))
+	for _, w := range workloads {
+		for _, org := range orgs {
+			cfg := stash.MicroConfig(org)
+			if !stash.IsMicrobenchmark(w) {
+				cfg = stash.AppConfig(org)
+			}
+			cfg.DisableReplication = *noRepl
+			cfg.EagerWriteback = *eager
+			cfg.ChunkWords = *chunkWords
+			specs = append(specs, stash.RunSpec{Workload: w, Config: cfg})
 		}
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown org %q\n", *orgName)
-		os.Exit(2)
-	}
 
-	cfg := stash.MicroConfig(org)
-	if !stash.IsMicrobenchmark(*workload) {
-		cfg = stash.AppConfig(org)
-	}
-	cfg.DisableReplication = *noRepl
-	cfg.EagerWriteback = *eager
-
-	res, err := stash.RunWorkloadCfg(*workload, cfg)
+	start := time.Now()
+	results, err := stash.Sweep(context.Background(), specs, stash.SweepOptions{
+		Workers:  *jobs,
+		FailFast: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s on %s (%d CUs, %d CPU cores)\n", *workload, org, cfg.GPUs, cfg.CPUs)
+	if len(specs) > 1 {
+		fmt.Fprintf(os.Stderr, "%d simulations on %d workers in %v\n",
+			len(specs), *jobs, time.Since(start).Round(time.Millisecond))
+	}
+
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		report(r, *verbose)
+	}
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, results)
+	}
+}
+
+func report(r stash.SweepResult, verbose bool) {
+	cfg := r.Spec.Config
+	fmt.Printf("%s on %s (%d CUs, %d CPU cores)\n", r.Spec.Workload, cfg.Org, cfg.GPUs, cfg.CPUs)
+	res := r.Result
 	fmt.Print(res)
 	fmt.Printf("  traffic: read=%d write=%d writeback=%d flit-hops\n",
 		res.FlitHops["read"], res.FlitHops["write"], res.FlitHops["writeback"])
-	if *verbose {
+	if verbose {
 		names := make([]string, 0, len(res.Counters))
 		for n := range res.Counters {
 			names = append(names, n)
@@ -74,5 +111,48 @@ func main() {
 				fmt.Printf("  %-44s %12d\n", n, res.Counters[n])
 			}
 		}
+	}
+}
+
+func expandWorkloads(arg string) []string {
+	switch arg {
+	case "all":
+		return stash.Workloads()
+	case "micro":
+		return stash.Microbenchmarks()
+	case "apps":
+		return stash.Applications()
+	}
+	return strings.Split(arg, ",")
+}
+
+func expandOrgs(arg string) []stash.MemOrg {
+	if arg == "all" {
+		return stash.Orgs()
+	}
+	var orgs []stash.MemOrg
+	for _, name := range strings.Split(arg, ",") {
+		org, err := stash.ParseMemOrg(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		orgs = append(orgs, org)
+	}
+	return orgs
+}
+
+func writeJSON(path string, results []stash.SweepResult) {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := stash.EncodeJSON(out, results); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -22,7 +22,7 @@ const (
 )
 
 // scratchKernel is func_scratch of Figure 1a.
-func scratchKernel(base stash.Addr) *stash.Kernel {
+func scratchKernel(base stash.Addr) (*stash.Kernel, error) {
 	a := stash.NewAsm()
 	tid, gtid, addr, v := a.R(), a.R(), a.R(), a.R()
 	a.Spec(tid, stash.TID)
@@ -45,11 +45,11 @@ func scratchKernel(base stash.Addr) *stash.Kernel {
 	// Explicit scratchpad load and global store.
 	a.LdShared(v, tid, 0)
 	a.StGlobal(addr, 0, v)
-	return a.MustKernel(blockDim, grid, 128)
+	return a.Kernel(blockDim, grid, 128)
 }
 
 // stashKernel is func_stash of Figure 1b.
-func stashKernel(base stash.Addr) *stash.Kernel {
+func stashKernel(base stash.Addr) (*stash.Kernel, error) {
 	a := stash.NewAsm()
 	tid, sbase, gbase, v := a.R(), a.R(), a.R(), a.R()
 	a.Spec(tid, stash.TID)
@@ -74,18 +74,25 @@ func stashKernel(base stash.Addr) *stash.Kernel {
 	a.MulI(v, v, 3)
 	a.AddI(v, v, 1)
 	a.StStash(tid, 0, v, 0)
-	return a.MustKernel(blockDim, grid, 128)
+	return a.Kernel(blockDim, grid, 128)
 }
 
-func run(org stash.MemOrg, mk func(stash.Addr) *stash.Kernel) stash.Result {
-	sys := stash.NewSystem(stash.MicroConfig(org))
+func run(org stash.MemOrg, mk func(stash.Addr) (*stash.Kernel, error)) stash.Result {
+	sys, err := stash.NewSystem(stash.MicroConfig(org))
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := sys.Alloc(nElems*objBytes/4, func(i int) uint32 {
 		if i%(objBytes/4) == 0 {
 			return uint32(i / (objBytes / 4))
 		}
 		return 0
 	})
-	sys.RunKernel(mk(base))
+	k, err := mk(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.RunKernel(k)
 	res := sys.Result()
 	// Verify both versions computed fieldX = 3*i + 1.
 	sys.Flush()

@@ -43,7 +43,7 @@ func prologue(a *stash.Asm, base, sel stash.Addr) (tid, sbase, gbase, cond stash
 	return
 }
 
-func stashKernel(base, sel stash.Addr) *stash.Kernel {
+func stashKernel(base, sel stash.Addr) (*stash.Kernel, error) {
 	a := stash.NewAsm()
 	tid, sbase, gbase, cond := prologue(a, base, sel)
 	a.AddMapReg(0, shape(), sbase, gbase)
@@ -54,10 +54,10 @@ func stashKernel(base, sel stash.Addr) *stash.Kernel {
 	a.AddI(v, v, 7)
 	a.StStash(tid, 0, v, 0)
 	a.EndIf()
-	return a.MustKernel(blockDim, grid, blockDim)
+	return a.Kernel(blockDim, grid, blockDim)
 }
 
-func dmaKernel(base, sel stash.Addr) *stash.Kernel {
+func dmaKernel(base, sel stash.Addr) (*stash.Kernel, error) {
 	a := stash.NewAsm()
 	tid, sbase, gbase, cond := prologue(a, base, sel)
 	a.DMALoad(shape(), sbase, gbase) // must move the whole tile in...
@@ -70,11 +70,14 @@ func dmaKernel(base, sel stash.Addr) *stash.Kernel {
 	a.EndIf()
 	a.Barrier()
 	a.DMAStore(shape(), sbase, gbase) // ...and the whole tile back out.
-	return a.MustKernel(blockDim, grid, blockDim)
+	return a.Kernel(blockDim, grid, blockDim)
 }
 
-func run(org stash.MemOrg, mk func(base, sel stash.Addr) *stash.Kernel) stash.Result {
-	sys := stash.NewSystem(stash.MicroConfig(org))
+func run(org stash.MemOrg, mk func(base, sel stash.Addr) (*stash.Kernel, error)) stash.Result {
+	sys, err := stash.NewSystem(stash.MicroConfig(org))
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := sys.Alloc(nElems, func(i int) uint32 { return uint32(i) })
 	sel := sys.Alloc(nElems, func(i int) uint32 {
 		if i%period == 0 {
@@ -82,7 +85,11 @@ func run(org stash.MemOrg, mk func(base, sel stash.Addr) *stash.Kernel) stash.Re
 		}
 		return 0
 	})
-	sys.RunKernel(mk(base, sel))
+	k, err := mk(base, sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.RunKernel(k)
 	res := sys.Result()
 	sys.Flush()
 	for i := 0; i < nElems; i++ {

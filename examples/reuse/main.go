@@ -21,7 +21,7 @@ const (
 	kernels  = 3
 )
 
-func kernel(base stash.Addr) *stash.Kernel {
+func kernel(base stash.Addr) (*stash.Kernel, error) {
 	a := stash.NewAsm()
 	tid, sbase, gbase, i, off, v, cond := a.R(), a.R(), a.R(), a.R(), a.R(), a.R(), a.R()
 	a.Spec(tid, stash.TID)
@@ -44,11 +44,14 @@ func kernel(base stash.Addr) *stash.Kernel {
 	a.StStash(off, 0, v, 0)
 	a.EndIf()
 	a.EndFor()
-	return a.MustKernel(blockDim, grid, perBlock)
+	return a.Kernel(blockDim, grid, perBlock)
 }
 
 func main() {
-	sys := stash.NewSystem(stash.MicroConfig(stash.Stash))
+	sys, err := stash.NewSystem(stash.MicroConfig(stash.Stash))
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := sys.Alloc(nElems*objBytes/4, func(i int) uint32 {
 		if i%(objBytes/4) == 0 {
 			return 1000
@@ -58,7 +61,11 @@ func main() {
 	fmt.Println("Cross-kernel reuse through the stash (per-kernel network traffic):")
 	prev := uint64(0)
 	for k := 1; k <= kernels; k++ {
-		sys.RunKernel(kernel(base))
+		kern, err := kernel(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.RunKernel(kern)
 		res := sys.Result()
 		delta := res.TotalFlitHops() - prev
 		prev = res.TotalFlitHops()

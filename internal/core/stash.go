@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"stash/internal/coh"
 	"stash/internal/energy"
@@ -30,6 +32,12 @@ type Params struct {
 	// at every kernel boundary instead of lazy writeback. Off in the real
 	// design; exists for the ablation study.
 	EagerWriteback bool
+	// ChunkWords is the lazy-writeback chunk granularity in words. Zero
+	// selects the paper's 64 B (= ChunkWords const) default. Must be a
+	// power of two no larger than the default: every kernel aligns its
+	// stash allocations to the default granularity, so any divisor of it
+	// keeps the per-chunk stash-map index unambiguous.
+	ChunkWords int
 }
 
 // DefaultParams returns the paper's Table 2 stash configuration.
@@ -93,6 +101,8 @@ type Stash struct {
 	vp     *vpMap
 	tables map[int][]int // thread block -> map index table
 
+	chunk int // writeback chunk granularity in words (Params.ChunkWords)
+
 	mshrs      map[memdata.PAddr]*readMSHR
 	pendingReg map[memdata.PAddr]map[int][]int // line -> word index -> stash offsets
 	wbuf       *coh.WBBuffer
@@ -114,6 +124,13 @@ type Stash struct {
 // New builds a stash for the CU at node, translating through as.
 func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, as *vm.AddressSpace, acct *energy.Account, set *stats.Set) *Stash {
 	nwords := p.SizeBytes / memdata.WordBytes
+	chunk := p.ChunkWords
+	if chunk == 0 {
+		chunk = ChunkWords
+	}
+	if chunk < 1 || chunk > ChunkWords || chunk&(chunk-1) != 0 {
+		panic(fmt.Sprintf("core: chunk granularity %d words must be a power of two in [1,%d]", chunk, ChunkWords))
+	}
 	s := &Stash{
 		eng:        eng,
 		net:        net,
@@ -121,11 +138,12 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, as 
 		p:          p,
 		as:         as,
 		acct:       acct,
+		chunk:      chunk,
 		words:      make([]uint32, nwords),
 		state:      make([]coh.State, nwords),
-		chunkMap:   make([]int, nwords/ChunkWords),
-		chunkDirty: make([]bool, nwords/ChunkWords),
-		chunkWB:    make([]bool, nwords/ChunkWords),
+		chunkMap:   make([]int, nwords/chunk),
+		chunkDirty: make([]bool, nwords/chunk),
+		chunkWB:    make([]bool, nwords/chunk),
 		maps:       make([]mapEntry, p.MapEntries),
 		vp:         newVPMap(p.VPEntries, as),
 		tables:     make(map[int][]int),
@@ -159,13 +177,14 @@ func (s *Stash) Words() int { return len(s.words) }
 
 // AddMap installs a stash-to-global mapping for thread block tb in map
 // index table slot, returning the stash-map index. Stash allocations
-// must be chunk (64 B) aligned so the per-chunk stash-map index is
-// unambiguous (cf. the paper's chunk-alignment requirement, fn. 4).
+// must be chunk (by default 64 B) aligned so the per-chunk stash-map
+// index is unambiguous (cf. the paper's chunk-alignment requirement,
+// fn. 4).
 func (s *Stash) AddMap(tb, slot int, m MapParams) int {
 	if err := m.Validate(); err != nil {
 		panic(err)
 	}
-	if m.StashBase%ChunkWords != 0 {
+	if m.StashBase%s.chunk != 0 {
 		panic(fmt.Sprintf("core: stash base %d not chunk aligned", m.StashBase))
 	}
 	if m.StashBase+m.Words() > len(s.words) {
@@ -378,7 +397,7 @@ func (s *Stash) flushEntryChunks(idx int) {
 
 func (s *Stash) invalidateRangeExceptPendingWB(base, nwords int) {
 	for off := base; off < base+nwords; off++ {
-		c := off / ChunkWords
+		c := off / s.chunk
 		if s.chunkWB[c] || s.chunkDirty[c] {
 			continue // lazy writeback pending; first touch flushes it
 		}
@@ -404,8 +423,8 @@ func (s *Stash) registerLocalDirty(idx int) {
 		groups[line][memdata.WordIndex(pa)] = off
 		s.state[off] = coh.PendingReg
 	}
-	for line, fills := range groups {
-		s.sendRegReq(line, fills, idx)
+	for _, line := range slices.Sorted(maps.Keys(groups)) {
+		s.sendRegReq(line, groups[line], idx)
 	}
 }
 
@@ -439,7 +458,7 @@ func (s *Stash) checkOffsets(offsets []int) {
 // an access by mapping idx to a chunk whose pending writeback belongs
 // to an older mapping triggers the lazy writeback now.
 func (s *Stash) touchChunk(off, idx int) {
-	c := off / ChunkWords
+	c := off / s.chunk
 	if s.chunkWB[c] && s.chunkMap[c] != idx {
 		s.flushChunk(c)
 	}
@@ -520,8 +539,10 @@ func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 	waiter := &stashWaiter{offsets: offsets, done: done}
 	s.eng.Schedule(s.p.TranslateLat, func() {
 		attached := false
-		for line, fills := range groups {
-			if s.requestLine(line, fills, waiter) {
+		// Address order keeps line-request issue deterministic (map
+		// order would perturb downstream timing run to run).
+		for _, line := range slices.Sorted(maps.Keys(groups)) {
+			if s.requestLine(line, groups[line], waiter) {
 				attached = true
 			}
 		}
@@ -637,8 +658,8 @@ func (s *Stash) Store(tb, slot int, offsets []int, vals []uint32, done func()) {
 		// reaching the LLC ahead of its own RegReq would be dropped as
 		// stale and strand the registration. The translation occupies
 		// the store for TranslateLat instead.
-		for line, fills := range groups {
-			s.sendRegReq(line, fills, idx)
+		for _, line := range slices.Sorted(maps.Keys(groups)) {
+			s.sendRegReq(line, groups[line], idx)
 		}
 		lat += s.p.TranslateLat
 	}
@@ -648,7 +669,7 @@ func (s *Stash) Store(tb, slot int, offsets []int, vals []uint32, done func()) {
 // noteStore maintains the per-chunk dirty bit, stash-map index and the
 // entry's #DirtyData counter (Section 4.2).
 func (s *Stash) noteStore(off, idx int) {
-	c := off / ChunkWords
+	c := off / s.chunk
 	if s.chunkDirty[c] && s.chunkMap[c] == idx {
 		return
 	}
@@ -715,8 +736,8 @@ func (s *Stash) flushChunk(c int) {
 	s.lazyFlushes.Inc()
 	groups := make(map[memdata.PAddr]memdata.WordMask)
 	lineVals := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
-	base := c * ChunkWords
-	for off := base; off < base+ChunkWords; off++ {
+	base := c * s.chunk
+	for off := base; off < base+s.chunk; off++ {
 		if !s.state[off].Owned() {
 			if s.state[off] == coh.Shared {
 				s.state[off] = coh.Invalid
@@ -736,7 +757,8 @@ func (s *Stash) flushChunk(c int) {
 		groups[line] |= memdata.Bit(memdata.WordIndex(pa))
 		s.state[off] = coh.Invalid
 	}
-	for line, mask := range groups {
+	for _, line := range slices.Sorted(maps.Keys(groups)) {
+		mask := groups[line]
 		vals := lineVals[line]
 		s.writebacks.Inc()
 		s.wbuf.Put(line, mask, vals)

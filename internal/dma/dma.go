@@ -15,6 +15,8 @@ package dma
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"stash/internal/coh"
 	"stash/internal/core"
@@ -111,8 +113,10 @@ func (e *Engine) Load(region core.MapParams, done func()) {
 		return
 	}
 	gap := sim.Cycle(0)
-	for line, offsets := range groups {
-		line, offsets := line, offsets
+	// Lines issue in address order; the pacing gap would otherwise hand
+	// each line a different injection cycle from run to run.
+	for _, line := range slices.Sorted(maps.Keys(groups)) {
+		line, offsets := line, groups[line]
 		e.lines.Inc()
 		id := e.nextID
 		e.nextID++
@@ -147,8 +151,8 @@ func (e *Engine) Store(region core.MapParams, done func()) {
 		return
 	}
 	gap := sim.Cycle(0)
-	for line, offsets := range groups {
-		line, offsets := line, offsets
+	for _, line := range slices.Sorted(maps.Keys(groups)) {
+		line, offsets := line, groups[line]
 		e.lines.Inc()
 		id := e.nextID
 		e.nextID++
@@ -192,8 +196,10 @@ func (e *Engine) HandlePacket(p *coh.Packet) {
 	case coh.DataResp:
 		// A response may be redundant: when two transfers request the
 		// same line, the first response can satisfy both, leaving the
-		// second with nothing to fill.
-		for id, ref := range refs {
+		// second with nothing to fill. Fills apply oldest-first so
+		// completion order is reproducible.
+		for _, id := range slices.Sorted(maps.Keys(refs)) {
+			ref := refs[id]
 			got := ref.pending & p.Mask
 			if got == 0 {
 				continue

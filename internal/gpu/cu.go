@@ -8,6 +8,8 @@ package gpu
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"stash/internal/cache"
 	"stash/internal/core"
@@ -312,8 +314,11 @@ func (c *CU) issueLoad(wc *warpCtx, p *isa.Pending) {
 		wc.state = wBlocked
 		remaining := len(lines)
 		results := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
-		for line, mask := range lines {
-			line := line
+		// Transactions issue in address order: map iteration order would
+		// leak into MSHR allocation and bank timing, making cycle counts
+		// vary across runs of the same deterministic simulation.
+		for _, line := range slices.Sorted(maps.Keys(lines)) {
+			line, mask := line, lines[line]
 			c.coalesced.Inc()
 			c.l1.Load(line, mask, func(vals [memdata.WordsPerLine]uint32) {
 				results[line] = vals
@@ -361,7 +366,8 @@ func (c *CU) issueStore(wc *warpCtx, p *isa.Pending) {
 		// order preserves the warp's same-address store ordering.
 		wc.state = wBlocked
 		remaining := len(lines)
-		for line, mask := range lines {
+		for _, line := range slices.Sorted(maps.Keys(lines)) {
+			mask := lines[line]
 			c.coalesced.Inc()
 			c.l1.Store(line, mask, vals[line], func() {
 				remaining--

@@ -11,7 +11,10 @@
 package llc
 
 import (
+	"cmp"
 	"fmt"
+	"maps"
+	"slices"
 
 	"stash/internal/coh"
 	"stash/internal/energy"
@@ -236,7 +239,8 @@ func (b *Bank) read(p *coh.Packet) {
 				DstNode: p.SrcNode, DstComp: p.SrcComp,
 			})
 		}
-		for o, m := range fwd {
+		for _, o := range sortedOwners(fwd) {
+			m := fwd[o]
 			b.forwards.Inc()
 			coh.Send(b.net, &coh.Packet{
 				Type: coh.FwdReadReq, Line: p.Line, Mask: m,
@@ -246,6 +250,21 @@ func (b *Bank) read(p *coh.Packet) {
 				MapIdx: o.MapIdx,
 			})
 		}
+	})
+}
+
+// sortedOwners fixes the send order of per-owner forwards and
+// invalidations: map iteration order would make packet injection — and
+// therefore cycle counts — vary between runs of the same simulation.
+func sortedOwners(m map[coh.Owner]memdata.WordMask) []coh.Owner {
+	return slices.SortedFunc(maps.Keys(m), func(a, b coh.Owner) int {
+		if c := cmp.Compare(a.Node, b.Node); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Comp, b.Comp); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.MapIdx, b.MapIdx)
 	})
 }
 
@@ -265,9 +284,9 @@ func (b *Bank) register(p *coh.Packet) {
 		l.owner[i] = &o
 	}
 	b.respond(filled, func() {
-		for o, m := range inv {
+		for _, o := range sortedOwners(inv) {
 			coh.Send(b.net, &coh.Packet{
-				Type: coh.OwnerInv, Line: p.Line, Mask: m,
+				Type: coh.OwnerInv, Line: p.Line, Mask: inv[o],
 				SrcNode: b.node, SrcComp: coh.ToLLC,
 				DstNode: o.Node, DstComp: o.Comp,
 				MapIdx: o.MapIdx,
@@ -328,9 +347,9 @@ func (b *Bank) write(p *coh.Packet) {
 		l.dirty |= memdata.Bit(i)
 	}
 	b.respond(filled, func() {
-		for o, m := range inv {
+		for _, o := range sortedOwners(inv) {
 			coh.Send(b.net, &coh.Packet{
-				Type: coh.OwnerInv, Line: p.Line, Mask: m,
+				Type: coh.OwnerInv, Line: p.Line, Mask: inv[o],
 				SrcNode: b.node, SrcComp: coh.ToLLC,
 				DstNode: o.Node, DstComp: o.Comp,
 				MapIdx: o.MapIdx,

@@ -34,6 +34,14 @@ func (h eventHeap) peek() event        { return h[0] }
 func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
 func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
+// Interrupted is the panic value Step uses to unwind the simulation
+// when an interrupt poll (see SetInterrupt) fires. Runners recover it
+// at the simulation boundary and translate it into an error; it never
+// escapes a correctly written driver.
+type Interrupted struct{}
+
+func (Interrupted) Error() string { return "sim: run interrupted" }
+
 // Engine is a single-threaded discrete-event simulator.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
@@ -41,6 +49,10 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	steps  uint64
+
+	interrupt  func() bool
+	interruptN uint64 // poll period in executed events
+	untilintr  uint64 // events left until the next poll
 }
 
 // NewEngine returns an engine with the clock at cycle 0 and no events.
@@ -75,9 +87,33 @@ func (e *Engine) At(t Cycle, fn func()) {
 	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
 }
 
+// SetInterrupt installs a poll function that Step consults once every
+// `every` executed events (every < 1 is treated as 1). When the poll
+// returns true the engine panics with Interrupted{}, unwinding the
+// in-progress Run through all nested component callbacks; the caller
+// that owns the simulation recovers it and reports cancellation as an
+// error. A nil poll removes the interrupt.
+func (e *Engine) SetInterrupt(every uint64, poll func() bool) {
+	if every < 1 {
+		every = 1
+	}
+	e.interrupt = poll
+	e.interruptN = every
+	e.untilintr = every
+}
+
 // Step executes the single earliest pending event.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
+	if e.interrupt != nil {
+		e.untilintr--
+		if e.untilintr == 0 {
+			e.untilintr = e.interruptN
+			if e.interrupt() {
+				panic(Interrupted{})
+			}
+		}
+	}
 	if len(e.events) == 0 {
 		return false
 	}

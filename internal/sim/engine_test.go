@@ -121,6 +121,44 @@ func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 	}
 }
 
+func TestInterruptUnwindsRun(t *testing.T) {
+	e := NewEngine()
+	var spawn func()
+	executed := 0
+	spawn = func() {
+		executed++
+		e.Schedule(1, spawn)
+	}
+	e.Schedule(1, spawn)
+
+	polls := 0
+	e.SetInterrupt(10, func() bool {
+		polls++
+		return polls >= 3
+	})
+	func() {
+		defer func() {
+			if _, ok := recover().(Interrupted); !ok {
+				t.Fatal("Run did not panic with Interrupted")
+			}
+		}()
+		e.Run()
+		t.Fatal("self-rescheduling event chain terminated without interrupt")
+	}()
+	if executed < 20 || executed > 30 {
+		t.Fatalf("executed %d events before the third poll, want ~30", executed)
+	}
+
+	// Removing the interrupt lets the engine run again (the pending
+	// event chain is still there; poll it away after a bounded prefix).
+	e.SetInterrupt(1, func() bool { return executed >= 40 })
+	func() {
+		defer func() { recover() }()
+		e.Run()
+	}()
+	e.SetInterrupt(0, nil)
+}
+
 // Property: regardless of insertion order, events execute in
 // non-decreasing timestamp order, and same-timestamp events execute in
 // insertion order.

@@ -1,0 +1,99 @@
+// Package sweep provides the bounded worker pool behind the public
+// stash.Sweep API: it fans a fixed set of independent jobs out over a
+// configurable number of goroutines while keeping every observable
+// output — result slots, error order — deterministic with respect to
+// the job indices, so a parallel sweep is indistinguishable from a
+// serial one except in wall time.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the pool size. Values below 1 run the jobs serially on
+	// a single worker; values above the job count are clamped to it.
+	Workers int
+	// FailFast cancels the jobs that have not started yet as soon as any
+	// job returns a non-nil error. Jobs already in flight observe the
+	// cancellation through their context. Without FailFast every job
+	// runs and all errors are collected.
+	FailFast bool
+}
+
+// Run executes jobs 0..n-1 over a bounded worker pool. It returns one
+// error slot per job — the job's own error, or the cancellation error
+// for jobs that were never started — plus a summary error: the
+// triggering error in fail-fast mode, or every job error joined in job
+// index order in collect-all mode (nil when all jobs succeeded). The
+// per-slot slice makes it possible to tell exactly which jobs ran,
+// regardless of how the pool interleaved them.
+func Run(ctx context.Context, n int, opts Options, job func(ctx context.Context, i int) error) ([]error, error) {
+	errs := make([]error, n)
+	if n <= 0 {
+		return errs, ctx.Err()
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		firstErr error
+		once     sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runCtx.Err(); err != nil {
+					errs[i] = err // never started
+					continue
+				}
+				if err := job(runCtx, i); err != nil {
+					errs[i] = err
+					once.Do(func() {
+						firstErr = err
+						if opts.FailFast {
+							cancel()
+						}
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// The caller's context died: that, not any individual job error,
+		// is the headline failure.
+		return errs, err
+	}
+	if opts.FailFast {
+		return errs, firstErr
+	}
+	var joined []error
+	for _, err := range errs {
+		if err != nil {
+			joined = append(joined, err)
+		}
+	}
+	return errs, errors.Join(joined...)
+}

@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllJobsOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 37
+		var counts [n]atomic.Int32
+		_, err := Run(context.Background(), n, Options{Workers: workers},
+			func(_ context.Context, i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	_, err := Run(context.Background(), 64, Options{Workers: workers},
+		func(_ context.Context, i int) error {
+			cur := inFlight.Add(1)
+			mu.Lock()
+			if cur > peak.Load() {
+				peak.Store(cur)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+func TestRunCollectAllJoinsInIndexOrder(t *testing.T) {
+	errs, err := Run(context.Background(), 10, Options{Workers: 4},
+		func(_ context.Context, i int) error {
+			if i%3 == 0 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("collect-all sweep with failures returned nil")
+	}
+	for i := range errs {
+		if (i%3 == 0) != (errs[i] != nil) {
+			t.Fatalf("errs[%d] = %v", i, errs[i])
+		}
+	}
+	// Joined message lists failures in job index order.
+	msg := err.Error()
+	prev := -1
+	for _, i := range []int{0, 3, 6, 9} {
+		pos := strings.Index(msg, fmt.Sprintf("job %d failed", i))
+		if pos < 0 || pos < prev {
+			t.Fatalf("join order wrong in %q", msg)
+		}
+		prev = pos
+	}
+}
+
+func TestRunFailFastSkipsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	started := 0 // single worker: no races
+	errs, err := Run(context.Background(), 100, Options{Workers: 1, FailFast: true},
+		func(_ context.Context, i int) error {
+			started++
+			if i == 4 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if started != 5 {
+		t.Fatalf("started %d jobs, want 5", started)
+	}
+	for i := 5; i < 100; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want context.Canceled marker", i, errs[i])
+		}
+	}
+}
+
+func TestRunParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	_, err := Run(ctx, 50, Options{Workers: 2},
+		func(ctx context.Context, i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 50 {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	errs, err := Run(context.Background(), 0, Options{}, func(context.Context, int) error {
+		t.Fatal("job called for empty sweep")
+		return nil
+	})
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("empty sweep: errs=%v err=%v", errs, err)
+	}
+}

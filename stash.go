@@ -59,9 +59,53 @@ const (
 // Orgs lists all six memory organizations in the paper's order.
 func Orgs() []MemOrg { return []MemOrg{Scratch, ScratchG, ScratchGD, Cache, Stash, StashG} }
 
-// String returns the configuration name as used in the paper's figures.
-func (o MemOrg) String() string { return o.internal().String() }
+var memOrgNames = [...]string{"Scratch", "ScratchG", "ScratchGD", "Cache", "Stash", "StashG"}
 
+// Valid reports whether o is one of the six paper organizations.
+func (o MemOrg) Valid() bool { return o >= Scratch && o <= StashG }
+
+// String returns the configuration name as used in the paper's figures,
+// or "MemOrg(n)" for values outside the six organizations.
+func (o MemOrg) String() string {
+	if !o.Valid() {
+		return fmt.Sprintf("MemOrg(%d)", int(o))
+	}
+	return memOrgNames[o]
+}
+
+// ParseMemOrg returns the memory organization with the given figure
+// name (e.g. "ScratchGD", "Stash").
+func ParseMemOrg(name string) (MemOrg, error) {
+	for i, n := range memOrgNames {
+		if n == name {
+			return MemOrg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("stash: unknown memory organization %q (want one of %v)", name, Orgs())
+}
+
+// MarshalText encodes o as its figure name, making MemOrg usable as a
+// JSON value or map key.
+func (o MemOrg) MarshalText() ([]byte, error) {
+	if !o.Valid() {
+		return nil, fmt.Errorf("stash: cannot marshal invalid MemOrg %d", int(o))
+	}
+	return []byte(o.String()), nil
+}
+
+// UnmarshalText decodes a figure name produced by MarshalText.
+func (o *MemOrg) UnmarshalText(b []byte) error {
+	v, err := ParseMemOrg(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
+// internal maps o onto the simulator's organization constant. Every
+// public entry point validates o (Config.Validate) before reaching this
+// point, so the default branch is unreachable from outside the package.
 func (o MemOrg) internal() system.MemOrg {
 	switch o {
 	case Scratch:
@@ -80,24 +124,58 @@ func (o MemOrg) internal() system.MemOrg {
 	panic(fmt.Sprintf("stash: invalid MemOrg %d", int(o)))
 }
 
-// Config describes a machine to simulate. The zero value is not valid;
-// start from MicroConfig or AppConfig.
+// Config describes a machine to simulate. The zero value is not valid
+// (Validate rejects it); start from MicroConfig or AppConfig.
 type Config struct {
 	// Org selects the memory organization.
-	Org MemOrg
+	Org MemOrg `json:"org"`
 	// GPUs and CPUs place compute units and CPU cores on the 16-node
-	// mesh (GPUs first). GPUs+CPUs must not exceed 16.
-	GPUs, CPUs int
+	// mesh (GPUs first). GPUs must be at least 1 and GPUs+CPUs must not
+	// exceed 16.
+	GPUs int `json:"gpus"`
+	CPUs int `json:"cpus"`
 	// DisableReplication turns off the data-replication optimization of
 	// paper Section 4.5 (for ablation).
-	DisableReplication bool
+	DisableReplication bool `json:"disable_replication,omitempty"`
 	// EagerWriteback makes the stash write dirty data back at every
 	// kernel boundary, scratchpad-style (for ablation).
-	EagerWriteback bool
-	// ChunkWords overrides the lazy-writeback chunk granularity in
-	// words (default 16 = 64 B; for ablation). Currently informational:
-	// the simulated chunk granularity is fixed at 64 B.
-	ChunkWords int
+	EagerWriteback bool `json:"eager_writeback,omitempty"`
+	// ChunkWords overrides the lazy-writeback chunk granularity in words
+	// (for ablation). Zero selects the paper's default of 16 words
+	// (64 B, Section 4.2); explicit values must be powers of two between
+	// 1 and 16, so kernels' 64 B-aligned stash allocations stay
+	// chunk-aligned at the finer granularity.
+	ChunkWords int `json:"chunk_words,omitempty"`
+}
+
+// maxChunkWords is the paper's chunk granularity (64 B in 4-byte
+// words), the coarsest — and default — lazy-writeback granularity.
+const maxChunkWords = 16
+
+// Validate reports whether c describes a simulable machine. Every
+// error path that used to panic inside the package is reported here
+// instead; RunWorkloadCfg, Sweep, and NewSystem all call it and return
+// its error rather than crashing the process.
+func (c Config) Validate() error {
+	if !c.Org.Valid() {
+		return fmt.Errorf("stash: invalid memory organization MemOrg(%d): want one of %v", int(c.Org), Orgs())
+	}
+	if c.GPUs < 1 {
+		return fmt.Errorf("stash: invalid placement: %d GPU CUs (the machine needs at least 1)", c.GPUs)
+	}
+	if c.CPUs < 0 {
+		return fmt.Errorf("stash: invalid placement: negative CPU count %d", c.CPUs)
+	}
+	if c.GPUs+c.CPUs > 16 {
+		return fmt.Errorf("stash: invalid placement: %d GPUs + %d CPUs exceed the 16-node mesh", c.GPUs, c.CPUs)
+	}
+	if c.ChunkWords != 0 {
+		cw := c.ChunkWords
+		if cw < 1 || cw > maxChunkWords || cw&(cw-1) != 0 {
+			return fmt.Errorf("stash: invalid ChunkWords %d: want 0 (default) or a power of two between 1 and %d", cw, maxChunkWords)
+		}
+	}
+	return nil
 }
 
 // MicroConfig is the paper's microbenchmark machine: 1 GPU CU and 15
@@ -108,9 +186,10 @@ func MicroConfig(org MemOrg) Config { return Config{Org: org, GPUs: 1, CPUs: 15}
 // core (Table 2).
 func AppConfig(org MemOrg) Config { return Config{Org: org, GPUs: 15, CPUs: 1} }
 
-func (c Config) internal() system.Config {
-	if c.GPUs < 1 || c.GPUs+c.CPUs > 16 {
-		panic(fmt.Sprintf("stash: invalid placement: %d GPUs + %d CPUs on a 16-node mesh", c.GPUs, c.CPUs))
+// internal validates c and lowers it onto the simulator configuration.
+func (c Config) internal() (system.Config, error) {
+	if err := c.Validate(); err != nil {
+		return system.Config{}, err
 	}
 	cfg := system.MicrobenchConfig(c.Org.internal())
 	cfg.GPUNodes = nil
@@ -123,7 +202,8 @@ func (c Config) internal() system.Config {
 	}
 	cfg.Stash.EnableReplication = !c.DisableReplication
 	cfg.Stash.EagerWriteback = c.EagerWriteback
-	return cfg
+	cfg.Stash.ChunkWords = c.ChunkWords
+	return cfg, nil
 }
 
 // Addr is a virtual address in the simulated unified address space.
@@ -135,9 +215,14 @@ type System struct {
 	sys *system.System
 }
 
-// NewSystem builds a machine.
-func NewSystem(cfg Config) *System {
-	return &System{sys: system.New(cfg.internal())}
+// NewSystem builds a machine, or reports why cfg is not simulable
+// (see Config.Validate).
+func NewSystem(cfg Config) (*System, error) {
+	icfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	return &System{sys: system.New(icfg)}, nil
 }
 
 // Alloc reserves words of global memory, optionally initialized by gen,

@@ -49,7 +49,10 @@ func TestRunWorkloadImplicitStashVsScratch(t *testing.T) {
 func TestCustomKernelThroughPublicAPI(t *testing.T) {
 	// The Figure 1b program, written against the public API.
 	const n = 256
-	sys := NewSystem(MicroConfig(Stash))
+	sys, err := NewSystem(MicroConfig(Stash))
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := sys.Alloc(n, func(i int) uint32 { return uint32(i) })
 
 	a := NewAsm()
@@ -66,7 +69,10 @@ func TestCustomKernelThroughPublicAPI(t *testing.T) {
 	a.LdStash(v, tid, 0, 0)
 	a.AddI(v, v, 100)
 	a.StStash(tid, 0, v, 0)
-	k := a.MustKernel(128, n/128, 128)
+	k, err := a.Kernel(128, n/128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	sys.RunKernel(k)
 	res := sys.Result()
@@ -82,7 +88,10 @@ func TestCustomKernelThroughPublicAPI(t *testing.T) {
 }
 
 func TestCPUProgramThroughPublicAPI(t *testing.T) {
-	sys := NewSystem(MicroConfig(Cache))
+	sys, err := NewSystem(MicroConfig(Cache))
+	if err != nil {
+		t.Fatal(err)
+	}
 	src := sys.Alloc(64, func(i int) uint32 { return uint32(i * 2) })
 	dst := sys.Alloc(15, nil)
 	a := NewAsm()
@@ -103,7 +112,11 @@ func TestCPUProgramThroughPublicAPI(t *testing.T) {
 	a.MulI(addr, id, 4)
 	a.AddI(addr, addr, int64(dst))
 	a.StGlobal(addr, 0, sum)
-	sys.RunCPU(a.MustProgram(), 15)
+	prog, err := a.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunCPU(prog, 15)
 	sys.Flush()
 	for tid := 0; tid < 13; tid++ { // threads 0..12 cover 0..64
 		var want uint32

@@ -1,0 +1,186 @@
+package stash
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"stash/internal/sweep"
+)
+
+// RunSpec names one cell of a sweep: a workload plus the machine
+// configuration to run it on.
+type RunSpec struct {
+	Workload string `json:"workload"`
+	Config   Config `json:"config"`
+}
+
+// String renders the cell as "workload/Org".
+func (s RunSpec) String() string { return s.Workload + "/" + s.Config.Org.String() }
+
+// Grid crosses workloads with memory organizations into the row-major
+// spec list the paper's figures are built from, giving each workload
+// the machine the paper uses for it (MicroConfig for microbenchmarks,
+// AppConfig for applications).
+func Grid(workloads []string, orgs []MemOrg) []RunSpec {
+	specs := make([]RunSpec, 0, len(workloads)*len(orgs))
+	for _, w := range workloads {
+		for _, o := range orgs {
+			specs = append(specs, RunSpec{Workload: w, Config: configFor(w, o)})
+		}
+	}
+	return specs
+}
+
+// SweepResult is one completed (or failed, or skipped) sweep cell.
+type SweepResult struct {
+	// Spec identifies the cell.
+	Spec RunSpec
+	// Result holds the measurements when Err is nil.
+	Result Result
+	// Wall is the host time the simulation took. It is zero for cells a
+	// fail-fast or canceled sweep never started.
+	Wall time.Duration
+	// Err is the cell's failure: a Config.Validate error, a workload
+	// verification failure, or the cancellation error for cells that
+	// were canceled or never started.
+	Err error
+}
+
+// sweepResultJSON is the stable JSON schema of one sweep cell (see
+// EncodeJSON).
+type sweepResultJSON struct {
+	Workload string  `json:"workload"`
+	Org      MemOrg  `json:"org"`
+	Config   Config  `json:"config"`
+	WallNS   int64   `json:"wall_ns"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+// MarshalJSON encodes the cell under the schema documented at
+// EncodeJSON.
+func (r SweepResult) MarshalJSON() ([]byte, error) {
+	out := sweepResultJSON{
+		Workload: r.Spec.Workload,
+		Org:      r.Spec.Config.Org,
+		Config:   r.Spec.Config,
+		WallNS:   r.Wall.Nanoseconds(),
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	} else {
+		res := r.Result
+		out.Result = &res
+	}
+	return json.Marshal(out)
+}
+
+// SweepEvent is delivered to SweepOptions.Progress once per completed
+// cell. Callbacks are serialized: no two run concurrently, and Done is
+// strictly increasing across them.
+type SweepEvent struct {
+	// Index is the cell's position in the spec slice.
+	Index int
+	// Done counts completed cells including this one; Total is the
+	// sweep size.
+	Done, Total int
+	// Spec identifies the cell; Wall and Err mirror its SweepResult.
+	Spec RunSpec
+	Wall time.Duration
+	Err  error
+}
+
+// SweepOptions configures Sweep.
+type SweepOptions struct {
+	// Workers bounds the number of concurrently simulated cells. Values
+	// below 1 select runtime.GOMAXPROCS(0); 1 runs the sweep serially.
+	Workers int
+	// FailFast stops launching new cells after the first error and
+	// cancels the cells in flight. The default runs every cell and
+	// collects all errors.
+	FailFast bool
+	// Progress, when non-nil, observes each completed cell.
+	Progress func(SweepEvent)
+}
+
+// Sweep fans the spec cells out over a bounded worker pool of
+// independent simulations, each run through RunWorkloadContext under
+// ctx. Results are returned in spec order regardless of completion
+// order, and every simulation is single-threaded and deterministic, so
+// a parallel sweep's results (and anything rendered from them) are
+// bit-identical to a serial run's — only the wall time differs.
+//
+// The returned slice always has one entry per spec. The error is nil
+// only if every cell succeeded; under FailFast it is the first failure,
+// otherwise every cell failure joined in spec order. If ctx is
+// canceled, Sweep returns promptly with ctx's error and marks the
+// unfinished cells' Err fields.
+func Sweep(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]SweepResult, len(specs))
+	var progressMu sync.Mutex
+	done := 0
+
+	cellErrs, err := sweep.Run(ctx, len(specs),
+		sweep.Options{Workers: workers, FailFast: opts.FailFast},
+		func(ctx context.Context, i int) error {
+			spec := specs[i]
+			start := time.Now()
+			res, runErr := RunWorkloadContext(ctx, spec.Workload, spec.Config)
+			wall := time.Since(start)
+			results[i] = SweepResult{Spec: spec, Result: res, Wall: wall, Err: runErr}
+			if opts.Progress != nil {
+				progressMu.Lock()
+				done++
+				opts.Progress(SweepEvent{
+					Index: i, Done: done, Total: len(specs),
+					Spec: spec, Wall: wall, Err: runErr,
+				})
+				progressMu.Unlock()
+			}
+			return runErr
+		})
+
+	// Cells the pool never started carry the cancellation error in the
+	// pool's per-slot list; surface it on their results.
+	for i, cellErr := range cellErrs {
+		if cellErr != nil && results[i].Err == nil {
+			results[i] = SweepResult{Spec: specs[i], Err: cellErr}
+		}
+	}
+	return results, err
+}
+
+// EncodeJSON writes sweep results as one deterministic, indented JSON
+// document: an array with one object per cell in spec order,
+//
+//	{
+//	  "workload": "lud",
+//	  "org":      "Stash",
+//	  "config":   {"org": "Stash", "gpus": 15, "cpus": 1, ...},
+//	  "wall_ns":  123456789,
+//	  "result":   {"Cycles": ..., "EnergyPJ": ..., ...},   // on success
+//	  "error":    "..."                                    // on failure
+//	}
+//
+// Apart from wall_ns (host timing), the document is bit-reproducible
+// across runs and worker counts.
+func EncodeJSON(w io.Writer, results []SweepResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return fmt.Errorf("stash: encoding sweep results: %w", err)
+	}
+	return nil
+}

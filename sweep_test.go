@@ -1,0 +1,318 @@
+package stash
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// zeroWalls strips host timing so sweep results can be compared and
+// JSON-diffed bit-for-bit.
+func zeroWalls(results []SweepResult) []SweepResult {
+	out := append([]SweepResult(nil), results...)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	workloads := []string{"implicit", "reuse"}
+	orgs := []MemOrg{Scratch, Cache, Stash}
+	if testing.Short() {
+		workloads = []string{"implicit"}
+		orgs = []MemOrg{Scratch, Stash}
+	}
+	specs := Grid(workloads, orgs)
+
+	serial, err := Sweep(context.Background(), specs, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(context.Background(), specs, SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(zeroWalls(serial), zeroWalls(parallel)) {
+		t.Fatal("parallel sweep results differ from serial")
+	}
+	var sbuf, pbuf bytes.Buffer
+	if err := EncodeJSON(&sbuf, zeroWalls(serial)); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeJSON(&pbuf, zeroWalls(parallel)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sbuf.Bytes(), pbuf.Bytes()) {
+		t.Fatal("parallel sweep JSON differs from serial")
+	}
+}
+
+func TestSweepRepeatable(t *testing.T) {
+	specs := Grid([]string{"implicit"}, []MemOrg{Stash})
+	a, err := Sweep(context.Background(), specs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(context.Background(), specs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zeroWalls(a), zeroWalls(b)) {
+		t.Fatal("two identical sweeps disagree: simulation is not deterministic")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	specs := Grid([]string{"implicit", "lud"}, []MemOrg{Scratch, Stash})
+	if len(specs) != 4 {
+		t.Fatalf("grid size = %d, want 4", len(specs))
+	}
+	want := []string{"implicit/Scratch", "implicit/Stash", "lud/Scratch", "lud/Stash"}
+	for i, s := range specs {
+		if s.String() != want[i] {
+			t.Errorf("spec %d = %q, want %q", i, s, want[i])
+		}
+	}
+	// Microbenchmarks get the 1-CU machine, applications the 15-CU one.
+	if specs[0].Config.GPUs != 1 || specs[0].Config.CPUs != 15 {
+		t.Errorf("micro config = %d CUs/%d CPUs, want 1/15", specs[0].Config.GPUs, specs[0].Config.CPUs)
+	}
+	if specs[2].Config.GPUs != 15 || specs[2].Config.CPUs != 1 {
+		t.Errorf("app config = %d CUs/%d CPUs, want 15/1", specs[2].Config.GPUs, specs[2].Config.CPUs)
+	}
+}
+
+func TestSweepFailFast(t *testing.T) {
+	specs := []RunSpec{
+		{Workload: "implicit", Config: MicroConfig(Stash)},
+		{Workload: "no-such-workload", Config: MicroConfig(Stash)},
+		{Workload: "implicit", Config: MicroConfig(Scratch)},
+		{Workload: "implicit", Config: MicroConfig(Cache)},
+	}
+	results, err := Sweep(context.Background(), specs, SweepOptions{Workers: 1, FailFast: true})
+	if err == nil || !strings.Contains(err.Error(), "no-such-workload") {
+		t.Fatalf("fail-fast error = %v, want unknown-workload failure", err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	if results[0].Err != nil {
+		t.Errorf("cell 0 failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("failing cell has nil Err")
+	}
+	// With one worker the cells after the failure are never started and
+	// must carry the cancellation, not look like successes.
+	for i := 2; i < 4; i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Errorf("cell %d Err = %v, want context.Canceled", i, results[i].Err)
+		}
+	}
+}
+
+func TestSweepCollectAll(t *testing.T) {
+	specs := []RunSpec{
+		{Workload: "bad-one", Config: MicroConfig(Stash)},
+		{Workload: "implicit", Config: MicroConfig(Stash)},
+		{Workload: "bad-two", Config: MicroConfig(Stash)},
+	}
+	results, err := Sweep(context.Background(), specs, SweepOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("collect-all sweep with failures returned nil error")
+	}
+	if !strings.Contains(err.Error(), "bad-one") || !strings.Contains(err.Error(), "bad-two") {
+		t.Fatalf("joined error %v missing a cell failure", err)
+	}
+	if results[1].Err != nil || results[1].Result.Cycles == 0 {
+		t.Errorf("healthy cell not run to completion: %+v", results[1])
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	specs := Grid([]string{"implicit"}, []MemOrg{Scratch, Stash})
+	var events []SweepEvent
+	_, err := Sweep(context.Background(), specs, SweepOptions{
+		Workers:  2,
+		Progress: func(e SweepEvent) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(specs) {
+		t.Fatalf("%d progress events, want %d", len(events), len(specs))
+	}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != len(specs) {
+			t.Errorf("event %d: Done=%d Total=%d, want %d/%d", i, e.Done, e.Total, i+1, len(specs))
+		}
+		if e.Err != nil || e.Wall <= 0 {
+			t.Errorf("event %d: Err=%v Wall=%v", i, e.Err, e.Wall)
+		}
+	}
+}
+
+func TestSweepCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := Grid([]string{"implicit"}, []MemOrg{Scratch, Stash})
+	results, err := Sweep(ctx, specs, SweepOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("cell %d Err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := MicroConfig(Stash)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad org", func(c *Config) { c.Org = MemOrg(99) }},
+		{"zero gpus", func(c *Config) { c.GPUs = 0 }},
+		{"negative cpus", func(c *Config) { c.CPUs = -1 }},
+		{"too many nodes", func(c *Config) { c.GPUs, c.CPUs = 10, 7 }},
+		{"chunk not power of two", func(c *Config) { c.ChunkWords = 3 }},
+		{"chunk too large", func(c *Config) { c.ChunkWords = 32 }},
+		{"negative chunk", func(c *Config) { c.ChunkWords = -4 }},
+	}
+	for _, tc := range cases {
+		cfg := ok
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	for _, chunk := range []int{0, 1, 2, 4, 8, 16} {
+		cfg := ok
+		cfg.ChunkWords = chunk
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("ChunkWords=%d rejected: %v", chunk, err)
+		}
+	}
+}
+
+func TestInvalidConfigReturnsErrorNotPanic(t *testing.T) {
+	bad := MicroConfig(Stash)
+	bad.Org = MemOrg(42)
+	if _, err := RunWorkloadCfg("implicit", bad); err == nil {
+		t.Error("RunWorkloadCfg accepted an invalid org")
+	}
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("NewSystem accepted an invalid org")
+	}
+	bad = MicroConfig(Stash)
+	bad.GPUs = 0
+	if _, err := RunWorkloadCfg("implicit", bad); err == nil {
+		t.Error("RunWorkloadCfg accepted zero GPUs")
+	}
+}
+
+func TestRunWorkloadContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunWorkloadContext(ctx, "implicit", MicroConfig(Stash)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunWorkloadContext(ctx, "implicit", MicroConfig(Stash))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out run err = %v, want context.DeadlineExceeded", err)
+	}
+	// The whole point: a multi-second simulation unwound almost
+	// immediately instead of running to completion.
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt unwind", wall)
+	}
+}
+
+func TestParseMemOrg(t *testing.T) {
+	for _, o := range Orgs() {
+		got, err := ParseMemOrg(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseMemOrg(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseMemOrg("NotAnOrg"); err == nil {
+		t.Error("ParseMemOrg accepted a bogus name")
+	}
+	if MemOrg(99).String() != "MemOrg(99)" {
+		t.Errorf("out-of-range String() = %q", MemOrg(99).String())
+	}
+	if MemOrg(99).Valid() {
+		t.Error("MemOrg(99) reported valid")
+	}
+}
+
+func TestMemOrgJSONRoundTrip(t *testing.T) {
+	b, err := StashG.MarshalText()
+	if err != nil || string(b) != "StashG" {
+		t.Fatalf("MarshalText = %q, %v", b, err)
+	}
+	var o MemOrg
+	if err := o.UnmarshalText([]byte("ScratchGD")); err != nil || o != ScratchGD {
+		t.Fatalf("UnmarshalText = %v, %v", o, err)
+	}
+	if err := o.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("UnmarshalText accepted a bogus name")
+	}
+}
+
+func TestNormalizeToZeroBaseline(t *testing.T) {
+	r := Result{Cycles: 50, EnergyPJ: 100, GPUInstructions: 25,
+		FlitHops: map[string]uint64{"read": 5}}
+	n := r.NormalizeTo(Result{})
+	if n.Cycles != 0 || n.Energy != 0 || n.Instructions != 0 || n.Traffic != 0 {
+		t.Fatalf("zero baseline normalized = %+v, want all zero", n)
+	}
+}
+
+// sumCounters totals every counter whose name ends in suffix (one per
+// CU-attached stash).
+func sumCounters(r Result, suffix string) uint64 {
+	var t uint64
+	for name, v := range r.Counters {
+		if strings.HasSuffix(name, suffix) {
+			t += v
+		}
+	}
+	return t
+}
+
+func TestAblationChunkWords(t *testing.T) {
+	coarse := MicroConfig(Stash)
+	fine := coarse
+	fine.ChunkWords = 4
+	rc, err := RunWorkloadCfg("implicit", coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := RunWorkloadCfg("implicit", fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFlush := sumCounters(rc, ".lazy_writeback_chunks")
+	fFlush := sumCounters(rf, ".lazy_writeback_chunks")
+	// Finer chunks mean more (smaller) lazy-writeback flush operations
+	// for the same dirty footprint.
+	if fFlush <= cFlush {
+		t.Fatalf("4-word chunks flushed %d times, 16-word %d: want finer > coarser", fFlush, cFlush)
+	}
+}

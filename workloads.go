@@ -1,8 +1,10 @@
 package stash
 
 import (
+	"context"
 	"fmt"
 
+	"stash/internal/sim"
 	"stash/internal/system"
 	"stash/internal/workloads"
 )
@@ -41,21 +43,66 @@ func IsMicrobenchmark(name string) bool {
 // measurements. Measurement snapshots are taken before the final
 // verification flush, exactly as the paper measures.
 func RunWorkload(name string, org MemOrg) (Result, error) {
-	return RunWorkloadCfg(name, configFor(name, org))
+	return RunWorkloadContext(context.Background(), name, configFor(name, org))
 }
 
 // RunWorkloadCfg is RunWorkload with an explicit machine configuration
-// (for ablations: replication off, eager writeback, different core
-// counts).
+// (for ablations: replication off, eager writeback, chunk granularity,
+// different core counts). Invalid configurations are reported through
+// Config.Validate's error, never a panic.
 func RunWorkloadCfg(name string, cfg Config) (Result, error) {
+	return RunWorkloadContext(context.Background(), name, cfg)
+}
+
+// interruptStride is how many simulation events execute between
+// cancellation polls: rare enough to keep the hot event loop cheap,
+// frequent enough that cancellation lands within microseconds of host
+// time.
+const interruptStride = 4096
+
+// RunWorkloadContext is RunWorkloadCfg under a context: a long
+// simulation stops within interruptStride engine events of ctx being
+// canceled and returns ctx's error. RunWorkload and RunWorkloadCfg are
+// thin wrappers over it with a background context.
+func RunWorkloadContext(ctx context.Context, name string, cfg Config) (res Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	icfg, err := cfg.internal()
+	if err != nil {
+		return Result{}, err
+	}
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return Result{}, err
 	}
-	s := system.New(cfg.internal())
-	iorg := cfg.Org.internal()
-	w.Run(s, iorg)
-	res := measure(s)
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("stash: %s on %v not started: %w", name, cfg.Org, err)
+	}
+	s := system.New(icfg)
+	if done := ctx.Done(); done != nil {
+		s.Eng.SetInterrupt(interruptStride, func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+		// The engine unwinds a canceled simulation with a sim.Interrupted
+		// panic; translate it back into the context's error here, at the
+		// simulation boundary.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(sim.Interrupted); !ok {
+					panic(r)
+				}
+				res, err = Result{}, fmt.Errorf("stash: %s on %v canceled: %w", name, cfg.Org, context.Cause(ctx))
+			}
+		}()
+	}
+	w.Run(s, cfg.Org.internal())
+	res = measure(s)
 	if err := w.Verify(s); err != nil {
 		return res, fmt.Errorf("stash: %s on %v failed verification: %w", name, cfg.Org, err)
 	}
