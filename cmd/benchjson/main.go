@@ -1,0 +1,112 @@
+// Benchjson converts `go test -bench` output on stdin into the JSON
+// benchmark-trajectory schema committed as BENCH_*.json (see
+// scripts/bench.sh). Every benchmark line becomes one record carrying
+// ns/op, allocs/op, B/op and all custom metrics; records with a
+// sim_cycles metric also get the derived sim_cycles_per_sec, the
+// simulator-throughput number the perf work tracks.
+//
+//	go test -run '^$' -bench BenchmarkFig5 -benchmem | benchjson -label baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type record struct {
+	Name            string             `json:"name"`
+	Iterations      int64              `json:"iterations"`
+	NsPerOp         float64            `json:"ns_per_op"`
+	BytesPerOp      float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp     float64            `json:"allocs_per_op,omitempty"`
+	Metrics         map[string]float64 `json:"metrics,omitempty"`
+	SimCyclesPerSec float64            `json:"sim_cycles_per_sec,omitempty"`
+}
+
+type report struct {
+	Label      string    `json:"label"`
+	Date       time.Time `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	Benchmarks []record  `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "free-form label stored in the report (e.g. baseline, a git SHA)")
+	flag.Parse()
+
+	rep := report{
+		Label:     *label,
+		Date:      time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // pass the raw output through for the console
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line: a name, the iteration
+// count, then (value, unit) pairs.
+func parseLine(line string) (record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			r.Metrics[f[i+1]] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	if cycles, ok := r.Metrics["sim_cycles"]; ok && r.NsPerOp > 0 {
+		r.SimCyclesPerSec = cycles / (r.NsPerOp / 1e9)
+	}
+	return r, true
+}

@@ -1,0 +1,130 @@
+package stash
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// The golden-metrics regression test pins every simulated metric of
+// every (workload, organization) pair to exact values captured before
+// the zero-allocation hot-path work. Performance optimizations must
+// never change simulated results: cycles, energy, instruction counts
+// and network traffic are bit-identical across refactors, and any
+// intentional model change must regenerate the table with
+//
+//	go test -run TestGoldenMetrics -update-golden
+//
+// and justify the diff in review.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current simulator")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenEntry is one (workload, org) cell of the golden table. EnergyPJ
+// round-trips exactly through JSON: encoding/json emits the shortest
+// float representation that parses back to the identical float64.
+type goldenEntry struct {
+	Workload     string            `json:"workload"`
+	Org          string            `json:"org"`
+	Cycles       uint64            `json:"cycles"`
+	EnergyPJ     float64           `json:"energy_pj"`
+	Instructions uint64            `json:"instructions"`
+	FlitHops     map[string]uint64 `json:"flit_hops"`
+}
+
+func goldenGrid() []RunSpec {
+	return Grid(Workloads(), Orgs())
+}
+
+func readGolden(t *testing.T) []goldenEntry {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden table (regenerate with -update-golden): %v", err)
+	}
+	var entries []goldenEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return entries
+}
+
+func writeGolden(t *testing.T) {
+	t.Helper()
+	specs := goldenGrid()
+	results, err := Sweep(context.Background(), specs, SweepOptions{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]goldenEntry, 0, len(results))
+	for _, r := range results {
+		entries = append(entries, goldenEntry{
+			Workload:     r.Spec.Workload,
+			Org:          r.Spec.Config.Org.String(),
+			Cycles:       r.Result.Cycles,
+			EnergyPJ:     r.Result.EnergyPJ,
+			Instructions: r.Result.GPUInstructions,
+			FlitHops:     r.Result.FlitHops,
+		})
+	}
+	data, err := json.MarshalIndent(entries, "", "\t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d golden entries to %s", len(entries), goldenPath)
+}
+
+// TestGoldenMetrics replays the full grid and requires exact equality
+// with the committed table. In -short mode only the microbenchmark
+// machine runs (the application cells are the long ones).
+func TestGoldenMetrics(t *testing.T) {
+	if *updateGolden {
+		writeGolden(t)
+		return
+	}
+	entries := readGolden(t)
+	if want := len(goldenGrid()); len(entries) != want {
+		t.Fatalf("golden table has %d entries, grid has %d cells; regenerate with -update-golden", len(entries), want)
+	}
+	for _, e := range entries {
+		e := e
+		if testing.Short() && !IsMicrobenchmark(e.Workload) {
+			continue
+		}
+		t.Run(e.Workload+"/"+e.Org, func(t *testing.T) {
+			t.Parallel()
+			org, err := ParseMemOrg(e.Org)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunWorkload(e.Workload, org)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != e.Cycles {
+				t.Errorf("Cycles = %d, golden %d", res.Cycles, e.Cycles)
+			}
+			if res.EnergyPJ != e.EnergyPJ {
+				t.Errorf("EnergyPJ = %v, golden %v", res.EnergyPJ, e.EnergyPJ)
+			}
+			if res.GPUInstructions != e.Instructions {
+				t.Errorf("Instructions = %d, golden %d", res.GPUInstructions, e.Instructions)
+			}
+			for class, want := range e.FlitHops {
+				if got := res.FlitHops[class]; got != want {
+					t.Errorf("FlitHops[%s] = %d, golden %d", class, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# bench.sh — run the workload benchmarks and record the performance
+# trajectory as BENCH_<date>.json (ns/op, B/op, allocs/op, sim_cycles
+# and the derived sim_cycles_per_sec per cell).
+#
+#   scripts/bench.sh                 # Figure 5 grid, three iterations per cell
+#   BENCH=. scripts/bench.sh         # every benchmark
+#   BENCHTIME=1x scripts/bench.sh    # quicker, noisier single iteration
+#   LABEL=baseline OUT=BENCH_baseline.json scripts/bench.sh
+#
+# Compare two reports field by field (the committed BENCH_baseline.json
+# is the pre-optimization reference):
+#
+#   jq -r '.benchmarks[] | [.name, .ns_per_op, .allocs_per_op, .sim_cycles_per_sec] | @tsv' BENCH_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-BenchmarkFig5}
+BENCHTIME=${BENCHTIME:-3x}
+LABEL=${LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}
+OUT=${OUT:-BENCH_$(date -u +%Y%m%d).json}
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . |
+	go run ./cmd/benchjson -label "$LABEL" >"$OUT"
+echo "wrote $OUT" >&2
