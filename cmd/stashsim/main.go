@@ -18,6 +18,11 @@
 //	-no-replication    disable the Section 4.5 data replication optimization
 //	-eager-writeback   write dirty stash data back at every kernel boundary
 //	-chunk-words N     lazy-writeback chunk granularity (power of two, <=16)
+//
+// For performance work, -cpuprofile and -memprofile write pprof
+// profiles of the simulation itself:
+//
+//	stashsim -workload reuse -org Stash -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -44,7 +50,34 @@ func main() {
 	chunkWords := flag.Int("chunk-words", 0, "lazy-writeback chunk granularity in words (0 = default 16)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial)")
 	jsonOut := flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile shows live heap accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("microbenchmarks:", stash.Microbenchmarks())

@@ -68,6 +68,68 @@ type waiter struct {
 	done func(vals [memdata.WordsPerLine]uint32)
 }
 
+// opKind discriminates pooled deferred operations.
+type opKind uint8
+
+const (
+	opRetryLoad  opKind = iota // re-issue a structurally stalled Load
+	opRetryStore               // re-issue a structurally stalled Store
+	opDeliver                  // deliver vals to a load's done callback
+)
+
+// op is a pooled deferred operation: a retried access or a completing
+// load. Its run closure is bound once when the op is first created, so
+// scheduling a retry or a hit/fill completion allocates nothing in
+// steady state.
+type op struct {
+	c       *Cache
+	kind    opKind
+	counted bool // replayed accesses are held in c.outstanding until re-issued
+	addr    memdata.PAddr
+	mask    memdata.WordMask
+	vals    [memdata.WordsPerLine]uint32
+	doneL   func(vals [memdata.WordsPerLine]uint32)
+	doneS   func()
+	run     func()
+}
+
+// fire copies the op's fields out, releases it, and then performs the
+// operation: the op is already reusable while the retried access or the
+// caller's callback runs (either may acquire ops itself).
+func (o *op) fire() {
+	c := o.c
+	kind, counted, addr, mask, vals := o.kind, o.counted, o.addr, o.mask, o.vals
+	doneL, doneS := o.doneL, o.doneS
+	o.counted = false
+	o.doneL, o.doneS = nil, nil
+	c.opFree = append(c.opFree, o)
+	if counted {
+		c.outstanding--
+	}
+	switch kind {
+	case opRetryLoad:
+		c.Load(addr, mask, doneL)
+	case opRetryStore:
+		c.Store(addr, mask, vals, doneS)
+	case opDeliver:
+		doneL(vals)
+	}
+	if counted {
+		c.checkDrained()
+	}
+}
+
+func (c *Cache) newOp() *op {
+	if n := len(c.opFree); n > 0 {
+		o := c.opFree[n-1]
+		c.opFree = c.opFree[:n-1]
+		return o
+	}
+	o := &op{c: c}
+	o.run = o.fire
+	return o
+}
+
 type mshr struct {
 	requested memdata.WordMask // words asked of the LLC, not yet arrived
 	waiters   []waiter
@@ -75,14 +137,23 @@ type mshr struct {
 
 // Cache is one L1, attached to its node's router as coh.ToL1.
 type Cache struct {
-	eng   *sim.Engine
-	net   *noc.Network
-	node  int
-	comp  coh.Component
-	p     Params
-	acct  *energy.Account
-	sets  []([]*line) // per set, LRU order (front = MRU)
-	mshrs map[memdata.PAddr]*mshr
+	eng  *sim.Engine
+	net  *noc.Network
+	node int
+	comp coh.Component
+	p    Params
+	acct *energy.Account
+	// sets hold LRU order (front = MRU). Line structs come from the
+	// preallocated linePool and are reused in place on eviction and
+	// after WritebackAll, so the steady-state access path never
+	// allocates: a set slice is truncated rather than nilled, keeping
+	// its dead line pointers in capacity for the next allocate.
+	sets     []([]*line)
+	linePool []line
+	usedLine int // lines handed out of linePool so far
+	mshrs    map[memdata.PAddr]*mshr
+	mshrFree []*mshr // retired MSHRs, reused to keep misses allocation-free
+	opFree   []*op   // pooled deferred operations (retries, load completions)
 	// pendingReg tracks words with registration requests in flight.
 	pendingReg  map[memdata.PAddr]memdata.WordMask
 	wbuf        *coh.WBBuffer
@@ -112,6 +183,7 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, acc
 		p:          p,
 		acct:       acct,
 		sets:       make([][]*line, numSets),
+		linePool:   make([]line, numLines),
 		mshrs:      make(map[memdata.PAddr]*mshr),
 		pendingReg: make(map[memdata.PAddr]memdata.WordMask),
 		wbuf:       coh.NewWBBuffer(),
@@ -120,6 +192,10 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, acc
 		evictions:  set.Counter(fmt.Sprintf("l1.%s.evictions", name)),
 		writebacks: set.Counter(fmt.Sprintf("l1.%s.writebacks", name)),
 		remoteHits: set.Counter(fmt.Sprintf("l1.%s.remote_hits", name)),
+	}
+	ptrs := make([]*line, numLines)
+	for i := range c.sets {
+		c.sets[i] = ptrs[i*p.Ways : i*p.Ways : (i+1)*p.Ways]
 	}
 	return c
 }
@@ -149,9 +225,19 @@ func (c *Cache) allocate(addr memdata.PAddr) *line {
 	}
 	idx := c.setIndex(addr)
 	s := c.sets[idx]
-	l := &line{addr: addr, live: true}
-	if len(s) < c.p.Ways {
-		c.sets[idx] = append([]*line{l}, s...)
+	if len(s) < cap(s) {
+		// Grow into capacity, reusing a dead line left behind a
+		// truncation (WritebackAll) or taking a fresh one from the pool.
+		s = s[:len(s)+1]
+		l := s[len(s)-1]
+		if l == nil {
+			l = &c.linePool[c.usedLine]
+			c.usedLine++
+		}
+		copy(s[1:], s[:len(s)-1])
+		s[0] = l
+		*l = line{addr: addr, live: true}
+		c.sets[idx] = s
 		return l
 	}
 	victim := -1
@@ -166,9 +252,11 @@ func (c *Cache) allocate(addr memdata.PAddr) *line {
 	if victim < 0 {
 		return nil
 	}
-	c.evict(s[victim])
+	l := s[victim]
+	c.evict(l)
 	copy(s[1:victim+1], s[:victim])
 	s[0] = l
+	*l = line{addr: addr, live: true}
 	return l
 }
 
@@ -198,13 +286,10 @@ func (c *Cache) evict(v *line) {
 // replay re-issues a structurally stalled access a few cycles later.
 // The queued access counts as outstanding so a drain cannot complete
 // (and the next phase begin) before it has actually issued.
-func (c *Cache) replay(fn func()) {
+func (c *Cache) replay(o *op) {
+	o.counted = true
 	c.outstanding++
-	c.eng.Schedule(4, func() {
-		c.outstanding--
-		fn()
-		c.checkDrained()
-	})
+	c.eng.Schedule(4, o.run)
 }
 
 func (c *Cache) chargeAccess(hit bool) {
@@ -228,7 +313,9 @@ func (c *Cache) Load(addr memdata.PAddr, mask memdata.WordMask, done func(vals [
 	}
 	l := c.allocate(addr)
 	if l == nil {
-		c.eng.Schedule(4, func() { c.Load(addr, mask, done) })
+		o := c.newOp()
+		o.kind, o.addr, o.mask, o.doneL = opRetryLoad, addr, mask, done
+		c.eng.Schedule(4, o.run)
 		return
 	}
 	missing := memdata.WordMask(0)
@@ -244,18 +331,26 @@ func (c *Cache) Load(addr memdata.PAddr, mask memdata.WordMask, done func(vals [
 	if missing == 0 {
 		c.hits.Inc()
 		c.chargeAccess(true)
-		vals := l.vals
-		c.eng.Schedule(c.p.HitLat, func() { done(vals) })
+		o := c.newOp()
+		o.kind, o.vals, o.doneL = opDeliver, l.vals, done
+		c.eng.Schedule(c.p.HitLat, o.run)
 		return
 	}
 	m := c.mshrs[addr]
 	if m == nil {
 		if c.p.MSHRs > 0 && len(c.mshrs) >= c.p.MSHRs {
 			// All miss-status registers busy: the access replays.
-			c.replay(func() { c.Load(addr, mask, done) })
+			o := c.newOp()
+			o.kind, o.addr, o.mask, o.doneL = opRetryLoad, addr, mask, done
+			c.replay(o)
 			return
 		}
-		m = &mshr{}
+		if n := len(c.mshrFree); n > 0 {
+			m = c.mshrFree[n-1]
+			c.mshrFree = c.mshrFree[:n-1]
+		} else {
+			m = &mshr{}
+		}
 		c.mshrs[addr] = m
 	}
 	c.misses.Inc()
@@ -285,13 +380,17 @@ func (c *Cache) Store(addr memdata.PAddr, mask memdata.WordMask, vals [memdata.W
 	}
 	l := c.allocate(addr)
 	if l == nil {
-		c.eng.Schedule(4, func() { c.Store(addr, mask, vals, done) })
+		o := c.newOp()
+		o.kind, o.addr, o.mask, o.vals, o.doneS = opRetryStore, addr, mask, vals, done
+		c.eng.Schedule(4, o.run)
 		return
 	}
 	if c.p.MSHRs > 0 && len(c.pendingReg) >= c.p.MSHRs {
 		if _, merging := c.pendingReg[addr]; !merging {
 			// Store buffer full of in-flight registrations: replay.
-			c.replay(func() { c.Store(addr, mask, vals, done) })
+			o := c.newOp()
+			o.kind, o.addr, o.mask, o.vals, o.doneS = opRetryStore, addr, mask, vals, done
+			c.replay(o)
 			return
 		}
 	}
@@ -380,9 +479,9 @@ func (c *Cache) fill(p *coh.Packet) {
 			}
 		}
 		if ready {
-			vals := l.vals
-			done := w.done
-			c.eng.Schedule(c.p.HitLat, func() { done(vals) })
+			o := c.newOp()
+			o.kind, o.vals, o.doneL = opDeliver, l.vals, w.done
+			c.eng.Schedule(c.p.HitLat, o.run)
 		} else {
 			remaining = append(remaining, w)
 		}
@@ -390,8 +489,20 @@ func (c *Cache) fill(p *coh.Packet) {
 	m.waiters = remaining
 	if len(m.waiters) == 0 && m.requested == 0 {
 		delete(c.mshrs, p.Line)
+		c.retireMSHR(m)
 		c.checkDrained()
 	}
+}
+
+// retireMSHR returns a drained MSHR to the free list. The waiter slice
+// keeps its capacity but drops its closures so they can be collected.
+func (c *Cache) retireMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = waiter{}
+	}
+	m.waiters = m.waiters[:0]
+	m.requested = 0
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 func (c *Cache) regAck(p *coh.Packet) {
@@ -475,17 +586,17 @@ func (c *Cache) SelfInvalidate() {
 }
 
 // WritebackAll lazily writes back every Registered word and invalidates
-// the cache. Used for end-of-run verification and by ablations.
+// the cache. Used for end-of-run verification and by ablations. Sets
+// are truncated, not released: the dead lines stay in each slice's
+// capacity and are reused by later allocates.
 func (c *Cache) WritebackAll() {
-	for _, s := range c.sets {
+	for i, s := range c.sets {
 		for _, l := range s {
 			if l.live {
 				c.evict(l)
 			}
 		}
-	}
-	for i := range c.sets {
-		c.sets[i] = nil
+		c.sets[i] = s[:0]
 	}
 }
 

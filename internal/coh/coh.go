@@ -124,14 +124,24 @@ func (p *Packet) Class() noc.Class {
 	}
 }
 
-// Send wraps the packet in a NoC message and injects it.
+// Send wraps the packet in a NoC message and injects it. The packet is
+// copied into a pooled in-flight Packet (recycled via the network's
+// payload pool), so the caller's Packet is not retained and may live on
+// the stack. Consequently the *Packet a Handler receives is valid only
+// for the duration of the HandlePacket call and must not be retained;
+// copy out any fields (including Vals) needed later.
 func Send(n *noc.Network, p *Packet) {
+	pp, _ := n.AcquirePayload().(*Packet)
+	if pp == nil {
+		pp = new(Packet)
+	}
+	*pp = *p
 	n.Send(&noc.Message{
 		Src:     p.SrcNode,
 		Dst:     p.DstNode,
 		Class:   p.Class(),
 		Bytes:   p.PayloadBytes(),
-		Payload: p,
+		Payload: pp,
 	})
 }
 

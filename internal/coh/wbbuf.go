@@ -9,6 +9,7 @@ import "stash/internal/memdata"
 // this buffer, so a remote reader always observes the owned value.
 type WBBuffer struct {
 	pending map[memdata.PAddr]*wbEntry
+	free    []*wbEntry // released entries, reused to keep writebacks allocation-free
 }
 
 type wbEntry struct {
@@ -26,7 +27,13 @@ func NewWBBuffer() *WBBuffer {
 func (b *WBBuffer) Put(line memdata.PAddr, mask memdata.WordMask, vals [memdata.WordsPerLine]uint32) {
 	e := b.pending[line]
 	if e == nil {
-		e = &wbEntry{}
+		if n := len(b.free); n > 0 {
+			e = b.free[n-1]
+			b.free = b.free[:n-1]
+			*e = wbEntry{}
+		} else {
+			e = &wbEntry{}
+		}
 		b.pending[line] = e
 	}
 	for i := 0; i < memdata.WordsPerLine; i++ {
@@ -56,6 +63,7 @@ func (b *WBBuffer) Release(line memdata.PAddr, mask memdata.WordMask) {
 	e.mask &^= mask
 	if e.mask == 0 {
 		delete(b.pending, line)
+		b.free = append(b.free, e)
 	}
 }
 

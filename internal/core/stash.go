@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"maps"
-	"slices"
 
 	"stash/internal/coh"
 	"stash/internal/energy"
@@ -61,20 +59,117 @@ const ChunkWords = memdata.WordsPerLine
 // readMSHR tracks an outstanding fill of one global line. fills may
 // hold several stash destinations per word: two thread blocks can map
 // the same global data into different stash allocations concurrently
-// (the replication scenario of Section 4.5).
+// (the replication scenario of Section 4.5). MSHRs are pooled: the
+// per-word fill lists and the waiter list keep their capacity across
+// reuses, so a warmed-up stash misses without allocating.
 type readMSHR struct {
+	line      memdata.PAddr // the global line this MSHR tracks
 	requested memdata.WordMask
-	fills     map[int][]int // word index within global line -> stash word offsets
+	fills     [memdata.WordsPerLine][]int32 // per line word: stash word offsets
 	waiters   []*stashWaiter
+	inPurge   bool // already on the purge-candidate list
 }
 
 // stashWaiter is one warp load waiting for fills. A load that misses in
 // several global lines is attached to every line's MSHR; fired ensures
-// it completes exactly once.
+// it completes exactly once. attached counts the MSHR waiter lists
+// still referencing it, so a fired waiter returns to the pool only once
+// every list has dropped it.
 type stashWaiter struct {
-	offsets []int
-	done    func(vals []uint32)
-	fired   bool
+	offsets  []int // waiter-owned copy of the access's stash offsets
+	done     func(vals []uint32)
+	fired    bool
+	attached int
+}
+
+// fillLine records, for one global line of a fill or registration plan,
+// the stash word offset each line word targets (-1 = none).
+type fillLine struct {
+	line memdata.PAddr
+	soff [memdata.WordsPerLine]int32
+}
+
+// fillPlan groups one access's misses (or registrations) by global
+// line. Lines are kept sorted by address, so iterating the plan issues
+// requests in the same deterministic order the old sorted-map-keys code
+// produced; plans are pooled because a load's plan lives until its
+// translation-delayed issue closure runs.
+type fillPlan struct {
+	lines []fillLine
+}
+
+func (p *fillPlan) lookup(line memdata.PAddr) *fillLine {
+	for i := range p.lines {
+		if p.lines[i].line == line {
+			return &p.lines[i]
+		}
+	}
+	return nil
+}
+
+func (p *fillPlan) insert(line memdata.PAddr) *fillLine {
+	pos := len(p.lines)
+	for i := range p.lines {
+		if line < p.lines[i].line {
+			pos = i
+			break
+		}
+	}
+	p.lines = append(p.lines, fillLine{})
+	copy(p.lines[pos+1:], p.lines[pos:len(p.lines)-1])
+	fl := &p.lines[pos]
+	fl.line = line
+	for i := range fl.soff {
+		fl.soff[i] = -1
+	}
+	return fl
+}
+
+func (p *fillPlan) getOrInsert(line memdata.PAddr) *fillLine {
+	if fl := p.lookup(line); fl != nil {
+		return fl
+	}
+	return p.insert(line)
+}
+
+// regPend tracks stash offsets awaiting a RegAck for one global line,
+// per line word. present marks words with a non-empty list (the map-
+// free equivalent of the old per-word map keys).
+type regPend struct {
+	present memdata.WordMask
+	lists   [memdata.WordsPerLine][]int32
+}
+
+// wbLine is one global line of a chunk writeback.
+type wbLine struct {
+	line memdata.PAddr
+	mask memdata.WordMask
+	vals [memdata.WordsPerLine]uint32
+}
+
+// wbPlan groups a chunk flush by global line, sorted by address (same
+// determinism argument as fillPlan). It is used synchronously, so one
+// scratch instance per stash suffices.
+type wbPlan struct {
+	lines []wbLine
+}
+
+func (p *wbPlan) getOrInsert(line memdata.PAddr) *wbLine {
+	pos := len(p.lines)
+	for i := range p.lines {
+		if p.lines[i].line == line {
+			return &p.lines[i]
+		}
+		if line < p.lines[i].line {
+			pos = i
+			break
+		}
+	}
+	p.lines = append(p.lines, wbLine{})
+	copy(p.lines[pos+1:], p.lines[pos:len(p.lines)-1])
+	wl := &p.lines[pos]
+	*wl = wbLine{line: line}
+	return wl
 }
 
 // Stash is one CU's stash (Figure 3). It attaches to the node's router
@@ -104,11 +199,31 @@ type Stash struct {
 	chunk int // writeback chunk granularity in words (Params.ChunkWords)
 
 	mshrs      map[memdata.PAddr]*readMSHR
-	pendingReg map[memdata.PAddr]map[int][]int // line -> word index -> stash offsets
+	pendingReg map[memdata.PAddr]*regPend
 	wbuf       *coh.WBBuffer
 
 	outstanding int
 	drainWait   []func()
+	// purgeCand lists MSHRs whose requested mask has dropped to zero;
+	// only these can be left holding fired waiters (fired through a
+	// sibling line's MSHR), so drain checks scan this list instead of
+	// the whole MSHR map.
+	purgeCand []*readMSHR
+
+	// Free lists and scratch buffers for the access hot path. All are
+	// bounded by the steady-state transaction concurrency and reuse
+	// their capacity, so warmed-up accesses allocate nothing.
+	mshrFree    []*readMSHR
+	waiterFree  []*stashWaiter
+	regPendFree []*regPend
+	planFree    []*fillPlan
+	valsFree    [][]uint32
+	tableFree   [][]int
+	wbScratch   wbPlan
+	missScratch []int
+	bankCnt     []int // per-bank distinct-offset count, zeroed between calls
+	bankTouched []int
+	blkOwned    []bool // per-map-entry flag scratch for EndThreadBlock
 
 	hits        *stats.Counter
 	misses      *stats.Counter
@@ -148,8 +263,10 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, as 
 		vp:         newVPMap(p.VPEntries, as),
 		tables:     make(map[int][]int),
 		mshrs:      make(map[memdata.PAddr]*readMSHR),
-		pendingReg: make(map[memdata.PAddr]map[int][]int),
+		pendingReg: make(map[memdata.PAddr]*regPend),
 		wbuf:       coh.NewWBBuffer(),
+		bankCnt:    make([]int, p.Banks),
+		blkOwned:   make([]bool, p.MapEntries),
 
 		hits:        set.Counter(fmt.Sprintf("stash.%s.hits", name)),
 		misses:      set.Counter(fmt.Sprintf("stash.%s.misses", name)),
@@ -172,6 +289,70 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, as 
 
 // Words returns the stash capacity in words.
 func (s *Stash) Words() int { return len(s.words) }
+
+// --- free lists ---
+
+func (s *Stash) acquireMSHR() *readMSHR {
+	if n := len(s.mshrFree); n > 0 {
+		m := s.mshrFree[n-1]
+		s.mshrFree = s.mshrFree[:n-1]
+		return m
+	}
+	return &readMSHR{}
+}
+
+func (s *Stash) retireMSHR(m *readMSHR) {
+	m.requested = 0
+	for i := range m.fills {
+		m.fills[i] = m.fills[i][:0]
+	}
+	m.waiters = m.waiters[:0]
+	m.inPurge = false
+	s.mshrFree = append(s.mshrFree, m)
+}
+
+func (s *Stash) acquireWaiter(offsets []int, done func([]uint32)) *stashWaiter {
+	var w *stashWaiter
+	if n := len(s.waiterFree); n > 0 {
+		w = s.waiterFree[n-1]
+		s.waiterFree = s.waiterFree[:n-1]
+	} else {
+		w = &stashWaiter{}
+	}
+	w.offsets = append(w.offsets[:0], offsets...)
+	w.done = done
+	w.fired = false
+	w.attached = 0
+	return w
+}
+
+func (s *Stash) releaseWaiter(w *stashWaiter) {
+	w.done = nil
+	s.waiterFree = append(s.waiterFree, w)
+}
+
+func (s *Stash) acquirePlan() *fillPlan {
+	if n := len(s.planFree); n > 0 {
+		p := s.planFree[n-1]
+		s.planFree = s.planFree[:n-1]
+		return p
+	}
+	return &fillPlan{}
+}
+
+func (s *Stash) releasePlan(p *fillPlan) {
+	p.lines = p.lines[:0]
+	s.planFree = append(s.planFree, p)
+}
+
+func (s *Stash) acquireRegPend() *regPend {
+	if n := len(s.regPendFree); n > 0 {
+		p := s.regPendFree[n-1]
+		s.regPendFree = s.regPendFree[:n-1]
+		return p
+	}
+	return &regPend{}
+}
 
 // --- AddMap / ChgMap (Section 3.1, 4.2) ---
 
@@ -198,7 +379,12 @@ func (s *Stash) AddMap(tb, slot int, m MapParams) int {
 
 	table := s.tables[tb]
 	if table == nil {
-		table = make([]int, s.p.SlotsPerTB)
+		if n := len(s.tableFree); n > 0 {
+			table = s.tableFree[n-1]
+			s.tableFree = s.tableFree[:n-1]
+		} else {
+			table = make([]int, s.p.SlotsPerTB)
+		}
 		for i := range table {
 			table[i] = -1
 		}
@@ -409,40 +595,52 @@ func (s *Stash) invalidateRangeExceptPendingWB(base, nwords int) {
 // owned word of entry idx (the non-coherent-to-coherent ChgMap case).
 func (s *Stash) registerLocalDirty(idx int) {
 	e := &s.maps[idx]
-	groups := make(map[memdata.PAddr]map[int]int)
+	plan := s.acquirePlan()
 	for off := e.StashBase; off < e.StashBase+e.Words(); off++ {
 		if s.state[off] != coh.Registered {
 			continue
 		}
 		va := e.stashToVirt(off)
 		pa := s.vp.translate(va)
-		line := memdata.LineOf(pa)
-		if groups[line] == nil {
-			groups[line] = make(map[int]int)
-		}
-		groups[line][memdata.WordIndex(pa)] = off
+		fl := plan.getOrInsert(memdata.LineOf(pa))
+		fl.soff[memdata.WordIndex(pa)] = int32(off)
 		s.state[off] = coh.PendingReg
 	}
-	for _, line := range slices.Sorted(maps.Keys(groups)) {
-		s.sendRegReq(line, groups[line], idx)
+	for i := range plan.lines {
+		s.sendRegReq(&plan.lines[i], idx)
 	}
+	s.releasePlan(plan)
 }
 
 // --- access path ---
 
+// conflictRounds returns the number of serialized bank rounds a warp
+// access needs: the maximum number of distinct word offsets mapping to
+// the same bank (same-offset lanes broadcast for free). Distinct
+// offsets are deduplicated by a quadratic scan — a warp has at most
+// warpSize offsets — and counted in a reusable per-bank array.
 func (s *Stash) conflictRounds(offsets []int) int {
-	perBank := make(map[int]map[int]bool)
 	rounds := 1
-	for _, off := range offsets {
-		b := off % s.p.Banks
-		if perBank[b] == nil {
-			perBank[b] = make(map[int]bool)
+outer:
+	for i, off := range offsets {
+		for _, prev := range offsets[:i] {
+			if prev == off {
+				continue outer
+			}
 		}
-		perBank[b][off] = true
-		if n := len(perBank[b]); n > rounds {
-			rounds = n
+		b := off % s.p.Banks
+		if s.bankCnt[b] == 0 {
+			s.bankTouched = append(s.bankTouched, b)
+		}
+		s.bankCnt[b]++
+		if s.bankCnt[b] > rounds {
+			rounds = s.bankCnt[b]
 		}
 	}
+	for _, b := range s.bankTouched {
+		s.bankCnt[b] = 0
+	}
+	s.bankTouched = s.bankTouched[:0]
 	return rounds
 }
 
@@ -467,7 +665,9 @@ func (s *Stash) touchChunk(off, idx int) {
 // Load performs a warp load of the given absolute stash word offsets
 // under thread block tb's mapping in table slot. done receives the
 // values once every word is resident; hits complete after HitLat times
-// the bank-conflict rounds.
+// the bank-conflict rounds. Both slices are owned by the caller: vals
+// is a pooled buffer valid only during the done callback, and offsets
+// is not retained past the Load call.
 func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 	s.checkOffsets(offsets)
 	idx := s.MapIndex(tb, slot)
@@ -476,7 +676,7 @@ func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 		s.touchChunk(off, idx)
 	}
 
-	var missing []int
+	missing := s.missScratch[:0]
 	for _, off := range offsets {
 		if s.state[off].Readable() {
 			continue
@@ -504,7 +704,10 @@ func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 		s.hits.Inc()
 		s.acct.Add(energy.StashHit, uint64(rounds))
 		vals := s.gather(offsets)
-		s.eng.Schedule(s.p.HitLat*sim.Cycle(rounds), func() { done(vals) })
+		s.eng.Schedule(s.p.HitLat*sim.Cycle(rounds), func() {
+			done(vals)
+			s.releaseVals(vals)
+		})
 		return
 	}
 	s.misses.Inc()
@@ -516,15 +719,15 @@ func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 	// Miss: translate (six ALU ops through the stash-map plus a VP-map
 	// TLB access), then request the missing global lines, compactly
 	// filling every still-invalid stash word that maps to each line.
-	groups := make(map[memdata.PAddr]map[int]int) // global line -> word idx -> stash offset
+	plan := s.acquirePlan() // global line -> line word -> stash offset
 	for _, off := range missing {
 		va := e.stashToVirt(off)
 		pa := s.vp.translate(va)
 		line := memdata.LineOf(pa)
-		if groups[line] != nil {
+		if plan.lookup(line) != nil {
 			continue // already planned by a sibling miss
 		}
-		g := make(map[int]int)
+		fl := plan.insert(line)
 		vline := memdata.VLineOf(va)
 		for w := 0; w < memdata.WordsPerLine; w++ {
 			wa := vline + memdata.VAddr(w*memdata.WordBytes)
@@ -532,24 +735,29 @@ func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 			if !ok || s.state[soff] != coh.Invalid {
 				continue
 			}
-			g[w] = soff
+			fl.soff[w] = int32(soff)
 		}
-		groups[line] = g
 	}
-	waiter := &stashWaiter{offsets: offsets, done: done}
+	s.missScratch = missing[:0]
+	waiter := s.acquireWaiter(offsets, done)
 	s.eng.Schedule(s.p.TranslateLat, func() {
 		attached := false
-		// Address order keeps line-request issue deterministic (map
-		// order would perturb downstream timing run to run).
-		for _, line := range slices.Sorted(maps.Keys(groups)) {
-			if s.requestLine(line, groups[line], waiter) {
+		// The plan is address-sorted, which keeps line-request issue
+		// deterministic (map order would perturb downstream timing run
+		// to run).
+		for i := range plan.lines {
+			if s.requestLine(&plan.lines[i], waiter) {
 				attached = true
 			}
 		}
+		s.releasePlan(plan)
 		if !attached {
 			// Everything arrived (or was filled by a racing request)
 			// between planning and issue; answer from the array.
 			s.completeIfReady(waiter)
+			if waiter.fired && waiter.attached == 0 {
+				s.releaseWaiter(waiter)
+			}
 		}
 	})
 }
@@ -557,11 +765,12 @@ func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 // requestLine asks the LLC for the still-missing words of a global
 // line, attaching the waiter to the line's MSHR. It reports whether the
 // waiter was attached (i.e. the line has outstanding fills).
-func (s *Stash) requestLine(line memdata.PAddr, fills map[int]int, w *stashWaiter) bool {
+func (s *Stash) requestLine(fl *fillLine, w *stashWaiter) bool {
+	line := fl.line
 	need := memdata.WordMask(0)
 	m := s.mshrs[line]
-	for wi, soff := range fills {
-		if s.state[soff] == coh.Invalid {
+	for wi, soff := range fl.soff {
+		if soff >= 0 && s.state[soff] == coh.Invalid {
 			need |= memdata.Bit(wi)
 		}
 	}
@@ -569,11 +778,14 @@ func (s *Stash) requestLine(line memdata.PAddr, fills map[int]int, w *stashWaite
 		return false
 	}
 	if m == nil {
-		m = &readMSHR{fills: make(map[int][]int)}
+		m = s.acquireMSHR()
+		m.line = line
 		s.mshrs[line] = m
 	}
-	for wi, soff := range fills {
-		m.fills[wi] = append(m.fills[wi], soff)
+	for wi, soff := range fl.soff {
+		if soff >= 0 {
+			m.fills[wi] = append(m.fills[wi], soff)
+		}
 	}
 	if newNeed := need &^ m.requested; newNeed != 0 {
 		m.requested |= newNeed
@@ -594,16 +806,25 @@ func (s *Stash) requestLine(line memdata.PAddr, fills map[int]int, w *stashWaite
 		return false
 	}
 	m.waiters = append(m.waiters, w)
+	w.attached++
 	return true
 }
 
+// gather reads the offsets' values into a pooled buffer; the caller
+// returns it with releaseVals after the consuming callback has run.
 func (s *Stash) gather(offsets []int) []uint32 {
-	vals := make([]uint32, len(offsets))
-	for i, off := range offsets {
-		vals[i] = s.words[off]
+	var vals []uint32
+	if n := len(s.valsFree); n > 0 {
+		vals = s.valsFree[n-1][:0]
+		s.valsFree = s.valsFree[:n-1]
+	}
+	for _, off := range offsets {
+		vals = append(vals, s.words[off])
 	}
 	return vals
 }
+
+func (s *Stash) releaseVals(v []uint32) { s.valsFree = append(s.valsFree, v) }
 
 // Store performs a warp store. Data is accepted immediately (the warp
 // does not block); registration of newly owned words and the chunked
@@ -619,7 +840,7 @@ func (s *Stash) Store(tb, slot int, offsets []int, vals []uint32, done func()) {
 		s.touchChunk(off, idx)
 	}
 
-	groups := make(map[memdata.PAddr]map[int]int)
+	plan := s.acquirePlan()
 	anyMiss := false
 	for i, off := range offsets {
 		s.words[off] = vals[i]
@@ -638,11 +859,8 @@ func (s *Stash) Store(tb, slot int, offsets []int, vals []uint32, done func()) {
 		anyMiss = true
 		va := e.stashToVirt(off)
 		pa := s.vp.translate(va)
-		line := memdata.LineOf(pa)
-		if groups[line] == nil {
-			groups[line] = make(map[int]int)
-		}
-		groups[line][memdata.WordIndex(pa)] = off
+		fl := plan.getOrInsert(memdata.LineOf(pa))
+		fl.soff[memdata.WordIndex(pa)] = int32(off)
 	}
 
 	rounds := s.conflictRounds(offsets)
@@ -658,11 +876,12 @@ func (s *Stash) Store(tb, slot int, offsets []int, vals []uint32, done func()) {
 		// reaching the LLC ahead of its own RegReq would be dropped as
 		// stale and strand the registration. The translation occupies
 		// the store for TranslateLat instead.
-		for _, line := range slices.Sorted(maps.Keys(groups)) {
-			s.sendRegReq(line, groups[line], idx)
+		for i := range plan.lines {
+			s.sendRegReq(&plan.lines[i], idx)
 		}
 		lat += s.p.TranslateLat
 	}
+	s.releasePlan(plan)
 	s.eng.Schedule(lat, done)
 }
 
@@ -681,18 +900,23 @@ func (s *Stash) noteStore(off, idx int) {
 	}
 }
 
-func (s *Stash) sendRegReq(line memdata.PAddr, fills map[int]int, idx int) {
+func (s *Stash) sendRegReq(fl *fillLine, idx int) {
+	line := fl.line
 	pend := s.pendingReg[line]
 	if pend == nil {
-		pend = make(map[int][]int)
+		pend = s.acquireRegPend()
 		s.pendingReg[line] = pend
 	}
 	mask := memdata.WordMask(0)
-	for wi, soff := range fills {
-		if len(pend[wi]) == 0 {
+	for wi, soff := range fl.soff {
+		if soff < 0 {
+			continue
+		}
+		if len(pend.lists[wi]) == 0 {
 			mask |= memdata.Bit(wi)
 		}
-		pend[wi] = append(pend[wi], soff)
+		pend.lists[wi] = append(pend.lists[wi], soff)
+		pend.present |= memdata.Bit(wi)
 	}
 	if mask == 0 {
 		return
@@ -720,7 +944,10 @@ func (s *Stash) completeIfReady(w *stashWaiter) {
 	w.fired = true
 	vals := s.gather(w.offsets)
 	done := w.done
-	s.eng.Schedule(s.p.HitLat, func() { done(vals) })
+	s.eng.Schedule(s.p.HitLat, func() {
+		done(vals)
+		s.releaseVals(vals)
+	})
 }
 
 // --- chunked lazy writeback (Section 4.2) ---
@@ -734,8 +961,8 @@ func (s *Stash) flushChunk(c int) {
 	}
 	e := &s.maps[idx]
 	s.lazyFlushes.Inc()
-	groups := make(map[memdata.PAddr]memdata.WordMask)
-	lineVals := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
+	wb := &s.wbScratch
+	wb.lines = wb.lines[:0]
 	base := c * s.chunk
 	for off := base; off < base+s.chunk; off++ {
 		if !s.state[off].Owned() {
@@ -750,25 +977,22 @@ func (s *Stash) flushChunk(c int) {
 		}
 		va := e.stashToVirt(off)
 		pa := s.vp.translate(va)
-		line := memdata.LineOf(pa)
-		vals := lineVals[line]
-		vals[memdata.WordIndex(pa)] = s.words[off]
-		lineVals[line] = vals
-		groups[line] |= memdata.Bit(memdata.WordIndex(pa))
+		wl := wb.getOrInsert(memdata.LineOf(pa))
+		wl.vals[memdata.WordIndex(pa)] = s.words[off]
+		wl.mask |= memdata.Bit(memdata.WordIndex(pa))
 		s.state[off] = coh.Invalid
 	}
-	for _, line := range slices.Sorted(maps.Keys(groups)) {
-		mask := groups[line]
-		vals := lineVals[line]
+	for i := range wb.lines {
+		wl := &wb.lines[i]
 		s.writebacks.Inc()
-		s.wbuf.Put(line, mask, vals)
+		s.wbuf.Put(wl.line, wl.mask, wl.vals)
 		s.outstanding++
 		// Reading the words out of the array for the writeback.
 		s.acct.Add(energy.StashHit, 1)
 		coh.Send(s.net, &coh.Packet{
-			Type: coh.WBReq, Line: line, Mask: mask, Vals: vals,
+			Type: coh.WBReq, Line: wl.line, Mask: wl.mask, Vals: wl.vals,
 			SrcNode: s.node, SrcComp: coh.ToStash,
-			DstNode: llc.BankOf(line, s.p.NumLLCBanks), DstComp: coh.ToLLC,
+			DstNode: llc.BankOf(wl.line, s.p.NumLLCBanks), DstComp: coh.ToLLC,
 			MapIdx: idx,
 		})
 	}
@@ -797,20 +1021,25 @@ func (s *Stash) EndThreadBlock(tb int) {
 	if table == nil {
 		return
 	}
-	owned := make(map[int]bool)
 	for _, idx := range table {
 		if idx >= 0 {
-			owned[idx] = true
+			s.blkOwned[idx] = true
 			s.maps[idx].active = false
 		}
 	}
 	for c := range s.chunkDirty {
-		if s.chunkDirty[c] && owned[s.chunkMap[c]] {
+		if s.chunkDirty[c] && s.chunkMap[c] >= 0 && s.blkOwned[s.chunkMap[c]] {
 			s.chunkDirty[c] = false
 			s.chunkWB[c] = true
 		}
 	}
+	for _, idx := range table {
+		if idx >= 0 {
+			s.blkOwned[idx] = false
+		}
+	}
 	delete(s.tables, tb)
+	s.tableFree = append(s.tableFree, table)
 }
 
 // SelfInvalidate implements the kernel-end action of Section 4.3: data
@@ -847,22 +1076,37 @@ func (s *Stash) Drain(done func()) {
 
 func (s *Stash) checkDrained() {
 	// Purge MSHRs whose fills all arrived and whose waiters have fired
-	// through a sibling line's MSHR.
-	for line, m := range s.mshrs {
+	// through a sibling line's MSHR. Only the purge candidates
+	// (requested mask zero) can be in that state; scanning the whole
+	// MSHR map here made every ack O(outstanding lines).
+	cand := s.purgeCand[:0]
+	for _, m := range s.purgeCand {
 		if m.requested != 0 {
+			// Resurrected by a later miss; fill re-lists it when the
+			// new requests complete.
+			m.inPurge = false
 			continue
 		}
 		live := m.waiters[:0]
 		for _, w := range m.waiters {
 			if !w.fired {
 				live = append(live, w)
+				continue
+			}
+			w.attached--
+			if w.attached == 0 {
+				s.releaseWaiter(w)
 			}
 		}
 		m.waiters = live
 		if len(m.waiters) == 0 {
-			delete(s.mshrs, line)
+			delete(s.mshrs, m.line)
+			s.retireMSHR(m)
+		} else {
+			cand = append(cand, m)
 		}
 	}
+	s.purgeCand = cand
 	if s.outstanding != 0 || len(s.mshrs) != 0 || len(s.drainWait) == 0 {
 		return
 	}
@@ -917,30 +1161,45 @@ func (s *Stash) fill(p *coh.Packet) {
 		s.completeIfReady(w)
 		if !w.fired {
 			remaining = append(remaining, w)
+			continue
+		}
+		w.attached--
+		if w.attached == 0 {
+			s.releaseWaiter(w)
 		}
 	}
 	m.waiters = remaining
-	if m.requested == 0 && len(m.waiters) == 0 {
-		delete(s.mshrs, p.Line)
-		s.checkDrained()
+	if m.requested == 0 {
+		// The purge in checkDrained retires the MSHR (now, if its
+		// waiters are all done, or later once siblings fire them).
+		if !m.inPurge {
+			m.inPurge = true
+			s.purgeCand = append(s.purgeCand, m)
+		}
+		if len(m.waiters) == 0 {
+			s.checkDrained()
+		}
 	}
 }
 
 func (s *Stash) regAck(p *coh.Packet) {
-	pend := s.pendingReg[p.Line]
-	for wi := 0; wi < memdata.WordsPerLine; wi++ {
-		if !p.Mask.Has(wi) || pend == nil {
-			continue
-		}
-		for _, soff := range pend[wi] {
-			if s.state[soff] == coh.PendingReg {
-				s.state[soff] = coh.Registered
+	if pend := s.pendingReg[p.Line]; pend != nil {
+		for wi := 0; wi < memdata.WordsPerLine; wi++ {
+			if !p.Mask.Has(wi) {
+				continue
 			}
+			for _, soff := range pend.lists[wi] {
+				if s.state[soff] == coh.PendingReg {
+					s.state[soff] = coh.Registered
+				}
+			}
+			pend.lists[wi] = pend.lists[wi][:0]
+			pend.present &^= memdata.Bit(wi)
 		}
-		delete(pend, wi)
-	}
-	if len(pend) == 0 {
-		delete(s.pendingReg, p.Line)
+		if pend.present == 0 {
+			delete(s.pendingReg, p.Line)
+			s.regPendFree = append(s.regPendFree, pend)
+		}
 	}
 	s.outstanding--
 	s.checkDrained()

@@ -65,7 +65,8 @@ func (r *rig) alloc(n int, gen func(i int) uint32) memdata.VAddr {
 
 func (r *rig) load(tb, slot int, offsets []int) []uint32 {
 	var out []uint32
-	r.stash.Load(tb, slot, offsets, func(vals []uint32) { out = vals })
+	// vals is a pooled buffer only valid during the callback: copy it.
+	r.stash.Load(tb, slot, offsets, func(vals []uint32) { out = append([]uint32(nil), vals...) })
 	r.eng.Run()
 	if out == nil {
 		panic("stash load never completed")

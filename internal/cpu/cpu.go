@@ -16,28 +16,48 @@ import (
 	"stash/internal/vm"
 )
 
-// Core is one CPU core.
+// Core is one CPU core. It is strictly in-order with at most one
+// outstanding memory access, so its step and completion callbacks are
+// bound once at construction and the access path never allocates.
 type Core struct {
 	eng  *sim.Engine
 	node int
 	as   *vm.AddressSpace
 	l1   *cache.Cache
 
-	warp *isa.Warp
-	done func()
+	warp     *isa.Warp
+	warpPool *isa.Warp // reused across Run calls
+	done     func()
+
+	stepFn    func()
+	storeDone func()
+	loadDone  func(vals [memdata.WordsPerLine]uint32)
+	loadPend  *isa.Pending // in-flight load awaiting its L1 callback
+	loadWord  int          // word index the in-flight load reads
+	loadBuf   [1]uint32
 
 	instrs *stats.Counter
 }
 
 // New builds a core over the given (CPU) L1.
 func New(eng *sim.Engine, node int, name string, as *vm.AddressSpace, l1 *cache.Cache, set *stats.Set) *Core {
-	return &Core{
+	c := &Core{
 		eng:    eng,
 		node:   node,
 		as:     as,
 		l1:     l1,
 		instrs: set.Counter(fmt.Sprintf("cpu.%s.instructions", name)),
 	}
+	c.stepFn = c.step
+	c.storeDone = func() { c.eng.Schedule(0, c.stepFn) }
+	c.loadDone = func(vals [memdata.WordsPerLine]uint32) {
+		p := c.loadPend
+		c.loadPend = nil
+		c.loadBuf[0] = vals[c.loadWord]
+		c.warp.CompleteLoad(p, c.loadBuf[:])
+		c.eng.Schedule(1, c.stepFn)
+	}
+	return c
 }
 
 // L1 returns the core's cache.
@@ -52,14 +72,20 @@ func (c *Core) Run(prog *isa.Program, threadID, numThreads int, done func()) {
 		panic("cpu: core already running")
 	}
 	c.l1.SelfInvalidate()
-	c.warp = isa.NewWarp(prog, isa.WarpConfig{
+	cfg := isa.WarpConfig{
 		Width:    1,
 		BlockDim: 1,
 		BlockID:  threadID,
 		GridDim:  numThreads,
-	})
+	}
+	if c.warpPool == nil {
+		c.warpPool = isa.NewWarp(prog, cfg)
+	} else {
+		c.warpPool.Reset(prog, cfg)
+	}
+	c.warp = c.warpPool
 	c.done = done
-	c.eng.Schedule(1, c.step)
+	c.eng.Schedule(1, c.stepFn)
 }
 
 func (c *Core) step() {
@@ -71,7 +97,7 @@ func (c *Core) step() {
 	case isa.PendDone:
 		c.finish()
 	case isa.PendALU:
-		c.eng.Schedule(sim.Cycle(p.Cycles), c.step)
+		c.eng.Schedule(sim.Cycle(p.Cycles), c.stepFn)
 	case isa.PendLoad:
 		c.load(p)
 	case isa.PendStore:
@@ -86,16 +112,15 @@ func (c *Core) load(p *isa.Pending) {
 		panic("cpu: CPU cores have no scratchpad or stash")
 	}
 	if len(p.Lanes) == 0 {
-		c.eng.Schedule(1, c.step)
+		c.eng.Schedule(1, c.stepFn)
 		return
 	}
 	pa := c.as.Translate(memdata.VAddr(p.Addrs[0]))
 	line := memdata.LineOf(pa)
 	w := memdata.WordIndex(pa)
-	c.l1.Load(line, memdata.Bit(w), func(vals [memdata.WordsPerLine]uint32) {
-		c.warp.CompleteLoad(p, []uint32{vals[w]})
-		c.eng.Schedule(1, c.step)
-	})
+	c.loadPend = p
+	c.loadWord = w
+	c.l1.Load(line, memdata.Bit(w), c.loadDone)
 }
 
 func (c *Core) store(p *isa.Pending) {
@@ -103,7 +128,7 @@ func (c *Core) store(p *isa.Pending) {
 		panic("cpu: CPU cores have no scratchpad or stash")
 	}
 	if len(p.Lanes) == 0 {
-		c.eng.Schedule(1, c.step)
+		c.eng.Schedule(1, c.stepFn)
 		return
 	}
 	pa := c.as.Translate(memdata.VAddr(p.Addrs[0]))
@@ -113,12 +138,12 @@ func (c *Core) store(p *isa.Pending) {
 	vals[w] = p.Vals[0]
 	// Continue once the L1 accepts the store (it may replay under
 	// store-buffer pressure), preserving same-address store order.
-	c.l1.Store(line, memdata.Bit(w), vals, func() { c.eng.Schedule(0, c.step) })
+	c.l1.Store(line, memdata.Bit(w), vals, c.storeDone)
 }
 
 func (c *Core) finish() {
 	done := c.done
 	c.warp = nil
 	c.done = nil
-	c.l1.Drain(func() { done() })
+	c.l1.Drain(done)
 }

@@ -15,8 +15,6 @@ package dma
 
 import (
 	"fmt"
-	"maps"
-	"slices"
 
 	"stash/internal/coh"
 	"stash/internal/core"
@@ -41,9 +39,93 @@ type Params struct {
 // DefaultParams returns the default engine configuration.
 func DefaultParams() Params { return Params{NumLLCBanks: 16, IssueGap: 1} }
 
+// transfer is one whole-tile Load or Store; it completes when every
+// line it split into has finished. Pooled on the engine.
 type transfer struct {
 	remaining int
 	done      func()
+}
+
+// tileLine is one global line of a tile plan: soff[w] is the
+// scratchpad word offset backing word w of the line, or -1.
+type tileLine struct {
+	line memdata.PAddr
+	soff [memdata.WordsPerLine]int32
+}
+
+// tilePlan groups a tile's words by global line, kept sorted by line
+// address. It replaces the old map-of-maps grouping: the engine reuses
+// one plan per call, so planning a transfer allocates nothing in steady
+// state.
+type tilePlan struct {
+	lines []tileLine
+}
+
+// getOrInsert returns the plan entry for line, inserting it in sorted
+// position (with all scratchpad offsets reset) if absent.
+func (p *tilePlan) getOrInsert(line memdata.PAddr) *tileLine {
+	lo, hi := 0, len(p.lines)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.lines[mid].line < line {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.lines) && p.lines[lo].line == line {
+		return &p.lines[lo]
+	}
+	if len(p.lines) < cap(p.lines) {
+		p.lines = p.lines[:len(p.lines)+1]
+	} else {
+		p.lines = append(p.lines, tileLine{})
+	}
+	copy(p.lines[lo+1:], p.lines[lo:len(p.lines)-1])
+	tl := &p.lines[lo]
+	tl.line = line
+	for i := range tl.soff {
+		tl.soff[i] = -1
+	}
+	return tl
+}
+
+// transferRef is one line's share of a transfer. For loads, soff maps
+// line words to scratchpad offsets and pending tracks words still to
+// arrive; stores wait for a single WBAck. Pooled on the engine.
+type transferRef struct {
+	id      uint64
+	t       *transfer
+	isStore bool
+	soff    [memdata.WordsPerLine]int32
+	pending memdata.WordMask
+}
+
+// sendOp is a pooled deferred line request: its run closure is bound
+// once, so pacing line packets onto the network allocates nothing.
+type sendOp struct {
+	e       *Engine
+	isWrite bool
+	line    memdata.PAddr
+	mask    memdata.WordMask
+	vals    [memdata.WordsPerLine]uint32
+	run     func()
+}
+
+func (o *sendOp) fire() {
+	e := o.e
+	typ := coh.ReadReq
+	if o.isWrite {
+		typ = coh.WriteReq
+	}
+	p := &coh.Packet{
+		Type: typ, Line: o.line, Mask: o.mask, Vals: o.vals,
+		SrcNode: e.node, SrcComp: coh.ToDMA,
+		DstNode: llc.BankOf(o.line, e.p.NumLLCBanks), DstComp: coh.ToLLC,
+		MapIdx: -1,
+	}
+	e.sendFree = append(e.sendFree, o)
+	coh.Send(e.net, p)
 }
 
 // Engine is one CU's DMA engine, attached to the node router as
@@ -56,17 +138,22 @@ type Engine struct {
 	sp   *scratch.Scratchpad
 	as   *vm.AddressSpace
 
-	nextID    uint64
-	transfers map[memdata.PAddr]map[uint64]*transferRef // line -> waiting transfers
-	loads     *stats.Counter
-	stores    *stats.Counter
-	lines     *stats.Counter
-}
+	nextID uint64
+	// transfers holds, per line, the waiting per-line refs in ascending
+	// id (issue) order, so responses complete oldest-first.
+	transfers map[memdata.PAddr][]*transferRef
 
-type transferRef struct {
-	t       *transfer
-	offsets map[int]int      // word index in line -> scratchpad word offset
-	pending memdata.WordMask // words still to arrive (loads) / one-shot ack (stores: 0)
+	plan       tilePlan // reused per-call grouping scratch
+	refFree    []*transferRef
+	refsFree   [][]*transferRef // retired per-line lists, capacity reused
+	tFree      []*transfer
+	sendFree   []*sendOp
+	offScratch []int
+	valScratch []uint32
+
+	loads  *stats.Counter
+	stores *stats.Counter
+	lines  *stats.Counter
 }
 
 // New builds a DMA engine serving the scratchpad sp.
@@ -78,27 +165,79 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, sp 
 		p:         p,
 		sp:        sp,
 		as:        as,
-		transfers: make(map[memdata.PAddr]map[uint64]*transferRef),
+		transfers: make(map[memdata.PAddr][]*transferRef),
 		loads:     set.Counter(fmt.Sprintf("dma.%s.loads", name)),
 		stores:    set.Counter(fmt.Sprintf("dma.%s.stores", name)),
 		lines:     set.Counter(fmt.Sprintf("dma.%s.lines", name)),
 	}
 }
 
-// lineGroups walks the tile and groups its words by global line.
-// The scratchpad destination of tile word i is region.StashBase+i.
-func (e *Engine) lineGroups(region core.MapParams) map[memdata.PAddr]map[int]int {
-	groups := make(map[memdata.PAddr]map[int]int)
+// planTile walks the tile and groups its words by global line in the
+// engine's reused plan. The scratchpad destination of tile word i is
+// region.StashBase+i.
+func (e *Engine) planTile(region core.MapParams) *tilePlan {
+	e.plan.lines = e.plan.lines[:0]
 	for i := 0; i < region.Words(); i++ {
 		va := region.VirtAddrOf(i)
 		pa := e.as.Translate(va)
-		line := memdata.LineOf(pa)
-		if groups[line] == nil {
-			groups[line] = make(map[int]int)
-		}
-		groups[line][memdata.WordIndex(pa)] = region.StashBase + i
+		tl := e.plan.getOrInsert(memdata.LineOf(pa))
+		tl.soff[memdata.WordIndex(pa)] = int32(region.StashBase + i)
 	}
-	return groups
+	return &e.plan
+}
+
+func (e *Engine) newRef(t *transfer) *transferRef {
+	var r *transferRef
+	if n := len(e.refFree); n > 0 {
+		r = e.refFree[n-1]
+		e.refFree = e.refFree[:n-1]
+	} else {
+		r = &transferRef{}
+	}
+	r.id = e.nextID
+	e.nextID++
+	r.t = t
+	r.isStore = false
+	r.pending = 0
+	return r
+}
+
+func (e *Engine) newTransfer(remaining int, done func()) *transfer {
+	var t *transfer
+	if n := len(e.tFree); n > 0 {
+		t = e.tFree[n-1]
+		e.tFree = e.tFree[:n-1]
+	} else {
+		t = &transfer{}
+	}
+	t.remaining = remaining
+	t.done = done
+	return t
+}
+
+func (e *Engine) newSend() *sendOp {
+	if n := len(e.sendFree); n > 0 {
+		o := e.sendFree[n-1]
+		e.sendFree = e.sendFree[:n-1]
+		o.vals = [memdata.WordsPerLine]uint32{}
+		return o
+	}
+	o := &sendOp{e: e}
+	o.run = o.fire
+	return o
+}
+
+// addRef appends ref to line's waiter list, reviving a retired list's
+// capacity when the line has no list yet.
+func (e *Engine) addRef(line memdata.PAddr, ref *transferRef) {
+	lst, ok := e.transfers[line]
+	if !ok {
+		if n := len(e.refsFree); n > 0 {
+			lst = e.refsFree[n-1][:0]
+			e.refsFree = e.refsFree[:n-1]
+		}
+	}
+	e.transfers[line] = append(lst, ref)
 }
 
 // Load preloads the whole tile into the scratchpad and calls done when
@@ -106,36 +245,33 @@ func (e *Engine) lineGroups(region core.MapParams) map[memdata.PAddr]map[int]int
 // what the kernel will touch.
 func (e *Engine) Load(region core.MapParams, done func()) {
 	e.loads.Inc()
-	groups := e.lineGroups(region)
-	t := &transfer{remaining: len(groups), done: done}
-	if t.remaining == 0 {
+	plan := e.planTile(region)
+	if len(plan.lines) == 0 {
 		e.eng.Schedule(1, done)
 		return
 	}
+	t := e.newTransfer(len(plan.lines), done)
 	gap := sim.Cycle(0)
-	// Lines issue in address order; the pacing gap would otherwise hand
-	// each line a different injection cycle from run to run.
-	for _, line := range slices.Sorted(maps.Keys(groups)) {
-		line, offsets := line, groups[line]
+	// Lines issue in address order (the plan is sorted); the pacing gap
+	// would otherwise hand each line a different injection cycle from
+	// run to run.
+	for i := range plan.lines {
+		tl := &plan.lines[i]
 		e.lines.Inc()
-		id := e.nextID
-		e.nextID++
-		if e.transfers[line] == nil {
-			e.transfers[line] = make(map[uint64]*transferRef)
-		}
+		ref := e.newRef(t)
+		ref.soff = tl.soff
 		mask := memdata.WordMask(0)
-		for wi := range offsets {
-			mask |= memdata.Bit(wi)
+		for wi, soff := range tl.soff {
+			if soff >= 0 {
+				mask |= memdata.Bit(wi)
+			}
 		}
-		e.transfers[line][id] = &transferRef{t: t, offsets: offsets, pending: mask}
-		e.eng.Schedule(gap, func() {
-			coh.Send(e.net, &coh.Packet{
-				Type: coh.ReadReq, Line: line, Mask: mask,
-				SrcNode: e.node, SrcComp: coh.ToDMA,
-				DstNode: llc.BankOf(line, e.p.NumLLCBanks), DstComp: coh.ToLLC,
-				MapIdx: -1,
-			})
-		})
+		ref.pending = mask
+		e.addRef(tl.line, ref)
+		o := e.newSend()
+		o.isWrite = false
+		o.line, o.mask = tl.line, mask
+		e.eng.Schedule(gap, o.run)
 		gap += e.p.IssueGap
 	}
 }
@@ -144,44 +280,44 @@ func (e *Engine) Load(region core.MapParams, done func()) {
 // and calls done once every line is acknowledged.
 func (e *Engine) Store(region core.MapParams, done func()) {
 	e.stores.Inc()
-	groups := e.lineGroups(region)
-	t := &transfer{remaining: len(groups), done: done}
-	if t.remaining == 0 {
+	plan := e.planTile(region)
+	if len(plan.lines) == 0 {
 		e.eng.Schedule(1, done)
 		return
 	}
+	t := e.newTransfer(len(plan.lines), done)
 	gap := sim.Cycle(0)
-	for _, line := range slices.Sorted(maps.Keys(groups)) {
-		line, offsets := line, groups[line]
+	for i := range plan.lines {
+		tl := &plan.lines[i]
 		e.lines.Inc()
-		id := e.nextID
-		e.nextID++
-		if e.transfers[line] == nil {
-			e.transfers[line] = make(map[uint64]*transferRef)
+		ref := e.newRef(t)
+		ref.isStore = true
+		e.addRef(tl.line, ref)
+		o := e.newSend()
+		o.isWrite = true
+		o.line = tl.line
+		o.mask = 0
+		// Read the words out of the scratchpad (charged like any
+		// access), in word order within the line.
+		spOffsets := e.offScratch[:0]
+		for wi, soff := range tl.soff {
+			if soff < 0 {
+				continue
+			}
+			o.mask |= memdata.Bit(wi)
+			spOffsets = append(spOffsets, int(soff))
 		}
-		e.transfers[line][id] = &transferRef{t: t}
-		var mask memdata.WordMask
-		var vals [memdata.WordsPerLine]uint32
-		spOffsets := make([]int, 0, len(offsets))
-		order := make([]int, 0, len(offsets))
-		for wi, soff := range offsets {
-			mask |= memdata.Bit(wi)
-			spOffsets = append(spOffsets, soff)
-			order = append(order, wi)
-		}
-		// Read the words out of the scratchpad (charged like any access).
+		e.offScratch = spOffsets[:0]
 		read, _ := e.sp.Load(spOffsets)
-		for k, wi := range order {
-			vals[wi] = read[k]
+		k := 0
+		for wi, soff := range tl.soff {
+			if soff < 0 {
+				continue
+			}
+			o.vals[wi] = read[k]
+			k++
 		}
-		e.eng.Schedule(gap, func() {
-			coh.Send(e.net, &coh.Packet{
-				Type: coh.WriteReq, Line: line, Mask: mask, Vals: vals,
-				SrcNode: e.node, SrcComp: coh.ToDMA,
-				DstNode: llc.BankOf(line, e.p.NumLLCBanks), DstComp: coh.ToLLC,
-				MapIdx: -1,
-			})
-		})
+		e.eng.Schedule(gap, o.run)
 		gap += e.p.IssueGap
 	}
 }
@@ -196,58 +332,68 @@ func (e *Engine) HandlePacket(p *coh.Packet) {
 	case coh.DataResp:
 		// A response may be redundant: when two transfers request the
 		// same line, the first response can satisfy both, leaving the
-		// second with nothing to fill. Fills apply oldest-first so
-		// completion order is reproducible.
-		for _, id := range slices.Sorted(maps.Keys(refs)) {
-			ref := refs[id]
+		// second with nothing to fill. Fills apply oldest-first (the
+		// per-line list is in issue order) so completion order is
+		// reproducible.
+		keep := refs[:0]
+		for _, ref := range refs {
 			got := ref.pending & p.Mask
 			if got == 0 {
+				keep = append(keep, ref)
 				continue
 			}
-			offsets := make([]int, 0, got.Count())
-			vals := make([]uint32, 0, got.Count())
-			for wi, soff := range ref.offsets {
+			offsets := e.offScratch[:0]
+			vals := e.valScratch[:0]
+			for wi := 0; wi < memdata.WordsPerLine; wi++ {
 				if got.Has(wi) {
-					offsets = append(offsets, soff)
+					offsets = append(offsets, int(ref.soff[wi]))
 					vals = append(vals, p.Vals[wi])
 				}
 			}
+			e.offScratch, e.valScratch = offsets[:0], vals[:0]
 			e.sp.Store(offsets, vals)
 			ref.pending &^= got
 			if ref.pending == 0 {
-				delete(refs, id)
 				e.finish(ref)
+			} else {
+				keep = append(keep, ref)
 			}
 		}
+		refs = keep
 	case coh.WBAck:
 		// One ack completes the oldest outstanding store to this line.
-		var oldest uint64
-		first := true
-		for id, ref := range refs {
-			if ref.offsets != nil {
-				continue // a load, not a store
-			}
-			if first || id < oldest {
-				oldest, first = id, false
+		idx := -1
+		for i, ref := range refs {
+			if ref.isStore {
+				idx = i
+				break
 			}
 		}
-		if first {
+		if idx < 0 {
 			panic(fmt.Sprintf("dma: WBAck for line %#x with no outstanding store", uint64(p.Line)))
 		}
-		ref := refs[oldest]
-		delete(refs, oldest)
+		ref := refs[idx]
+		refs = append(refs[:idx], refs[idx+1:]...)
 		e.finish(ref)
 	default:
 		panic("dma: unexpected packet " + p.Type.String())
 	}
 	if len(refs) == 0 {
 		delete(e.transfers, p.Line)
+		e.refsFree = append(e.refsFree, refs)
+	} else {
+		e.transfers[p.Line] = refs
 	}
 }
 
 func (e *Engine) finish(ref *transferRef) {
-	ref.t.remaining--
-	if ref.t.remaining == 0 {
-		e.eng.Schedule(0, ref.t.done)
+	t := ref.t
+	ref.t = nil
+	e.refFree = append(e.refFree, ref)
+	t.remaining--
+	if t.remaining == 0 {
+		e.eng.Schedule(0, t.done)
+		t.done = nil
+		e.tFree = append(e.tFree, t)
 	}
 }

@@ -8,8 +8,6 @@ package gpu
 
 import (
 	"fmt"
-	"maps"
-	"slices"
 
 	"stash/internal/cache"
 	"stash/internal/core"
@@ -60,6 +58,13 @@ type warpCtx struct {
 	warp  *isa.Warp
 	state warpState
 	block *blockCtx
+	pend  *isa.Pending // in-flight access awaiting a bound callback
+
+	// Bound once when the warpCtx is created (contexts are pooled with
+	// their block), so blocking and local-memory completions never
+	// allocate closures.
+	unblockFn     func()
+	stashLoadDone func(vals []uint32)
 }
 
 type blockCtx struct {
@@ -95,6 +100,13 @@ type CU struct {
 	scheduled   bool
 	kernelDone  func()
 
+	accessFree []*gmemAccess // pooled in-flight coalesced accesses
+	lineOpFree []*lineOp     // pooled per-line L1 completion callbacks
+	blockFree  []*blockCtx   // retired block contexts, warps included
+	offScratch []int         // reused local-offset buffer
+	tickFn     func()        // c.tick, bound once
+	dmaResume  func()        // DMA-unblock callback, bound once
+
 	instrs     *stats.Counter
 	cycles     *stats.Counter
 	coalesced  *stats.Counter
@@ -108,7 +120,7 @@ type CU struct {
 func New(eng *sim.Engine, node int, name string, p Params, as *vm.AddressSpace,
 	l1 *cache.Cache, sp *scratch.Scratchpad, st *core.Stash, dmaEng *dma.Engine,
 	acct *energy.Account, set *stats.Set) *CU {
-	return &CU{
+	c := &CU{
 		eng:        eng,
 		node:       node,
 		p:          p,
@@ -123,6 +135,12 @@ func New(eng *sim.Engine, node int, name string, p Params, as *vm.AddressSpace,
 		coalesced:  set.Counter(fmt.Sprintf("cu.%s.global_transactions", name)),
 		blocksDone: set.Counter(fmt.Sprintf("cu.%s.blocks", name)),
 	}
+	c.tickFn = c.tick
+	c.dmaResume = func() {
+		c.dmaBlocked = false
+		c.wake()
+	}
+	return c
 }
 
 // Stash returns the CU's stash (nil if the configuration has none).
@@ -190,22 +208,59 @@ func (c *CU) fillResident() {
 	}
 }
 
+// newBlock builds (or reuses, from the block pool) a resident block
+// context: block launches in steady state reuse prior blocks' warp
+// contexts, warps and register files in place.
 func (c *CU) newBlock(id int) *blockCtx {
 	k := c.kernel
 	slot := c.freeSlots[len(c.freeSlots)-1]
 	c.freeSlots = c.freeSlots[:len(c.freeSlots)-1]
 	numWarps := (k.BlockDim + c.p.WarpSize - 1) / c.p.WarpSize
-	b := &blockCtx{id: id, slot: slot, localBase: slot * k.LocalWordsPerBlock, alive: numWarps}
+	var b *blockCtx
+	if n := len(c.blockFree); n > 0 {
+		b = c.blockFree[n-1]
+		c.blockFree = c.blockFree[:n-1]
+	} else {
+		b = &blockCtx{}
+	}
+	b.id, b.slot, b.localBase = id, slot, slot*k.LocalWordsPerBlock
+	b.alive, b.waiting = numWarps, 0
+	b.warps = b.warps[:0]
 	for wi := 0; wi < numWarps; wi++ {
-		w := isa.NewWarp(k.Prog, isa.WarpConfig{
+		cfg := isa.WarpConfig{
 			Width:       c.p.WarpSize,
 			BlockDim:    k.BlockDim,
 			BlockID:     id,
 			GridDim:     k.GridDim,
 			WarpID:      wi,
 			FirstThread: wi * c.p.WarpSize,
-		})
-		b.warps = append(b.warps, &warpCtx{warp: w, block: b})
+		}
+		var wc *warpCtx
+		if len(b.warps) < cap(b.warps) {
+			b.warps = b.warps[:len(b.warps)+1]
+			wc = b.warps[wi]
+		}
+		if wc == nil {
+			wc = &warpCtx{block: b}
+			wc.unblockFn = func() { c.unblock(wc) }
+			wc.stashLoadDone = func(vals []uint32) {
+				wc.warp.CompleteLoad(wc.pend, vals)
+				c.unblock(wc)
+			}
+			if wi < len(b.warps) {
+				b.warps[wi] = wc
+			} else {
+				b.warps = append(b.warps, wc)
+			}
+		}
+		wc.block = b
+		wc.state = wReady
+		wc.pend = nil
+		if wc.warp == nil {
+			wc.warp = isa.NewWarp(k.Prog, cfg)
+		} else {
+			wc.warp.Reset(k.Prog, cfg)
+		}
 	}
 	return b
 }
@@ -216,7 +271,7 @@ func (c *CU) wake() {
 		return
 	}
 	c.scheduled = true
-	c.eng.Schedule(1, c.tick)
+	c.eng.Schedule(1, c.tickFn)
 }
 
 func (c *CU) rebuildWarpList() {
@@ -259,7 +314,7 @@ func (c *CU) tick() {
 	case isa.PendALU:
 		if p.Cycles > 1 {
 			wc.state = wBlocked
-			c.eng.Schedule(sim.Cycle(p.Cycles), func() { c.unblock(wc) })
+			c.eng.Schedule(sim.Cycle(p.Cycles), wc.unblockFn)
 		}
 	case isa.PendLoad:
 		c.issueLoad(wc, p)
@@ -292,108 +347,219 @@ type laneTarget struct {
 	word int
 }
 
+// gmemAccess is the in-flight state of one coalesced global warp
+// access: line transactions sorted by address, per-line data, and the
+// per-lane targets. Accesses are pooled on the CU — several warps'
+// accesses are typically outstanding at once — and every slice keeps
+// its capacity across reuses, so coalescing allocates nothing in steady
+// state.
+type gmemAccess struct {
+	lines     []memdata.PAddr
+	masks     []memdata.WordMask
+	vals      [][memdata.WordsPerLine]uint32 // load results / store data per line
+	targets   []laneTarget
+	out       []uint32 // load completion buffer
+	remaining int
+	wc        *warpCtx     // issuing warp, unblocked on completion
+	pend      *isa.Pending // warp access completed when remaining hits 0
+}
+
+// lineOp is the pooled completion callback for one line transaction of
+// a coalesced access: load and store callbacks are bound once when the
+// op is created, so issuing a line to the L1 allocates nothing.
+type lineOp struct {
+	a     *gmemAccess
+	li    int
+	load  func(vals [memdata.WordsPerLine]uint32)
+	store func()
+}
+
+func (c *CU) newLineOp(a *gmemAccess, li int) *lineOp {
+	var op *lineOp
+	if n := len(c.lineOpFree); n > 0 {
+		op = c.lineOpFree[n-1]
+		c.lineOpFree = c.lineOpFree[:n-1]
+	} else {
+		op = &lineOp{}
+		op.load = func(vals [memdata.WordsPerLine]uint32) { c.lineLoaded(op, vals) }
+		op.store = func() { c.lineStored(op) }
+	}
+	op.a, op.li = a, li
+	return op
+}
+
+func (c *CU) lineLoaded(op *lineOp, vals [memdata.WordsPerLine]uint32) {
+	a, li := op.a, op.li
+	op.a = nil
+	c.lineOpFree = append(c.lineOpFree, op)
+	a.vals[li] = vals
+	a.remaining--
+	if a.remaining > 0 {
+		return
+	}
+	out := a.out[:0]
+	for _, tg := range a.targets {
+		out = append(out, a.vals[a.findLine(tg.line)][tg.word])
+	}
+	a.out = out
+	wc, p := a.wc, a.pend
+	wc.warp.CompleteLoad(p, out)
+	c.releaseAccess(a)
+	c.unblock(wc)
+}
+
+func (c *CU) lineStored(op *lineOp) {
+	a := op.a
+	op.a = nil
+	c.lineOpFree = append(c.lineOpFree, op)
+	a.remaining--
+	if a.remaining == 0 {
+		wc := a.wc
+		c.releaseAccess(a)
+		c.unblock(wc)
+	}
+}
+
+// lineIndex returns line's index, inserting it in sorted position if
+// new. Sorted issue order replaces the old sorted-map-keys pass.
+func (a *gmemAccess) lineIndex(line memdata.PAddr) int {
+	pos := len(a.lines)
+	for i, l := range a.lines {
+		if l == line {
+			return i
+		}
+		if line < l {
+			pos = i
+			break
+		}
+	}
+	a.lines = append(a.lines, 0)
+	a.masks = append(a.masks, 0)
+	a.vals = append(a.vals, [memdata.WordsPerLine]uint32{})
+	copy(a.lines[pos+1:], a.lines[pos:len(a.lines)-1])
+	copy(a.masks[pos+1:], a.masks[pos:len(a.masks)-1])
+	copy(a.vals[pos+1:], a.vals[pos:len(a.vals)-1])
+	a.lines[pos] = line
+	a.masks[pos] = 0
+	a.vals[pos] = [memdata.WordsPerLine]uint32{}
+	return pos
+}
+
+func (a *gmemAccess) findLine(line memdata.PAddr) int {
+	for i, l := range a.lines {
+		if l == line {
+			return i
+		}
+	}
+	panic("gpu: lane target line missing from coalesced access")
+}
+
+func (c *CU) acquireAccess() *gmemAccess {
+	if n := len(c.accessFree); n > 0 {
+		a := c.accessFree[n-1]
+		c.accessFree = c.accessFree[:n-1]
+		return a
+	}
+	return &gmemAccess{}
+}
+
+func (c *CU) releaseAccess(a *gmemAccess) {
+	a.lines = a.lines[:0]
+	a.masks = a.masks[:0]
+	a.vals = a.vals[:0]
+	a.targets = a.targets[:0]
+	a.wc, a.pend = nil, nil
+	c.accessFree = append(c.accessFree, a)
+}
+
 // coalesceGlobal translates and groups the lanes' byte addresses into
-// line transactions.
-func (c *CU) coalesceGlobal(p *isa.Pending) (map[memdata.PAddr]memdata.WordMask, []laneTarget) {
-	lines := make(map[memdata.PAddr]memdata.WordMask)
-	targets := make([]laneTarget, len(p.Lanes))
-	for i, a := range p.Addrs {
-		pa := c.as.Translate(memdata.VAddr(a))
+// line transactions, keeping the lines sorted by address.
+func (c *CU) coalesceGlobal(p *isa.Pending) *gmemAccess {
+	a := c.acquireAccess()
+	for i, addr := range p.Addrs {
+		pa := c.as.Translate(memdata.VAddr(addr))
 		line := memdata.LineOf(pa)
 		w := memdata.WordIndex(pa)
-		lines[line] |= memdata.Bit(w)
-		targets[i] = laneTarget{lane: p.Lanes[i], line: line, word: w}
+		a.masks[a.lineIndex(line)] |= memdata.Bit(w)
+		a.targets = append(a.targets, laneTarget{lane: p.Lanes[i], line: line, word: w})
 	}
-	return lines, targets
+	return a
 }
 
 func (c *CU) issueLoad(wc *warpCtx, p *isa.Pending) {
 	switch p.Space {
 	case isa.Global:
-		lines, targets := c.coalesceGlobal(p)
+		a := c.coalesceGlobal(p)
+		a.wc, a.pend = wc, p
 		wc.state = wBlocked
-		remaining := len(lines)
-		results := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
-		// Transactions issue in address order: map iteration order would
-		// leak into MSHR allocation and bank timing, making cycle counts
-		// vary across runs of the same deterministic simulation.
-		for _, line := range slices.Sorted(maps.Keys(lines)) {
-			line, mask := line, lines[line]
+		a.remaining = len(a.lines)
+		// Transactions issue in address order (the access keeps its
+		// lines sorted): any other order would leak into MSHR allocation
+		// and bank timing, making cycle counts vary across runs of the
+		// same deterministic simulation.
+		for li := range a.lines {
 			c.coalesced.Inc()
-			c.l1.Load(line, mask, func(vals [memdata.WordsPerLine]uint32) {
-				results[line] = vals
-				remaining--
-				if remaining > 0 {
-					return
-				}
-				out := make([]uint32, len(targets))
-				for i, tg := range targets {
-					out[i] = results[tg.line][tg.word]
-				}
-				wc.warp.CompleteLoad(p, out)
-				c.unblock(wc)
-			})
+			op := c.newLineOp(a, li)
+			c.l1.Load(a.lines[li], a.masks[li], op.load)
 		}
 	case isa.Shared:
-		offsets := intOffsets(p.Addrs, wc.block.localBase)
+		offsets := c.intOffsets(p.Addrs, wc.block.localBase)
 		vals, lat := c.sp.Load(offsets)
 		wc.warp.CompleteLoad(p, vals)
 		if lat > 1 {
 			wc.state = wBlocked
-			c.eng.Schedule(lat, func() { c.unblock(wc) })
+			c.eng.Schedule(lat, wc.unblockFn)
 		}
 	case isa.Stash:
 		wc.state = wBlocked
-		c.stash.Load(wc.block.id, p.Slot, intOffsets(p.Addrs, wc.block.localBase), func(vals []uint32) {
-			wc.warp.CompleteLoad(p, vals)
-			c.unblock(wc)
-		})
+		wc.pend = p
+		c.stash.Load(wc.block.id, p.Slot, c.intOffsets(p.Addrs, wc.block.localBase), wc.stashLoadDone)
 	}
 }
 
 func (c *CU) issueStore(wc *warpCtx, p *isa.Pending) {
 	switch p.Space {
 	case isa.Global:
-		lines, targets := c.coalesceGlobal(p)
-		vals := make(map[memdata.PAddr][memdata.WordsPerLine]uint32)
-		for i, tg := range targets {
-			lv := vals[tg.line]
-			lv[tg.word] = p.Vals[i]
-			vals[tg.line] = lv
+		a := c.coalesceGlobal(p)
+		a.wc = wc
+		for i, tg := range a.targets {
+			a.vals[a.findLine(tg.line)][tg.word] = p.Vals[i]
 		}
 		// The warp blocks until the L1 accepts every transaction (it
 		// may replay under MSHR/store-buffer pressure); acceptance
 		// order preserves the warp's same-address store ordering.
 		wc.state = wBlocked
-		remaining := len(lines)
-		for _, line := range slices.Sorted(maps.Keys(lines)) {
-			mask := lines[line]
+		a.remaining = len(a.lines)
+		for li := range a.lines {
 			c.coalesced.Inc()
-			c.l1.Store(line, mask, vals[line], func() {
-				remaining--
-				if remaining == 0 {
-					c.unblock(wc)
-				}
-			})
+			op := c.newLineOp(a, li)
+			c.l1.Store(a.lines[li], a.masks[li], a.vals[li], op.store)
 		}
 	case isa.Shared:
-		lat := c.sp.Store(intOffsets(p.Addrs, wc.block.localBase), p.Vals)
+		lat := c.sp.Store(c.intOffsets(p.Addrs, wc.block.localBase), p.Vals)
 		if lat > 1 {
 			wc.state = wBlocked
-			c.eng.Schedule(lat, func() { c.unblock(wc) })
+			c.eng.Schedule(lat, wc.unblockFn)
 		}
 	case isa.Stash:
-		c.stash.Store(wc.block.id, p.Slot, intOffsets(p.Addrs, wc.block.localBase), p.Vals, func() {})
+		c.stash.Store(wc.block.id, p.Slot, c.intOffsets(p.Addrs, wc.block.localBase), p.Vals, noopDone)
 	}
 }
 
+// noopDone is the shared no-op completion for stash stores: the warp
+// does not block on them.
+var noopDone = func() {}
+
 // intOffsets rebases block-relative local word offsets onto the block's
-// SRAM slot (the runtime address mapping of paper Section 4).
-func intOffsets(addrs []uint64, localBase int) []int {
-	out := make([]int, len(addrs))
-	for i, a := range addrs {
-		out[i] = int(a) + localBase
+// SRAM slot (the runtime address mapping of paper Section 4). The
+// result is the CU's reused scratch buffer: neither the scratchpad nor
+// the stash retains it past the call it is passed to.
+func (c *CU) intOffsets(addrs []uint64, localBase int) []int {
+	out := c.offScratch[:0]
+	for _, a := range addrs {
+		out = append(out, int(a)+localBase)
 	}
+	c.offScratch = out
 	return out
 }
 
@@ -441,10 +607,7 @@ func (c *CU) dmaIntrinsic(wc *warpCtx, p *isa.Pending) {
 	}
 	// D2MA-style: the transfer blocks the CU at core granularity.
 	c.dmaBlocked = true
-	resume := func() {
-		c.dmaBlocked = false
-		c.wake()
-	}
+	resume := c.dmaResume
 	m := p.Map
 	m.StashBase += wc.block.localBase
 	if p.Kind == isa.PendDMALoad {
@@ -485,6 +648,7 @@ func (c *CU) warpDone(wc *warpCtx) {
 			break
 		}
 	}
+	c.blockFree = append(c.blockFree, b)
 	c.rebuildWarpList()
 	c.fillResident()
 	if len(c.resident) == 0 && len(c.pending) == 0 {

@@ -63,24 +63,86 @@ type Warp struct {
 	prog   *Program
 	cfg    WarpConfig
 	pc     int
-	regs   [][]uint32 // [lane][reg]
+	regs   []uint32 // lane l's register r is regs[l*stride+r]
+	stride int
 	active []bool
 	ifs    []ifFrame
 	fors   []forFrame
 	done   bool
+	pend   Pending // reused Step result; valid until the next Step
 }
 
 // NewWarp creates a warp at the start of prog. Lanes whose thread index
 // falls outside the block are permanently inactive.
 func NewWarp(prog *Program, cfg WarpConfig) *Warp {
-	w := &Warp{prog: prog, cfg: cfg}
-	w.regs = make([][]uint32, cfg.Width)
-	w.active = make([]bool, cfg.Width)
+	w := &Warp{}
+	w.Reset(prog, cfg)
+	return w
+}
+
+// Reset reinitializes the warp in place for a new program position,
+// reusing its register file and frame stacks; cores pool warps across
+// block launches through it.
+func (w *Warp) Reset(prog *Program, cfg WarpConfig) {
+	w.prog = prog
+	w.cfg = cfg
+	w.pc = 0
+	w.done = false
+	w.stride = prog.Regs
+	need := cfg.Width * prog.Regs
+	if cap(w.regs) < need {
+		w.regs = make([]uint32, need)
+	} else {
+		w.regs = w.regs[:need]
+		clear(w.regs)
+	}
+	if cap(w.active) < cfg.Width {
+		w.active = make([]bool, cfg.Width)
+	} else {
+		w.active = w.active[:cfg.Width]
+	}
 	for l := 0; l < cfg.Width; l++ {
-		w.regs[l] = make([]uint32, prog.Regs)
 		w.active[l] = cfg.FirstThread+l < cfg.BlockDim
 	}
-	return w
+	w.ifs = w.ifs[:0]
+	w.fors = w.fors[:0]
+}
+
+func (w *Warp) lane(l int) []uint32 {
+	return w.regs[l*w.stride : (l+1)*w.stride]
+}
+
+// pushIf grows the if-frame stack by one, reusing the frame's lane
+// slices from an earlier push when the capacity is already there.
+func (w *Warp) pushIf() *ifFrame {
+	if len(w.ifs) < cap(w.ifs) {
+		w.ifs = w.ifs[:len(w.ifs)+1]
+	} else {
+		w.ifs = append(w.ifs, ifFrame{})
+	}
+	fr := &w.ifs[len(w.ifs)-1]
+	if cap(fr.saved) < w.cfg.Width {
+		fr.saved = make([]bool, w.cfg.Width)
+		fr.cond = make([]bool, w.cfg.Width)
+	} else {
+		fr.saved = fr.saved[:w.cfg.Width]
+		fr.cond = fr.cond[:w.cfg.Width]
+	}
+	return fr
+}
+
+// newPend resets and returns the warp's reusable Pending.
+func (w *Warp) newPend(kind PendKind) *Pending {
+	p := &w.pend
+	*p = Pending{Kind: kind, Lanes: p.Lanes[:0], Addrs: p.Addrs[:0], Vals: p.Vals[:0]}
+	return p
+}
+
+// aluPend is the common inline-ALU Step result.
+func (w *Warp) aluPend(cycles int) *Pending {
+	p := w.newPend(PendALU)
+	p.Cycles = cycles
+	return p
 }
 
 // Done reports whether the warp has finished its program.
@@ -120,34 +182,33 @@ func (w *Warp) anyActive() bool { return w.firstActive() >= 0 }
 
 // Step executes one instruction and reports what happened. For memory
 // and intrinsic operations the caller performs the work; loads must be
-// completed with CompleteLoad before the warp steps again.
+// completed with CompleteLoad before the warp steps again. The returned
+// Pending is the warp's own reused buffer, valid until the next Step.
 func (w *Warp) Step() *Pending {
 	if w.done {
-		return &Pending{Kind: PendDone}
+		return w.newPend(PendDone)
 	}
 	ins := &w.prog.Code[w.pc]
 	switch ins.Op {
 	case OpExit:
 		w.done = true
-		return &Pending{Kind: PendDone}
+		return w.newPend(PendDone)
 
 	case OpIf:
-		fr := ifFrame{saved: append([]bool(nil), w.active...), cond: make([]bool, w.cfg.Width)}
+		fr := w.pushIf()
+		copy(fr.saved, w.active)
 		any := false
 		for l := range w.active {
-			if w.active[l] && w.regs[l][ins.Ra] != 0 {
-				fr.cond[l] = true
-				any = true
-			}
+			fr.cond[l] = w.active[l] && w.lane(l)[ins.Ra] != 0
+			any = any || fr.cond[l]
 		}
-		w.ifs = append(w.ifs, fr)
 		copy(w.active, fr.cond)
 		if any {
 			w.pc++
 		} else {
 			w.pc = ins.Target // skip straight to Else/EndIf
 		}
-		return &Pending{Kind: PendALU, Cycles: 1}
+		return w.aluPend(1)
 
 	case OpElse:
 		fr := &w.ifs[len(w.ifs)-1]
@@ -161,14 +222,14 @@ func (w *Warp) Step() *Pending {
 		} else {
 			w.pc = ins.Target // skip to EndIf
 		}
-		return &Pending{Kind: PendALU, Cycles: 1}
+		return w.aluPend(1)
 
 	case OpEndIf:
-		fr := w.ifs[len(w.ifs)-1]
-		w.ifs = w.ifs[:len(w.ifs)-1]
+		fr := &w.ifs[len(w.ifs)-1]
 		copy(w.active, fr.saved)
+		w.ifs = w.ifs[:len(w.ifs)-1]
 		w.pc++
-		return &Pending{Kind: PendALU, Cycles: 1}
+		return w.aluPend(1)
 
 	case OpFor:
 		count := ins.Imm
@@ -177,21 +238,21 @@ func (w *Warp) Step() *Pending {
 			if l < 0 {
 				count = 0
 			} else {
-				count = int64(int32(w.regs[l][ins.Ra]))
+				count = int64(int32(w.lane(l)[ins.Ra]))
 			}
 		}
 		if count <= 0 || !w.anyActive() {
 			w.pc = ins.Target + 1 // skip the loop entirely
-			return &Pending{Kind: PendALU, Cycles: 1}
+			return w.aluPend(1)
 		}
 		for l := range w.active {
 			if w.active[l] {
-				w.regs[l][ins.Rd] = 0
+				w.lane(l)[ins.Rd] = 0
 			}
 		}
 		w.fors = append(w.fors, forFrame{start: w.pc, count: count})
 		w.pc++
-		return &Pending{Kind: PendALU, Cycles: 1}
+		return w.aluPend(1)
 
 	case OpEndFor:
 		fr := &w.fors[len(w.fors)-1]
@@ -200,7 +261,7 @@ func (w *Warp) Step() *Pending {
 		if fr.iter < fr.count {
 			for l := range w.active {
 				if w.active[l] {
-					w.regs[l][forIns.Rd] = uint32(fr.iter)
+					w.lane(l)[forIns.Rd] = uint32(fr.iter)
 				}
 			}
 			w.pc = fr.start + 1
@@ -208,11 +269,13 @@ func (w *Warp) Step() *Pending {
 			w.fors = w.fors[:len(w.fors)-1]
 			w.pc++
 		}
-		return &Pending{Kind: PendALU, Cycles: 1}
+		return w.aluPend(1)
 
 	case OpBarrier:
 		w.pc++
-		return &Pending{Kind: PendBarrier, Cycles: 1}
+		p := w.newPend(PendBarrier)
+		p.Cycles = 1
+		return p
 
 	case OpFlops:
 		w.pc++
@@ -220,7 +283,7 @@ func (w *Warp) Step() *Pending {
 		if c < 1 {
 			c = 1
 		}
-		return &Pending{Kind: PendALU, Cycles: c}
+		return w.aluPend(c)
 
 	case OpLdGlobal, OpLdShared, OpLdStash:
 		p := w.memPending(ins, false)
@@ -236,26 +299,45 @@ func (w *Warp) Step() *Pending {
 		m := ins.Map
 		if ins.UseRegBase {
 			if l := w.firstActive(); l >= 0 {
-				m.StashBase = int(w.regs[l][ins.Ra])
-				m.GlobalBase = memdata.VAddr(w.regs[l][ins.Rb])
+				m.StashBase = int(w.lane(l)[ins.Ra])
+				m.GlobalBase = memdata.VAddr(w.lane(l)[ins.Rb])
 			}
 		}
-		kind := map[Op]PendKind{
-			OpAddMap: PendAddMap, OpChgMap: PendChgMap,
-			OpDMALoad: PendDMALoad, OpDMAStore: PendDMAStore,
-		}[ins.Op]
+		var kind PendKind
+		switch ins.Op {
+		case OpAddMap:
+			kind = PendAddMap
+		case OpChgMap:
+			kind = PendChgMap
+		case OpDMALoad:
+			kind = PendDMALoad
+		default:
+			kind = PendDMAStore
+		}
 		w.pc++
-		return &Pending{Kind: kind, Slot: ins.Slot, Map: m, Cycles: 1}
+		p := w.newPend(kind)
+		p.Slot = ins.Slot
+		p.Map = m
+		p.Cycles = 1
+		return p
 
 	default:
 		w.alu(ins)
 		w.pc++
-		return &Pending{Kind: PendALU, Cycles: 1}
+		return w.aluPend(1)
 	}
 }
 
 func (w *Warp) memPending(ins *Instr, store bool) *Pending {
-	p := &Pending{Slot: ins.Slot, DstReg: ins.Rd, Cycles: 1}
+	var p *Pending
+	if store {
+		p = w.newPend(PendStore)
+	} else {
+		p = w.newPend(PendLoad)
+	}
+	p.Slot = ins.Slot
+	p.DstReg = ins.Rd
+	p.Cycles = 1
 	switch ins.Op {
 	case OpLdGlobal, OpStGlobal:
 		p.Space = Global
@@ -264,20 +346,16 @@ func (w *Warp) memPending(ins *Instr, store bool) *Pending {
 	case OpLdStash, OpStStash:
 		p.Space = Stash
 	}
-	if store {
-		p.Kind = PendStore
-	} else {
-		p.Kind = PendLoad
-	}
 	for l := range w.active {
 		if !w.active[l] {
 			continue
 		}
+		r := w.lane(l)
 		p.Lanes = append(p.Lanes, l)
-		addr := uint64(w.regs[l][ins.Ra]) + uint64(ins.Imm)
+		addr := uint64(r[ins.Ra]) + uint64(ins.Imm)
 		p.Addrs = append(p.Addrs, addr)
 		if store {
-			p.Vals = append(p.Vals, w.regs[l][ins.Rb])
+			p.Vals = append(p.Vals, r[ins.Rb])
 		}
 	}
 	return p
@@ -290,7 +368,7 @@ func (w *Warp) CompleteLoad(p *Pending, vals []uint32) {
 		panic(fmt.Sprintf("isa: CompleteLoad got %d values for %d lanes", len(vals), len(p.Lanes)))
 	}
 	for i, l := range p.Lanes {
-		w.regs[l][p.DstReg] = vals[i]
+		w.lane(l)[p.DstReg] = vals[i]
 	}
 }
 
@@ -299,7 +377,7 @@ func (w *Warp) alu(ins *Instr) {
 		if !w.active[l] {
 			continue
 		}
-		r := w.regs[l]
+		r := w.lane(l)
 		a := r[ins.Ra]
 		var bv uint32
 		if ins.Op != OpMovImm && ins.Op != OpMovSpec {
@@ -388,4 +466,4 @@ func boolToU32(b bool) uint32 {
 }
 
 // Reg returns a lane's register value, for tests.
-func (w *Warp) Reg(lane, reg int) uint32 { return w.regs[lane][reg] }
+func (w *Warp) Reg(lane, reg int) uint32 { return w.lane(lane)[reg] }

@@ -11,10 +11,7 @@
 package llc
 
 import (
-	"cmp"
 	"fmt"
-	"maps"
-	"slices"
 
 	"stash/internal/coh"
 	"stash/internal/energy"
@@ -55,25 +52,89 @@ func BankOf(line memdata.PAddr, numBanks int) int {
 	return int(line/memdata.LineBytes) % numBanks
 }
 
+// line is one resident LLC line. Owners are stored by value with a
+// validity mask: the old per-word *coh.Owner representation allocated
+// an Owner on every registration, which is the hottest directory
+// operation.
 type line struct {
 	addr  memdata.PAddr
 	vals  [memdata.WordsPerLine]uint32
-	owner [memdata.WordsPerLine]*coh.Owner
+	owner [memdata.WordsPerLine]coh.Owner
+	owned memdata.WordMask // words registered to owner[i]
 	dirty memdata.WordMask // words newer than DRAM
 	live  bool
 }
 
-func (l *line) pinned() bool {
-	for _, o := range l.owner {
-		if o != nil {
-			return true
-		}
-	}
-	return false
-}
+func (l *line) pinned() bool { return l.owned != 0 }
 
 type cacheSet struct {
 	lines []*line // LRU order: front = most recent
+}
+
+// ownerGroups collects the per-owner word masks of one directory
+// operation (the forwards of a read, the invalidations of a register or
+// write). Owners are kept sorted by (Node, Comp, MapIdx), so iterating
+// by index sends packets in exactly the order the old sorted-map-keys
+// code did — determinism by construction, with the groups reused from a
+// pool instead of a fresh map per request.
+type ownerGroups struct {
+	owners []coh.Owner
+	masks  []memdata.WordMask
+}
+
+func (g *ownerGroups) add(o coh.Owner, bit memdata.WordMask) {
+	pos := len(g.owners)
+	for i, have := range g.owners {
+		if have == o {
+			g.masks[i] |= bit
+			return
+		}
+		if ownerLess(o, have) {
+			pos = i
+			break
+		}
+	}
+	g.owners = append(g.owners, coh.Owner{})
+	g.masks = append(g.masks, 0)
+	copy(g.owners[pos+1:], g.owners[pos:])
+	copy(g.masks[pos+1:], g.masks[pos:])
+	g.owners[pos] = o
+	g.masks[pos] = bit
+}
+
+func ownerLess(a, b coh.Owner) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Comp != b.Comp {
+		return a.Comp < b.Comp
+	}
+	return a.MapIdx < b.MapIdx
+}
+
+// bankOp is a pooled two-stage bank operation: arrival (after the tag
+// access latency) then response (after the optional DRAM fill latency).
+// Its run closure is bound once at creation, so serving a request
+// schedules no new closures. The response's addressing fields are
+// copied out of the request packet during the arrival stage; the packet
+// is not retained past it.
+type bankOp struct {
+	b       *Bank
+	respond bool // false: arrival stage; true: response stage
+	// pkt is a private copy of the arriving packet: the *coh.Packet
+	// handed to HandlePacket is pooled and only valid during that call,
+	// while the bank needs it AccessLat cycles later.
+	pkt     coh.Packet
+	kind    coh.PacketType
+	line    *line            // read(): data source at response time
+	direct  memdata.WordMask // read(): words answered by the LLC itself
+	groups  *ownerGroups     // read(): forwards; register()/write(): invalidations
+	reqLine memdata.PAddr
+	reqMask memdata.WordMask
+	reqNode int
+	reqComp coh.Component
+	reqMap  int
+	run     func()
 }
 
 // Bank is one LLC bank, attached to a node's router as coh.ToLLC.
@@ -87,6 +148,8 @@ type Bank struct {
 
 	sets     []cacheSet
 	nextFree sim.Cycle
+	ogFree   []*ownerGroups // reusable owner-group scratch (in flight until the response sends)
+	opFree   []*bankOp
 
 	hits      *stats.Counter
 	misses    *stats.Counter
@@ -118,7 +181,28 @@ func NewBank(eng *sim.Engine, net *noc.Network, node int, p Params, mem *memdata
 		wbs:       set.Counter(fmt.Sprintf("llc.%d.writebacks", node)),
 		evictions: set.Counter(fmt.Sprintf("llc.%d.evictions", node)),
 	}
+	ptrs := make([]*line, numLines)
+	for i := range b.sets {
+		b.sets[i].lines = ptrs[i*p.Ways : i*p.Ways : (i+1)*p.Ways]
+	}
 	return b
+}
+
+// acquireGroups takes an owner-group scratch from the pool. It is
+// released by the response closure once its packets have been sent.
+func (b *Bank) acquireGroups() *ownerGroups {
+	if n := len(b.ogFree); n > 0 {
+		g := b.ogFree[n-1]
+		b.ogFree = b.ogFree[:n-1]
+		return g
+	}
+	return &ownerGroups{}
+}
+
+func (b *Bank) releaseGroups(g *ownerGroups) {
+	g.owners = g.owners[:0]
+	g.masks = g.masks[:0]
+	b.ogFree = append(b.ogFree, g)
 }
 
 func (b *Bank) setIndex(addr memdata.PAddr) int {
@@ -145,10 +229,17 @@ func (b *Bank) fetch(addr memdata.PAddr) (*line, bool) {
 		return l, false
 	}
 	s := &b.sets[b.setIndex(addr)]
+	// The line struct is allocated fresh (not pooled): an in-flight
+	// response closure holds the previous occupant until it sends, and
+	// reusing its storage would let a racing fill clobber the values the
+	// response is about to serve. Fills are DRAM-latency rare; only the
+	// set slice is reused.
 	l := &line{addr: addr, vals: b.mem.LoadLine(addr), live: true}
 	b.acct.Add(energy.DRAMAccess, 1)
-	if len(s.lines) < b.p.Ways {
-		s.lines = append([]*line{l}, s.lines...)
+	if len(s.lines) < cap(s.lines) {
+		s.lines = s.lines[:len(s.lines)+1]
+		copy(s.lines[1:], s.lines[:len(s.lines)-1])
+		s.lines[0] = l
 		return l, true
 	}
 	// Evict the least recently used non-pinned line. Registered words pin
@@ -184,35 +275,128 @@ func (b *Bank) HandlePacket(p *coh.Packet) {
 	}
 	b.nextFree = start + b.p.OccupyLat
 	b.acct.Add(energy.L2Access, 1)
-	b.eng.At(start+b.p.AccessLat, func() { b.process(p) })
+	o := b.newOp()
+	o.pkt = *p
+	b.eng.At(start+b.p.AccessLat, o.run)
 }
 
-func (b *Bank) process(p *coh.Packet) {
+func (b *Bank) newOp() *bankOp {
+	if n := len(b.opFree); n > 0 {
+		o := b.opFree[n-1]
+		b.opFree = b.opFree[:n-1]
+		return o
+	}
+	o := &bankOp{b: b}
+	o.run = o.fire
+	return o
+}
+
+// fire advances the op through its two stages: the arrival stage runs
+// the directory update and arms the response; the response stage sends
+// the reply packets and retires the op.
+func (o *bankOp) fire() {
+	b := o.b
+	if !o.respond {
+		o.respond = true
+		b.process(&o.pkt, o)
+		return
+	}
+	switch o.kind {
+	case coh.ReadReq:
+		if o.direct != 0 {
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.DataResp, Line: o.reqLine, Mask: o.direct, Vals: o.line.vals,
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: o.reqNode, DstComp: o.reqComp,
+			})
+		}
+		for i, own := range o.groups.owners {
+			b.forwards.Inc()
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.FwdReadReq, Line: o.reqLine, Mask: o.groups.masks[i],
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: own.Node, DstComp: own.Comp,
+				ReqNode: o.reqNode, ReqComp: o.reqComp,
+				MapIdx: own.MapIdx,
+			})
+		}
+	case coh.RegReq:
+		for i, own := range o.groups.owners {
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.OwnerInv, Line: o.reqLine, Mask: o.groups.masks[i],
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: own.Node, DstComp: own.Comp,
+				MapIdx: own.MapIdx,
+			})
+		}
+		coh.Send(b.net, &coh.Packet{
+			Type: coh.RegAck, Line: o.reqLine, Mask: o.reqMask,
+			SrcNode: b.node, SrcComp: coh.ToLLC,
+			DstNode: o.reqNode, DstComp: o.reqComp,
+			MapIdx: o.reqMap,
+		})
+	case coh.WBReq:
+		coh.Send(b.net, &coh.Packet{
+			Type: coh.WBAck, Line: o.reqLine, Mask: o.reqMask,
+			SrcNode: b.node, SrcComp: coh.ToLLC,
+			DstNode: o.reqNode, DstComp: o.reqComp,
+		})
+	case coh.WriteReq:
+		for i, own := range o.groups.owners {
+			coh.Send(b.net, &coh.Packet{
+				Type: coh.OwnerInv, Line: o.reqLine, Mask: o.groups.masks[i],
+				SrcNode: b.node, SrcComp: coh.ToLLC,
+				DstNode: own.Node, DstComp: own.Comp,
+				MapIdx: own.MapIdx,
+			})
+		}
+		coh.Send(b.net, &coh.Packet{
+			Type: coh.WBAck, Line: o.reqLine, Mask: o.reqMask,
+			SrcNode: b.node, SrcComp: coh.ToLLC,
+			DstNode: o.reqNode, DstComp: o.reqComp,
+		})
+	}
+	if o.groups != nil {
+		b.releaseGroups(o.groups)
+		o.groups = nil
+	}
+	o.line = nil
+	o.respond = false
+	b.opFree = append(b.opFree, o)
+}
+
+func (b *Bank) process(p *coh.Packet, o *bankOp) {
+	o.kind = p.Type
+	o.reqLine = p.Line
+	o.reqMask = p.Mask
+	o.reqNode = p.SrcNode
+	o.reqComp = p.SrcComp
+	o.reqMap = p.MapIdx
 	switch p.Type {
 	case coh.ReadReq:
-		b.read(p)
+		b.read(p, o)
 	case coh.RegReq:
-		b.register(p)
+		b.register(p, o)
 	case coh.WBReq:
-		b.writeback(p)
+		b.writeback(p, o)
 	case coh.WriteReq:
-		b.write(p)
+		b.write(p, o)
 	default:
 		panic("llc: unexpected packet " + p.Type.String())
 	}
 }
 
-// respond finishes a transaction, adding DRAM latency if the line was
-// just filled.
-func (b *Bank) respond(filled bool, send func()) {
+// respondOp schedules the op's response stage, adding DRAM latency if
+// the line was just filled.
+func (b *Bank) respondOp(filled bool, o *bankOp) {
 	if filled {
-		b.eng.Schedule(b.p.DRAMLat, send)
+		b.eng.Schedule(b.p.DRAMLat, o.run)
 	} else {
-		b.eng.Schedule(0, send)
+		b.eng.Schedule(0, o.run)
 	}
 }
 
-func (b *Bank) read(p *coh.Packet) {
+func (b *Bank) read(p *coh.Packet, o *bankOp) {
 	l, filled := b.fetch(p.Line)
 	if filled {
 		b.misses.Inc()
@@ -220,147 +404,81 @@ func (b *Bank) read(p *coh.Packet) {
 		b.hits.Inc()
 	}
 	direct := memdata.WordMask(0)
-	fwd := make(map[coh.Owner]memdata.WordMask)
+	fwd := b.acquireGroups()
 	for i := 0; i < memdata.WordsPerLine; i++ {
 		if !p.Mask.Has(i) {
 			continue
 		}
-		if o := l.owner[i]; o != nil {
-			fwd[*o] |= memdata.Bit(i)
+		if l.owned.Has(i) {
+			fwd.add(l.owner[i], memdata.Bit(i))
 		} else {
 			direct |= memdata.Bit(i)
 		}
 	}
-	b.respond(filled, func() {
-		if direct != 0 {
-			coh.Send(b.net, &coh.Packet{
-				Type: coh.DataResp, Line: p.Line, Mask: direct, Vals: l.vals,
-				SrcNode: b.node, SrcComp: coh.ToLLC,
-				DstNode: p.SrcNode, DstComp: p.SrcComp,
-			})
-		}
-		for _, o := range sortedOwners(fwd) {
-			m := fwd[o]
-			b.forwards.Inc()
-			coh.Send(b.net, &coh.Packet{
-				Type: coh.FwdReadReq, Line: p.Line, Mask: m,
-				SrcNode: b.node, SrcComp: coh.ToLLC,
-				DstNode: o.Node, DstComp: o.Comp,
-				ReqNode: p.SrcNode, ReqComp: p.SrcComp,
-				MapIdx: o.MapIdx,
-			})
-		}
-	})
+	o.line = l
+	o.direct = direct
+	o.groups = fwd
+	b.respondOp(filled, o)
 }
 
-// sortedOwners fixes the send order of per-owner forwards and
-// invalidations: map iteration order would make packet injection — and
-// therefore cycle counts — vary between runs of the same simulation.
-func sortedOwners(m map[coh.Owner]memdata.WordMask) []coh.Owner {
-	return slices.SortedFunc(maps.Keys(m), func(a, b coh.Owner) int {
-		if c := cmp.Compare(a.Node, b.Node); c != 0 {
-			return c
-		}
-		if c := cmp.Compare(a.Comp, b.Comp); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.MapIdx, b.MapIdx)
-	})
-}
-
-func (b *Bank) register(p *coh.Packet) {
+func (b *Bank) register(p *coh.Packet, o *bankOp) {
 	l, filled := b.fetch(p.Line)
 	b.regs.Inc()
 	newOwner := coh.Owner{Node: p.SrcNode, Comp: p.SrcComp, MapIdx: p.MapIdx}
-	inv := make(map[coh.Owner]memdata.WordMask)
+	inv := b.acquireGroups()
 	for i := 0; i < memdata.WordsPerLine; i++ {
 		if !p.Mask.Has(i) {
 			continue
 		}
-		if o := l.owner[i]; o != nil && *o != newOwner {
-			inv[*o] |= memdata.Bit(i)
+		if l.owned.Has(i) && l.owner[i] != newOwner {
+			inv.add(l.owner[i], memdata.Bit(i))
 		}
-		o := newOwner
-		l.owner[i] = &o
+		l.owner[i] = newOwner
+		l.owned |= memdata.Bit(i)
 	}
-	b.respond(filled, func() {
-		for _, o := range sortedOwners(inv) {
-			coh.Send(b.net, &coh.Packet{
-				Type: coh.OwnerInv, Line: p.Line, Mask: inv[o],
-				SrcNode: b.node, SrcComp: coh.ToLLC,
-				DstNode: o.Node, DstComp: o.Comp,
-				MapIdx: o.MapIdx,
-			})
-		}
-		coh.Send(b.net, &coh.Packet{
-			Type: coh.RegAck, Line: p.Line, Mask: p.Mask,
-			SrcNode: b.node, SrcComp: coh.ToLLC,
-			DstNode: p.SrcNode, DstComp: p.SrcComp,
-			MapIdx: p.MapIdx,
-		})
-	})
+	o.groups = inv
+	b.respondOp(filled, o)
 }
 
-func (b *Bank) writeback(p *coh.Packet) {
+func (b *Bank) writeback(p *coh.Packet, o *bankOp) {
 	l, filled := b.fetch(p.Line)
 	b.wbs.Inc()
-	sender := coh.Owner{Node: p.SrcNode, Comp: p.SrcComp, MapIdx: p.MapIdx}
 	for i := 0; i < memdata.WordsPerLine; i++ {
 		if !p.Mask.Has(i) {
 			continue
 		}
-		o := l.owner[i]
-		if o == nil || o.Node != sender.Node || o.Comp != sender.Comp {
+		if !l.owned.Has(i) || l.owner[i].Node != p.SrcNode || l.owner[i].Comp != p.SrcComp {
 			// The word was re-registered (or never owned by the sender):
 			// the incoming value is stale; the current owner is
 			// authoritative. Drop it.
 			continue
 		}
 		l.vals[i] = p.Vals[i]
-		l.owner[i] = nil
+		l.owned &^= memdata.Bit(i)
 		l.dirty |= memdata.Bit(i)
 	}
-	b.respond(filled, func() {
-		coh.Send(b.net, &coh.Packet{
-			Type: coh.WBAck, Line: p.Line, Mask: p.Mask,
-			SrcNode: b.node, SrcComp: coh.ToLLC,
-			DstNode: p.SrcNode, DstComp: p.SrcComp,
-		})
-	})
+	b.respondOp(filled, o)
 }
 
 // write handles uncached writes (DMA scratchpad writeout): the data is
 // deposited at the LLC, displacing any stale registration.
-func (b *Bank) write(p *coh.Packet) {
+func (b *Bank) write(p *coh.Packet, o *bankOp) {
 	l, filled := b.fetch(p.Line)
 	b.wbs.Inc()
-	inv := make(map[coh.Owner]memdata.WordMask)
+	inv := b.acquireGroups()
 	for i := 0; i < memdata.WordsPerLine; i++ {
 		if !p.Mask.Has(i) {
 			continue
 		}
-		if o := l.owner[i]; o != nil {
-			inv[*o] |= memdata.Bit(i)
-			l.owner[i] = nil
+		if l.owned.Has(i) {
+			inv.add(l.owner[i], memdata.Bit(i))
+			l.owned &^= memdata.Bit(i)
 		}
 		l.vals[i] = p.Vals[i]
 		l.dirty |= memdata.Bit(i)
 	}
-	b.respond(filled, func() {
-		for _, o := range sortedOwners(inv) {
-			coh.Send(b.net, &coh.Packet{
-				Type: coh.OwnerInv, Line: p.Line, Mask: inv[o],
-				SrcNode: b.node, SrcComp: coh.ToLLC,
-				DstNode: o.Node, DstComp: o.Comp,
-				MapIdx: o.MapIdx,
-			})
-		}
-		coh.Send(b.net, &coh.Packet{
-			Type: coh.WBAck, Line: p.Line, Mask: p.Mask,
-			SrcNode: b.node, SrcComp: coh.ToLLC,
-			DstNode: p.SrcNode, DstComp: p.SrcComp,
-		})
-	})
+	o.groups = inv
+	b.respondOp(filled, o)
 }
 
 // Peek returns the word's value and owner as seen by the registry,
@@ -373,7 +491,10 @@ func (b *Bank) Peek(addr memdata.PAddr) (val uint32, owner *coh.Owner, ok bool) 
 	for _, l := range s.lines {
 		if l.live && l.addr == lineAddr {
 			w := memdata.WordIndex(addr)
-			return l.vals[w], l.owner[w], true
+			if l.owned.Has(w) {
+				return l.vals[w], &l.owner[w], true
+			}
+			return l.vals[w], nil, true
 		}
 	}
 	return 0, nil, false

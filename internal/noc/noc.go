@@ -53,8 +53,20 @@ func Flits(payloadBytes int) int {
 	return 1 + (payloadBytes+FlitBytes-1)/FlitBytes
 }
 
-type link struct {
-	nextFree sim.Cycle
+// delivery is a pooled in-flight message. Its run closure is bound once
+// at creation, so sending a message schedules no new closures; the
+// Message itself lives inside the delivery and is reused, which is why
+// handlers must not retain the *Message past the handler call.
+type delivery struct {
+	n   *Network
+	m   Message
+	run func()
+}
+
+func (d *delivery) fire() {
+	d.n.deliver(&d.m)
+	d.m = Message{}
+	d.n.deliveryFree = append(d.n.deliveryFree, d)
 }
 
 // Network is a W x H mesh. Node IDs are y*W + x.
@@ -62,9 +74,12 @@ type Network struct {
 	eng      *sim.Engine
 	w, h     int
 	handlers []func(*Message)
-	// links[from][dir]: 0=+x, 1=-x, 2=+y, 3=-y
-	links map[[2]int]*link
-	acct  *energy.Account
+	// linkFree[node*4+dir] is the cycle the directed link out of node in
+	// direction dir (0=+x, 1=-x, 2=+y, 3=-y) is next free.
+	linkFree     []sim.Cycle
+	deliveryFree []*delivery
+	payloadFree  []any
+	acct         *energy.Account
 
 	flitHops [NumClasses]*stats.Counter
 	messages *stats.Counter
@@ -78,7 +93,7 @@ func New(eng *sim.Engine, w, h int, acct *energy.Account, set *stats.Set) *Netwo
 		w:        w,
 		h:        h,
 		handlers: make([]func(*Message), w*h),
-		links:    make(map[[2]int]*link),
+		linkFree: make([]sim.Cycle, w*h*4),
 		acct:     acct,
 		messages: set.Counter("noc.messages"),
 	}
@@ -88,11 +103,46 @@ func New(eng *sim.Engine, w, h int, acct *energy.Account, set *stats.Set) *Netwo
 	return n
 }
 
+func (n *Network) newDelivery() *delivery {
+	if k := len(n.deliveryFree); k > 0 {
+		d := n.deliveryFree[k-1]
+		n.deliveryFree = n.deliveryFree[:k-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.run = d.fire
+	return d
+}
+
 // Nodes returns the number of nodes in the mesh.
 func (n *Network) Nodes() int { return n.w * n.h }
 
+// AcquirePayload pops a payload previously returned via ReleasePayload,
+// or nil if none is available. Senders that copy their payload into a
+// pooled object use this (with ReleasePayload called by the receiving
+// side once the payload is consumed) to keep steady-state sends
+// allocation-free. The network never calls these itself, so payloads
+// sent without the pool are unaffected.
+func (n *Network) AcquirePayload() any {
+	if k := len(n.payloadFree); k > 0 {
+		v := n.payloadFree[k-1]
+		n.payloadFree[k-1] = nil
+		n.payloadFree = n.payloadFree[:k-1]
+		return v
+	}
+	return nil
+}
+
+// ReleasePayload returns a delivered payload to the pool for reuse by a
+// later AcquirePayload.
+func (n *Network) ReleasePayload(v any) {
+	n.payloadFree = append(n.payloadFree, v)
+}
+
 // Register installs the delivery handler for a node. Each node must be
 // registered exactly once before any message addressed to it arrives.
+// The *Message passed to the handler is reused after the handler
+// returns and must not be retained (its Payload may be).
 func (n *Network) Register(node int, h func(*Message)) {
 	if n.handlers[node] != nil {
 		panic(fmt.Sprintf("noc: node %d registered twice", node))
@@ -109,56 +159,63 @@ func (n *Network) Hops(src, dst int) int {
 	return abs(dx-sx) + abs(dy-sy)
 }
 
-// path returns the ordered list of directed links (from-node, to-node)
-// the message traverses under XY routing.
-func (n *Network) path(src, dst int) [][2]int {
-	sx, sy := n.coords(src)
-	dx, dy := n.coords(dst)
-	var out [][2]int
-	x, y := sx, sy
-	for x != dx {
-		nx := x + sign(dx-x)
-		out = append(out, [2]int{y*n.w + x, y*n.w + nx})
-		x = nx
+// crossLink advances the wormhole head time t across the directed link
+// out of node in direction dir, honouring the link's busy window.
+func (n *Network) crossLink(node, dir int, t sim.Cycle, flits int) sim.Cycle {
+	lk := &n.linkFree[node*4+dir]
+	start := t
+	if *lk > start {
+		start = *lk
 	}
-	for y != dy {
-		ny := y + sign(dy-y)
-		out = append(out, [2]int{y*n.w + x, ny*n.w + x})
-		y = ny
-	}
-	return out
+	t = start + RouterLatency
+	*lk = t + sim.Cycle(flits-1)
+	return t
 }
 
 // Send injects the message and schedules its delivery at the destination
-// node. Messages between a node and itself (a core and its colocated L2
-// bank) take LocalLatency and cross no links.
+// node. The message is copied into a pooled in-flight slot: the *Message
+// the handler eventually receives is valid only for the duration of the
+// handler call. Messages between a node and itself (a core and its
+// colocated L2 bank) take LocalLatency and cross no links.
 func (n *Network) Send(m *Message) {
 	n.messages.Inc()
+	d := n.newDelivery()
+	d.m = *m
 	if m.Src == m.Dst {
-		n.eng.Schedule(LocalLatency, func() { n.deliver(m) })
+		n.eng.Schedule(LocalLatency, d.run)
 		return
 	}
 	flits := Flits(m.Bytes)
-	path := n.path(m.Src, m.Dst)
+	// Walk the XY route link by link without materializing the path.
+	sx, sy := n.coords(m.Src)
+	dx, dy := n.coords(m.Dst)
 	t := n.eng.Now()
-	for _, key := range path {
-		lk := n.links[key]
-		if lk == nil {
-			lk = &link{}
-			n.links[key] = lk
+	hops := 0
+	x, y := sx, sy
+	for x != dx {
+		s := sign(dx - x)
+		dir := 0
+		if s < 0 {
+			dir = 1
 		}
-		start := t
-		if lk.nextFree > start {
-			start = lk.nextFree
-		}
-		t = start + RouterLatency
-		lk.nextFree = t + sim.Cycle(flits-1)
+		t = n.crossLink(y*n.w+x, dir, t, flits)
+		x += s
+		hops++
 	}
-	hops := len(path)
+	for y != dy {
+		s := sign(dy - y)
+		dir := 2
+		if s < 0 {
+			dir = 3
+		}
+		t = n.crossLink(y*n.w+x, dir, t, flits)
+		y += s
+		hops++
+	}
 	n.flitHops[m.Class].Add(uint64(flits * hops))
 	n.acct.Add(energy.NoCFlitHop, uint64(flits*hops))
 	arrival := t + sim.Cycle(flits-1)
-	n.eng.At(arrival, func() { n.deliver(m) })
+	n.eng.At(arrival, d.run)
 }
 
 func (n *Network) deliver(m *Message) {

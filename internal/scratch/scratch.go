@@ -32,6 +32,10 @@ type Scratchpad struct {
 	words []uint32
 	acct  *energy.Account
 
+	out         []uint32 // reused Load result buffer
+	bankCnt     []int    // per-bank distinct-offset count, zeroed between calls
+	bankTouched []int
+
 	accesses  *stats.Counter
 	conflicts *stats.Counter
 }
@@ -42,6 +46,7 @@ func New(name string, p Params, acct *energy.Account, set *stats.Set) *Scratchpa
 		p:         p,
 		words:     make([]uint32, p.SizeBytes/4),
 		acct:      acct,
+		bankCnt:   make([]int, p.Banks),
 		accesses:  set.Counter(fmt.Sprintf("scratch.%s.accesses", name)),
 		conflicts: set.Counter(fmt.Sprintf("scratch.%s.conflict_rounds", name)),
 	}
@@ -52,31 +57,44 @@ func (s *Scratchpad) Words() int { return len(s.words) }
 
 // conflictRounds returns the number of serialized bank rounds a warp
 // access needs: the maximum number of distinct word offsets mapping to
-// the same bank (same-offset lanes broadcast for free).
+// the same bank (same-offset lanes broadcast for free). Distinct
+// offsets are deduplicated by a quadratic scan — a warp has at most
+// warpSize offsets — and counted in a reusable per-bank array.
 func (s *Scratchpad) conflictRounds(offsets []int) int {
-	perBank := make(map[int]map[int]bool)
 	rounds := 1
-	for _, off := range offsets {
-		b := off % s.p.Banks
-		if perBank[b] == nil {
-			perBank[b] = make(map[int]bool)
+outer:
+	for i, off := range offsets {
+		for _, prev := range offsets[:i] {
+			if prev == off {
+				continue outer
+			}
 		}
-		perBank[b][off] = true
-		if n := len(perBank[b]); n > rounds {
-			rounds = n
+		b := off % s.p.Banks
+		if s.bankCnt[b] == 0 {
+			s.bankTouched = append(s.bankTouched, b)
+		}
+		s.bankCnt[b]++
+		if s.bankCnt[b] > rounds {
+			rounds = s.bankCnt[b]
 		}
 	}
+	for _, b := range s.bankTouched {
+		s.bankCnt[b] = 0
+	}
+	s.bankTouched = s.bankTouched[:0]
 	return rounds
 }
 
 // Load reads the words at the given word offsets (one per active lane)
-// and returns their values plus the access latency in cycles.
+// and returns their values plus the access latency in cycles. The
+// returned slice is a reused buffer, valid only until the next Load.
 func (s *Scratchpad) Load(offsets []int) ([]uint32, sim.Cycle) {
 	rounds := s.account(offsets)
-	out := make([]uint32, len(offsets))
-	for i, off := range offsets {
-		out[i] = s.words[off]
+	out := s.out[:0]
+	for _, off := range offsets {
+		out = append(out, s.words[off])
 	}
+	s.out = out
 	return out, s.p.AccessLat * sim.Cycle(rounds)
 }
 

@@ -5,9 +5,27 @@
 // relative cycle times; events scheduled for the same cycle run in the
 // order they were scheduled, which makes every simulation fully
 // deterministic and therefore exactly reproducible in tests.
+//
+// The scheduler is allocation-free in steady state. Nearly all simulator
+// events are scheduled a handful of cycles ahead (SRAM latencies, link
+// traversals, pipelined replays), so the engine keeps a ring of
+// ringWindow per-cycle buckets covering [now, now+ringWindow): those
+// events append to a reused slice in O(1) and drain in FIFO order, which
+// is exactly (cycle, seq) order within a bucket. Events beyond the
+// window go to a hand-rolled binary heap of event values — no
+// container/heap, whose interface methods box every event through an
+// `any` allocation. Both structures reuse their backing storage across
+// Run calls, so steady-state scheduling and dispatch allocate nothing.
+//
+// Ordering across the two structures needs no merging logic beyond the
+// (at, seq) comparison: the clock never moves backwards, so for any
+// cycle t every event that was pushed while t was outside the window
+// (far heap) carries a smaller seq than every event pushed while t was
+// inside it (ring), and draining the far heap first at equal timestamps
+// preserves global FIFO order.
 package sim
 
-import "container/heap"
+import "math/bits"
 
 // Cycle is a point in (or duration of) simulated time, measured in cycles.
 type Cycle uint64
@@ -18,21 +36,18 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
+// ringWindow is the number of future cycles covered by the bucket ring.
+// It must be a power of two; 64 lets the occupancy set live in one word.
+const ringWindow = 64
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// bucket holds the events of one absolute cycle in FIFO order. head
+// indexes the next event to run; the slice keeps its capacity when the
+// bucket empties, so a warmed-up ring schedules without allocating.
+type bucket struct {
+	at     Cycle
+	head   int
+	events []event
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
 // Interrupted is the panic value Step uses to unwind the simulation
 // when an interrupt poll (see SetInterrupt) fires. Runners recover it
@@ -45,10 +60,14 @@ func (Interrupted) Error() string { return "sim: run interrupted" }
 // Engine is a single-threaded discrete-event simulator.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
-	steps  uint64
+	now   Cycle
+	seq   uint64
+	steps uint64
+
+	ring    [ringWindow]bucket
+	occ     uint64 // bit b set: ring[b] has unexecuted events
+	far     []event
+	pending int
 
 	interrupt  func() bool
 	interruptN uint64 // poll period in executed events
@@ -56,17 +75,13 @@ type Engine struct {
 }
 
 // NewEngine returns an engine with the clock at cycle 0 and no events.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending reports the number of events waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Steps reports the total number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
@@ -84,7 +99,49 @@ func (e *Engine) At(t Cycle, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
+	e.pending++
+	if t-e.now < ringWindow {
+		b := &e.ring[t&(ringWindow-1)]
+		// The window is exactly ringWindow cycles wide, so each bucket
+		// can hold at most one distinct cycle's events at a time.
+		b.at = t
+		b.events = append(b.events, event{at: t, seq: e.seq, fn: fn})
+		e.occ |= 1 << (t & (ringWindow - 1))
+		return
+	}
+	e.farPush(event{at: t, seq: e.seq, fn: fn})
+}
+
+// nextRing returns the ring bucket holding the earliest pending near
+// event, or nil when the ring is empty. All ring events lie in
+// [now, now+ringWindow), so rotating the occupancy set by now's bucket
+// index turns "earliest cycle" into "lowest set bit".
+func (e *Engine) nextRing() *bucket {
+	if e.occ == 0 {
+		return nil
+	}
+	r := uint(e.now & (ringWindow - 1))
+	rot := bits.RotateLeft64(e.occ, -int(r))
+	i := (r + uint(bits.TrailingZeros64(rot))) & (ringWindow - 1)
+	return &e.ring[i]
+}
+
+// PeekNext reports the timestamp of the earliest pending event. ok is
+// false when no events are pending; the engine never inspects an empty
+// queue, making "peek on empty" a state every caller must handle rather
+// than a panic.
+func (e *Engine) PeekNext() (Cycle, bool) {
+	if e.pending == 0 {
+		return 0, false
+	}
+	b := e.nextRing()
+	if b == nil {
+		return e.far[0].at, true
+	}
+	if len(e.far) > 0 && e.far[0].at <= b.at {
+		return e.far[0].at, true
+	}
+	return b.at, true
 }
 
 // SetInterrupt installs a poll function that Step consults once every
@@ -114,14 +171,85 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
-	if len(e.events) == 0 {
+	if e.pending == 0 {
 		return false
 	}
-	ev := e.events.popEvent()
+	ev := e.pop()
 	e.now = ev.at
 	e.steps++
+	e.pending--
 	ev.fn()
 	return true
+}
+
+// pop removes and returns the earliest pending event. At equal
+// timestamps the far heap drains before the ring bucket: its events
+// were pushed while the cycle was still outside the window, i.e. with
+// strictly smaller seq (see the package comment).
+func (e *Engine) pop() event {
+	b := e.nextRing()
+	if b == nil || (len(e.far) > 0 && e.far[0].at <= b.at) {
+		return e.farPop()
+	}
+	ev := b.events[b.head]
+	b.events[b.head].fn = nil // release the closure promptly
+	b.head++
+	if b.head == len(b.events) {
+		b.head = 0
+		b.events = b.events[:0]
+		e.occ &^= 1 << (b.at & (ringWindow - 1))
+	}
+	return ev
+}
+
+// --- far heap: a hand-rolled binary min-heap ordered by (at, seq) ---
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) farPush(ev event) {
+	h := append(e.far, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.far = h
+}
+
+func (e *Engine) farPop() event {
+	h := e.far
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n].fn = nil // release the closure promptly
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	e.far = h
+	return top
 }
 
 // Run executes events until none remain.
@@ -133,7 +261,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t if it has not already passed it.
 func (e *Engine) RunUntil(t Cycle) {
-	for len(e.events) > 0 && e.events.peek().at <= t {
+	for {
+		at, ok := e.PeekNext()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {

@@ -196,6 +196,160 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
+// Property: randomized At/Schedule calls with delays spanning the
+// near-future bucket ring AND the far heap (including delays straddling
+// the window boundary, and nested scheduling from running events) drain
+// in strict (cycle, seq) order. This is the scheduler's core contract:
+// an event bound for the far heap at push time must still interleave
+// correctly with ring events that arrive at the same cycle later.
+func TestScheduleDrainOrderAcrossStructures(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n)%96 + 8
+		seq := 0
+		type rec struct {
+			at  Cycle
+			seq int
+		}
+		var got []rec
+		note := func(s int) { got = append(got, rec{e.Now(), s}) }
+		var delays = []Cycle{0, 1, 2, 3, 62, 63, 64, 65, 100, 1000}
+		for i := 0; i < count; i++ {
+			d := delays[rng.Intn(len(delays))]
+			s := seq
+			seq++
+			nest := rng.Intn(4) == 0
+			e.Schedule(d, func() {
+				note(s)
+				if nest {
+					d2 := delays[rng.Intn(len(delays))]
+					s2 := seq
+					seq++
+					e.Schedule(d2, func() { note(s2) })
+				}
+			})
+		}
+		e.Run()
+		if e.Pending() != 0 {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+		}
+		// Same-cycle events must run in schedule order. Events scheduled
+		// from inside a callback at the current cycle have larger seq and
+		// must run later within the cycle, which the seq check covers.
+		for i := 1; i < len(got); i++ {
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekNext(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.PeekNext(); ok {
+		t.Fatal("PeekNext on empty engine reported an event")
+	}
+	e.Schedule(100, func() {}) // far heap
+	if at, ok := e.PeekNext(); !ok || at != 100 {
+		t.Fatalf("PeekNext = %d,%v; want 100,true", at, ok)
+	}
+	e.Schedule(5, func() {}) // ring
+	if at, ok := e.PeekNext(); !ok || at != 5 {
+		t.Fatalf("PeekNext = %d,%v; want 5,true", at, ok)
+	}
+	e.Run()
+	if _, ok := e.PeekNext(); ok {
+		t.Fatal("PeekNext after Run reported an event")
+	}
+}
+
+// RunUntil on an empty engine must not inspect an empty queue: the old
+// implementation peeked unconditionally and relied on the caller's
+// length guard; PeekNext makes the empty case an engine invariant.
+func TestRunUntilEmptyEngine(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(50)
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %d, want 50", e.Now())
+	}
+	e.RunFor(25)
+	if e.Now() != 75 {
+		t.Fatalf("Now() = %d, want 75", e.Now())
+	}
+}
+
+func TestRunUntilExactBoundaryAndFarEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycle
+	for _, d := range []Cycle{10, 200, 300} { // ring, far, far
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(200) // inclusive boundary: the far event at 200 runs
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 200 {
+		t.Fatalf("fired %v, want [10 200]", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now() = %d, want 200", e.Now())
+	}
+	e.RunUntil(299) // stops short of the event at 300
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want no event before 300", fired)
+	}
+	if e.Now() != 299 {
+		t.Fatalf("Now() = %d, want 299", e.Now())
+	}
+	// Events scheduled after a clock bump land relative to the new now.
+	e.Schedule(2, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	if len(fired) != 4 || fired[2] != 300 || fired[3] != 301 {
+		t.Fatalf("fired %v, want [... 300 301]", fired)
+	}
+}
+
+func TestRunUntilDoesNotMoveClockBackwards(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(40, func() {})
+	e.Run()
+	e.RunUntil(10) // in the past: no-op
+	if e.Now() != 40 {
+		t.Fatalf("Now() = %d, want 40", e.Now())
+	}
+}
+
+// Steady-state scheduling and dispatch must not allocate: once the ring
+// buckets and far heap have grown their backing storage, a
+// schedule/execute cycle reuses it. The closure passed to Schedule is
+// hoisted out of the measured function so the test pins the engine's
+// own cost, not the caller's closure.
+func TestZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm up ring buckets and far-heap capacity.
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Cycle(i%70), fn)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(100, func() {
+		for d := Cycle(0); d < 70; d++ { // spans ring and far heap
+			e.Schedule(d, fn)
+		}
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("steady-state schedule+dispatch allocates %v allocs/run, want 0", avg)
+	}
+}
+
 // Property: the engine is deterministic — two identical runs produce an
 // identical execution trace.
 func TestDeterminismProperty(t *testing.T) {

@@ -177,7 +177,13 @@ func New(cfg Config) *System {
 			router.Attach(coh.ToL1, l1)
 			s.CPUs = append(s.CPUs, cpu.New(eng, n, name, as, l1, set))
 		}
-		net.Register(n, func(m *noc.Message) { router.Deliver(m.Payload.(*coh.Packet)) })
+		// Packets are pooled by coh.Send: once the router has dispatched
+		// one (handlers consume it synchronously), recycle it.
+		net.Register(n, func(m *noc.Message) {
+			p := m.Payload.(*coh.Packet)
+			router.Deliver(p)
+			net.ReleasePayload(p)
+		})
 	}
 	return s
 }

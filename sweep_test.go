@@ -229,10 +229,12 @@ func TestRunWorkloadContextCancellation(t *testing.T) {
 		t.Fatalf("pre-canceled run err = %v, want context.Canceled", err)
 	}
 
+	// reuse/Scratch is the longest-running cell by a wide margin, so the
+	// deadline reliably fires mid-simulation.
 	ctx, cancel = context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := RunWorkloadContext(ctx, "implicit", MicroConfig(Stash))
+	_, err := RunWorkloadContext(ctx, "reuse", MicroConfig(Scratch))
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("timed-out run err = %v, want context.DeadlineExceeded", err)
 	}
