@@ -44,8 +44,12 @@ var (
 )
 
 // sweptResults accumulates every figure cell simulated in this
-// invocation for the optional -json dump.
-var sweptResults []stash.SweepResult
+// invocation for the optional -json dump; failedCells counts the ones
+// that did not produce a result.
+var (
+	sweptResults []stash.SweepResult
+	failedCells  int
+)
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig5|fig6|all")
@@ -75,6 +79,10 @@ func main() {
 		os.Exit(2)
 	}
 	writeJSON()
+	if failedCells > 0 {
+		fmt.Fprintf(os.Stderr, "%d cells failed; figures above are partial\n", failedCells)
+		os.Exit(1)
+	}
 }
 
 func writeJSON() {
@@ -146,18 +154,16 @@ func table4() {
 }
 
 // collect sweeps the workloads across every org on the worker pool and
-// returns results[workload][org]. The sweep fails fast: any
-// verification failure aborts the figure.
+// returns results[workload][org] for the cells that succeeded. A
+// failing cell does not abort the figure: it is reported on stderr,
+// kept (with status and diagnostic) in the -json dump, rendered as "-"
+// in the tables, and makes the process exit nonzero at the end.
 func collect(figure string, names []string, orgs []stash.MemOrg) map[string]map[stash.MemOrg]stash.Result {
 	specs := stash.Grid(names, orgs)
 	start := time.Now()
-	results, err := stash.Sweep(context.Background(), specs, stash.SweepOptions{
-		Workers:  *jobs,
-		FailFast: true,
+	results, _ := stash.Sweep(context.Background(), specs, stash.SweepOptions{
+		Workers: *jobs,
 	})
-	if err != nil {
-		log.Fatalf("%s sweep: %v", figure, err)
-	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "%s: %d simulations on %d workers in %v\n",
 			figure, len(specs), *jobs, time.Since(start).Round(time.Millisecond))
@@ -166,6 +172,12 @@ func collect(figure string, names []string, orgs []stash.MemOrg) map[string]map[
 
 	out := make(map[string]map[stash.MemOrg]stash.Result)
 	for _, r := range results {
+		if r.Err != nil {
+			failedCells++
+			fmt.Fprintf(os.Stderr, "%s: %s failed (status %s): %v\n",
+				figure, r.Spec, r.Status(), r.Err)
+			continue
+		}
 		if out[r.Spec.Workload] == nil {
 			out[r.Spec.Workload] = make(map[stash.MemOrg]stash.Result)
 		}
@@ -187,19 +199,31 @@ func printNormalized(title string, names []string, orgs []stash.MemOrg,
 	}
 	fmt.Println()
 	avg := make([]float64, len(orgs))
+	cnt := make([]int, len(orgs))
 	for _, name := range names {
-		base := metric(res[name][stash.Scratch])
+		baseCell, haveBase := res[name][stash.Scratch]
+		base := metric(baseCell)
 		fmt.Printf("  %-12s", name)
 		for i, org := range orgs {
-			v := 100 * metric(res[name][org]) / base
+			cell, ok := res[name][org]
+			if !ok || !haveBase || base == 0 {
+				fmt.Printf(" %10s", "-") // cell (or its baseline) failed
+				continue
+			}
+			v := 100 * metric(cell) / base
 			avg[i] += v
+			cnt[i]++
 			fmt.Printf(" %10.0f", v)
 		}
 		fmt.Println()
 	}
 	fmt.Printf("  %-12s", "AVERAGE")
 	for i := range orgs {
-		fmt.Printf(" %10.0f", avg[i]/float64(len(names)))
+		if cnt[i] == 0 {
+			fmt.Printf(" %10s", "-")
+			continue
+		}
+		fmt.Printf(" %10.0f", avg[i]/float64(cnt[i]))
 	}
 	fmt.Println()
 }
@@ -218,7 +242,11 @@ func printEnergyBreakdown(names []string, orgs []stash.MemOrg,
 		}
 		fmt.Printf(" %10s\n", "total")
 		for _, org := range orgs {
-			r := res[name][org]
+			r, ok := res[name][org]
+			if !ok || base == 0 {
+				fmt.Printf("    %-10s %s\n", org, "-")
+				continue
+			}
 			fmt.Printf("    %-10s", org)
 			for _, c := range comps {
 				fmt.Printf(" %14.1f", 100*r.EnergyByComponent[c]/base)

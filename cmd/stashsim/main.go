@@ -19,6 +19,19 @@
 //	-eager-writeback   write dirty stash data back at every kernel boundary
 //	-chunk-words N     lazy-writeback chunk granularity (power of two, <=16)
 //
+// Hardening flags (see DESIGN.md §10) make long sweeps robust: a cell
+// that hangs, deadlocks, breaks an invariant, or panics is reported as
+// a structured per-cell failure — with its machine-state diagnostic in
+// the JSON output — while the remaining cells still run and print:
+//
+//	-check             enable coherence invariant checking
+//	-watchdog N        fail a cell after N cycles without protocol progress
+//	-cell-timeout D    wall-clock budget per cell attempt (e.g. 2m)
+//	-retries N         re-run failed cells up to N extra times
+//	-fail-fast         stop scheduling new cells after the first failure
+//
+// The exit status is nonzero if any cell failed.
+//
 // For performance work, -cpuprofile and -memprofile write pprof
 // profiles of the simulation itself:
 //
@@ -27,6 +40,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -48,6 +62,11 @@ func main() {
 	noRepl := flag.Bool("no-replication", false, "disable the data replication optimization")
 	eager := flag.Bool("eager-writeback", false, "eager (kernel-boundary) stash writebacks")
 	chunkWords := flag.Int("chunk-words", 0, "lazy-writeback chunk granularity in words (0 = default 16)")
+	check := flag.Bool("check", false, "enable coherence invariant checking")
+	watchdog := flag.Uint64("watchdog", 0, "fail a cell after this many cycles without protocol progress (0 = off)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock budget per cell attempt (0 = unbounded)")
+	retries := flag.Int("retries", 0, "extra attempts for failed cells")
+	failFast := flag.Bool("fail-fast", false, "stop scheduling new cells after the first failure")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial)")
 	jsonOut := flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,37 +117,66 @@ func main() {
 			cfg.DisableReplication = *noRepl
 			cfg.EagerWriteback = *eager
 			cfg.ChunkWords = *chunkWords
+			cfg.CheckInvariants = *check
+			cfg.WatchdogBudget = *watchdog
 			specs = append(specs, stash.RunSpec{Workload: w, Config: cfg})
 		}
 	}
 
 	start := time.Now()
 	results, err := stash.Sweep(context.Background(), specs, stash.SweepOptions{
-		Workers:  *jobs,
-		FailFast: true,
+		Workers:     *jobs,
+		FailFast:    *failFast,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
 	if len(specs) > 1 {
 		fmt.Fprintf(os.Stderr, "%d simulations on %d workers in %v\n",
 			len(specs), *jobs, time.Since(start).Round(time.Millisecond))
 	}
 
+	// Failures never suppress the cells that did complete: every cell is
+	// reported, the JSON (if requested) carries the full partial results
+	// with per-cell status and diagnostics, and only then does a failing
+	// sweep exit nonzero.
+	failed := 0
 	for i, r := range results {
 		if i > 0 {
 			fmt.Println()
+		}
+		if r.Err != nil {
+			failed++
 		}
 		report(r, *verbose)
 	}
 	if *jsonOut != "" {
 		writeJSON(*jsonOut, results)
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%d of %d cells failed\n", failed, len(results))
+		os.Exit(1)
+	}
 }
 
 func report(r stash.SweepResult, verbose bool) {
 	cfg := r.Spec.Config
 	fmt.Printf("%s on %s (%d CUs, %d CPU cores)\n", r.Spec.Workload, cfg.Org, cfg.GPUs, cfg.CPUs)
+	if r.Err != nil {
+		fmt.Printf("  status: %s", r.Status())
+		if r.Attempts > 1 {
+			fmt.Printf(" (after %d attempts)", r.Attempts)
+		}
+		fmt.Printf("\n  error: %v\n", r.Err)
+		var ce *stash.CellError
+		if errors.As(r.Err, &ce) && ce.Diagnostic != "" {
+			if verbose {
+				fmt.Printf("  diagnostic:\n%s", indent(ce.Diagnostic, "    "))
+			} else {
+				fmt.Println("  (run with -v or -json for the machine-state diagnostic)")
+			}
+		}
+		return
+	}
 	res := r.Result
 	fmt.Print(res)
 	fmt.Printf("  traffic: read=%d write=%d writeback=%d flit-hops\n",
@@ -145,6 +193,16 @@ func report(r stash.SweepResult, verbose bool) {
 			}
 		}
 	}
+}
+
+func indent(s, prefix string) string {
+	var sb strings.Builder
+	for _, ln := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		sb.WriteString(prefix)
+		sb.WriteString(ln)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 func expandWorkloads(arg string) []string {

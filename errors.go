@@ -1,0 +1,113 @@
+package stash
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// FailureKind classifies how a simulation cell failed, mirroring the
+// checker's typed panics (see DESIGN.md §10).
+type FailureKind string
+
+// Failure kinds, from most to least specific diagnosis.
+const (
+	// FailHang: the watchdog saw no protocol progress for the cycle
+	// budget while work was outstanding (a livelock).
+	FailHang FailureKind = "hang"
+	// FailDeadlock: the event queue drained with work still pending (a
+	// lost wakeup), caught at a kernel or phase boundary.
+	FailDeadlock FailureKind = "deadlock"
+	// FailInvariant: a structural invariant of the coherence machinery
+	// was violated.
+	FailInvariant FailureKind = "invariant"
+	// FailPanic: the simulator panicked for any other reason.
+	FailPanic FailureKind = "panic"
+)
+
+// CellError is a structured simulation failure: instead of crashing the
+// process, a wedged or inconsistent cell surfaces as this error with a
+// machine-state diagnostic dump attached. It is the error type behind
+// the hang/deadlock/invariant/panic cell statuses.
+type CellError struct {
+	// Workload and Org identify the failing cell.
+	Workload string
+	Org      MemOrg
+	// Kind classifies the failure.
+	Kind FailureKind
+	// Msg is the one-line failure description.
+	Msg string
+	// Diagnostic is the full machine-state dump at the point of failure
+	// (engine clock, per-component MSHRs, buffers, pools), busy
+	// components first. See "Debugging a wedged sweep cell" in README.md.
+	Diagnostic string
+	// Stack is the Go stack trace, only for Kind == FailPanic.
+	Stack string
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("stash: %s on %v: %s: %s", e.Workload, e.Org, e.Kind, e.Msg)
+}
+
+// ErrCellTimeout is the cancellation cause Sweep installs when a cell
+// exceeds SweepOptions.CellTimeout; errors.Is(cellErr, ErrCellTimeout)
+// distinguishes a per-cell time budget from the caller canceling the
+// whole sweep.
+var ErrCellTimeout = errors.New("stash: cell exceeded its time budget")
+
+// CellStatus is the per-cell disposition emitted in sweep JSON and
+// derived from a SweepResult by its Status method.
+type CellStatus string
+
+// Cell statuses.
+const (
+	// StatusOK: the cell simulated and verified.
+	StatusOK CellStatus = "ok"
+	// StatusError: a plain failure — invalid config, unknown workload,
+	// or failed functional verification.
+	StatusError CellStatus = "error"
+	// StatusHang, StatusDeadlock, StatusInvariant, StatusPanic mirror
+	// the CellError failure kinds.
+	StatusHang      CellStatus = "hang"
+	StatusDeadlock  CellStatus = "deadlock"
+	StatusInvariant CellStatus = "invariant"
+	StatusPanic     CellStatus = "panic"
+	// StatusTimeout: the cell exceeded SweepOptions.CellTimeout.
+	StatusTimeout CellStatus = "timeout"
+	// StatusCanceled: the sweep's context was canceled mid-cell.
+	StatusCanceled CellStatus = "canceled"
+	// StatusNotStarted: the sweep stopped (fail-fast or cancellation)
+	// before the cell began.
+	StatusNotStarted CellStatus = "not_started"
+)
+
+// statusOf classifies err as emitted for a cell that ran for wall time.
+func statusOf(err error, started bool) CellStatus {
+	switch {
+	case err == nil:
+		return StatusOK
+	// A timed-out cell also satisfies errors.Is(err,
+	// context.DeadlineExceeded), so the specific cause wins.
+	case errors.Is(err, ErrCellTimeout):
+		return StatusTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if !started {
+			return StatusNotStarted
+		}
+		return StatusCanceled
+	}
+	var ce *CellError
+	if errors.As(err, &ce) {
+		switch ce.Kind {
+		case FailHang:
+			return StatusHang
+		case FailDeadlock:
+			return StatusDeadlock
+		case FailInvariant:
+			return StatusInvariant
+		case FailPanic:
+			return StatusPanic
+		}
+	}
+	return StatusError
+}

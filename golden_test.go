@@ -84,6 +84,43 @@ func writeGolden(t *testing.T) {
 	t.Logf("wrote %d golden entries to %s", len(entries), goldenPath)
 }
 
+// TestGoldenChecksNeutral replays one representative cell with the
+// full hardening instrumentation armed — invariant sweeps plus the
+// watchdog — and requires bit-identical metrics to the golden table.
+// The checker is a host-side probe that never schedules events or
+// advances the clock, so "checks on" must be invisible to every
+// simulated number.
+func TestGoldenChecksNeutral(t *testing.T) {
+	for _, e := range readGolden(t) {
+		if e.Workload != "implicit" || e.Org != "Stash" {
+			continue
+		}
+		cfg := MicroConfig(Stash)
+		cfg.CheckInvariants = true
+		cfg.WatchdogBudget = 1 << 24
+		res, err := RunWorkloadCfg(e.Workload, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != e.Cycles {
+			t.Errorf("Cycles = %d, golden %d", res.Cycles, e.Cycles)
+		}
+		if res.EnergyPJ != e.EnergyPJ {
+			t.Errorf("EnergyPJ = %v, golden %v", res.EnergyPJ, e.EnergyPJ)
+		}
+		if res.GPUInstructions != e.Instructions {
+			t.Errorf("Instructions = %d, golden %d", res.GPUInstructions, e.Instructions)
+		}
+		for class, want := range e.FlitHops {
+			if got := res.FlitHops[class]; got != want {
+				t.Errorf("FlitHops[%s] = %d, golden %d", class, got, want)
+			}
+		}
+		return
+	}
+	t.Fatal("golden table has no implicit/Stash entry")
+}
+
 // TestGoldenMetrics replays the full grid and requires exact equality
 // with the committed table. In -short mode only the microbenchmark
 // machine runs (the application cells are the long ones).

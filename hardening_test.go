@@ -1,0 +1,231 @@
+package stash
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deadBank returns a config whose LLC bank 0 silently drops every
+// request from cycle 0 on — the canonical induced hang — with the
+// hardening checks armed.
+func deadBank(org MemOrg) Config {
+	cfg := MicroConfig(org)
+	cfg.CheckInvariants = true
+	cfg.WatchdogBudget = 100_000
+	cfg.Faults = &FaultConfig{BankStalls: []BankStall{{Bank: 0, From: 0}}}
+	return cfg
+}
+
+// The acceptance test for the hardening work: a fault that would wedge
+// the simulator forever (a dead LLC bank losing requests) instead
+// produces a structured, diagnosable per-cell error within the
+// watchdog's cycle budget. The test finishing at all is the proof that
+// the infinite hang was converted.
+func TestInducedHangBecomesCellError(t *testing.T) {
+	_, err := RunWorkloadCfg("implicit", deadBank(Cache))
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *CellError", err, err)
+	}
+	// A lost request manifests as a livelock (replay storm) or a
+	// quiescence deadlock (queue drained) depending on where it lands;
+	// both are converted failures.
+	if ce.Kind != FailHang && ce.Kind != FailDeadlock {
+		t.Errorf("Kind = %s, want hang or deadlock", ce.Kind)
+	}
+	if ce.Workload != "implicit" || ce.Org != Cache {
+		t.Errorf("cell identity = %s/%v", ce.Workload, ce.Org)
+	}
+	if ce.Diagnostic == "" || !strings.Contains(ce.Diagnostic, "engine:") {
+		t.Errorf("diagnostic missing machine state:\n%s", ce.Diagnostic)
+	}
+}
+
+// A sweep with a hang-inducing cell reports it with the right status
+// and diagnostic while the healthy cells complete normally.
+func TestSweepIsolatesWedgedCell(t *testing.T) {
+	specs := []RunSpec{
+		{Workload: "implicit", Config: MicroConfig(Stash)},
+		{Workload: "implicit", Config: deadBank(Cache)},
+	}
+	results, err := Sweep(context.Background(), specs, SweepOptions{Workers: 1})
+	if err == nil {
+		t.Fatal("sweep with a wedged cell returned nil error")
+	}
+	if results[0].Err != nil || results[0].Status() != StatusOK {
+		t.Errorf("healthy cell: Err=%v Status=%s", results[0].Err, results[0].Status())
+	}
+	if st := results[1].Status(); st != StatusHang && st != StatusDeadlock {
+		t.Errorf("wedged cell status = %s, want hang or deadlock", st)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var cells []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &cells); err != nil {
+		t.Fatal(err)
+	}
+	if cells[0]["status"] != "ok" || cells[0]["result"] == nil {
+		t.Errorf("healthy cell JSON: %v", cells[0])
+	}
+	if s := cells[1]["status"]; s != "hang" && s != "deadlock" {
+		t.Errorf("wedged cell JSON status = %v", s)
+	}
+	if d, _ := cells[1]["diagnostic"].(string); !strings.Contains(d, "engine:") {
+		t.Errorf("wedged cell JSON missing diagnostic: %v", cells[1]["diagnostic"])
+	}
+}
+
+// Canceling a sweep mid-flight must not discard the cells that already
+// completed: their results stay intact and encodable, and the cells
+// that never ran are distinguishable by status.
+func TestSweepEarlyCancelKeepsCompletedCells(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	specs := Grid([]string{"implicit"}, []MemOrg{Stash, Scratch, Cache, StashG})
+	results, err := Sweep(ctx, specs, SweepOptions{
+		Workers: 1,
+		// Cancel as soon as the first cell lands: with one worker, the
+		// remaining cells are never started.
+		Progress: func(e SweepEvent) { cancel() },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results[0].Err != nil || results[0].Result.Cycles == 0 {
+		t.Fatalf("completed cell was discarded: %+v", results[0])
+	}
+	if results[0].Status() != StatusOK {
+		t.Errorf("completed cell status = %s, want ok", results[0].Status())
+	}
+	last := results[len(results)-1]
+	if last.Status() != StatusNotStarted {
+		t.Errorf("never-started cell status = %s, want not_started", last.Status())
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"status": "ok"`) || !strings.Contains(out, `"status": "not_started"`) {
+		t.Errorf("JSON missing per-cell statuses:\n%s", out)
+	}
+}
+
+// A cell that exceeds its wall-clock budget fails with ErrCellTimeout
+// (status "timeout"), distinct from a sweep-wide cancellation, and the
+// sweep goes on.
+func TestSweepCellTimeout(t *testing.T) {
+	// reuse/Scratch is the longest-running cell by a wide margin, so a
+	// tiny budget reliably fires mid-simulation.
+	specs := []RunSpec{{Workload: "reuse", Config: MicroConfig(Scratch)}}
+	results, err := Sweep(context.Background(), specs, SweepOptions{
+		Workers:     1,
+		CellTimeout: 20 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("timed-out sweep returned nil error")
+	}
+	r := results[0]
+	if !errors.Is(r.Err, ErrCellTimeout) {
+		t.Fatalf("cell Err = %v, want ErrCellTimeout", r.Err)
+	}
+	if r.Status() != StatusTimeout {
+		t.Errorf("status = %s, want timeout", r.Status())
+	}
+	if r.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", r.Attempts)
+	}
+}
+
+// Retries re-run a failing cell the configured number of extra times
+// and record the attempt count.
+func TestSweepRetries(t *testing.T) {
+	specs := []RunSpec{{Workload: "no-such-workload", Config: MicroConfig(Stash)}}
+	results, err := Sweep(context.Background(), specs, SweepOptions{Workers: 1, Retries: 2})
+	if err == nil {
+		t.Fatal("sweep of an unknown workload returned nil error")
+	}
+	if results[0].Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3 (1 run + 2 retries)", results[0].Attempts)
+	}
+}
+
+// Timing faults the protocol must absorb: jitter, a finite bank stall,
+// and DMA delay change cycle counts, but every workload still verifies
+// against its Go reference.
+func TestWorkloadsTolerateTimingFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		org      MemOrg
+		faults   *FaultConfig
+	}{
+		{"noc jitter", "implicit", Stash, &FaultConfig{Seed: 11, NoCJitterMax: 5}},
+		{"bank stall", "implicit", Cache, &FaultConfig{BankStalls: []BankStall{{Bank: 0, From: 100, For: 3000}}}},
+		{"dma delay", "implicit", ScratchGD, &FaultConfig{DMAExtraDelay: 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clean := MicroConfig(tc.org)
+			clean.CheckInvariants = true
+			clean.WatchdogBudget = 1 << 24
+			base, err := RunWorkloadCfg(tc.workload, clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty := clean
+			faulty.Faults = tc.faults
+			res, err := RunWorkloadCfg(tc.workload, faulty)
+			if err != nil {
+				t.Fatalf("workload did not tolerate the fault: %v", err)
+			}
+			if res.Cycles <= base.Cycles {
+				t.Errorf("fault did not perturb timing: %d vs %d cycles", res.Cycles, base.Cycles)
+			}
+		})
+	}
+}
+
+// No config input may panic, and anything Validate rejects must also be
+// rejected by the entry points before a simulation starts.
+func FuzzConfigValidate(f *testing.F) {
+	seeds := []string{
+		`{"org":"Stash","gpus":1,"cpus":15}`,
+		`{"org":"Cache","gpus":15,"cpus":1,"chunk_words":4}`,
+		`{"org":"ScratchGD","gpus":1,"cpus":15,"watchdog_budget":100000,"check_invariants":true}`,
+		`{"org":"Stash","gpus":1,"cpus":15,"faults":{"seed":7,"noc_jitter_max":4,"bank_stalls":[{"bank":3,"from":10,"for":100}]}}`,
+		`{"org":"Stash","gpus":200,"cpus":-5,"chunk_words":7}`,
+		`{"org":"Stash","gpus":1,"faults":{"bank_stalls":[{"bank":-1}]}}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cfg Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return
+		}
+		err := cfg.Validate() // must never panic
+		if err == nil {
+			return
+		}
+		// Rejected configs must be refused at the API boundary, not
+		// crash (or run) inside the simulator.
+		if _, nerr := NewSystem(cfg); nerr == nil {
+			t.Fatalf("Validate rejected %+v (%v) but NewSystem accepted it", cfg, err)
+		}
+		if _, rerr := RunWorkloadCfg("implicit", cfg); rerr == nil {
+			t.Fatalf("Validate rejected %+v (%v) but RunWorkloadCfg accepted it", cfg, err)
+		}
+	})
+}

@@ -11,7 +11,10 @@ package cache
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
+	"stash/internal/check"
 	"stash/internal/coh"
 	"stash/internal/energy"
 	"stash/internal/llc"
@@ -133,6 +136,7 @@ func (c *Cache) newOp() *op {
 type mshr struct {
 	requested memdata.WordMask // words asked of the LLC, not yet arrived
 	waiters   []waiter
+	born      sim.Cycle // cycle the entry was allocated, for age checks
 }
 
 // Cache is one L1, attached to its node's router as coh.ToL1.
@@ -159,6 +163,7 @@ type Cache struct {
 	wbuf        *coh.WBBuffer
 	outstanding int // registrations + writebacks in flight
 	drainWait   []func()
+	chk         *check.Checker
 
 	hits       *stats.Counter
 	misses     *stats.Counter
@@ -351,6 +356,7 @@ func (c *Cache) Load(addr memdata.PAddr, mask memdata.WordMask, done func(vals [
 		} else {
 			m = &mshr{}
 		}
+		m.born = c.eng.Now()
 		c.mshrs[addr] = m
 	}
 	c.misses.Inc()
@@ -438,6 +444,7 @@ func (c *Cache) HandlePacket(p *coh.Packet) {
 	case coh.WBAck:
 		c.wbuf.Release(p.Line, p.Mask)
 		c.outstanding--
+		c.chk.Progress()
 		c.checkDrained()
 	case coh.FwdReadReq:
 		c.serveRemote(p)
@@ -449,6 +456,7 @@ func (c *Cache) HandlePacket(p *coh.Packet) {
 }
 
 func (c *Cache) fill(p *coh.Packet) {
+	c.chk.Progress()
 	l := c.lookup(p.Line)
 	if l != nil {
 		for i := 0; i < memdata.WordsPerLine; i++ {
@@ -506,6 +514,7 @@ func (c *Cache) retireMSHR(m *mshr) {
 }
 
 func (c *Cache) regAck(p *coh.Packet) {
+	c.chk.Progress()
 	if l := c.lookup(p.Line); l != nil {
 		for i := 0; i < memdata.WordsPerLine; i++ {
 			if p.Mask.Has(i) && l.state[i] == coh.PendingReg {
@@ -616,6 +625,130 @@ func (c *Cache) checkDrained() {
 	for _, w := range waiters {
 		c.eng.Schedule(0, w)
 	}
+}
+
+// SetChecker attaches the self-check layer; a nil checker (the
+// default) costs one nil comparison on each completion.
+func (c *Cache) SetChecker(chk *check.Checker) { c.chk = chk }
+
+// Outstanding reports in-flight transactions the cache is waiting on
+// (fills, registrations, writebacks, replayed accesses), for the
+// watchdog's work-pending gate.
+func (c *Cache) Outstanding() int { return c.outstanding + len(c.mshrs) }
+
+// CheckInvariants verifies the cache's structural invariants without
+// mutating anything (in particular, without the LRU-refreshing lookup):
+//
+//   - every MSHR has work attached (requested words or waiters) and is
+//     no older than ageBound (0 disables the age check);
+//   - every word with a registration in flight per pendingReg is in
+//     PendingReg state if its line is resident;
+//   - a non-empty writeback buffer implies outstanding transactions;
+//   - no line is resident twice within a set.
+func (c *Cache) CheckInvariants(now, ageBound sim.Cycle) error {
+	for addr, m := range c.mshrs {
+		if m.requested == 0 && len(m.waiters) == 0 {
+			return fmt.Errorf("mshr %#x: no requested words and no waiters", addr)
+		}
+		if ageBound > 0 && now-m.born > ageBound {
+			return fmt.Errorf("mshr %#x: age %d exceeds bound %d (requested %016b, %d waiters)",
+				addr, now-m.born, ageBound, m.requested, len(m.waiters))
+		}
+	}
+	for addr, mask := range c.pendingReg {
+		if mask == 0 {
+			return fmt.Errorf("pendingReg %#x: empty mask", addr)
+		}
+		if l := c.peekLine(addr); l != nil {
+			for i := 0; i < memdata.WordsPerLine; i++ {
+				if mask.Has(i) && l.state[i] != coh.PendingReg {
+					return fmt.Errorf("line %#x word %d: registration in flight but state is %v", addr, i, l.state[i])
+				}
+			}
+		}
+	}
+	if c.wbuf.Len() > 0 && c.outstanding == 0 {
+		return fmt.Errorf("writeback buffer holds %d lines with nothing outstanding", c.wbuf.Len())
+	}
+	if err := c.wbuf.CheckInvariants(); err != nil {
+		return err
+	}
+	for si, s := range c.sets {
+		for i, l := range s {
+			if !l.live {
+				continue
+			}
+			for j := i + 1; j < len(s); j++ {
+				if s[j].live && s[j].addr == l.addr {
+					return fmt.Errorf("set %d: line %#x resident twice", si, l.addr)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckQuiescent verifies the cache has fully drained: no outstanding
+// transactions, no MSHRs, no pending registrations, empty writeback
+// buffer. It runs at kernel/phase boundaries.
+func (c *Cache) CheckQuiescent() error {
+	if c.outstanding != 0 {
+		return fmt.Errorf("%d transactions still outstanding", c.outstanding)
+	}
+	if n := len(c.mshrs); n != 0 {
+		return fmt.Errorf("%d mshrs still live", n)
+	}
+	if n := len(c.pendingReg); n != 0 {
+		return fmt.Errorf("%d registrations still pending", n)
+	}
+	if n := c.wbuf.Len(); n != 0 {
+		return fmt.Errorf("writeback buffer still holds %d lines", n)
+	}
+	return nil
+}
+
+// peekLine finds addr's resident line without refreshing LRU.
+func (c *Cache) peekLine(addr memdata.PAddr) *line {
+	for _, l := range c.sets[c.setIndex(addr)] {
+		if l.live && l.addr == addr {
+			return l
+		}
+	}
+	return nil
+}
+
+// OwnsWord reports whether the word at addr is held in Registered
+// state, without mutating LRU order. Cross-structure ownership audits
+// use it to confirm the LLC's registry against the cache's own state.
+func (c *Cache) OwnsWord(addr memdata.PAddr) bool {
+	l := c.peekLine(memdata.LineOf(addr))
+	return l != nil && l.state[memdata.WordIndex(addr)] == coh.Registered
+}
+
+// DebugString renders the cache's transient state for failure dumps.
+// Map iterations are sorted so the dump is deterministic.
+func (c *Cache) DebugString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "outstanding=%d mshrs=%d pending-reg=%d wbuf=%d drain-waiters=%d",
+		c.outstanding, len(c.mshrs), len(c.pendingReg), c.wbuf.Len(), len(c.drainWait))
+	addrs := make([]memdata.PAddr, 0, len(c.mshrs))
+	for a := range c.mshrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		m := c.mshrs[a]
+		fmt.Fprintf(&sb, "\nmshr %#x requested=%016b waiters=%d born=%d", a, m.requested, len(m.waiters), m.born)
+	}
+	addrs = addrs[:0]
+	for a := range c.pendingReg {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fmt.Fprintf(&sb, "\npending-reg %#x mask=%016b", a, c.pendingReg[a])
+	}
+	return sb.String()
 }
 
 // Peek returns the cached value and state of the word at addr, for tests.

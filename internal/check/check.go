@@ -1,0 +1,288 @@
+// Package check is the simulator's self-checking layer: a cycle-budget
+// deadlock/livelock watchdog plus opt-in structural invariant sweeps
+// over the coherence machinery.
+//
+// The Checker installs itself as a host-side probe on the engine (see
+// sim.Engine.SetProbe), so it observes the simulation without ever
+// advancing the clock or scheduling events: runs with the checker
+// enabled are bit-identical in every metric to runs without it. When a
+// check fails the probe panics with a typed error (*HangError,
+// *InvariantError); the runner that owns the simulation recovers it at
+// the boundary and converts it into a structured per-cell failure.
+//
+// Components register a Probe describing how to inspect them. All
+// inspection callbacks must be read-only: in particular they must not
+// touch LRU state or pooled free lists, since that would perturb a
+// subsequent run's behavior.
+//
+// The watchdog distinguishes the two ways a simulation wedges:
+//
+//   - Livelock: events keep retiring (replays rescheduling themselves)
+//     but no protocol transaction ever completes, so simulated time
+//     runs away. The watchdog fires when no progress mark has been
+//     recorded for WatchdogBudget cycles while some probe still
+//     reports outstanding work. Components mark progress only on real
+//     completions (fills, registration acks, writeback acks) — never
+//     on replays, which are exactly the livelock vector.
+//
+//   - Quiescence deadlock: the event queue drains while work is still
+//     pending (a lost wakeup). No event retires, so time stands still
+//     and the probe-based watchdog cannot fire; instead the runner
+//     calls Boundary at every kernel/phase end, which consults each
+//     probe's Quiescent check and reports what was left behind.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stash/internal/sim"
+)
+
+// Params configures a Checker. The zero value disables everything.
+type Params struct {
+	// Invariants enables periodic and boundary structural checks.
+	Invariants bool
+	// WatchdogBudget is the number of cycles the watchdog allows
+	// without a progress mark while work is outstanding. Zero disables
+	// the watchdog.
+	WatchdogBudget sim.Cycle
+	// ProbeEvery is the probe period in executed events (default 4096).
+	ProbeEvery uint64
+	// InvariantEvery runs the invariant sweep once per this many probe
+	// firings (default 16), keeping the sweep cheap enough for CI.
+	InvariantEvery uint64
+}
+
+// Enabled reports whether the params ask for any checking at all.
+func (p Params) Enabled() bool { return p.Invariants || p.WatchdogBudget > 0 }
+
+// Probe describes how the checker inspects one component. Any field
+// may be nil; nil callbacks are skipped.
+type Probe struct {
+	// Name identifies the component in dumps and errors, e.g. "l1[3]".
+	Name string
+	// Outstanding reports in-flight transactions the component is
+	// waiting on. The watchdog only fires while some probe reports a
+	// nonzero count, so pure-compute stretches never trip it.
+	Outstanding func() int
+	// Dump returns a one-line-per-fact diagnostic snapshot. It must be
+	// deterministic (sort any map iteration).
+	Dump func() string
+	// Invariants checks structural invariants that must hold at any
+	// event boundary. It runs periodically during the simulation.
+	Invariants func() error
+	// Quiescent checks invariants that hold only when the component
+	// has fully drained. It runs at kernel/phase boundaries.
+	Quiescent func() error
+}
+
+// Checker drives the watchdog and invariant sweeps for one system.
+// A nil *Checker is valid and inert: all methods are no-ops, so
+// components can call chk.Progress() unconditionally.
+type Checker struct {
+	eng    *sim.Engine
+	par    Params
+	probes []Probe
+	last   sim.Cycle // cycle of the most recent progress mark
+	polls  uint64    // probe firings, for InvariantEvery pacing
+}
+
+// New builds a Checker for eng. Call Register for each component, then
+// Install to arm the engine probe.
+func New(eng *sim.Engine, par Params) *Checker {
+	if par.ProbeEvery == 0 {
+		par.ProbeEvery = 4096
+	}
+	if par.InvariantEvery == 0 {
+		par.InvariantEvery = 16
+	}
+	return &Checker{eng: eng, par: par}
+}
+
+// Register adds a component probe. Registration order is the dump
+// order, so callers must register deterministically.
+func (c *Checker) Register(p Probe) {
+	if c == nil {
+		return
+	}
+	c.probes = append(c.probes, p)
+}
+
+// Install arms the engine's probe hook. Without a watchdog budget and
+// without invariants there is nothing to poll, and the engine keeps
+// its probe-free fast path.
+func (c *Checker) Install() {
+	if c == nil || !c.par.Enabled() {
+		return
+	}
+	c.last = c.eng.Now()
+	c.eng.SetProbe(c.par.ProbeEvery, c.poll)
+}
+
+// Progress records that a protocol transaction completed. Components
+// call it on fills, registration acks, and writeback acks — never on
+// replays. Safe on a nil Checker.
+func (c *Checker) Progress() {
+	if c == nil {
+		return
+	}
+	c.last = c.eng.Now()
+}
+
+// poll is the engine probe: watchdog first, then the periodic
+// invariant sweep.
+func (c *Checker) poll() {
+	if b := c.par.WatchdogBudget; b > 0 && c.eng.Now()-c.last > b {
+		out := c.outstanding()
+		if out > 0 {
+			panic(&HangError{
+				Now:          c.eng.Now(),
+				LastProgress: c.last,
+				Budget:       b,
+				Outstanding:  out,
+				Dump:         c.Dump(),
+			})
+		}
+		// Nothing outstanding: a long pure-compute stretch. Reset so
+		// the budget restarts when work next appears.
+		c.last = c.eng.Now()
+	}
+	if c.par.Invariants {
+		if c.polls++; c.polls%c.par.InvariantEvery == 0 {
+			c.sweep()
+		}
+	}
+}
+
+func (c *Checker) outstanding() int {
+	n := 0
+	for i := range c.probes {
+		if f := c.probes[i].Outstanding; f != nil {
+			n += f()
+		}
+	}
+	return n
+}
+
+func (c *Checker) sweep() {
+	for i := range c.probes {
+		if f := c.probes[i].Invariants; f != nil {
+			if err := f(); err != nil {
+				panic(&InvariantError{Probe: c.probes[i].Name, Err: err, Dump: c.Dump()})
+			}
+		}
+	}
+}
+
+// Boundary runs the full invariant sweep plus every probe's Quiescent
+// check. Runners call it at kernel and CPU-phase ends, when all
+// traffic should have drained. Safe on a nil Checker.
+func (c *Checker) Boundary(phase string) {
+	if c == nil || !c.par.Invariants {
+		return
+	}
+	c.sweep()
+	for i := range c.probes {
+		if f := c.probes[i].Quiescent; f != nil {
+			if err := f(); err != nil {
+				panic(&InvariantError{
+					Probe: c.probes[i].Name,
+					Err:   fmt.Errorf("at %s boundary: %w", phase, err),
+					Dump:  c.Dump(),
+				})
+			}
+		}
+	}
+}
+
+// Dump renders every probe's diagnostic snapshot, prefixed with the
+// engine and watchdog state. Safe on a nil Checker (returns "").
+func (c *Checker) Dump() string {
+	if c == nil {
+		return ""
+	}
+	return fmt.Sprintf("watchdog: last-progress=%d budget=%d\n", c.last, c.par.WatchdogBudget) +
+		DumpState(c.eng, c.probes)
+}
+
+// DumpState renders the probes' diagnostic snapshots prefixed with the
+// engine state. It is the failure-dump backbone, usable with or
+// without an armed Checker (a panicking run still wants a dump).
+func DumpState(eng *sim.Engine, probes []Probe) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "engine: now=%d pending=%d steps=%d\n",
+		eng.Now(), eng.Pending(), eng.Steps())
+	// Components with outstanding work first, then the rest, each
+	// group in registration order — the interesting units lead.
+	idx := make([]int, len(probes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return probeBusy(probes[idx[a]]) && !probeBusy(probes[idx[b]])
+	})
+	for _, i := range idx {
+		p := probes[i]
+		if p.Dump == nil {
+			continue
+		}
+		s := strings.TrimRight(p.Dump(), "\n")
+		if s == "" {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s:\n", p.Name)
+		for _, ln := range strings.Split(s, "\n") {
+			sb.WriteString("  ")
+			sb.WriteString(ln)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func probeBusy(p Probe) bool { return p.Outstanding != nil && p.Outstanding() > 0 }
+
+// HangError reports a watchdog firing: simulated time kept advancing
+// but no protocol transaction completed for longer than the budget
+// while work was outstanding (a livelock, e.g. an MSHR replay storm
+// against a dead bank).
+type HangError struct {
+	Now          sim.Cycle
+	LastProgress sim.Cycle
+	Budget       sim.Cycle
+	Outstanding  int
+	Dump         string
+}
+
+func (e *HangError) Error() string {
+	return fmt.Sprintf("check: no forward progress for %d cycles (budget %d, cycle %d, last progress %d, %d transactions outstanding)",
+		e.Now-e.LastProgress, e.Budget, e.Now, e.LastProgress, e.Outstanding)
+}
+
+// DeadlockError reports a quiescence deadlock: the event queue drained
+// while work was still pending (a lost wakeup), detected at a phase
+// boundary by the runner.
+type DeadlockError struct {
+	Phase string
+	Dump  string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("check: %s did not complete: event queue drained with work pending (deadlock)", e.Phase)
+}
+
+// InvariantError reports a structural invariant violation in one
+// component.
+type InvariantError struct {
+	Probe string
+	Err   error
+	Dump  string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("check: invariant violated in %s: %v", e.Probe, e.Err)
+}
+
+func (e *InvariantError) Unwrap() error { return e.Err }

@@ -1,0 +1,217 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"stash/internal/sim"
+)
+
+// runRecover runs the engine and returns the recovered panic value.
+func runRecover(e *sim.Engine) (v any) {
+	defer func() { v = recover() }()
+	e.Run()
+	return nil
+}
+
+// A self-rescheduling replay loop with outstanding work must trip the
+// watchdog within the budget (plus probe quantization).
+func TestWatchdogCatchesLivelock(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Params{WatchdogBudget: 1000, ProbeEvery: 8})
+	c.Register(Probe{
+		Name:        "unit",
+		Outstanding: func() int { return 1 },
+		Dump:        func() string { return "stuck=1" },
+	})
+	c.Install()
+
+	var replay func()
+	replay = func() { eng.Schedule(4, replay) } // advances time, never completes
+	eng.Schedule(0, replay)
+
+	v := runRecover(eng)
+	he, ok := v.(*HangError)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *HangError", v, v)
+	}
+	if he.Outstanding != 1 {
+		t.Errorf("Outstanding = %d, want 1", he.Outstanding)
+	}
+	// Probe quantization: the hang is detected within one probe period
+	// past the budget. Each event advances 4 cycles and the probe runs
+	// every 8 events, so slack is 8*4 cycles.
+	if got := he.Now - he.LastProgress; got > 1000+8*4 {
+		t.Errorf("fired after %d cycles of stall, want <= %d", got, 1000+8*4)
+	}
+	if !strings.Contains(he.Dump, "stuck=1") {
+		t.Errorf("dump missing component state:\n%s", he.Dump)
+	}
+	if !strings.Contains(he.Error(), "no forward progress") {
+		t.Errorf("unexpected message: %s", he.Error())
+	}
+}
+
+// Progress marks hold the watchdog off; once they stop, it fires.
+func TestWatchdogResetByProgress(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Params{WatchdogBudget: 100, ProbeEvery: 1})
+	c.Register(Probe{Name: "unit", Outstanding: func() int { return 1 }})
+	c.Install()
+
+	n := 0
+	var tick func()
+	tick = func() {
+		if n++; n <= 50 {
+			c.Progress() // completions for the first 50 ticks only
+		}
+		eng.Schedule(10, tick)
+	}
+	eng.Schedule(0, tick)
+
+	v := runRecover(eng)
+	he, ok := v.(*HangError)
+	if !ok {
+		t.Fatalf("recovered %T, want *HangError", v)
+	}
+	// Progress was marked until cycle ~500; the budget must have been
+	// measured from there, not from cycle 0.
+	if he.LastProgress < 400 {
+		t.Errorf("LastProgress = %d; progress marks did not reset the watchdog", he.LastProgress)
+	}
+}
+
+// With no outstanding work, arbitrarily long event chains never trip
+// the watchdog: compute-only stretches are not hangs.
+func TestWatchdogIgnoresIdleStretch(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Params{WatchdogBudget: 50, ProbeEvery: 1})
+	c.Register(Probe{Name: "unit", Outstanding: func() int { return 0 }})
+	c.Install()
+
+	n := 0
+	var tick func()
+	tick = func() {
+		if n++; n < 200 {
+			eng.Schedule(100, tick) // 100 cycles per event >> budget
+		}
+	}
+	eng.Schedule(0, tick)
+
+	if v := runRecover(eng); v != nil {
+		t.Fatalf("watchdog fired on an idle stretch: %v", v)
+	}
+}
+
+// The periodic sweep surfaces an invariant violation as a typed panic
+// carrying the probe name and the dump.
+func TestPeriodicInvariantSweep(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Params{Invariants: true, ProbeEvery: 1, InvariantEvery: 1})
+	broken := errors.New("mshr leak")
+	c.Register(Probe{
+		Name:       "l1[0]",
+		Invariants: func() error { return broken },
+		Dump:       func() string { return "mshrs=1" },
+	})
+	c.Install()
+	for i := 0; i < 5; i++ {
+		eng.Schedule(sim.Cycle(i), func() {})
+	}
+
+	v := runRecover(eng)
+	ie, ok := v.(*InvariantError)
+	if !ok {
+		t.Fatalf("recovered %T, want *InvariantError", v)
+	}
+	if ie.Probe != "l1[0]" || !errors.Is(ie, broken) {
+		t.Errorf("got probe %q err %v", ie.Probe, ie.Err)
+	}
+	if !strings.Contains(ie.Dump, "mshrs=1") {
+		t.Errorf("dump missing component state:\n%s", ie.Dump)
+	}
+}
+
+// Boundary runs Quiescent checks and wraps failures with the phase.
+func TestBoundaryQuiescentCheck(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Params{Invariants: true})
+	c.Register(Probe{
+		Name:      "stash[2]",
+		Quiescent: func() error { return errors.New("wbuf not empty") },
+	})
+
+	var v any
+	func() {
+		defer func() { v = recover() }()
+		c.Boundary("kernel")
+	}()
+	ie, ok := v.(*InvariantError)
+	if !ok {
+		t.Fatalf("recovered %T, want *InvariantError", v)
+	}
+	if !strings.Contains(ie.Err.Error(), "kernel boundary") {
+		t.Errorf("error not phase-tagged: %v", ie.Err)
+	}
+}
+
+// A nil Checker is inert: every method is a safe no-op.
+func TestNilCheckerIsInert(t *testing.T) {
+	var c *Checker
+	c.Progress()
+	c.Register(Probe{Name: "x"})
+	c.Install()
+	c.Boundary("kernel")
+	if d := c.Dump(); d != "" {
+		t.Errorf("nil dump = %q, want empty", d)
+	}
+}
+
+// Checking must be timing-neutral: the same event chain produces the
+// same final cycle and step count with and without a checker installed.
+func TestCheckerIsTimingNeutral(t *testing.T) {
+	run := func(withChecker bool) (sim.Cycle, uint64) {
+		eng := sim.NewEngine()
+		if withChecker {
+			c := New(eng, Params{Invariants: true, WatchdogBudget: 1 << 20, ProbeEvery: 2, InvariantEvery: 2})
+			c.Register(Probe{
+				Name:        "unit",
+				Outstanding: func() int { return 1 },
+				Invariants:  func() error { return nil },
+			})
+			c.Install()
+		}
+		n := 0
+		var tick func()
+		tick = func() {
+			if n++; n < 100 {
+				eng.Schedule(7, tick)
+			}
+		}
+		eng.Schedule(0, tick)
+		eng.Run()
+		return eng.Now(), eng.Steps()
+	}
+	c0, s0 := run(false)
+	c1, s1 := run(true)
+	if c0 != c1 || s0 != s1 {
+		t.Fatalf("checker perturbed the run: (%d,%d) vs (%d,%d)", c0, s0, c1, s1)
+	}
+}
+
+// The dump leads with busy components and indents their state.
+func TestDumpOrdersBusyFirst(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Params{Invariants: true})
+	c.Register(Probe{Name: "idle", Outstanding: func() int { return 0 }, Dump: func() string { return "ok" }})
+	c.Register(Probe{Name: "busy", Outstanding: func() int { return 3 }, Dump: func() string { return "mshrs=3" }})
+	d := c.Dump()
+	bi, ii := strings.Index(d, "busy:"), strings.Index(d, "idle:")
+	if bi < 0 || ii < 0 || bi > ii {
+		t.Errorf("busy component does not lead the dump:\n%s", d)
+	}
+	if !strings.HasPrefix(d, "watchdog:") || !strings.Contains(d, "engine:") {
+		t.Errorf("dump missing watchdog/engine header:\n%s", d)
+	}
+}

@@ -1,6 +1,10 @@
 package coh
 
-import "stash/internal/memdata"
+import (
+	"fmt"
+
+	"stash/internal/memdata"
+)
 
 // WBBuffer holds dirty data for lines whose writeback is in flight.
 // An owner (L1 or stash) moves registered words here when it evicts or
@@ -69,6 +73,18 @@ func (b *WBBuffer) Release(line memdata.PAddr, mask memdata.WordMask) {
 
 // Busy reports whether any words of line are awaiting acknowledgement.
 func (b *WBBuffer) Busy(line memdata.PAddr) bool { return b.pending[line] != nil }
+
+// CheckInvariants verifies conservation: every pending entry still
+// holds words (an empty-mask entry is a leaked writeback whose release
+// path lost it).
+func (b *WBBuffer) CheckInvariants() error {
+	for line, e := range b.pending {
+		if e.mask == 0 {
+			return fmt.Errorf("writeback buffer: line %#x pending with empty mask", line)
+		}
+	}
+	return nil
+}
 
 // Len reports the number of lines with in-flight writebacks.
 func (b *WBBuffer) Len() int { return len(b.pending) }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
+	"stash/internal/check"
 	"stash/internal/coh"
 	"stash/internal/energy"
 	"stash/internal/llc"
@@ -67,7 +70,8 @@ type readMSHR struct {
 	requested memdata.WordMask
 	fills     [memdata.WordsPerLine][]int32 // per line word: stash word offsets
 	waiters   []*stashWaiter
-	inPurge   bool // already on the purge-candidate list
+	inPurge   bool      // already on the purge-candidate list
+	born      sim.Cycle // cycle the entry was allocated, for age checks
 }
 
 // stashWaiter is one warp load waiting for fills. A load that misses in
@@ -204,6 +208,13 @@ type Stash struct {
 
 	outstanding int
 	drainWait   []func()
+	chk         *check.Checker
+	// Pool conservation counters: objects acquired but not yet released.
+	// They must all read zero at a quiescent boundary; a nonzero count
+	// after a drain is a leaked pooled object.
+	waitersOut int
+	plansOut   int
+	valsOut    int
 	// purgeCand lists MSHRs whose requested mask has dropped to zero;
 	// only these can be left holding fired waiters (fired through a
 	// sibling line's MSHR), so drain checks scan this list instead of
@@ -323,15 +334,18 @@ func (s *Stash) acquireWaiter(offsets []int, done func([]uint32)) *stashWaiter {
 	w.done = done
 	w.fired = false
 	w.attached = 0
+	s.waitersOut++
 	return w
 }
 
 func (s *Stash) releaseWaiter(w *stashWaiter) {
 	w.done = nil
+	s.waitersOut--
 	s.waiterFree = append(s.waiterFree, w)
 }
 
 func (s *Stash) acquirePlan() *fillPlan {
+	s.plansOut++
 	if n := len(s.planFree); n > 0 {
 		p := s.planFree[n-1]
 		s.planFree = s.planFree[:n-1]
@@ -342,6 +356,7 @@ func (s *Stash) acquirePlan() *fillPlan {
 
 func (s *Stash) releasePlan(p *fillPlan) {
 	p.lines = p.lines[:0]
+	s.plansOut--
 	s.planFree = append(s.planFree, p)
 }
 
@@ -780,6 +795,7 @@ func (s *Stash) requestLine(fl *fillLine, w *stashWaiter) bool {
 	if m == nil {
 		m = s.acquireMSHR()
 		m.line = line
+		m.born = s.eng.Now()
 		s.mshrs[line] = m
 	}
 	for wi, soff := range fl.soff {
@@ -813,6 +829,7 @@ func (s *Stash) requestLine(fl *fillLine, w *stashWaiter) bool {
 // gather reads the offsets' values into a pooled buffer; the caller
 // returns it with releaseVals after the consuming callback has run.
 func (s *Stash) gather(offsets []int) []uint32 {
+	s.valsOut++
 	var vals []uint32
 	if n := len(s.valsFree); n > 0 {
 		vals = s.valsFree[n-1][:0]
@@ -824,7 +841,10 @@ func (s *Stash) gather(offsets []int) []uint32 {
 	return vals
 }
 
-func (s *Stash) releaseVals(v []uint32) { s.valsFree = append(s.valsFree, v) }
+func (s *Stash) releaseVals(v []uint32) {
+	s.valsOut--
+	s.valsFree = append(s.valsFree, v)
+}
 
 // Store performs a warp store. Data is accepted immediately (the warp
 // does not block); registration of newly owned words and the chunked
@@ -1129,6 +1149,7 @@ func (s *Stash) HandlePacket(p *coh.Packet) {
 	case coh.WBAck:
 		s.wbuf.Release(p.Line, p.Mask)
 		s.outstanding--
+		s.chk.Progress()
 		s.checkDrained()
 	case coh.FwdReadReq:
 		s.serveRemote(p)
@@ -1140,6 +1161,7 @@ func (s *Stash) HandlePacket(p *coh.Packet) {
 }
 
 func (s *Stash) fill(p *coh.Packet) {
+	s.chk.Progress()
 	m := s.mshrs[p.Line]
 	if m == nil {
 		return
@@ -1183,6 +1205,7 @@ func (s *Stash) fill(p *coh.Packet) {
 }
 
 func (s *Stash) regAck(p *coh.Packet) {
+	s.chk.Progress()
 	if pend := s.pendingReg[p.Line]; pend != nil {
 		for wi := 0; wi < memdata.WordsPerLine; wi++ {
 			if !p.Mask.Has(wi) {
@@ -1266,24 +1289,167 @@ func (s *Stash) ownerInv(p *coh.Packet) {
 // Peek returns the value and state of a stash word, for tests.
 func (s *Stash) Peek(off int) (uint32, coh.State) { return s.words[off], s.state[off] }
 
-// DebugString reports outstanding transaction state, for diagnosing hangs.
+// DebugString reports outstanding transaction state, for diagnosing
+// hangs. Map iterations are sorted so the dump is deterministic.
 func (s *Stash) DebugString() string {
-	out := fmt.Sprintf("outstanding=%d mshrs=%d pendingReg=%d wbuf=%d",
-		s.outstanding, len(s.mshrs), len(s.pendingReg), s.wbuf.Len())
-	for line, m := range s.mshrs {
-		out += fmt.Sprintf(" [line %#x req=%04x waiters=%d", uint64(line), uint16(m.requested), len(m.waiters))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "outstanding=%d mshrs=%d pendingReg=%d wbuf=%d pools(waiters=%d plans=%d vals=%d)",
+		s.outstanding, len(s.mshrs), len(s.pendingReg), s.wbuf.Len(),
+		s.waitersOut, s.plansOut, s.valsOut)
+	lines := make([]memdata.PAddr, 0, len(s.mshrs))
+	for line := range s.mshrs {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		m := s.mshrs[line]
+		fmt.Fprintf(&sb, "\nmshr %#x req=%04x waiters=%d born=%d", uint64(line), uint16(m.requested), len(m.waiters), m.born)
 		for _, w := range m.waiters {
-			out += " unmet("
+			sb.WriteString(" unmet(")
 			for _, off := range w.offsets {
 				if !s.state[off].Readable() {
-					out += fmt.Sprintf(" %d:%v", off, s.state[off])
+					fmt.Fprintf(&sb, " %d:%v", off, s.state[off])
 				}
 			}
-			out += ")"
+			sb.WriteString(")")
 		}
-		out += "]"
 	}
-	return out
+	lines = lines[:0]
+	for line := range s.pendingReg {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		fmt.Fprintf(&sb, "\npending-reg %#x present=%016b", uint64(line), s.pendingReg[line].present)
+	}
+	return sb.String()
+}
+
+// SetChecker attaches the self-check layer; a nil checker (the
+// default) costs one nil comparison on each completion.
+func (s *Stash) SetChecker(chk *check.Checker) { s.chk = chk }
+
+// Outstanding reports in-flight transactions the stash is waiting on,
+// for the watchdog's work-pending gate.
+func (s *Stash) Outstanding() int { return s.outstanding + len(s.mshrs) }
+
+// CheckInvariants verifies the stash's structural invariants without
+// mutating anything (no LRU, no VP-map refills):
+//
+//   - a dirty or writeback-armed chunk records a valid stash-map entry;
+//   - each entry's #DirtyData equals the number of chunks accounted to
+//     it (the Section 4.2 counter that gates entry invalidation);
+//   - pendingReg lists agree with their present mask and every listed
+//     stash word is in PendingReg state;
+//   - every MSHR holds work (requested fills or waiters), is on the
+//     purge list once its requests drained, and is no older than
+//     ageBound (0 disables the age check);
+//   - the writeback buffer conserves its entries.
+func (s *Stash) CheckInvariants(now, ageBound sim.Cycle) error {
+	counted := make(map[int]int)
+	for c := range s.chunkMap {
+		if !s.chunkDirty[c] && !s.chunkWB[c] {
+			continue
+		}
+		idx := s.chunkMap[c]
+		if idx < 0 {
+			return fmt.Errorf("chunk %d dirty/wb with no stash-map entry", c)
+		}
+		if !s.maps[idx].valid {
+			return fmt.Errorf("chunk %d accounted to invalid stash-map entry %d", c, idx)
+		}
+		counted[idx]++
+	}
+	for idx := range s.maps {
+		if !s.maps[idx].valid {
+			continue
+		}
+		if got, want := s.maps[idx].dirtyData, counted[idx]; got != want {
+			return fmt.Errorf("stash-map entry %d: #DirtyData=%d but %d chunks accounted", idx, got, want)
+		}
+	}
+	for line, pend := range s.pendingReg {
+		for wi := 0; wi < memdata.WordsPerLine; wi++ {
+			if (len(pend.lists[wi]) > 0) != pend.present.Has(wi) {
+				return fmt.Errorf("pendingReg %#x word %d: list/present-bit mismatch", uint64(line), wi)
+			}
+			for _, soff := range pend.lists[wi] {
+				if s.state[soff] != coh.PendingReg {
+					return fmt.Errorf("pendingReg %#x: stash word %d in state %v, want PendingReg", uint64(line), soff, s.state[soff])
+				}
+			}
+		}
+	}
+	for line, m := range s.mshrs {
+		hasWork := m.requested != 0 || len(m.waiters) > 0
+		for wi := range m.fills {
+			hasWork = hasWork || len(m.fills[wi]) > 0
+		}
+		if !hasWork {
+			return fmt.Errorf("mshr %#x: no fills, requests, or waiters", uint64(line))
+		}
+		if m.requested == 0 && !m.inPurge {
+			return fmt.Errorf("mshr %#x: requests drained but not on the purge list", uint64(line))
+		}
+		if ageBound > 0 && m.requested != 0 && now-m.born > ageBound {
+			return fmt.Errorf("mshr %#x: age %d exceeds bound %d (requested %016b, %d waiters)",
+				uint64(line), now-m.born, ageBound, m.requested, len(m.waiters))
+		}
+	}
+	if s.wbuf.Len() > 0 && s.outstanding == 0 {
+		return fmt.Errorf("writeback buffer holds %d lines with nothing outstanding", s.wbuf.Len())
+	}
+	return s.wbuf.CheckInvariants()
+}
+
+// CheckQuiescent verifies the stash has fully drained and conserved
+// its pooled objects. It runs at kernel/phase boundaries.
+func (s *Stash) CheckQuiescent() error {
+	if s.outstanding != 0 {
+		return fmt.Errorf("%d transactions still outstanding", s.outstanding)
+	}
+	if n := len(s.mshrs); n != 0 {
+		return fmt.Errorf("%d mshrs still live", n)
+	}
+	if n := len(s.pendingReg); n != 0 {
+		return fmt.Errorf("%d registrations still pending", n)
+	}
+	if n := s.wbuf.Len(); n != 0 {
+		return fmt.Errorf("writeback buffer still holds %d lines", n)
+	}
+	if s.waitersOut != 0 || s.plansOut != 0 || s.valsOut != 0 {
+		return fmt.Errorf("pooled objects leaked: waiters=%d plans=%d vals=%d",
+			s.waitersOut, s.plansOut, s.valsOut)
+	}
+	return nil
+}
+
+// PoolCounters reports the pooled objects currently checked out
+// (waiters, fill plans, value buffers), for conservation tests.
+func (s *Stash) PoolCounters() (waiters, plans, vals int) {
+	return s.waitersOut, s.plansOut, s.valsOut
+}
+
+// OwnsPA locates the stash word backing physical address pa through
+// stash-map entry mapIdx without mutating any translation state.
+// found is false when the address cannot be located (invalid entry,
+// RTLB reverse-translation not resident, or address outside the
+// mapping) — callers performing cross-structure audits must treat
+// that as inconclusive, not as a violation; owned reports whether the
+// located word is held in an owned state.
+func (s *Stash) OwnsPA(pa memdata.PAddr, mapIdx int) (found, owned bool) {
+	if mapIdx < 0 || mapIdx >= len(s.maps) || !s.maps[mapIdx].valid {
+		return false, false
+	}
+	va, ok := s.vp.reversePeek(pa)
+	if !ok {
+		return false, false
+	}
+	soff, ok := s.maps[mapIdx].virtToStash(va)
+	if !ok {
+		return false, false
+	}
+	return true, s.state[soff].Owned()
 }
 
 // MapEntryInfo reports a stash-map entry's liveness and #DirtyData, for

@@ -89,6 +89,18 @@ func (v *vpMap) reverse(pa memdata.PAddr) memdata.VAddr {
 	return e.vpage + memdata.VAddr(pa-ppage)
 }
 
+// reversePeek is a side-effect-free reverse: it consults only the
+// resident RTLB, never refilling. Invariant checks use it so an audit
+// cannot perturb the translation state a later run depends on.
+func (v *vpMap) reversePeek(pa memdata.PAddr) (memdata.VAddr, bool) {
+	ppage := vm.PPageOf(pa)
+	e, ok := v.rtlb[ppage]
+	if !ok {
+		return 0, false
+	}
+	return e.vpage + memdata.VAddr(pa-ppage), true
+}
+
 func (v *vpMap) refill(vpage memdata.VAddr) *vpEntry {
 	v.refills++
 	ppage := vm.PPageOf(v.as.Translate(vpage))

@@ -15,7 +15,10 @@ package dma
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
+	"stash/internal/check"
 	"stash/internal/coh"
 	"stash/internal/core"
 	"stash/internal/llc"
@@ -151,6 +154,10 @@ type Engine struct {
 	offScratch []int
 	valScratch []uint32
 
+	chk     *check.Checker
+	refsOut int       // per-line refs issued but not yet finished
+	extra   sim.Cycle // fault injection: added pacing per line
+
 	loads  *stats.Counter
 	stores *stats.Counter
 	lines  *stats.Counter
@@ -170,6 +177,50 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, sp 
 		stores:    set.Counter(fmt.Sprintf("dma.%s.stores", name)),
 		lines:     set.Counter(fmt.Sprintf("dma.%s.lines", name)),
 	}
+}
+
+// SetChecker attaches the self-check layer; a nil checker (the
+// default) costs one nil comparison per completed line.
+func (e *Engine) SetChecker(chk *check.Checker) { e.chk = chk }
+
+// SetExtraDelay stretches the issue pacing by d extra cycles per line
+// (fault injection). Zero restores the exact configured pacing.
+func (e *Engine) SetExtraDelay(d sim.Cycle) { e.extra = d }
+
+// Outstanding reports line transfers issued but not yet completed, for
+// the watchdog's work-pending gate.
+func (e *Engine) Outstanding() int { return e.refsOut }
+
+// CheckQuiescent verifies the engine has fully drained: no per-line
+// transfer refs checked out of the pool. It runs at phase boundaries.
+func (e *Engine) CheckQuiescent() error {
+	if e.refsOut != 0 {
+		return fmt.Errorf("%d line transfers still outstanding", e.refsOut)
+	}
+	if n := len(e.transfers); n != 0 {
+		return fmt.Errorf("%d lines still awaiting responses", n)
+	}
+	return nil
+}
+
+// DebugString renders in-flight transfer state for failure dumps.
+// Map iteration is sorted so the dump is deterministic.
+func (e *Engine) DebugString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "refs-out=%d lines-waiting=%d", e.refsOut, len(e.transfers))
+	lines := make([]memdata.PAddr, 0, len(e.transfers))
+	for line := range e.transfers {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		refs := e.transfers[line]
+		fmt.Fprintf(&sb, "\nline %#x refs=%d", uint64(line), len(refs))
+		for _, r := range refs {
+			fmt.Fprintf(&sb, " [id=%d store=%v pending=%016b]", r.id, r.isStore, r.pending)
+		}
+	}
+	return sb.String()
 }
 
 // planTile walks the tile and groups its words by global line in the
@@ -199,6 +250,7 @@ func (e *Engine) newRef(t *transfer) *transferRef {
 	r.t = t
 	r.isStore = false
 	r.pending = 0
+	e.refsOut++
 	return r
 }
 
@@ -272,7 +324,7 @@ func (e *Engine) Load(region core.MapParams, done func()) {
 		o.isWrite = false
 		o.line, o.mask = tl.line, mask
 		e.eng.Schedule(gap, o.run)
-		gap += e.p.IssueGap
+		gap += e.p.IssueGap + e.extra
 	}
 }
 
@@ -318,7 +370,7 @@ func (e *Engine) Store(region core.MapParams, done func()) {
 			k++
 		}
 		e.eng.Schedule(gap, o.run)
-		gap += e.p.IssueGap
+		gap += e.p.IssueGap + e.extra
 	}
 }
 
@@ -387,6 +439,8 @@ func (e *Engine) HandlePacket(p *coh.Packet) {
 }
 
 func (e *Engine) finish(ref *transferRef) {
+	e.chk.Progress() // a DMA line transfer completed
+	e.refsOut--
 	t := ref.t
 	ref.t = nil
 	e.refFree = append(e.refFree, ref)

@@ -1,0 +1,126 @@
+// Package faults is a seeded, deterministic fault-injection harness
+// for the simulator. A Schedule describes which timing perturbations
+// and component faults to apply; an Injector evaluates that schedule
+// with a splitmix64-derived pseudo-random stream, so the same seed
+// always produces the same fault pattern and every failure a fault
+// uncovers is exactly reproducible.
+//
+// Faults come in two flavors:
+//
+//   - Timing perturbation (NoC jitter, DMA pacing delay, finite bank
+//     stalls): legal reorderings/slowdowns the protocol must tolerate.
+//     Runs complete and verify; only cycle counts change.
+//
+//   - Induced failures (a bank stalled forever swallows its packets —
+//     a lost wakeup): the run cannot complete, and the watchdog layer
+//     (internal/check) must convert the hang into a structured error.
+//
+// The injector is wired into components through plain closures
+// (noc.Network.SetPerturb, llc.Bank.SetStall, dma.Engine.SetExtraDelay)
+// so the component packages never import this one.
+package faults
+
+import (
+	"fmt"
+
+	"stash/internal/sim"
+)
+
+// BankStall describes one LLC-bank stall window. For == 0 means the
+// bank is dead from From onward: packets that arrive during a dead
+// window are silently dropped, which is exactly a lost wakeup.
+type BankStall struct {
+	Bank int       // bank (mesh node) index
+	From sim.Cycle // first stalled cycle
+	For  sim.Cycle // window length; 0 = forever (drop packets)
+}
+
+// Schedule is a config-driven description of the faults to inject.
+// The zero value injects nothing.
+type Schedule struct {
+	// Seed selects the pseudo-random stream for jitter. Two runs with
+	// equal schedules are identical.
+	Seed uint64
+	// NoCJitterMax adds [0, NoCJitterMax] extra cycles to each remote
+	// packet delivery. Per-(src,dst) delivery order is preserved by
+	// the network, so jitter never reorders a flow.
+	NoCJitterMax sim.Cycle
+	// BankStalls lists LLC-bank stall windows.
+	BankStalls []BankStall
+	// DMAExtraDelay stretches the DMA engine's issue pacing by this
+	// many cycles per element.
+	DMAExtraDelay sim.Cycle
+}
+
+// Enabled reports whether the schedule injects any fault at all.
+func (s *Schedule) Enabled() bool {
+	return s != nil && (s.NoCJitterMax > 0 || len(s.BankStalls) > 0 || s.DMAExtraDelay > 0)
+}
+
+// Injector evaluates a Schedule deterministically.
+type Injector struct {
+	sched   Schedule
+	rng     uint64 // splitmix64 state
+	dropped int
+}
+
+// NewInjector returns an injector for the schedule.
+func NewInjector(s Schedule) *Injector {
+	return &Injector{sched: s, rng: s.Seed}
+}
+
+// splitmix64 advances the stream and returns the next value. The
+// constants are the reference splitmix64 increments.
+func (in *Injector) splitmix64() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Jitter returns the extra delivery latency for one remote packet on
+// the src→dst flow. Draws are consumed in packet-send order, which the
+// engine makes deterministic.
+func (in *Injector) Jitter(src, dst int) sim.Cycle {
+	m := in.sched.NoCJitterMax
+	if m == 0 {
+		return 0
+	}
+	// Mix the flow into the draw so distinct flows decorrelate even
+	// under interleaving changes, while staying fully deterministic.
+	in.rng += uint64(src*1021+dst) * 0x9e3779b97f4a7c15
+	return sim.Cycle(in.splitmix64() % uint64(m+1))
+}
+
+// BankStall reports how a packet arriving at bank at cycle now is
+// perturbed: delayed until the end of a finite stall window, or
+// dropped entirely inside a dead (For == 0) window. Drops are counted.
+func (in *Injector) BankStall(bank int, now sim.Cycle) (delay sim.Cycle, drop bool) {
+	for i := range in.sched.BankStalls {
+		st := &in.sched.BankStalls[i]
+		if st.Bank != bank || now < st.From {
+			continue
+		}
+		if st.For == 0 {
+			in.dropped++
+			return 0, true
+		}
+		if end := st.From + st.For; now < end {
+			delay += end - now
+		}
+	}
+	return delay, false
+}
+
+// DMAExtraDelay returns the per-element pacing stretch.
+func (in *Injector) DMAExtraDelay() sim.Cycle { return in.sched.DMAExtraDelay }
+
+// Dropped reports how many packets dead banks have swallowed.
+func (in *Injector) Dropped() int { return in.dropped }
+
+// String summarizes the schedule for diagnostics.
+func (in *Injector) String() string {
+	return fmt.Sprintf("faults: seed=%d jitter<=%d stalls=%d dma+%d dropped=%d",
+		in.sched.Seed, in.sched.NoCJitterMax, len(in.sched.BankStalls), in.sched.DMAExtraDelay, in.dropped)
+}

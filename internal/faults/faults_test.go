@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"testing"
+
+	"stash/internal/sim"
+)
+
+func TestScheduleEnabled(t *testing.T) {
+	var nilSched *Schedule
+	if nilSched.Enabled() {
+		t.Error("nil schedule reports enabled")
+	}
+	if (&Schedule{Seed: 7}).Enabled() {
+		t.Error("seed-only schedule reports enabled")
+	}
+	for _, s := range []Schedule{
+		{NoCJitterMax: 1},
+		{BankStalls: []BankStall{{Bank: 0}}},
+		{DMAExtraDelay: 3},
+	} {
+		if !s.Enabled() {
+			t.Errorf("schedule %+v reports disabled", s)
+		}
+	}
+}
+
+// Same seed, same draw sequence — bit-for-bit.
+func TestJitterDeterministic(t *testing.T) {
+	draw := func(seed uint64) []sim.Cycle {
+		in := NewInjector(Schedule{Seed: seed, NoCJitterMax: 9})
+		var out []sim.Cycle
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Jitter(i%16, (i*7)%16))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	in := NewInjector(Schedule{Seed: 1, NoCJitterMax: 5})
+	for i := 0; i < 1000; i++ {
+		if j := in.Jitter(i%16, i%3); j > 5 {
+			t.Fatalf("jitter %d exceeds max 5", j)
+		}
+	}
+	zero := NewInjector(Schedule{Seed: 1})
+	if j := zero.Jitter(0, 1); j != 0 {
+		t.Errorf("jitter without NoCJitterMax = %d, want 0", j)
+	}
+}
+
+func TestBankStallWindows(t *testing.T) {
+	in := NewInjector(Schedule{BankStalls: []BankStall{
+		{Bank: 3, From: 100, For: 50}, // finite: delay to cycle 150
+		{Bank: 5, From: 200},          // dead: drop forever
+	}})
+
+	if d, drop := in.BankStall(3, 50); d != 0 || drop {
+		t.Errorf("before window: delay=%d drop=%v", d, drop)
+	}
+	if d, drop := in.BankStall(3, 120); d != 30 || drop {
+		t.Errorf("inside finite window: delay=%d drop=%v, want 30,false", d, drop)
+	}
+	if d, drop := in.BankStall(3, 150); d != 0 || drop {
+		t.Errorf("at window end: delay=%d drop=%v", d, drop)
+	}
+	if _, drop := in.BankStall(5, 199); drop {
+		t.Error("dropped before dead window opened")
+	}
+	if _, drop := in.BankStall(5, 200); !drop {
+		t.Error("dead window did not drop")
+	}
+	if _, drop := in.BankStall(5, 1_000_000); !drop {
+		t.Error("dead window is not forever")
+	}
+	if _, drop := in.BankStall(4, 500); drop {
+		t.Error("unlisted bank dropped a packet")
+	}
+	if got := in.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d, want 2", got)
+	}
+}

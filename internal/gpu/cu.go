@@ -152,6 +152,9 @@ func (c *CU) Scratchpad() *scratch.Scratchpad { return c.sp }
 // L1 returns the CU's L1 cache.
 func (c *CU) L1() *cache.Cache { return c.l1 }
 
+// DMA returns the CU's DMA engine (nil if none).
+func (c *CU) DMA() *dma.Engine { return c.dmaEng }
+
 // Launch runs blocks [firstBlock, firstBlock+numBlocks) of kernel k on
 // this CU and calls done when every block has finished and the L1 and
 // stash have drained their outstanding protocol transactions.

@@ -12,7 +12,9 @@ package llc
 
 import (
 	"fmt"
+	"strings"
 
+	"stash/internal/check"
 	"stash/internal/coh"
 	"stash/internal/energy"
 	"stash/internal/memdata"
@@ -151,6 +153,14 @@ type Bank struct {
 	ogFree   []*ownerGroups // reusable owner-group scratch (in flight until the response sends)
 	opFree   []*bankOp
 
+	chk      *check.Checker
+	inFlight int // requests accepted but not yet answered
+	// stall, when set, perturbs each arriving request (fault injection):
+	// a returned delay pushes the access out, drop swallows the packet
+	// entirely — an induced lost wakeup the watchdog must catch.
+	stall   func(now sim.Cycle) (delay sim.Cycle, drop bool)
+	dropped int
+
 	hits      *stats.Counter
 	misses    *stats.Counter
 	forwards  *stats.Counter
@@ -265,11 +275,36 @@ func (b *Bank) fetch(addr memdata.PAddr) (*line, bool) {
 	return l, true
 }
 
+// SetChecker attaches the self-check layer; a nil checker (the
+// default) costs one nil comparison per response.
+func (b *Bank) SetChecker(c *check.Checker) { b.chk = c }
+
+// SetStall installs a fault-injection hook consulted on every arriving
+// request. A nil fn removes it.
+func (b *Bank) SetStall(fn func(now sim.Cycle) (delay sim.Cycle, drop bool)) {
+	b.stall = fn
+}
+
+// Dropped reports how many requests the stall hook has swallowed.
+func (b *Bank) Dropped() int { return b.dropped }
+
 // HandlePacket implements coh.Handler. Requests are serialized through
 // the bank with OccupyLat throughput and answered after AccessLat
 // (plus DRAMLat on a fill).
 func (b *Bank) HandlePacket(p *coh.Packet) {
-	start := b.eng.Now()
+	var stallBy sim.Cycle
+	if b.stall != nil {
+		delay, drop := b.stall(b.eng.Now())
+		if drop {
+			// Induced lost wakeup: the requester waits forever for a
+			// response that never comes.
+			b.dropped++
+			return
+		}
+		stallBy = delay
+	}
+	b.inFlight++
+	start := b.eng.Now() + stallBy
 	if b.nextFree > start {
 		start = b.nextFree
 	}
@@ -363,6 +398,8 @@ func (o *bankOp) fire() {
 	o.line = nil
 	o.respond = false
 	b.opFree = append(b.opFree, o)
+	b.inFlight--
+	b.chk.Progress() // a directory transaction completed
 }
 
 func (b *Bank) process(p *coh.Packet, o *bankOp) {
@@ -479,6 +516,86 @@ func (b *Bank) write(p *coh.Packet, o *bankOp) {
 	}
 	o.groups = inv
 	b.respondOp(filled, o)
+}
+
+// Outstanding reports requests accepted but not yet answered, for the
+// watchdog's work-pending gate.
+func (b *Bank) Outstanding() int { return b.inFlight }
+
+// CheckInvariants verifies the bank's structural invariants without
+// touching LRU order or any pooled state:
+//
+//   - owner sanity: a registered word's owner carries a stash-map index
+//     exactly when the owner is a stash;
+//   - no duplicate live lines within a set.
+func (b *Bank) CheckInvariants() error {
+	for si := range b.sets {
+		s := &b.sets[si]
+		for i, l := range s.lines {
+			if !l.live {
+				continue
+			}
+			for j := i + 1; j < len(s.lines); j++ {
+				if s.lines[j].live && s.lines[j].addr == l.addr {
+					return fmt.Errorf("set %d: line %#x resident twice", si, l.addr)
+				}
+			}
+			for w := 0; w < memdata.WordsPerLine; w++ {
+				if !l.owned.Has(w) {
+					continue
+				}
+				own := l.owner[w]
+				if (own.Comp == coh.ToStash) != (own.MapIdx >= 0) {
+					return fmt.Errorf("line %#x word %d: owner %v has inconsistent map index", l.addr, w, own)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ForEachOwned calls fn for every registered word in the bank, for
+// cross-structure ownership audits at quiescent boundaries.
+func (b *Bank) ForEachOwned(fn func(addr memdata.PAddr, word int, own coh.Owner)) {
+	for si := range b.sets {
+		for _, l := range b.sets[si].lines {
+			if !l.live || l.owned == 0 {
+				continue
+			}
+			for w := 0; w < memdata.WordsPerLine; w++ {
+				if l.owned.Has(w) {
+					fn(l.addr, w, l.owner[w])
+				}
+			}
+		}
+	}
+}
+
+// DebugString renders the bank's state for failure dumps: occupancy,
+// in-flight count, and every line with live registrations.
+func (b *Bank) DebugString() string {
+	var sb strings.Builder
+	live, owned := 0, 0
+	for si := range b.sets {
+		for _, l := range b.sets[si].lines {
+			if l.live {
+				live++
+				if l.owned != 0 {
+					owned++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "in-flight=%d lines=%d owned-lines=%d dropped=%d next-free=%d",
+		b.inFlight, live, owned, b.dropped, b.nextFree)
+	for si := range b.sets {
+		for _, l := range b.sets[si].lines {
+			if l.live && l.owned != 0 {
+				fmt.Fprintf(&sb, "\nline %#x owned=%016b", l.addr, l.owned)
+			}
+		}
+	}
+	return sb.String()
 }
 
 // Peek returns the word's value and owner as seen by the registry,

@@ -81,6 +81,15 @@ type Network struct {
 	payloadFree  []any
 	acct         *energy.Account
 
+	// perturb, when set, returns extra delivery latency for each remote
+	// message (fault injection). lastArrival[src*nodes+dst] is the most
+	// recent perturbed arrival on that flow: arrivals are clamped to it
+	// so jitter can delay but never reorder a point-to-point flow —
+	// the coherence protocol relies on per-flow FIFO delivery (e.g. a
+	// WBReq must not overtake the RegReq that precedes it).
+	perturb     func(src, dst int) sim.Cycle
+	lastArrival []sim.Cycle
+
 	flitHops [NumClasses]*stats.Counter
 	messages *stats.Counter
 }
@@ -137,6 +146,18 @@ func (n *Network) AcquirePayload() any {
 // later AcquirePayload.
 func (n *Network) ReleasePayload(v any) {
 	n.payloadFree = append(n.payloadFree, v)
+}
+
+// SetPerturb installs a fault-injection hook adding extra latency to
+// each remote delivery. Per-(src,dst) delivery order is still
+// preserved: a perturbed arrival never lands before an earlier message
+// on the same flow. A nil fn removes the hook and restores the exact
+// unperturbed timing.
+func (n *Network) SetPerturb(fn func(src, dst int) sim.Cycle) {
+	n.perturb = fn
+	if fn != nil && n.lastArrival == nil {
+		n.lastArrival = make([]sim.Cycle, n.w*n.h*n.w*n.h)
+	}
 }
 
 // Register installs the delivery handler for a node. Each node must be
@@ -215,6 +236,16 @@ func (n *Network) Send(m *Message) {
 	n.flitHops[m.Class].Add(uint64(flits * hops))
 	n.acct.Add(energy.NoCFlitHop, uint64(flits*hops))
 	arrival := t + sim.Cycle(flits-1)
+	if n.perturb != nil {
+		arrival += n.perturb(m.Src, m.Dst)
+		// Clamp to the flow's previous arrival so jitter cannot
+		// reorder same-flow messages.
+		last := &n.lastArrival[m.Src*n.w*n.h+m.Dst]
+		if arrival < *last {
+			arrival = *last
+		}
+		*last = arrival
+	}
 	n.eng.At(arrival, d.run)
 }
 

@@ -72,6 +72,10 @@ type Engine struct {
 	interrupt  func() bool
 	interruptN uint64 // poll period in executed events
 	untilintr  uint64 // events left until the next poll
+
+	probe      func()
+	probeN     uint64 // probe period in executed events
+	untilprobe uint64 // events left until the next probe
 }
 
 // NewEngine returns an engine with the clock at cycle 0 and no events.
@@ -159,9 +163,33 @@ func (e *Engine) SetInterrupt(every uint64, poll func() bool) {
 	e.untilintr = every
 }
 
+// SetProbe installs a host-side hook that Step calls once every
+// `every` executed events (every < 1 is treated as 1). Unlike an
+// engine event, the probe never advances the clock and schedules
+// nothing, so installing one cannot perturb simulated timing — this is
+// what the deadlock watchdog and the invariant checker hang off. A
+// probe may panic (with a typed error) to unwind a wedged simulation;
+// the runner that owns the simulation recovers it at the boundary.
+// A nil fn removes the probe.
+func (e *Engine) SetProbe(every uint64, fn func()) {
+	if every < 1 {
+		every = 1
+	}
+	e.probe = fn
+	e.probeN = every
+	e.untilprobe = every
+}
+
 // Step executes the single earliest pending event.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
+	if e.probe != nil {
+		e.untilprobe--
+		if e.untilprobe == 0 {
+			e.untilprobe = e.probeN
+			e.probe()
+		}
+	}
 	if e.interrupt != nil {
 		e.untilintr--
 		if e.untilintr == 0 {

@@ -159,6 +159,111 @@ func TestInterruptUnwindsRun(t *testing.T) {
 	e.SetInterrupt(0, nil)
 }
 
+func TestProbeFiresEveryN(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		e.Schedule(Cycle(i), fn)
+	}
+	probes := 0
+	var atSteps []uint64
+	e.SetProbe(10, func() {
+		probes++
+		atSteps = append(atSteps, e.Steps())
+	})
+	e.Run()
+	if probes != 10 {
+		t.Fatalf("probe fired %d times over 100 events with period 10, want 10", probes)
+	}
+	// The probe fires at the top of every 10th Step call, before that
+	// call's event executes, so the k-th firing sees 10k-1 steps.
+	for i, s := range atSteps {
+		if want := uint64(i*10 + 9); s != want {
+			t.Fatalf("probe %d saw Steps()=%d, want %d", i, s, want)
+		}
+	}
+}
+
+// A probe never advances the clock or perturbs event order: a run with
+// a probe installed produces the identical trace as one without.
+func TestProbeIsTimingNeutral(t *testing.T) {
+	run := func(withProbe bool) []Cycle {
+		e := NewEngine()
+		if withProbe {
+			e.SetProbe(3, func() {})
+		}
+		var trace []Cycle
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth < 4 {
+				e.Schedule(Cycle(depth+1), func() { spawn(depth + 1) })
+				e.Schedule(70, func() { spawn(depth + 1) })
+			}
+		}
+		e.Schedule(0, func() { spawn(0) })
+		e.Run()
+		return trace
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("probe changed event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe changed trace at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// A probe may panic to unwind a wedged run (the watchdog does this);
+// the engine must stay fully usable afterwards: no event was half
+// executed, the pending queue is intact, and the run can be resumed to
+// completion.
+func TestEngineReusableAfterProbePanic(t *testing.T) {
+	e := NewEngine()
+	executed := 0
+	var spawn func()
+	n := 0
+	spawn = func() {
+		executed++
+		if n++; n < 50 {
+			e.Schedule(1, spawn)
+		}
+	}
+	e.Schedule(1, spawn)
+
+	type wedged struct{}
+	fired := false
+	e.SetProbe(10, func() {
+		if !fired && e.Steps() >= 20 {
+			fired = true
+			panic(wedged{})
+		}
+	})
+	func() {
+		defer func() {
+			if _, ok := recover().(wedged); !ok {
+				t.Fatal("Run did not panic with the probe's value")
+			}
+		}()
+		e.Run()
+	}()
+	if e.Pending() == 0 {
+		t.Fatal("probe panic drained the queue")
+	}
+	// Resume: the remaining chain plus a fresh event drain normally.
+	done := false
+	e.Schedule(100, func() { done = true })
+	e.Run()
+	if executed != 50 || !done || e.Pending() != 0 {
+		t.Fatalf("after resume: executed=%d done=%v pending=%d, want 50/true/0", executed, done, e.Pending())
+	}
+	e.SetProbe(0, nil)
+	e.Schedule(1, func() {})
+	e.Run()
+}
+
 // Property: regardless of insertion order, events execute in
 // non-decreasing timestamp order, and same-timestamp events execute in
 // insertion order.

@@ -9,6 +9,7 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -67,7 +68,7 @@ func Run(ctx context.Context, n int, opts Options, job func(ctx context.Context,
 					errs[i] = err // never started
 					continue
 				}
-				if err := job(runCtx, i); err != nil {
+				if err := runJob(runCtx, i, job); err != nil {
 					errs[i] = err
 					once.Do(func() {
 						firstErr = err
@@ -96,4 +97,18 @@ func Run(ctx context.Context, n int, opts Options, job func(ctx context.Context,
 		}
 	}
 	return errs, errors.Join(joined...)
+}
+
+// runJob isolates one job invocation: a panicking job becomes that
+// job's error instead of tearing down the pool and the process. The
+// public API converts simulator panics itself (with richer diagnosis);
+// this guard is the last line of defense for panics escaping anywhere
+// else in a job.
+func runJob(ctx context.Context, i int, job func(context.Context, int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+		}
+	}()
+	return job(ctx, i)
 }

@@ -10,11 +10,13 @@ import (
 	"fmt"
 
 	"stash/internal/cache"
+	"stash/internal/check"
 	"stash/internal/coh"
 	"stash/internal/core"
 	"stash/internal/cpu"
 	"stash/internal/dma"
 	"stash/internal/energy"
+	"stash/internal/faults"
 	"stash/internal/gpu"
 	"stash/internal/isa"
 	"stash/internal/llc"
@@ -68,6 +70,13 @@ type Config struct {
 	DMA          dma.Params
 	CU           gpu.Params
 	Costs        energy.Costs
+	// Check configures the self-checking layer (watchdog + invariant
+	// sweeps). The zero value disables it, leaving the hot paths with
+	// only a nil comparison per protocol completion.
+	Check check.Params
+	// Faults, when non-nil and non-empty, injects the described timing
+	// perturbations and component faults deterministically.
+	Faults *faults.Schedule
 }
 
 // MicrobenchConfig returns the paper's microbenchmark machine: 1 GPU CU
@@ -119,7 +128,15 @@ type System struct {
 	CUs   []*gpu.CU
 	CPUs  []*cpu.Core
 
-	banks []*llc.Bank
+	// Checker is non-nil when cfg.Check enabled any self-checking; Inj
+	// is non-nil when cfg.Faults injects anything.
+	Checker *check.Checker
+	Inj     *faults.Injector
+
+	banks  []*llc.Bank
+	l1s    []*cache.Cache // per mesh node; nil where no L1 lives
+	stashs []*core.Stash  // per mesh node; nil where no stash lives
+	probes []check.Probe  // built unconditionally, for failure dumps
 }
 
 // New builds the machine described by cfg.
@@ -131,6 +148,15 @@ func New(cfg Config) *System {
 	mem := memdata.NewMemory()
 	as := vm.NewAddressSpace()
 	s := &System{Cfg: cfg, Eng: eng, Net: net, Mem: mem, AS: as, Acct: acct, Stats: set}
+	s.l1s = make([]*cache.Cache, net.Nodes())
+	s.stashs = make([]*core.Stash, net.Nodes())
+
+	if cfg.Faults.Enabled() {
+		s.Inj = faults.NewInjector(*cfg.Faults)
+		if cfg.Faults.NoCJitterMax > 0 {
+			net.SetPerturb(s.Inj.Jitter)
+		}
+	}
 
 	gpuAt := make(map[int]bool)
 	for _, n := range cfg.GPUNodes {
@@ -141,11 +167,18 @@ func New(cfg Config) *System {
 		cpuAt[n] = true
 	}
 
+	dmas := make([]*dma.Engine, net.Nodes())
 	for n := 0; n < net.Nodes(); n++ {
 		router := coh.NewRouter()
 		bank := llc.NewBank(eng, net, n, cfg.L2, mem, acct, set)
 		s.banks = append(s.banks, bank)
 		router.Attach(coh.ToLLC, bank)
+		if s.Inj != nil && len(cfg.Faults.BankStalls) > 0 {
+			node := n
+			bank.SetStall(func(now sim.Cycle) (sim.Cycle, bool) {
+				return s.Inj.BankStall(node, now)
+			})
+		}
 
 		switch {
 		case gpuAt[n]:
@@ -167,7 +200,11 @@ func New(cfg Config) *System {
 			if cfg.Org.HasDMA() {
 				dm = dma.New(eng, net, n, name, cfg.DMA, sp, as, set)
 				router.Attach(coh.ToDMA, dm)
+				if s.Inj != nil && cfg.Faults.DMAExtraDelay > 0 {
+					dm.SetExtraDelay(s.Inj.DMAExtraDelay())
+				}
 			}
+			s.l1s[n], s.stashs[n], dmas[n] = l1, st, dm
 			s.CUs = append(s.CUs, gpu.New(eng, n, name, cfg.CU, as, l1, sp, st, dm, acct, set))
 		case cpuAt[n]:
 			name := fmt.Sprintf("cpu%d", n)
@@ -175,6 +212,7 @@ func New(cfg Config) *System {
 			l1p.ChargeEnergy = false // paper: CPU L1 energy not measured
 			l1 := cache.New(eng, net, n, name, l1p, acct, set)
 			router.Attach(coh.ToL1, l1)
+			s.l1s[n] = l1
 			s.CPUs = append(s.CPUs, cpu.New(eng, n, name, as, l1, set))
 		}
 		// Packets are pooled by coh.Send: once the router has dispatched
@@ -185,7 +223,135 @@ func New(cfg Config) *System {
 			net.ReleasePayload(p)
 		})
 	}
+
+	s.buildProbes(dmas)
+	if cfg.Check.Enabled() {
+		s.Checker = check.New(eng, cfg.Check)
+		for _, p := range s.probes {
+			s.Checker.Register(p)
+		}
+		for n := 0; n < net.Nodes(); n++ {
+			s.banks[n].SetChecker(s.Checker)
+			if s.l1s[n] != nil {
+				s.l1s[n].SetChecker(s.Checker)
+			}
+			if s.stashs[n] != nil {
+				s.stashs[n].SetChecker(s.Checker)
+			}
+			if dmas[n] != nil {
+				dmas[n].SetChecker(s.Checker)
+			}
+		}
+		s.Checker.Install()
+	}
 	return s
+}
+
+// buildProbes assembles the per-component inspection probes in
+// deterministic node order. They are built whether or not a Checker is
+// armed: Diagnose uses them to dump a crashed run too. The MSHR age
+// bound is tied to the watchdog budget — an entry outliving the budget
+// while the rest of the system makes progress is per-entry starvation
+// the global watchdog cannot see.
+func (s *System) buildProbes(dmas []*dma.Engine) {
+	ageBound := s.Cfg.Check.WatchdogBudget
+	for n := 0; n < s.Net.Nodes(); n++ {
+		if bank := s.banks[n]; bank != nil {
+			bank := bank
+			s.probes = append(s.probes, check.Probe{
+				Name:        fmt.Sprintf("llc[%d]", n),
+				Outstanding: bank.Outstanding,
+				Dump:        bank.DebugString,
+				Invariants:  bank.CheckInvariants,
+				Quiescent: func() error {
+					if k := bank.Outstanding(); k != 0 {
+						return fmt.Errorf("%d requests still in flight", k)
+					}
+					return nil
+				},
+			})
+		}
+		if l1 := s.l1s[n]; l1 != nil {
+			l1 := l1
+			s.probes = append(s.probes, check.Probe{
+				Name:        fmt.Sprintf("l1[%d]", n),
+				Outstanding: l1.Outstanding,
+				Dump:        l1.DebugString,
+				Invariants:  func() error { return l1.CheckInvariants(s.Eng.Now(), ageBound) },
+				Quiescent:   l1.CheckQuiescent,
+			})
+		}
+		if st := s.stashs[n]; st != nil {
+			st := st
+			s.probes = append(s.probes, check.Probe{
+				Name:        fmt.Sprintf("stash[%d]", n),
+				Outstanding: st.Outstanding,
+				Dump:        st.DebugString,
+				Invariants:  func() error { return st.CheckInvariants(s.Eng.Now(), ageBound) },
+				Quiescent:   st.CheckQuiescent,
+			})
+		}
+		if dm := dmas[n]; dm != nil {
+			dm := dm
+			s.probes = append(s.probes, check.Probe{
+				Name:        fmt.Sprintf("dma[%d]", n),
+				Outstanding: dm.Outstanding,
+				Dump:        dm.DebugString,
+				Quiescent:   dm.CheckQuiescent,
+			})
+		}
+	}
+	// Cross-structure single-owner audit: every word the LLC registry
+	// records as owned must be held in an owned state by exactly the
+	// component the registry names. Runs only at quiescent boundaries
+	// (all traffic drained), when both sides must agree. The stash side
+	// is conservative: a word the audit cannot locate (reverse
+	// translation not resident, entry re-mapped) is inconclusive, not a
+	// violation — but a located word that is NOT owned is.
+	s.probes = append(s.probes, check.Probe{
+		Name: "registry",
+		Quiescent: func() error {
+			var err error
+			for bn := range s.banks {
+				if err != nil {
+					break
+				}
+				s.banks[bn].ForEachOwned(func(addr memdata.PAddr, word int, own coh.Owner) {
+					if err != nil {
+						return
+					}
+					pa := addr + memdata.PAddr(word*memdata.WordBytes)
+					switch own.Comp {
+					case coh.ToL1:
+						l1 := s.l1s[own.Node]
+						if l1 == nil {
+							err = fmt.Errorf("llc[%d]: word %#x registered to node %d which has no L1", bn, uint64(pa), own.Node)
+						} else if !l1.OwnsWord(pa) {
+							err = fmt.Errorf("llc[%d]: word %#x registered to l1[%d] which does not own it", bn, uint64(pa), own.Node)
+						}
+					case coh.ToStash:
+						st := s.stashs[own.Node]
+						if st == nil {
+							err = fmt.Errorf("llc[%d]: word %#x registered to node %d which has no stash", bn, uint64(pa), own.Node)
+						} else if found, owned := st.OwnsPA(pa, own.MapIdx); found && !owned {
+							err = fmt.Errorf("llc[%d]: word %#x registered to stash[%d] map %d which does not own it", bn, uint64(pa), own.Node, own.MapIdx)
+						}
+					}
+				})
+			}
+			return err
+		},
+	})
+}
+
+// Diagnose renders a deterministic snapshot of the whole machine's
+// transient state (event queue, per-unit occupancy, watchdog state),
+// for failure dumps. It works with or without an armed Checker.
+func (s *System) Diagnose() string {
+	if s.Checker != nil {
+		return s.Checker.Dump()
+	}
+	return check.DumpState(s.Eng, s.probes)
 }
 
 // Alloc reserves n words of global memory initialized by gen (gen may
@@ -240,11 +406,14 @@ func (s *System) RunKernel(k *gpu.Kernel) {
 	}
 	s.Eng.Run()
 	if remaining != 0 {
-		panic("system: kernel did not complete (deadlock)")
+		// The event queue drained with blocks unfinished: a lost wakeup.
+		// Time stands still, so only this boundary check can see it.
+		panic(&check.DeadlockError{Phase: "kernel", Dump: s.Diagnose()})
 	}
 	for _, cu := range s.CUs {
 		cu.SelfInvalidate()
 	}
+	s.Checker.Boundary("kernel")
 }
 
 // RunCPUPhase runs prog as numThreads logical threads spread across the
@@ -254,21 +423,29 @@ func (s *System) RunCPUPhase(prog *isa.Program, numThreads int) {
 	if len(s.CPUs) == 0 {
 		panic("system: no CPU cores configured")
 	}
+	active := 0
 	for c := 0; c < len(s.CPUs) && c < numThreads; c++ {
 		core := s.CPUs[c]
 		first := c
+		active++
 		var runNext func(tid int)
 		runNext = func(tid int) {
 			core.Run(prog, tid, numThreads, func() {
 				nt := tid + len(s.CPUs)
 				if nt < numThreads {
 					runNext(nt)
+				} else {
+					active--
 				}
 			})
 		}
 		runNext(first)
 	}
 	s.Eng.Run()
+	if active != 0 {
+		panic(&check.DeadlockError{Phase: "cpu-phase", Dump: s.Diagnose()})
+	}
+	s.Checker.Boundary("cpu-phase")
 }
 
 // FlushForVerify writes every owned word back to the LLC so ReadGlobal
@@ -284,6 +461,7 @@ func (s *System) FlushForVerify() {
 		c.L1().WritebackAll()
 	}
 	s.Eng.Run()
+	s.Checker.Boundary("flush")
 }
 
 // Cycles returns the current simulated time.

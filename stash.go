@@ -29,10 +29,13 @@ package stash
 import (
 	"fmt"
 
+	"stash/internal/check"
 	"stash/internal/core"
+	"stash/internal/faults"
 	"stash/internal/gpu"
 	"stash/internal/isa"
 	"stash/internal/memdata"
+	"stash/internal/sim"
 	"stash/internal/system"
 )
 
@@ -146,7 +149,56 @@ type Config struct {
 	// 1 and 16, so kernels' 64 B-aligned stash allocations stay
 	// chunk-aligned at the finer granularity.
 	ChunkWords int `json:"chunk_words,omitempty"`
+	// CheckInvariants enables periodic and boundary structural checks of
+	// the coherence machinery (single owner per LLC line, MSHR and pool
+	// conservation, stash map consistency). Violations surface as a
+	// *CellError of kind FailInvariant. Checks never perturb simulated
+	// metrics; they cost host time only.
+	CheckInvariants bool `json:"check_invariants,omitempty"`
+	// WatchdogBudget arms the deadlock/livelock watchdog: if no protocol
+	// transaction completes for this many simulated cycles while work is
+	// outstanding, the run fails with a *CellError of kind FailHang
+	// instead of spinning forever. Zero disables the watchdog.
+	WatchdogBudget uint64 `json:"watchdog_budget,omitempty"`
+	// Faults, when non-nil, injects a deterministic timing-fault
+	// schedule (for robustness testing; see FaultConfig).
+	Faults *FaultConfig `json:"faults,omitempty"`
 }
+
+// FaultConfig is a seeded, deterministic timing-fault schedule. Faults
+// perturb when packets and transfers happen, never what they carry, so
+// a correct protocol must produce identical final values under any
+// schedule — only cycle counts move. A dead bank (BankStall with
+// For == 0) drops traffic outright, which a hardened run converts into
+// a structured hang/deadlock failure rather than an infinite loop.
+type FaultConfig struct {
+	// Seed selects the deterministic perturbation stream; equal seeds
+	// reproduce bit-equal runs.
+	Seed uint64 `json:"seed,omitempty"`
+	// NoCJitterMax adds 0..max extra cycles to each network delivery
+	// (per-flow FIFO order is preserved).
+	NoCJitterMax uint64 `json:"noc_jitter_max,omitempty"`
+	// BankStalls stalls or kills LLC banks.
+	BankStalls []BankStall `json:"bank_stalls,omitempty"`
+	// DMAExtraDelay adds cycles to every DMA line transfer.
+	DMAExtraDelay uint64 `json:"dma_extra_delay,omitempty"`
+}
+
+// BankStall describes one LLC bank perturbation window.
+type BankStall struct {
+	// Bank is the LLC bank index (one per mesh node, 0..15).
+	Bank int `json:"bank"`
+	// From is the first affected cycle.
+	From uint64 `json:"from"`
+	// For is the window length in cycles. Zero means forever: the bank
+	// is dead from From on and silently drops its requests.
+	For uint64 `json:"for,omitempty"`
+}
+
+// maxFaultDelay caps per-event fault delays; anything larger is a
+// mis-specification (it would dominate every run's cycle count and
+// mostly just trip the watchdog).
+const maxFaultDelay = 1 << 20
 
 // maxChunkWords is the paper's chunk granularity (64 B in 4-byte
 // words), the coarsest — and default — lazy-writeback granularity.
@@ -173,6 +225,22 @@ func (c Config) Validate() error {
 		cw := c.ChunkWords
 		if cw < 1 || cw > maxChunkWords || cw&(cw-1) != 0 {
 			return fmt.Errorf("stash: invalid ChunkWords %d: want 0 (default) or a power of two between 1 and %d", cw, maxChunkWords)
+		}
+	}
+	if c.WatchdogBudget > 1<<40 {
+		return fmt.Errorf("stash: invalid WatchdogBudget %d: want at most %d cycles", c.WatchdogBudget, uint64(1)<<40)
+	}
+	if f := c.Faults; f != nil {
+		if f.NoCJitterMax > maxFaultDelay {
+			return fmt.Errorf("stash: invalid NoCJitterMax %d: want at most %d cycles", f.NoCJitterMax, maxFaultDelay)
+		}
+		if f.DMAExtraDelay > maxFaultDelay {
+			return fmt.Errorf("stash: invalid DMAExtraDelay %d: want at most %d cycles", f.DMAExtraDelay, maxFaultDelay)
+		}
+		for i, st := range f.BankStalls {
+			if st.Bank < 0 || st.Bank >= 16 {
+				return fmt.Errorf("stash: invalid BankStalls[%d].Bank %d: the LLC has banks 0..15", i, st.Bank)
+			}
 		}
 	}
 	return nil
@@ -203,6 +271,25 @@ func (c Config) internal() (system.Config, error) {
 	cfg.Stash.EnableReplication = !c.DisableReplication
 	cfg.Stash.EagerWriteback = c.EagerWriteback
 	cfg.Stash.ChunkWords = c.ChunkWords
+	cfg.Check = check.Params{
+		Invariants:     c.CheckInvariants,
+		WatchdogBudget: sim.Cycle(c.WatchdogBudget),
+	}
+	if f := c.Faults; f != nil {
+		sched := &faults.Schedule{
+			Seed:          f.Seed,
+			NoCJitterMax:  sim.Cycle(f.NoCJitterMax),
+			DMAExtraDelay: sim.Cycle(f.DMAExtraDelay),
+		}
+		for _, st := range f.BankStalls {
+			sched.BankStalls = append(sched.BankStalls, faults.BankStall{
+				Bank: st.Bank,
+				From: sim.Cycle(st.From),
+				For:  sim.Cycle(st.For),
+			})
+		}
+		cfg.Faults = sched
+	}
 	return cfg, nil
 }
 

@@ -3,6 +3,7 @@ package stash
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -42,24 +43,35 @@ type SweepResult struct {
 	Spec RunSpec
 	// Result holds the measurements when Err is nil.
 	Result Result
-	// Wall is the host time the simulation took. It is zero for cells a
-	// fail-fast or canceled sweep never started.
+	// Wall is the host time the simulation took, across all attempts.
+	// It is zero for cells a fail-fast or canceled sweep never started.
 	Wall time.Duration
+	// Attempts counts how many times the cell ran (at least 1 for every
+	// started cell; more under SweepOptions.Retries).
+	Attempts int
 	// Err is the cell's failure: a Config.Validate error, a workload
-	// verification failure, or the cancellation error for cells that
-	// were canceled or never started.
+	// verification failure, a *CellError from the hardening checks, or
+	// the cancellation error for cells that were canceled, timed out, or
+	// never started.
 	Err error
 }
+
+// Status classifies the cell's disposition for reporting: ok, error,
+// hang, deadlock, invariant, panic, timeout, canceled, or not_started.
+func (r SweepResult) Status() CellStatus { return statusOf(r.Err, r.Wall > 0) }
 
 // sweepResultJSON is the stable JSON schema of one sweep cell (see
 // EncodeJSON).
 type sweepResultJSON struct {
-	Workload string  `json:"workload"`
-	Org      MemOrg  `json:"org"`
-	Config   Config  `json:"config"`
-	WallNS   int64   `json:"wall_ns"`
-	Error    string  `json:"error,omitempty"`
-	Result   *Result `json:"result,omitempty"`
+	Workload   string     `json:"workload"`
+	Org        MemOrg     `json:"org"`
+	Config     Config     `json:"config"`
+	Status     CellStatus `json:"status"`
+	WallNS     int64      `json:"wall_ns"`
+	Attempts   int        `json:"attempts,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Diagnostic string     `json:"diagnostic,omitempty"`
+	Result     *Result    `json:"result,omitempty"`
 }
 
 // MarshalJSON encodes the cell under the schema documented at
@@ -69,10 +81,16 @@ func (r SweepResult) MarshalJSON() ([]byte, error) {
 		Workload: r.Spec.Workload,
 		Org:      r.Spec.Config.Org,
 		Config:   r.Spec.Config,
+		Status:   r.Status(),
 		WallNS:   r.Wall.Nanoseconds(),
+		Attempts: r.Attempts,
 	}
 	if r.Err != nil {
 		out.Error = r.Err.Error()
+		var ce *CellError
+		if errors.As(r.Err, &ce) {
+			out.Diagnostic = ce.Diagnostic
+		}
 	} else {
 		res := r.Result
 		out.Result = &res
@@ -104,7 +122,17 @@ type SweepOptions struct {
 	// cancels the cells in flight. The default runs every cell and
 	// collects all errors.
 	FailFast bool
-	// Progress, when non-nil, observes each completed cell.
+	// CellTimeout bounds each cell attempt's wall time. A cell that
+	// exceeds it fails with an error satisfying
+	// errors.Is(err, ErrCellTimeout) (status "timeout") instead of
+	// stalling the sweep. Zero means no per-cell bound.
+	CellTimeout time.Duration
+	// Retries re-runs a failed cell up to this many extra attempts
+	// (each with a fresh CellTimeout) before recording the failure.
+	// Cells stopped by the sweep's own context are never retried.
+	Retries int
+	// Progress, when non-nil, observes each completed cell. It fires
+	// once per cell, after its final attempt.
 	Progress func(SweepEvent)
 }
 
@@ -118,8 +146,14 @@ type SweepOptions struct {
 // The returned slice always has one entry per spec. The error is nil
 // only if every cell succeeded; under FailFast it is the first failure,
 // otherwise every cell failure joined in spec order. If ctx is
-// canceled, Sweep returns promptly with ctx's error and marks the
-// unfinished cells' Err fields.
+// canceled, Sweep returns promptly with ctx's error — cells that
+// already completed keep their full results, and the unfinished cells'
+// Err fields carry the cancellation, so partial results are always
+// reportable (see SweepResult.Status and EncodeJSON).
+//
+// Each cell is crash-isolated: a hang, deadlock, invariant violation,
+// or panic in one simulation becomes that cell's *CellError (with a
+// diagnostic dump) and the rest of the sweep proceeds.
 func Sweep(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]SweepResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -137,9 +171,26 @@ func Sweep(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]SweepResu
 		func(ctx context.Context, i int) error {
 			spec := specs[i]
 			start := time.Now()
-			res, runErr := RunWorkloadContext(ctx, spec.Workload, spec.Config)
+			var (
+				res      Result
+				runErr   error
+				attempts int
+			)
+			for {
+				attempts++
+				runCtx, cancelCell := ctx, context.CancelFunc(func() {})
+				if opts.CellTimeout > 0 {
+					runCtx, cancelCell = context.WithTimeoutCause(ctx, opts.CellTimeout, ErrCellTimeout)
+				}
+				res, runErr = RunWorkloadContext(runCtx, spec.Workload, spec.Config)
+				cancelCell()
+				// Retry simulation failures, but never a sweep-wide stop.
+				if runErr == nil || attempts > opts.Retries || ctx.Err() != nil {
+					break
+				}
+			}
 			wall := time.Since(start)
-			results[i] = SweepResult{Spec: spec, Result: res, Wall: wall, Err: runErr}
+			results[i] = SweepResult{Spec: spec, Result: res, Wall: wall, Attempts: attempts, Err: runErr}
 			if opts.Progress != nil {
 				progressMu.Lock()
 				done++
@@ -166,12 +217,15 @@ func Sweep(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]SweepResu
 // document: an array with one object per cell in spec order,
 //
 //	{
-//	  "workload": "lud",
-//	  "org":      "Stash",
-//	  "config":   {"org": "Stash", "gpus": 15, "cpus": 1, ...},
-//	  "wall_ns":  123456789,
-//	  "result":   {"Cycles": ..., "EnergyPJ": ..., ...},   // on success
-//	  "error":    "..."                                    // on failure
+//	  "workload":   "lud",
+//	  "org":        "Stash",
+//	  "config":     {"org": "Stash", "gpus": 15, "cpus": 1, ...},
+//	  "status":     "ok",                // see CellStatus
+//	  "wall_ns":    123456789,
+//	  "attempts":   1,                   // omitted for never-started cells
+//	  "result":     {"Cycles": ...},     // on success
+//	  "error":      "...",               // on failure
+//	  "diagnostic": "engine: ..."        // machine-state dump, CellError only
 //	}
 //
 // Apart from wall_ns (host timing), the document is bit-reproducible

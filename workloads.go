@@ -3,7 +3,9 @@ package stash
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 
+	"stash/internal/check"
 	"stash/internal/sim"
 	"stash/internal/system"
 	"stash/internal/workloads"
@@ -64,6 +66,13 @@ const interruptStride = 4096
 // simulation stops within interruptStride engine events of ctx being
 // canceled and returns ctx's error. RunWorkload and RunWorkloadCfg are
 // thin wrappers over it with a background context.
+//
+// The simulation is crash-isolated: the engine unwinds cancellations,
+// watchdog firings, invariant violations, and any simulator panic as
+// panics, and this boundary converts every one of them into an error —
+// check failures and panics become a *CellError carrying a
+// machine-state diagnostic — so one wedged or buggy cell can never take
+// down the process or a whole sweep.
 func RunWorkloadContext(ctx context.Context, name string, cfg Config) (res Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -76,8 +85,8 @@ func RunWorkloadContext(ctx context.Context, name string, cfg Config) (res Resul
 	if err != nil {
 		return Result{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return Result{}, fmt.Errorf("stash: %s on %v not started: %w", name, cfg.Org, err)
+	if cerr := ctx.Err(); cerr != nil {
+		return Result{}, fmt.Errorf("stash: %s on %v not started: %w", name, cfg.Org, context.Cause(ctx))
 	}
 	s := system.New(icfg)
 	if done := ctx.Done(); done != nil {
@@ -89,22 +98,37 @@ func RunWorkloadContext(ctx context.Context, name string, cfg Config) (res Resul
 				return false
 			}
 		})
-		// The engine unwinds a canceled simulation with a sim.Interrupted
-		// panic; translate it back into the context's error here, at the
-		// simulation boundary.
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(sim.Interrupted); !ok {
-					panic(r)
-				}
-				res, err = Result{}, fmt.Errorf("stash: %s on %v canceled: %w", name, cfg.Org, context.Cause(ctx))
-			}
-		}()
 	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		res = Result{}
+		switch v := r.(type) {
+		case sim.Interrupted:
+			err = fmt.Errorf("stash: %s on %v canceled: %w", name, cfg.Org, context.Cause(ctx))
+		case *check.HangError:
+			err = &CellError{Workload: name, Org: cfg.Org, Kind: FailHang, Msg: v.Error(), Diagnostic: v.Dump}
+		case *check.DeadlockError:
+			err = &CellError{Workload: name, Org: cfg.Org, Kind: FailDeadlock, Msg: v.Error(), Diagnostic: v.Dump}
+		case *check.InvariantError:
+			err = &CellError{Workload: name, Org: cfg.Org, Kind: FailInvariant, Msg: v.Error(), Diagnostic: v.Dump}
+		default:
+			err = &CellError{
+				Workload:   name,
+				Org:        cfg.Org,
+				Kind:       FailPanic,
+				Msg:        fmt.Sprint(r),
+				Diagnostic: s.Diagnose(),
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
 	w.Run(s, cfg.Org.internal())
 	res = measure(s)
-	if err := w.Verify(s); err != nil {
-		return res, fmt.Errorf("stash: %s on %v failed verification: %w", name, cfg.Org, err)
+	if verr := w.Verify(s); verr != nil {
+		return res, fmt.Errorf("stash: %s on %v failed verification: %w", name, cfg.Org, verr)
 	}
 	return res, nil
 }
