@@ -75,6 +75,40 @@ func BenchmarkFig5Microbenchmarks(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5TraceOverhead pins the host cost of the tracing
+// subsystem on one Figure 5 cell. trace-off is the shipping
+// configuration (every emit site a nil-check no-op); trace-on pays for
+// event staging, series bucketing, and the periodic ring drain. Both
+// variants produce bit-identical simulated metrics — only ns/op and
+// allocs/op move. scripts/bench.sh records both rows in BENCH_*.json,
+// so the trajectory tracks the overhead release over release.
+func BenchmarkFig5TraceOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		label := "trace-off"
+		if traced {
+			label = "trace-on"
+		}
+		b.Run("implicit/Stash/"+label, func(b *testing.B) {
+			var res Result
+			for i := 0; i < b.N; i++ {
+				cfg := MicroConfig(Stash)
+				if traced {
+					cfg.Trace = &TraceConfig{}
+				}
+				var err error
+				res, err = RunWorkloadCfg("implicit", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "sim_cycles")
+			if res.Timeline != nil {
+				b.ReportMetric(float64(res.Timeline.NumEvents()), "trace_events")
+			}
+		})
+	}
+}
+
 // BenchmarkFig6Applications regenerates Figure 6 (a)-(b): the seven
 // applications on the five plotted configurations.
 func BenchmarkFig6Applications(b *testing.B) {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -38,9 +39,11 @@ import (
 )
 
 var (
-	jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations for fig5/fig6 (1 = serial)")
-	jsonOut = flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
-	quiet   = flag.Bool("q", false, "suppress per-sweep wall-time reports on stderr")
+	jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations for fig5/fig6 (1 = serial)")
+	jsonOut      = flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
+	quiet        = flag.Bool("q", false, "suppress per-sweep wall-time reports on stderr")
+	traceDir     = flag.String("trace-dir", "", "write a Perfetto-loadable trace per figure cell into this directory (kernel and CPU phases annotated)")
+	traceBuckets = flag.Uint64("trace-buckets", 0, "trace time-series window width in cycles (0 = default 1024)")
 )
 
 // sweptResults accumulates every figure cell simulated in this
@@ -160,6 +163,11 @@ func table4() {
 // in the tables, and makes the process exit nonzero at the end.
 func collect(figure string, names []string, orgs []stash.MemOrg) map[string]map[stash.MemOrg]stash.Result {
 	specs := stash.Grid(names, orgs)
+	if *traceDir != "" {
+		for i := range specs {
+			specs[i].Config.Trace = &stash.TraceConfig{BucketCycles: *traceBuckets}
+		}
+	}
 	start := time.Now()
 	results, _ := stash.Sweep(context.Background(), specs, stash.SweepOptions{
 		Workers: *jobs,
@@ -169,6 +177,9 @@ func collect(figure string, names []string, orgs []stash.MemOrg) map[string]map[
 			figure, len(specs), *jobs, time.Since(start).Round(time.Millisecond))
 	}
 	sweptResults = append(sweptResults, results...)
+	if *traceDir != "" {
+		writeTraces(figure, results)
+	}
 
 	out := make(map[string]map[stash.MemOrg]stash.Result)
 	for _, r := range results {
@@ -184,6 +195,34 @@ func collect(figure string, names []string, orgs []stash.MemOrg) map[string]map[
 		out[r.Spec.Workload][r.Spec.Config.Org] = r.Result
 	}
 	return out
+}
+
+// writeTraces writes each cell's Perfetto-loadable trace (phase
+// annotations included) into -trace-dir. Failed cells keep the partial
+// trace up to the failure; never-started cells have none and are
+// skipped.
+func writeTraces(figure string, results []stash.SweepResult) {
+	if err := os.MkdirAll(*traceDir, 0o777); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		tl := r.Result.Timeline
+		if tl == nil {
+			continue
+		}
+		p := filepath.Join(*traceDir, fmt.Sprintf("%s-%s-%s.json", figure, r.Spec.Workload, r.Spec.Config.Org))
+		f, err := os.Create(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		werr := tl.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatalf("writing trace %s: %v", p, werr)
+		}
+	}
 }
 
 // printNormalized prints one metric across workloads and orgs,

@@ -32,6 +32,17 @@
 //
 // The exit status is nonzero if any cell failed.
 //
+// Tracing flags record a cycle-accurate event timeline per cell
+// (timing-neutral: metrics are bit-identical with tracing on or off):
+//
+//	-trace PATH        write a Chrome/Perfetto trace; with multiple cells
+//	                   PATH is a directory of <workload>-<org> files
+//	-trace-buckets N   time-series window width in cycles (default 1024)
+//	-trace-format F    chrome (default) or binary
+//
+// Failed and timed-out cells still write their partial trace — a
+// truncated-but-valid file covering the run up to the failure.
+//
 // For performance work, -cpuprofile and -memprofile write pprof
 // profiles of the simulation itself:
 //
@@ -45,6 +56,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -69,6 +81,9 @@ func main() {
 	failFast := flag.Bool("fail-fast", false, "stop scheduling new cells after the first failure")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial)")
 	jsonOut := flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
+	tracePath := flag.String("trace", "", "write per-cell event traces to this file (one cell) or directory")
+	traceBuckets := flag.Uint64("trace-buckets", 0, "trace time-series window width in cycles (0 = default 1024)")
+	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable JSON) or binary")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -119,6 +134,9 @@ func main() {
 			cfg.ChunkWords = *chunkWords
 			cfg.CheckInvariants = *check
 			cfg.WatchdogBudget = *watchdog
+			if *tracePath != "" {
+				cfg.Trace = &stash.TraceConfig{BucketCycles: *traceBuckets}
+			}
 			specs = append(specs, stash.RunSpec{Workload: w, Config: cfg})
 		}
 	}
@@ -151,6 +169,9 @@ func main() {
 	}
 	if *jsonOut != "" {
 		writeJSON(*jsonOut, results)
+	}
+	if *tracePath != "" {
+		writeTraces(*tracePath, *traceFormat, results)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%d of %d cells failed\n", failed, len(results))
@@ -231,6 +252,52 @@ func expandOrgs(arg string) []stash.MemOrg {
 		orgs = append(orgs, org)
 	}
 	return orgs
+}
+
+// writeTraces writes each cell's timeline. Cells that failed or timed
+// out keep whatever they traced before stopping, so their files are
+// truncated but still valid; only never-started cells (no timeline)
+// are skipped.
+func writeTraces(path, format string, results []stash.SweepResult) {
+	ext := ".json"
+	if format == "binary" {
+		ext = ".trace"
+	} else if format != "chrome" {
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want chrome or binary)\n", format)
+		os.Exit(2)
+	}
+	dir := len(results) > 1
+	if dir {
+		if err := os.MkdirAll(path, 0o777); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		tl := r.Result.Timeline
+		if tl == nil {
+			continue
+		}
+		p := path
+		if dir {
+			p = filepath.Join(path, fmt.Sprintf("%s-%s%s", r.Spec.Workload, r.Spec.Config.Org, ext))
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if format == "binary" {
+			err = tl.WriteBinary(f)
+		} else {
+			err = tl.WriteChrome(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("writing trace %s: %v", p, err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (%d events, %d dropped)\n", p, tl.NumEvents(), tl.Dropped())
+	}
 }
 
 func writeJSON(path string, results []stash.SweepResult) {

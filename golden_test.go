@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -115,6 +116,90 @@ func TestGoldenChecksNeutral(t *testing.T) {
 			if got := res.FlitHops[class]; got != want {
 				t.Errorf("FlitHops[%s] = %d, golden %d", class, got, want)
 			}
+		}
+		return
+	}
+	t.Fatal("golden table has no implicit/Stash entry")
+}
+
+// TestGoldenTraceNeutral replays a representative cell with event
+// tracing armed and requires bit-identical metrics to the golden
+// table: trace sinks are host-side observers that never schedule
+// events, advance the clock, or charge energy, so "tracing on" must be
+// invisible to every simulated number — while still producing a
+// populated timeline (component tracks, phases, and the headline
+// time-series).
+func TestGoldenTraceNeutral(t *testing.T) {
+	for _, e := range readGolden(t) {
+		if e.Workload != "implicit" || e.Org != "Stash" {
+			continue
+		}
+		cfg := MicroConfig(Stash)
+		cfg.Trace = &TraceConfig{}
+		res, err := RunWorkloadCfg(e.Workload, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != e.Cycles {
+			t.Errorf("Cycles = %d, golden %d", res.Cycles, e.Cycles)
+		}
+		if res.EnergyPJ != e.EnergyPJ {
+			t.Errorf("EnergyPJ = %v, golden %v", res.EnergyPJ, e.EnergyPJ)
+		}
+		if res.GPUInstructions != e.Instructions {
+			t.Errorf("Instructions = %d, golden %d", res.GPUInstructions, e.Instructions)
+		}
+		for class, want := range e.FlitHops {
+			if got := res.FlitHops[class]; got != want {
+				t.Errorf("FlitHops[%s] = %d, golden %d", class, got, want)
+			}
+		}
+
+		tl := res.Timeline
+		if tl == nil {
+			t.Fatal("traced run returned no Timeline")
+		}
+		if tl.NumEvents() == 0 {
+			t.Error("timeline holds no events")
+		}
+		if n := len(tl.Tracks()); n < 6 {
+			t.Errorf("timeline has %d component tracks, want at least 6: %v", n, tl.Tracks())
+		}
+		if len(tl.Phases()) == 0 {
+			t.Error("timeline has no phase annotations")
+		}
+		sum := func(vals []uint64) uint64 {
+			var s uint64
+			for _, v := range vals {
+				s += v
+			}
+			return s
+		}
+		if vals, ok := tl.Series("stash.gpu0.writebacks"); !ok {
+			t.Errorf("timeline is missing series stash.gpu0.writebacks (have %v)", tl.SeriesNames())
+		} else if sum(vals) == 0 {
+			t.Error("series stash.gpu0.writebacks is all zero")
+		}
+		if _, ok := tl.Series("l1.gpu0.misses"); !ok {
+			t.Errorf("timeline is missing series l1.gpu0.misses (have %v)", tl.SeriesNames())
+		}
+		// On this cell the stash absorbs the GPU's misses; the workload's
+		// L1 miss traffic is on the producing CPU cores' L1s.
+		var l1Misses, linkFlits uint64
+		for _, name := range tl.SeriesNames() {
+			vals, _ := tl.Series(name)
+			switch {
+			case strings.HasPrefix(name, "l1.") && strings.HasSuffix(name, ".misses"):
+				l1Misses += sum(vals)
+			case strings.HasPrefix(name, "noc.link."):
+				linkFlits += sum(vals)
+			}
+		}
+		if l1Misses == 0 {
+			t.Error("L1 miss series recorded no misses on any L1")
+		}
+		if linkFlits == 0 {
+			t.Error("per-link NoC flit series recorded no traffic")
 		}
 		return
 	}

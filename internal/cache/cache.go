@@ -22,6 +22,7 @@ import (
 	"stash/internal/noc"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 )
 
 // Params configures an L1 cache.
@@ -165,6 +166,10 @@ type Cache struct {
 	drainWait   []func()
 	chk         *check.Checker
 
+	tsnk         *trace.Sink
+	trMisses     *trace.Series
+	trWritebacks *trace.Series
+
 	hits       *stats.Counter
 	misses     *stats.Counter
 	evictions  *stats.Counter
@@ -278,6 +283,8 @@ func (c *Cache) evict(v *line) {
 		return
 	}
 	c.writebacks.Inc()
+	c.tsnk.Event(uint64(c.eng.Now()), trace.KWriteback, uint64(v.addr), 0)
+	c.trWritebacks.Add(uint64(c.eng.Now()), 1)
 	c.wbuf.Put(v.addr, mask, v.vals)
 	c.outstanding++
 	coh.Send(c.net, &coh.Packet{
@@ -358,8 +365,11 @@ func (c *Cache) Load(addr memdata.PAddr, mask memdata.WordMask, done func(vals [
 		}
 		m.born = c.eng.Now()
 		c.mshrs[addr] = m
+		c.tsnk.Event(uint64(m.born), trace.KAccessBegin, uint64(addr), 0)
 	}
 	c.misses.Inc()
+	c.tsnk.Event(uint64(c.eng.Now()), trace.KMiss, uint64(addr), 0)
+	c.trMisses.Add(uint64(c.eng.Now()), 1)
 	c.chargeAccess(false)
 	// A miss fetches the whole line (line-granularity transfer, as in
 	// the paper's line-based DeNovo): unlike the stash, the cache cannot
@@ -416,6 +426,8 @@ func (c *Cache) Store(addr memdata.PAddr, mask memdata.WordMask, vals [memdata.W
 		c.chargeAccess(true)
 	} else {
 		c.misses.Inc()
+		c.tsnk.Event(uint64(c.eng.Now()), trace.KMiss, uint64(addr), 0)
+		c.trMisses.Add(uint64(c.eng.Now()), 1)
 		c.chargeAccess(false)
 		pending := c.pendingReg[addr]
 		newReq := needReg &^ pending
@@ -457,6 +469,7 @@ func (c *Cache) HandlePacket(p *coh.Packet) {
 
 func (c *Cache) fill(p *coh.Packet) {
 	c.chk.Progress()
+	c.tsnk.Event(uint64(c.eng.Now()), trace.KFill, uint64(p.Line), 0)
 	l := c.lookup(p.Line)
 	if l != nil {
 		for i := 0; i < memdata.WordsPerLine; i++ {
@@ -498,6 +511,7 @@ func (c *Cache) fill(p *coh.Packet) {
 	if len(m.waiters) == 0 && m.requested == 0 {
 		delete(c.mshrs, p.Line)
 		c.retireMSHR(m)
+		c.tsnk.Event(uint64(c.eng.Now()), trace.KAccessEnd, uint64(p.Line), 0)
 		c.checkDrained()
 	}
 }
@@ -630,6 +644,14 @@ func (c *Cache) checkDrained() {
 // SetChecker attaches the self-check layer; a nil checker (the
 // default) costs one nil comparison on each completion.
 func (c *Cache) SetChecker(chk *check.Checker) { c.chk = chk }
+
+// SetTrace attaches an event sink. A nil sink (the default) leaves
+// every instrumented site a nil-check no-op.
+func (c *Cache) SetTrace(snk *trace.Sink) {
+	c.tsnk = snk
+	c.trMisses = snk.Series("misses")
+	c.trWritebacks = snk.Series("writebacks")
+}
 
 // Outstanding reports in-flight transactions the cache is waiting on
 // (fills, registrations, writebacks, replayed accesses), for the

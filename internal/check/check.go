@@ -3,7 +3,7 @@
 // over the coherence machinery.
 //
 // The Checker installs itself as a host-side probe on the engine (see
-// sim.Engine.SetProbe), so it observes the simulation without ever
+// sim.Engine.AddProbe), so it observes the simulation without ever
 // advancing the clock or scheduling events: runs with the checker
 // enabled are bit-identical in every metric to runs without it. When a
 // check fails the probe panics with a typed error (*HangError,
@@ -118,7 +118,7 @@ func (c *Checker) Install() {
 		return
 	}
 	c.last = c.eng.Now()
-	c.eng.SetProbe(c.par.ProbeEvery, c.poll)
+	c.eng.AddProbe(c.par.ProbeEvery, c.poll)
 }
 
 // Progress records that a protocol transaction completed. Components

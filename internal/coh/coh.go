@@ -131,6 +131,7 @@ func (p *Packet) Class() noc.Class {
 // for the duration of the HandlePacket call and must not be retained;
 // copy out any fields (including Vals) needed later.
 func Send(n *noc.Network, p *Packet) {
+	n.TracePacket(uint8(p.Type), uint64(p.Line))
 	pp, _ := n.AcquirePayload().(*Packet)
 	if pp == nil {
 		pp = new(Packet)

@@ -13,6 +13,7 @@ import (
 	"stash/internal/noc"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 	"stash/internal/vm"
 )
 
@@ -245,6 +246,11 @@ type Stash struct {
 	reuseHits   *stats.Counter
 	replCopies  *stats.Counter
 	lazyFlushes *stats.Counter
+
+	tsnk         *trace.Sink
+	trMisses     *trace.Series
+	trWritebacks *trace.Series
+	trMapOcc     *trace.Series
 }
 
 // New builds a stash for the CU at node, translating through as.
@@ -419,6 +425,8 @@ func (s *Stash) AddMap(tb, slot int, m MapParams) int {
 				s.reuseHits.Inc()
 				e.active = true
 				table[slot] = i
+				s.tsnk.Event(uint64(s.eng.Now()), trace.KAddMap, uint64(i), 0)
+				s.traceMapOcc()
 				return i
 			}
 		}
@@ -481,6 +489,8 @@ func (s *Stash) AddMap(tb, slot int, m MapParams) int {
 	s.invalidateRangeExceptPendingWB(m.StashBase, m.Words())
 
 	table[slot] = idx
+	s.tsnk.Event(uint64(s.eng.Now()), trace.KAddMap, uint64(idx), 0)
+	s.traceMapOcc()
 	return idx
 }
 
@@ -586,6 +596,7 @@ func (s *Stash) retireEntry(idx int) {
 	s.flushEntryChunks(idx)
 	s.maps[idx].valid = false
 	s.vp.dropUser(idx)
+	s.traceMapOcc()
 }
 
 func (s *Stash) flushEntryChunks(idx int) {
@@ -726,6 +737,8 @@ func (s *Stash) Load(tb, slot int, offsets []int, done func(vals []uint32)) {
 		return
 	}
 	s.misses.Inc()
+	s.tsnk.Event(uint64(s.eng.Now()), trace.KMiss, uint64(missing[0]), uint64(len(missing)))
+	s.trMisses.Add(uint64(s.eng.Now()), 1)
 	if len(missing) < len(offsets) {
 		// The hit portion still activates the array.
 		s.acct.Add(energy.StashHit, uint64(rounds))
@@ -1005,6 +1018,8 @@ func (s *Stash) flushChunk(c int) {
 	for i := range wb.lines {
 		wl := &wb.lines[i]
 		s.writebacks.Inc()
+		s.tsnk.Event(uint64(s.eng.Now()), trace.KWriteback, uint64(wl.line), 0)
+		s.trWritebacks.Add(uint64(s.eng.Now()), 1)
 		s.wbuf.Put(wl.line, wl.mask, wl.vals)
 		s.outstanding++
 		// Reading the words out of the array for the writeback.
@@ -1162,6 +1177,7 @@ func (s *Stash) HandlePacket(p *coh.Packet) {
 
 func (s *Stash) fill(p *coh.Packet) {
 	s.chk.Progress()
+	s.tsnk.Event(uint64(s.eng.Now()), trace.KFill, uint64(p.Line), 0)
 	m := s.mshrs[p.Line]
 	if m == nil {
 		return
@@ -1328,6 +1344,30 @@ func (s *Stash) DebugString() string {
 // SetChecker attaches the self-check layer; a nil checker (the
 // default) costs one nil comparison on each completion.
 func (s *Stash) SetChecker(chk *check.Checker) { s.chk = chk }
+
+// SetTrace attaches an event sink. A nil sink (the default) leaves
+// every instrumented site a nil-check no-op.
+func (s *Stash) SetTrace(snk *trace.Sink) {
+	s.tsnk = snk
+	s.trMisses = snk.Series("misses")
+	s.trWritebacks = snk.Series("writebacks")
+	s.trMapOcc = snk.Gauge("map_occupancy")
+}
+
+// traceMapOcc samples the stash-map occupancy gauge. The valid-entry
+// scan only runs with tracing enabled.
+func (s *Stash) traceMapOcc() {
+	if s.tsnk == nil {
+		return
+	}
+	n := uint64(0)
+	for i := range s.maps {
+		if s.maps[i].valid {
+			n++
+		}
+	}
+	s.trMapOcc.Set(uint64(s.eng.Now()), n)
+}
 
 // Outstanding reports in-flight transactions the stash is waiting on,
 // for the watchdog's work-pending gate.

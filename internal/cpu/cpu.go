@@ -13,6 +13,7 @@ import (
 	"stash/internal/memdata"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 	"stash/internal/vm"
 )
 
@@ -36,7 +37,8 @@ type Core struct {
 	loadWord  int          // word index the in-flight load reads
 	loadBuf   [1]uint32
 
-	instrs *stats.Counter
+	instrs   *stats.Counter
+	trInstrs *trace.Series
 }
 
 // New builds a core over the given (CPU) L1.
@@ -62,6 +64,10 @@ func New(eng *sim.Engine, node int, name string, as *vm.AddressSpace, l1 *cache.
 
 // L1 returns the core's cache.
 func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// SetTrace attaches an event sink; a nil sink (the default) keeps the
+// step path a nil-check no-op.
+func (c *Core) SetTrace(snk *trace.Sink) { c.trInstrs = snk.Series("instructions") }
 
 // Run executes prog as thread threadID of numThreads (the program reads
 // its identity from SpecCtaid/SpecNctaid) and calls done when the
@@ -92,6 +98,7 @@ func (c *Core) step() {
 	p := c.warp.Step()
 	if p.Kind != isa.PendDone {
 		c.instrs.Inc()
+		c.trInstrs.Add(uint64(c.eng.Now()), 1)
 	}
 	switch p.Kind {
 	case isa.PendDone:

@@ -27,6 +27,7 @@ import (
 	"stash/internal/scratch"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 	"stash/internal/vm"
 )
 
@@ -47,6 +48,7 @@ func DefaultParams() Params { return Params{NumLLCBanks: 16, IssueGap: 1} }
 type transfer struct {
 	remaining int
 	done      func()
+	tid       uint64 // pairs the begin/end trace span
 }
 
 // tileLine is one global line of a tile plan: soff[w] is the
@@ -161,6 +163,10 @@ type Engine struct {
 	loads  *stats.Counter
 	stores *stats.Counter
 	lines  *stats.Counter
+
+	tsnk    *trace.Sink
+	trLines *trace.Series
+	nextTID uint64
 }
 
 // New builds a DMA engine serving the scratchpad sp.
@@ -182,6 +188,26 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, sp 
 // SetChecker attaches the self-check layer; a nil checker (the
 // default) costs one nil comparison per completed line.
 func (e *Engine) SetChecker(chk *check.Checker) { e.chk = chk }
+
+// SetTrace attaches an event sink; a nil sink (the default) keeps
+// transfer tracing a nil-check no-op.
+func (e *Engine) SetTrace(snk *trace.Sink) {
+	e.tsnk = snk
+	e.trLines = snk.Series("lines")
+}
+
+// traceBegin opens a transfer span and records its line count in the
+// time-series; traceEnd in finish closes it by the same transfer id.
+func (e *Engine) traceBegin(t *transfer, nLines int) {
+	if e.tsnk == nil {
+		return
+	}
+	t.tid = e.nextTID
+	e.nextTID++
+	now := uint64(e.eng.Now())
+	e.tsnk.Event(now, trace.KDMABegin, t.tid, uint64(nLines))
+	e.trLines.Add(now, uint64(nLines))
+}
 
 // SetExtraDelay stretches the issue pacing by d extra cycles per line
 // (fault injection). Zero restores the exact configured pacing.
@@ -303,6 +329,7 @@ func (e *Engine) Load(region core.MapParams, done func()) {
 		return
 	}
 	t := e.newTransfer(len(plan.lines), done)
+	e.traceBegin(t, len(plan.lines))
 	gap := sim.Cycle(0)
 	// Lines issue in address order (the plan is sorted); the pacing gap
 	// would otherwise hand each line a different injection cycle from
@@ -338,6 +365,7 @@ func (e *Engine) Store(region core.MapParams, done func()) {
 		return
 	}
 	t := e.newTransfer(len(plan.lines), done)
+	e.traceBegin(t, len(plan.lines))
 	gap := sim.Cycle(0)
 	for i := range plan.lines {
 		tl := &plan.lines[i]
@@ -446,6 +474,7 @@ func (e *Engine) finish(ref *transferRef) {
 	e.refFree = append(e.refFree, ref)
 	t.remaining--
 	if t.remaining == 0 {
+		e.tsnk.Event(uint64(e.eng.Now()), trace.KDMAEnd, t.tid, 0)
 		e.eng.Schedule(0, t.done)
 		t.done = nil
 		e.tFree = append(e.tFree, t)

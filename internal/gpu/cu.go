@@ -18,6 +18,7 @@ import (
 	"stash/internal/scratch"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 	"stash/internal/vm"
 )
 
@@ -59,6 +60,11 @@ type warpCtx struct {
 	state warpState
 	block *blockCtx
 	pend  *isa.Pending // in-flight access awaiting a bound callback
+
+	// tid is a deterministic warp identity (block id and warp index)
+	// pairing stall/resume trace spans; stalled marks an open span.
+	tid     uint64
+	stalled bool
 
 	// Bound once when the warpCtx is created (contexts are pooled with
 	// their block), so blocking and local-memory completions never
@@ -111,6 +117,10 @@ type CU struct {
 	cycles     *stats.Counter
 	coalesced  *stats.Counter
 	blocksDone *stats.Counter
+
+	tsnk       *trace.Sink
+	trInstrs   *trace.Series
+	trResident *trace.Series
 }
 
 // New builds a CU. sp, stash and dmaEng may each be nil when the
@@ -208,6 +218,7 @@ func (c *CU) fillResident() {
 	}
 	if changed {
 		c.rebuildWarpList()
+		c.trResident.Set(uint64(c.eng.Now()), uint64(len(c.resident)))
 	}
 }
 
@@ -259,6 +270,8 @@ func (c *CU) newBlock(id int) *blockCtx {
 		wc.block = b
 		wc.state = wReady
 		wc.pend = nil
+		wc.tid = uint64(id)<<8 | uint64(wi)
+		wc.stalled = false
 		if wc.warp == nil {
 			wc.warp = isa.NewWarp(k.Prog, cfg)
 		} else {
@@ -266,6 +279,14 @@ func (c *CU) newBlock(id int) *blockCtx {
 		}
 	}
 	return b
+}
+
+// SetTrace attaches an event sink; a nil sink (the default) keeps the
+// issue path a nil-check no-op.
+func (c *CU) SetTrace(snk *trace.Sink) {
+	c.tsnk = snk
+	c.trInstrs = snk.Series("instructions")
+	c.trResident = snk.Gauge("resident_blocks")
 }
 
 // wake schedules an issue slot if one is not already scheduled.
@@ -311,6 +332,7 @@ func (c *CU) tick() {
 	p := wc.warp.Step()
 	if p.Kind != isa.PendDone {
 		c.instrs.Inc()
+		c.trInstrs.Add(uint64(c.eng.Now()), 1)
 		c.acct.Add(energy.GPUInst, 1)
 	}
 	switch p.Kind {
@@ -338,8 +360,23 @@ func (c *CU) tick() {
 func (c *CU) unblock(wc *warpCtx) {
 	if wc.state == wBlocked {
 		wc.state = wReady
+		if wc.stalled {
+			wc.stalled = false
+			c.tsnk.Event(uint64(c.eng.Now()), trace.KWarpResume, wc.tid, 0)
+		}
 	}
 	c.wake()
+}
+
+// traceStall opens a stall span for a warp blocking on memory. The
+// span closes in unblock; the stalled flag is only ever set with
+// tracing enabled, so pairs always match.
+func (c *CU) traceStall(wc *warpCtx) {
+	if c.tsnk == nil {
+		return
+	}
+	wc.stalled = true
+	c.tsnk.Event(uint64(c.eng.Now()), trace.KWarpStall, wc.tid, 0)
 }
 
 // --- memory ---
@@ -495,6 +532,7 @@ func (c *CU) issueLoad(wc *warpCtx, p *isa.Pending) {
 		a := c.coalesceGlobal(p)
 		a.wc, a.pend = wc, p
 		wc.state = wBlocked
+		c.traceStall(wc)
 		a.remaining = len(a.lines)
 		// Transactions issue in address order (the access keeps its
 		// lines sorted): any other order would leak into MSHR allocation
@@ -515,6 +553,7 @@ func (c *CU) issueLoad(wc *warpCtx, p *isa.Pending) {
 		}
 	case isa.Stash:
 		wc.state = wBlocked
+		c.traceStall(wc)
 		wc.pend = p
 		c.stash.Load(wc.block.id, p.Slot, c.intOffsets(p.Addrs, wc.block.localBase), wc.stashLoadDone)
 	}
@@ -532,6 +571,7 @@ func (c *CU) issueStore(wc *warpCtx, p *isa.Pending) {
 		// may replay under MSHR/store-buffer pressure); acceptance
 		// order preserves the warp's same-address store ordering.
 		wc.state = wBlocked
+		c.traceStall(wc)
 		a.remaining = len(a.lines)
 		for li := range a.lines {
 			c.coalesced.Inc()
@@ -653,6 +693,7 @@ func (c *CU) warpDone(wc *warpCtx) {
 	}
 	c.blockFree = append(c.blockFree, b)
 	c.rebuildWarpList()
+	c.trResident.Set(uint64(c.eng.Now()), uint64(len(c.resident)))
 	c.fillResident()
 	if len(c.resident) == 0 && len(c.pending) == 0 {
 		c.finishKernel()

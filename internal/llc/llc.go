@@ -21,6 +21,7 @@ import (
 	"stash/internal/noc"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 )
 
 // Params configures an LLC bank.
@@ -167,6 +168,10 @@ type Bank struct {
 	regs      *stats.Counter
 	wbs       *stats.Counter
 	evictions *stats.Counter
+
+	tsnk       *trace.Sink
+	trRequests *trace.Series
+	trMisses   *trace.Series
 }
 
 // NewBank builds the bank resident at node, using mem as backing DRAM.
@@ -279,6 +284,14 @@ func (b *Bank) fetch(addr memdata.PAddr) (*line, bool) {
 // default) costs one nil comparison per response.
 func (b *Bank) SetChecker(c *check.Checker) { b.chk = c }
 
+// SetTrace attaches an event sink. A nil sink (the default) leaves
+// every instrumented site a nil-check no-op.
+func (b *Bank) SetTrace(snk *trace.Sink) {
+	b.tsnk = snk
+	b.trRequests = snk.Series("requests")
+	b.trMisses = snk.Series("misses")
+}
+
 // SetStall installs a fault-injection hook consulted on every arriving
 // request. A nil fn removes it.
 func (b *Bank) SetStall(fn func(now sim.Cycle) (delay sim.Cycle, drop bool)) {
@@ -304,6 +317,7 @@ func (b *Bank) HandlePacket(p *coh.Packet) {
 		stallBy = delay
 	}
 	b.inFlight++
+	b.trRequests.Add(uint64(b.eng.Now()), 1)
 	start := b.eng.Now() + stallBy
 	if b.nextFree > start {
 		start = b.nextFree
@@ -437,6 +451,8 @@ func (b *Bank) read(p *coh.Packet, o *bankOp) {
 	l, filled := b.fetch(p.Line)
 	if filled {
 		b.misses.Inc()
+		b.tsnk.Event(uint64(b.eng.Now()), trace.KMiss, uint64(p.Line), 0)
+		b.trMisses.Add(uint64(b.eng.Now()), 1)
 	} else {
 		b.hits.Inc()
 	}
@@ -480,6 +496,7 @@ func (b *Bank) register(p *coh.Packet, o *bankOp) {
 func (b *Bank) writeback(p *coh.Packet, o *bankOp) {
 	l, filled := b.fetch(p.Line)
 	b.wbs.Inc()
+	b.tsnk.Event(uint64(b.eng.Now()), trace.KWriteback, uint64(p.Line), 0)
 	for i := 0; i < memdata.WordsPerLine; i++ {
 		if !p.Mask.Has(i) {
 			continue
@@ -502,6 +519,7 @@ func (b *Bank) writeback(p *coh.Packet, o *bankOp) {
 func (b *Bank) write(p *coh.Packet, o *bankOp) {
 	l, filled := b.fetch(p.Line)
 	b.wbs.Inc()
+	b.tsnk.Event(uint64(b.eng.Now()), trace.KWriteback, uint64(p.Line), 0)
 	inv := b.acquireGroups()
 	for i := 0; i < memdata.WordsPerLine; i++ {
 		if !p.Mask.Has(i) {

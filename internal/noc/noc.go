@@ -10,6 +10,7 @@ import (
 	"stash/internal/energy"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 )
 
 // Class categorizes traffic the way the paper's Figure 5d does.
@@ -92,6 +93,11 @@ type Network struct {
 
 	flitHops [NumClasses]*stats.Counter
 	messages *stats.Counter
+
+	tsnk *trace.Sink
+	// linkSeries[node*4+dir] is the per-link flit time-series (the
+	// congestion heatmap); non-nil exactly when tsnk is.
+	linkSeries []*trace.Series
 }
 
 // New returns a w x h mesh attached to the engine, charging flit-hop
@@ -188,6 +194,9 @@ func (n *Network) crossLink(node, dir int, t sim.Cycle, flits int) sim.Cycle {
 	if *lk > start {
 		start = *lk
 	}
+	if n.linkSeries != nil {
+		n.linkSeries[node*4+dir].Add(uint64(start), uint64(flits))
+	}
 	t = start + RouterLatency
 	*lk = t + sim.Cycle(flits-1)
 	return t
@@ -234,6 +243,8 @@ func (n *Network) Send(m *Message) {
 		hops++
 	}
 	n.flitHops[m.Class].Add(uint64(flits * hops))
+	n.tsnk.Event(uint64(n.eng.Now()), trace.KFlitHop,
+		uint64(m.Src)<<32|uint64(m.Dst), uint64(flits*hops))
 	n.acct.Add(energy.NoCFlitHop, uint64(flits*hops))
 	arrival := t + sim.Cycle(flits-1)
 	if n.perturb != nil {
@@ -247,6 +258,32 @@ func (n *Network) Send(m *Message) {
 		*last = arrival
 	}
 	n.eng.At(arrival, d.run)
+}
+
+// SetTrace attaches an event sink and builds the per-link flit
+// time-series (one per directed mesh link, the congestion heatmap). A
+// nil sink (the default) keeps every send and link crossing a
+// nil-check no-op.
+func (n *Network) SetTrace(snk *trace.Sink) {
+	n.tsnk = snk
+	if snk == nil {
+		n.linkSeries = nil
+		return
+	}
+	dirs := [4]string{"+x", "-x", "+y", "-y"}
+	n.linkSeries = make([]*trace.Series, n.w*n.h*4)
+	for node := 0; node < n.w*n.h; node++ {
+		for dir := 0; dir < 4; dir++ {
+			n.linkSeries[node*4+dir] = snk.Series(fmt.Sprintf("link.%d.%s.flits", node, dirs[dir]))
+		}
+	}
+}
+
+// TracePacket records a protocol-packet injection (called by coh.Send,
+// which owns the packet type ordinal and line address). A nil-sink
+// network makes this a nil-check no-op.
+func (n *Network) TracePacket(ptype uint8, line uint64) {
+	n.tsnk.Event(uint64(n.eng.Now()), trace.KPacket, uint64(ptype), line)
 }
 
 func (n *Network) deliver(m *Message) {

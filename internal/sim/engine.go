@@ -73,9 +73,14 @@ type Engine struct {
 	interruptN uint64 // poll period in executed events
 	untilintr  uint64 // events left until the next poll
 
-	probe      func()
-	probeN     uint64 // probe period in executed events
-	untilprobe uint64 // events left until the next probe
+	probes []probeEntry
+}
+
+// probeEntry is one installed host-side probe (see AddProbe).
+type probeEntry struct {
+	fn    func()
+	every uint64 // probe period in executed events
+	until uint64 // events left until the next firing
 }
 
 // NewEngine returns an engine with the clock at cycle 0 and no events.
@@ -163,31 +168,40 @@ func (e *Engine) SetInterrupt(every uint64, poll func() bool) {
 	e.untilintr = every
 }
 
-// SetProbe installs a host-side hook that Step calls once every
+// AddProbe installs a host-side hook that Step calls once every
 // `every` executed events (every < 1 is treated as 1). Unlike an
-// engine event, the probe never advances the clock and schedules
+// engine event, a probe never advances the clock and schedules
 // nothing, so installing one cannot perturb simulated timing — this is
-// what the deadlock watchdog and the invariant checker hang off. A
-// probe may panic (with a typed error) to unwind a wedged simulation;
-// the runner that owns the simulation recovers it at the boundary.
-// A nil fn removes the probe.
-func (e *Engine) SetProbe(every uint64, fn func()) {
+// what the deadlock watchdog, the invariant checker, and the trace
+// flusher hang off. A probe may panic (with a typed error) to unwind a
+// wedged simulation; the runner that owns the simulation recovers it
+// at the boundary. Probes fire in installation order.
+func (e *Engine) AddProbe(every uint64, fn func()) {
 	if every < 1 {
 		every = 1
 	}
-	e.probe = fn
-	e.probeN = every
-	e.untilprobe = every
+	e.probes = append(e.probes, probeEntry{fn: fn, every: every, until: every})
+}
+
+// SetProbe removes every installed probe and, with a non-nil fn,
+// installs it as the sole probe. Kept for callers that owned the
+// single probe slot before AddProbe existed.
+func (e *Engine) SetProbe(every uint64, fn func()) {
+	e.probes = e.probes[:0]
+	if fn != nil {
+		e.AddProbe(every, fn)
+	}
 }
 
 // Step executes the single earliest pending event.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.probe != nil {
-		e.untilprobe--
-		if e.untilprobe == 0 {
-			e.untilprobe = e.probeN
-			e.probe()
+	for i := range e.probes {
+		p := &e.probes[i]
+		p.until--
+		if p.until == 0 {
+			p.until = p.every
+			p.fn()
 		}
 	}
 	if e.interrupt != nil {

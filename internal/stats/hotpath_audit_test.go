@@ -1,0 +1,67 @@
+package stats_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCounterLookupsOnlyInConstructors guards the hot paths against
+// reintroducing per-access stats map lookups. Set.Counter resolves a
+// name through a map; every component therefore hoists its counters to
+// *Counter fields at construction and bumps those on the hot path.
+// This audit parses every internal package and fails if a .Counter(...)
+// call appears outside a constructor (a function named New*): such a
+// call is almost certainly a map lookup on a per-access path.
+func TestCounterLookupsOnlyInConstructors(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir("../..", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "stats", "testdata", ".git":
+				// The stats package is the Counter implementation itself.
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Counter" {
+					return true
+				}
+				if !strings.HasPrefix(fd.Name.Name, "New") {
+					t.Errorf("%s: .Counter(...) lookup in %s: hoist the counter to a field in the constructor",
+						fset.Position(call.Pos()), fd.Name.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

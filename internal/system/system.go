@@ -25,6 +25,7 @@ import (
 	"stash/internal/scratch"
 	"stash/internal/sim"
 	"stash/internal/stats"
+	"stash/internal/trace"
 	"stash/internal/vm"
 )
 
@@ -77,6 +78,10 @@ type Config struct {
 	// Faults, when non-nil and non-empty, injects the described timing
 	// perturbations and component faults deterministically.
 	Faults *faults.Schedule
+	// Trace, when non-nil, attaches the event-tracing collector to every
+	// component. Nil (the default) leaves each emit site a nil-check
+	// no-op, preserving bit-identical timing and zero allocations.
+	Trace *trace.Options
 }
 
 // MicrobenchConfig returns the paper's microbenchmark machine: 1 GPU CU
@@ -129,14 +134,17 @@ type System struct {
 	CPUs  []*cpu.Core
 
 	// Checker is non-nil when cfg.Check enabled any self-checking; Inj
-	// is non-nil when cfg.Faults injects anything.
+	// is non-nil when cfg.Faults injects anything; Trace is non-nil when
+	// cfg.Trace enabled event tracing.
 	Checker *check.Checker
 	Inj     *faults.Injector
+	Trace   *trace.Collector
 
-	banks  []*llc.Bank
-	l1s    []*cache.Cache // per mesh node; nil where no L1 lives
-	stashs []*core.Stash  // per mesh node; nil where no stash lives
-	probes []check.Probe  // built unconditionally, for failure dumps
+	banks    []*llc.Bank
+	l1s      []*cache.Cache  // per mesh node; nil where no L1 lives
+	stashs   []*core.Stash   // per mesh node; nil where no stash lives
+	probes   []check.Probe   // built unconditionally, for failure dumps
+	timeline *trace.Timeline // cached FinishTrace result
 }
 
 // New builds the machine described by cfg.
@@ -222,6 +230,41 @@ func New(cfg Config) *System {
 			router.Deliver(p)
 			net.ReleasePayload(p)
 		})
+	}
+
+	if cfg.Trace != nil {
+		tc := trace.NewCollector(*cfg.Trace, set)
+		s.Trace = tc
+		// Attach sinks in deterministic order: the network first, then
+		// per node the LLC bank and whatever the node hosts. Track order
+		// fixes the Chrome-export row order.
+		net.SetTrace(tc.Sink("noc"))
+		cuIdx, cpuIdx := 0, 0
+		for n := 0; n < net.Nodes(); n++ {
+			s.banks[n].SetTrace(tc.Sink(fmt.Sprintf("llc.%d", n)))
+			switch {
+			case gpuAt[n]:
+				name := fmt.Sprintf("gpu%d", n)
+				s.l1s[n].SetTrace(tc.Sink("l1." + name))
+				if st := s.stashs[n]; st != nil {
+					st.SetTrace(tc.Sink("stash." + name))
+				}
+				if dmas[n] != nil {
+					dmas[n].SetTrace(tc.Sink("dma." + name))
+				}
+				s.CUs[cuIdx].SetTrace(tc.Sink("cu." + name))
+				cuIdx++
+			case cpuAt[n]:
+				name := fmt.Sprintf("cpu%d", n)
+				s.l1s[n].SetTrace(tc.Sink("l1." + name))
+				s.CPUs[cpuIdx].SetTrace(tc.Sink("cpu." + name))
+				cpuIdx++
+			}
+		}
+		// Drain the event ring periodically so long runs spill to the
+		// compact encoding instead of dropping; probes never advance the
+		// clock, so timing is untouched.
+		eng.AddProbe(tc.FlushEvery(), tc.Flush)
 	}
 
 	s.buildProbes(dmas)
@@ -389,6 +432,7 @@ func (s *System) RunKernel(k *gpu.Kernel) {
 	if len(s.CUs) == 0 {
 		panic("system: no CUs configured")
 	}
+	s.Trace.PhaseBegin("kernel", uint64(s.Eng.Now()))
 	remaining := 0
 	per := (k.GridDim + len(s.CUs) - 1) / len(s.CUs)
 	next := 0
@@ -413,6 +457,7 @@ func (s *System) RunKernel(k *gpu.Kernel) {
 	for _, cu := range s.CUs {
 		cu.SelfInvalidate()
 	}
+	s.Trace.PhaseEnd(uint64(s.Eng.Now()))
 	s.Checker.Boundary("kernel")
 }
 
@@ -423,6 +468,7 @@ func (s *System) RunCPUPhase(prog *isa.Program, numThreads int) {
 	if len(s.CPUs) == 0 {
 		panic("system: no CPU cores configured")
 	}
+	s.Trace.PhaseBegin("cpu-phase", uint64(s.Eng.Now()))
 	active := 0
 	for c := 0; c < len(s.CPUs) && c < numThreads; c++ {
 		core := s.CPUs[c]
@@ -445,12 +491,14 @@ func (s *System) RunCPUPhase(prog *isa.Program, numThreads int) {
 	if active != 0 {
 		panic(&check.DeadlockError{Phase: "cpu-phase", Dump: s.Diagnose()})
 	}
+	s.Trace.PhaseEnd(uint64(s.Eng.Now()))
 	s.Checker.Boundary("cpu-phase")
 }
 
 // FlushForVerify writes every owned word back to the LLC so ReadGlobal
 // can observe final values. Call only after measurement snapshots.
 func (s *System) FlushForVerify() {
+	s.Trace.PhaseBegin("flush", uint64(s.Eng.Now()))
 	for _, cu := range s.CUs {
 		if st := cu.Stash(); st != nil {
 			st.WritebackAll()
@@ -461,8 +509,23 @@ func (s *System) FlushForVerify() {
 		c.L1().WritebackAll()
 	}
 	s.Eng.Run()
+	s.Trace.PhaseEnd(uint64(s.Eng.Now()))
 	s.Checker.Boundary("flush")
 }
 
 // Cycles returns the current simulated time.
 func (s *System) Cycles() sim.Cycle { return s.Eng.Now() }
+
+// FinishTrace completes and returns the run's timeline, or nil when
+// tracing was not configured. The first call snapshots at the current
+// cycle; later calls return the same timeline, so measuring a system
+// more than once is safe.
+func (s *System) FinishTrace() *trace.Timeline {
+	if s.Trace == nil {
+		return nil
+	}
+	if s.timeline == nil {
+		s.timeline = s.Trace.Finish(uint64(s.Eng.Now()))
+	}
+	return s.timeline
+}

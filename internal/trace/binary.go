@@ -1,0 +1,159 @@
+// Compact binary timeline format for large runs. Layout (all integers
+// unsigned varints unless noted):
+//
+//	magic "STTR", version byte (1)
+//	bucketCycles, endCycle, dropped
+//	numTracks, then each track name (varint length + bytes)
+//	numPhases, then each phase (name, start, end)
+//	numSeries, then each series (name, gauge byte, bucket,
+//	  numVals, vals...)
+//	numEvents, spill byte length, then the spill verbatim
+//	  (per event: delta-cycle, kind byte, track, arg, arg2)
+//
+// The event spill is stored exactly as the Collector encoded it, so
+// writing a timeline never re-encodes events.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+var binaryMagic = [4]byte{'S', 'T', 'T', 'R'}
+
+const binaryVersion = 1
+
+// maxDecode bounds every length field read by Decode so a corrupt
+// header cannot drive a huge allocation.
+const maxDecode = 1 << 30
+
+// WriteBinary writes the timeline in the compact binary format.
+func (t *Timeline) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(binaryMagic[:])
+	bw.WriteByte(binaryVersion)
+	putUv(bw, t.BucketCycles)
+	putUv(bw, t.EndCycle)
+	putUv(bw, t.Dropped)
+	putUv(bw, uint64(len(t.Tracks)))
+	for _, name := range t.Tracks {
+		putStr(bw, name)
+	}
+	putUv(bw, uint64(len(t.Phases)))
+	for _, p := range t.Phases {
+		putStr(bw, p.Name)
+		putUv(bw, p.Start)
+		putUv(bw, p.End)
+	}
+	putUv(bw, uint64(len(t.Series)))
+	for _, s := range t.Series {
+		putStr(bw, s.Name)
+		g := byte(0)
+		if s.Gauge {
+			g = 1
+		}
+		bw.WriteByte(g)
+		putUv(bw, s.Bucket)
+		putUv(bw, uint64(len(s.Vals)))
+		for _, v := range s.Vals {
+			putUv(bw, v)
+		}
+	}
+	putUv(bw, uint64(t.NEvents))
+	putUv(bw, uint64(len(t.enc)))
+	bw.Write(t.enc)
+	return bw.Flush()
+}
+
+// Decode reads a timeline previously written by WriteBinary.
+func Decode(r io.Reader) (*Timeline, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if !bytes.Equal(magic[:4], binaryMagic[:]) {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:4])
+	}
+	if magic[4] != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", magic[4])
+	}
+	t := &Timeline{}
+	var err error
+	get := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = binary.ReadUvarint(br)
+		return v
+	}
+	getN := func(what string) int {
+		n := get()
+		if err == nil && n > maxDecode {
+			err = fmt.Errorf("trace: %s count %d too large", what, n)
+		}
+		return int(n)
+	}
+	getStr := func() string {
+		n := getN("string")
+		if err != nil {
+			return ""
+		}
+		b := make([]byte, n)
+		if _, e := io.ReadFull(br, b); e != nil {
+			err = e
+			return ""
+		}
+		return string(b)
+	}
+	t.BucketCycles = get()
+	t.EndCycle = get()
+	t.Dropped = get()
+	for i, n := 0, getN("track"); i < n && err == nil; i++ {
+		t.Tracks = append(t.Tracks, getStr())
+	}
+	for i, n := 0, getN("phase"); i < n && err == nil; i++ {
+		p := Phase{Name: getStr()}
+		p.Start = get()
+		p.End = get()
+		t.Phases = append(t.Phases, p)
+	}
+	for i, n := 0, getN("series"); i < n && err == nil; i++ {
+		s := SeriesData{Name: getStr()}
+		if err == nil {
+			g, e := br.ReadByte()
+			err = e
+			s.Gauge = g != 0
+		}
+		s.Bucket = get()
+		for j, m := 0, getN("series value"); j < m && err == nil; j++ {
+			s.Vals = append(s.Vals, get())
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.NEvents = getN("event")
+	encLen := getN("spill byte")
+	if err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	t.enc = make([]byte, encLen)
+	if _, e := io.ReadFull(br, t.enc); e != nil {
+		return nil, fmt.Errorf("trace: reading event spill: %w", e)
+	}
+	return t, nil
+}
+
+func putUv(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putStr(w *bufio.Writer, s string) {
+	putUv(w, uint64(len(s)))
+	w.WriteString(s)
+}

@@ -1,0 +1,102 @@
+// Chrome/Perfetto trace_event JSON export. The output is the "JSON
+// Array Format" that chrome://tracing and ui.perfetto.dev both load:
+// one process per run, one named thread (track) per component, "X"
+// complete events for host-annotated phases, "b"/"e" async spans for
+// paired begin/end events (MSHR lifetimes, warp stalls, DMA
+// transfers), "i" instants for point events, and "C" counter events
+// for every time-series bucket. Timestamps map one simulated cycle to
+// one microsecond, so the viewer's time axis reads directly in cycles.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Track ids in the exported process: tid 0 carries the phase spans,
+// component tracks follow at tid = index+1.
+const phaseTID = 0
+
+// WriteChrome writes the timeline as trace_event JSON.
+func (t *Timeline) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	sep := func() {
+		if first {
+			first = false
+			return
+		}
+		bw.WriteString(",\n")
+	}
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+
+	// Track name metadata.
+	sep()
+	writeMeta(bw, phaseTID, "phases")
+	for i, name := range t.Tracks {
+		sep()
+		writeMeta(bw, i+1, name)
+	}
+
+	// Phase spans.
+	for _, p := range t.Phases {
+		sep()
+		fmt.Fprintf(bw, `{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d}`,
+			jstr(p.Name), p.Start, p.End-p.Start, phaseTID)
+	}
+
+	// Component events.
+	t.forEachEvent(func(ev Event) {
+		sep()
+		tid := int(ev.Track) + 1
+		name := ev.Kind.String()
+		switch ev.Kind {
+		case KAccessBegin, KWarpStall, KDMABegin:
+			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"b","id":%d,"ts":%d,"pid":1,"tid":%d,"args":{"arg":%d}}`,
+				jstr(name), jstr(name), ev.Arg, ev.Cycle, tid, ev.Arg2)
+		case KAccessEnd, KWarpResume, KDMAEnd:
+			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"e","id":%d,"ts":%d,"pid":1,"tid":%d}`,
+				jstr(name), jstr(name), ev.Arg, ev.Cycle, tid)
+		default:
+			fmt.Fprintf(bw, `{"name":%s,"ph":"i","s":"t","ts":%d,"pid":1,"tid":%d,"args":{"arg":%d,"arg2":%d}}`,
+				jstr(name), ev.Cycle, tid, ev.Arg, ev.Arg2)
+		}
+	})
+
+	// Time-series as counter events, one sample per bucket over the
+	// whole run. Counters report 0 for buckets past their last sample;
+	// gauges carry the last sample forward.
+	nb := t.numBuckets()
+	for _, s := range t.Series {
+		var last uint64
+		for b := uint64(0); b < nb; b++ {
+			v := uint64(0)
+			if b < uint64(len(s.Vals)) {
+				v = s.Vals[b]
+			} else if s.Gauge {
+				v = last
+			}
+			last = v
+			sep()
+			fmt.Fprintf(bw, `{"name":%s,"ph":"C","ts":%d,"pid":1,"args":{"value":%d}}`,
+				jstr(s.Name), b*s.Bucket, v)
+		}
+	}
+
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+func writeMeta(w io.Writer, tid int, name string) {
+	fmt.Fprintf(w, `{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+		tid, jstr(name))
+}
+
+// jstr JSON-quotes a string (names come from workload tables and are
+// arbitrary).
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"stash/internal/stats"
+)
+
+func TestSeriesBucketAtCycleZero(t *testing.T) {
+	c := NewCollector(Options{BucketCycles: 100}, nil)
+	s := c.SeriesByName("x")
+	s.Add(0, 1)
+	s.Add(99, 2)
+	s.Add(100, 5)
+	tl := c.Finish(100)
+	if got := tl.Series[0].Vals; !reflect.DeepEqual(got, []uint64{3, 5}) {
+		t.Fatalf("vals = %v, want [3 5]", got)
+	}
+}
+
+func TestSeriesFinalPartialBucket(t *testing.T) {
+	c := NewCollector(Options{BucketCycles: 100}, nil)
+	s := c.SeriesByName("x")
+	s.Add(250, 7)
+	tl := c.Finish(250)
+	if nb := tl.numBuckets(); nb != 3 {
+		t.Fatalf("numBuckets = %d, want 3 (two full + final partial)", nb)
+	}
+	if got := tl.Series[0].Vals; !reflect.DeepEqual(got, []uint64{0, 0, 7}) {
+		t.Fatalf("vals = %v, want [0 0 7]", got)
+	}
+}
+
+func TestSeriesBucketLargerThanRun(t *testing.T) {
+	c := NewCollector(Options{BucketCycles: 1 << 20}, nil)
+	s := c.SeriesByName("x")
+	s.Add(42, 1)
+	tl := c.Finish(250)
+	if nb := tl.numBuckets(); nb != 1 {
+		t.Fatalf("numBuckets = %d, want 1", nb)
+	}
+	if got := tl.Series[0].Vals; !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("vals = %v, want [1]", got)
+	}
+}
+
+func TestGaugeLastSampleWins(t *testing.T) {
+	c := NewCollector(Options{BucketCycles: 100}, nil)
+	g := c.Sink("comp").Gauge("occ")
+	g.Set(10, 3)
+	g.Set(90, 8)
+	g.Set(150, 2)
+	tl := c.Finish(200)
+	if got := tl.Series[0].Vals; !reflect.DeepEqual(got, []uint64{8, 2}) {
+		t.Fatalf("vals = %v, want [8 2]", got)
+	}
+	if !tl.Series[0].Gauge {
+		t.Fatal("series not marked as gauge")
+	}
+}
+
+// TestRingOverflowDropsOldest fills a 4-slot ring with 10 events and
+// requires the newest 4 to survive, the drop count to reach 6, and the
+// trace.dropped counter to mirror it.
+func TestRingOverflowDropsOldest(t *testing.T) {
+	set := stats.NewSet()
+	c := NewCollector(Options{BufferEvents: 4}, set)
+	snk := c.Sink("comp")
+	for i := uint64(0); i < 10; i++ {
+		snk.Event(i, KMiss, i, 0)
+	}
+	tl := c.Finish(10)
+	if tl.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", tl.Dropped)
+	}
+	if got := set.Counter("trace.dropped").Value(); got != 6 {
+		t.Fatalf("trace.dropped counter = %d, want 6", got)
+	}
+	evs := tl.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Arg != want || ev.Cycle != want {
+			t.Fatalf("event %d = %+v, want arg/cycle %d (oldest must drop)", i, ev, want)
+		}
+	}
+}
+
+// TestFlushPreservesDrainedEvents proves an intermediate Flush moves
+// staged events out of overwrite range: a later overflow only drops
+// still-staged events.
+func TestFlushPreservesDrainedEvents(t *testing.T) {
+	c := NewCollector(Options{BufferEvents: 4}, nil)
+	snk := c.Sink("comp")
+	for i := uint64(0); i < 4; i++ {
+		snk.Event(i, KMiss, i, 0)
+	}
+	c.Flush()
+	for i := uint64(4); i < 10; i++ {
+		snk.Event(i, KMiss, i, 0)
+	}
+	tl := c.Finish(10)
+	if tl.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", tl.Dropped)
+	}
+	evs := tl.Events()
+	if len(evs) != 8 {
+		t.Fatalf("kept %d events, want 8", len(evs))
+	}
+	want := []uint64{0, 1, 2, 3, 6, 7, 8, 9}
+	for i, ev := range evs {
+		if ev.Arg != want[i] {
+			t.Fatalf("event %d arg = %d, want %d", i, ev.Arg, want[i])
+		}
+	}
+}
+
+func TestPhasesCloseAtFinish(t *testing.T) {
+	c := NewCollector(Options{}, nil)
+	c.PhaseBegin("kernel", 10)
+	c.PhaseEnd(50)
+	c.PhaseBegin("cpu-phase", 60) // left open: a crashed cell
+	tl := c.Finish(80)
+	want := []Phase{{"kernel", 10, 50}, {"cpu-phase", 60, 80}}
+	if !reflect.DeepEqual(tl.Phases, want) {
+		t.Fatalf("phases = %+v, want %+v", tl.Phases, want)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	set := stats.NewSet()
+	c := NewCollector(Options{BucketCycles: 64, BufferEvents: 8}, set)
+	snk := c.Sink("l1.gpu0")
+	snk2 := c.Sink("noc")
+	sr := snk.Series("misses")
+	for i := uint64(0); i < 12; i++ { // overflows: exercises Dropped
+		snk.Event(i*7, KMiss, 0x1000+i, 0)
+		sr.Add(i*7, 1)
+	}
+	snk2.Event(100, KFlitHop, 3<<32|9, 42)
+	c.PhaseBegin("kernel", 0)
+	c.PhaseEnd(101)
+	tl := c.Finish(101)
+
+	var buf bytes.Buffer
+	if err := tl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BucketCycles != tl.BucketCycles || got.EndCycle != tl.EndCycle ||
+		got.Dropped != tl.Dropped || got.NEvents != tl.NEvents {
+		t.Fatalf("header mismatch: got %+v want %+v", got, tl)
+	}
+	if !reflect.DeepEqual(got.Tracks, tl.Tracks) {
+		t.Fatalf("tracks = %v, want %v", got.Tracks, tl.Tracks)
+	}
+	if !reflect.DeepEqual(got.Phases, tl.Phases) {
+		t.Fatalf("phases = %v, want %v", got.Phases, tl.Phases)
+	}
+	if !reflect.DeepEqual(got.Series, tl.Series) {
+		t.Fatalf("series = %v, want %v", got.Series, tl.Series)
+	}
+	if !reflect.DeepEqual(got.Events(), tl.Events()) {
+		t.Fatal("event spill did not round-trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Decode accepted empty input")
+	}
+}
+
+// TestChromeExportShape validates the trace_event JSON against the
+// format's structural requirements: a traceEvents array whose entries
+// all carry ph/pid/ts (or are metadata), with one thread_name metadata
+// record per track plus one for the phase track.
+func TestChromeExportShape(t *testing.T) {
+	c := NewCollector(Options{BucketCycles: 50}, nil)
+	snk := c.Sink("l1.gpu0")
+	snk.Event(5, KMiss, 0x40, 0)
+	snk.Event(10, KAccessBegin, 0x40, 0)
+	snk.Event(30, KAccessEnd, 0x40, 0)
+	snk.Series("misses").Add(5, 1)
+	c.PhaseBegin("kernel", 0)
+	c.PhaseEnd(40)
+	tl := c.Finish(40)
+
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	meta, counters, spans := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event missing ph: %v", ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", ev)
+		}
+		switch ph {
+		case "M":
+			meta++
+		case "C":
+			counters++
+		case "X", "b", "e", "i":
+			spans++
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("event missing ts: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase type %q", ph)
+		}
+	}
+	if meta != 2 { // "phases" + "l1.gpu0"
+		t.Fatalf("thread_name metadata count = %d, want 2", meta)
+	}
+	if spans != 4 { // phase X + miss i + access b/e
+		t.Fatalf("span/instant count = %d, want 4", spans)
+	}
+	if counters != 1 { // one 50-cycle bucket covers EndCycle 40
+		t.Fatalf("counter sample count = %d, want 1", counters)
+	}
+}
+
+// TestEmitNoAlloc pins the enabled-path emit cost: staging an event or
+// bumping a series bucket in warmed storage never allocates.
+func TestEmitNoAlloc(t *testing.T) {
+	c := NewCollector(Options{BufferEvents: 16}, nil)
+	snk := c.Sink("comp")
+	sr := snk.Series("misses")
+	sr.Add(0, 1) // warm bucket 0
+	if n := testing.AllocsPerRun(100, func() {
+		snk.Event(1, KMiss, 2, 3)
+		sr.Add(1, 1)
+	}); n != 0 {
+		t.Fatalf("emit allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestNilSinkNoAllocNoPanic pins the disabled path: every method on a
+// nil sink, series, and collector is an allocation-free no-op.
+func TestNilSinkNoAllocNoPanic(t *testing.T) {
+	var snk *Sink
+	var sr *Series
+	var col *Collector
+	if n := testing.AllocsPerRun(100, func() {
+		snk.Event(1, KMiss, 2, 3)
+		sr.Add(1, 1)
+		sr.Set(1, 1)
+		col.PhaseBegin("x", 0)
+		col.PhaseEnd(1)
+		_ = col.SeriesByName("x")
+	}); n != 0 {
+		t.Fatalf("nil-path allocates %v allocs/op, want 0", n)
+	}
+	if snk.Series("x") != nil || snk.Gauge("x") != nil || snk.Name() != "" {
+		t.Fatal("nil sink must return zero values")
+	}
+}

@@ -26,6 +26,11 @@ type Result struct {
 	FlitHops map[string]uint64
 	// Counters is the full raw counter snapshot for deeper analysis.
 	Counters map[string]uint64
+	// Timeline is the run's event trace, non-nil exactly when the
+	// Config's Trace was set. Failed runs carry the partial timeline up
+	// to the failure. Its JSON form is a compact summary; write the
+	// full trace with Timeline.WriteChrome or Timeline.WriteBinary.
+	Timeline *Timeline `json:",omitempty"`
 }
 
 func measure(s *system.System) Result {
@@ -48,6 +53,9 @@ func measure(s *system.System) Result {
 	}
 	for _, class := range []string{"read", "write", "writeback"} {
 		r.FlitHops[class] = s.Stats.Sum("noc.flit_hops." + class)
+	}
+	if tl := s.FinishTrace(); tl != nil {
+		r.Timeline = &Timeline{tl: tl}
 	}
 	return r
 }

@@ -8,6 +8,13 @@
 #   BENCHTIME=1x scripts/bench.sh    # quicker, noisier single iteration
 #   LABEL=baseline OUT=BENCH_baseline.json scripts/bench.sh
 #
+# The default Figure 5 selection includes BenchmarkFig5TraceOverhead,
+# so every report carries a trace-on vs trace-off row pair; compare
+# them to read the tracing subsystem's host-time overhead:
+#
+#   jq -r '.benchmarks[] | select(.name | contains("TraceOverhead"))
+#          | [.name, .ns_per_op, .allocs_per_op] | @tsv' "$OUT"
+#
 # Compare two reports field by field (the committed BENCH_baseline.json
 # is the pre-optimization reference):
 #

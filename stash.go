@@ -163,6 +163,10 @@ type Config struct {
 	// Faults, when non-nil, injects a deterministic timing-fault
 	// schedule (for robustness testing; see FaultConfig).
 	Faults *FaultConfig `json:"faults,omitempty"`
+	// Trace, when non-nil, records a cycle-accurate event timeline and
+	// per-bucket time-series, attached to Result.Timeline. Tracing is
+	// timing-neutral: metrics are bit-identical with it on or off.
+	Trace *TraceConfig `json:"trace,omitempty"`
 }
 
 // FaultConfig is a seeded, deterministic timing-fault schedule. Faults
@@ -243,6 +247,9 @@ func (c Config) Validate() error {
 			}
 		}
 	}
+	if err := c.Trace.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -290,6 +297,7 @@ func (c Config) internal() (system.Config, error) {
 		}
 		cfg.Faults = sched
 	}
+	cfg.Trace = c.Trace.internal()
 	return cfg, nil
 }
 

@@ -72,6 +72,9 @@ type sweepResultJSON struct {
 	Error      string     `json:"error,omitempty"`
 	Diagnostic string     `json:"diagnostic,omitempty"`
 	Result     *Result    `json:"result,omitempty"`
+	// Timeline is the failed cell's partial-trace summary; successful
+	// cells embed theirs inside Result.
+	Timeline *Timeline `json:"timeline,omitempty"`
 }
 
 // MarshalJSON encodes the cell under the schema documented at
@@ -91,6 +94,7 @@ func (r SweepResult) MarshalJSON() ([]byte, error) {
 		if errors.As(r.Err, &ce) {
 			out.Diagnostic = ce.Diagnostic
 		}
+		out.Timeline = r.Result.Timeline
 	} else {
 		res := r.Result
 		out.Result = &res

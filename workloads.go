@@ -104,7 +104,13 @@ func RunWorkloadContext(ctx context.Context, name string, cfg Config) (res Resul
 		if r == nil {
 			return
 		}
+		// Even a crashed or canceled run keeps its partial timeline (a
+		// truncated-but-valid trace up to the failure), so the caller
+		// can still visualize what led up to it.
 		res = Result{}
+		if tl := s.FinishTrace(); tl != nil {
+			res.Timeline = &Timeline{tl: tl}
+		}
 		switch v := r.(type) {
 		case sim.Interrupted:
 			err = fmt.Errorf("stash: %s on %v canceled: %w", name, cfg.Org, context.Cause(ctx))
