@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"stash/internal/cliutil"
 )
 
 type record struct {
@@ -41,7 +43,9 @@ type report struct {
 
 func main() {
 	label := flag.String("label", "", "free-form label stored in the report (e.g. baseline, a git SHA)")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	version()
 
 	rep := report{
 		Label:     *label,

@@ -22,6 +22,13 @@
 // Each simulation is deterministic and results are assembled in grid
 // order, so the tables printed to stdout are byte-identical for every
 // -j value; per-sweep wall times go to stderr.
+//
+// With -server the figure grids are submitted to a running stashd
+// daemon instead of simulated locally; cells the daemon has seen
+// before are served from its content-addressed cache, so regenerating
+// a figure twice simulates nothing the second time:
+//
+//	paperfigs -exp all -server http://localhost:8341
 package main
 
 import (
@@ -31,16 +38,15 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"time"
 
 	"stash"
+	"stash/internal/cliutil"
 )
 
 var (
-	jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations for fig5/fig6 (1 = serial)")
-	jsonOut      = flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
+	sweepFlags   cliutil.SweepFlags
 	quiet        = flag.Bool("q", false, "suppress per-sweep wall-time reports on stderr")
 	traceDir     = flag.String("trace-dir", "", "write a Perfetto-loadable trace per figure cell into this directory (kernel and CPU phases annotated)")
 	traceBuckets = flag.Uint64("trace-buckets", 0, "trace time-series window width in cycles (0 = default 1024)")
@@ -56,7 +62,14 @@ var (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig5|fig6|all")
+	sweepFlags.Register()
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	version()
+	if sweepFlags.Server != "" && *traceDir != "" {
+		fmt.Fprintln(os.Stderr, "-trace-dir requires local simulation; drop -server or -trace-dir")
+		os.Exit(2)
+	}
 	switch *exp {
 	case "table1":
 		table1()
@@ -89,21 +102,10 @@ func main() {
 }
 
 func writeJSON() {
-	if *jsonOut == "" || len(sweptResults) == 0 {
+	if sweepFlags.JSONOut == "" || len(sweptResults) == 0 {
 		return
 	}
-	out := os.Stdout
-	if *jsonOut != "-" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		out = f
-	}
-	if err := stash.EncodeJSON(out, sweptResults); err != nil {
-		log.Fatal(err)
-	}
+	cliutil.WriteJSON(sweepFlags.JSONOut, sweptResults)
 }
 
 func header(s string) {
@@ -169,12 +171,13 @@ func collect(figure string, names []string, orgs []stash.MemOrg) map[string]map[
 		}
 	}
 	start := time.Now()
-	results, _ := stash.Sweep(context.Background(), specs, stash.SweepOptions{
-		Workers: *jobs,
-	})
+	results, err := sweepFlags.Run(context.Background(), specs, stash.SweepOptions{})
+	if results == nil {
+		// The daemon refused the sweep outright (nothing ran).
+		log.Fatal(err)
+	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "%s: %d simulations on %d workers in %v\n",
-			figure, len(specs), *jobs, time.Since(start).Round(time.Millisecond))
+		sweepFlags.ReportWall(figure+": ", len(specs), time.Since(start))
 	}
 	sweptResults = append(sweptResults, results...)
 	if *traceDir != "" {
@@ -211,16 +214,8 @@ func writeTraces(figure string, results []stash.SweepResult) {
 			continue
 		}
 		p := filepath.Join(*traceDir, fmt.Sprintf("%s-%s-%s.json", figure, r.Spec.Workload, r.Spec.Config.Org))
-		f, err := os.Create(p)
-		if err != nil {
+		if err := cliutil.WriteTimeline(p, "chrome", tl); err != nil {
 			log.Fatal(err)
-		}
-		werr := tl.WriteChrome(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			log.Fatalf("writing trace %s: %v", p, werr)
 		}
 	}
 }

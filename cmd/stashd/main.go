@@ -1,0 +1,117 @@
+// Stashd is the simulation-as-a-service daemon: a long-running HTTP
+// server over the sweep engine with a content-addressed cell-result
+// cache in front of it. Every simulation is deterministic, so a cell
+// (workload + config, keyed by stash.RunSpec.Fingerprint) is simulated
+// at most once: repeats are cache hits replayed byte-identically with
+// zero engine cycles run, concurrent identical requests collapse to
+// one simulation, and with -cache-dir the cache survives restarts.
+//
+//	stashd -addr :8341 -cache-dir /var/lib/stashd
+//
+//	# a grid sweep, streamed back as NDJSON (one cell per line):
+//	curl -sN localhost:8341/v1/sweep -d '{"workloads":["implicit"],"orgs":["Scratch","Stash"]}'
+//
+//	# one cell by query (ablation knobs accepted):
+//	curl -s 'localhost:8341/v1/cell?workload=lud&org=Stash&eager_writeback=true'
+//
+//	curl -s localhost:8341/healthz
+//	curl -s localhost:8341/metrics
+//
+// The existing CLIs submit to a daemon instead of simulating locally
+// with -server:
+//
+//	stashsim -workload all -org all -server http://localhost:8341
+//	paperfigs -exp fig5 -server http://localhost:8341
+//
+// Simulation capacity is a bounded worker pool (-workers); each cell
+// honors the -cell-timeout/-retries hardening policy, so a wedged cell
+// returns a structured error instead of occupying a worker forever.
+// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, queued
+// cells fail fast, in-flight requests get -drain-timeout to finish,
+// then connections are closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"stash/internal/cellcache"
+	"stash/internal/cliutil"
+	"stash/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8341", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrently simulated cells across all requests")
+	maxCells := flag.Int("max-cells", 1024, "largest accepted per-request sweep grid")
+	cellTimeout := flag.Duration("cell-timeout", 5*time.Minute, "wall-clock budget per cell attempt (0 = unbounded)")
+	retries := flag.Int("retries", 0, "extra attempts for failed cells")
+	cacheEntries := flag.Int("cache-entries", 4096, "in-memory cache tier entry bound")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "in-memory cache tier byte bound")
+	cacheDir := flag.String("cache-dir", "", "persistent cache tier directory (empty = memory only)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests may finish after SIGTERM")
+	version := cliutil.VersionFlag()
+	flag.Parse()
+	version()
+	log.SetPrefix("stashd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	cache, err := cellcache.New(cellcache.Options{
+		MaxEntries: *cacheEntries,
+		MaxBytes:   *cacheBytes,
+		Dir:        *cacheDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+	if *cacheDir != "" {
+		log.Printf("persistent cache at %s: %d cells loaded", *cacheDir, cache.Stats().DiskEntries)
+	}
+
+	draining := make(chan struct{})
+	srv := serve.New(serve.Config{
+		Cache:       cache,
+		Workers:     *workers,
+		MaxCells:    *maxCells,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+	}, draining)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("draining: refusing new work, waiting up to %v for in-flight requests", *drainTimeout)
+		srv.Drain()     // /healthz -> 503 so load balancers stop routing here
+		close(draining) // queued cells fail fast instead of starting late
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Printf("drain timeout: force-closing remaining connections (%v)", err)
+			hs.Close()
+		}
+	}()
+
+	log.Printf("%s listening on %s (%d workers, cell timeout %v)", cliutil.Version(), *addr, *workers, *cellTimeout)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
+	log.Print("stopped")
+}

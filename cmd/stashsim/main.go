@@ -13,6 +13,12 @@
 //	stashsim -workload all -org Scratch,Stash -j 8
 //	stashsim -workload micro -org all -json results.json
 //
+// With -server the sweep is submitted to a running stashd daemon
+// instead of simulated locally; cells the daemon has seen before are
+// served from its content-addressed cache without re-simulating:
+//
+//	stashsim -workload all -org all -server http://localhost:8341
+//
 // Ablation flags map to the paper's design options:
 //
 //	-no-replication    disable the Section 4.5 data replication optimization
@@ -41,7 +47,8 @@
 //	-trace-format F    chrome (default) or binary
 //
 // Failed and timed-out cells still write their partial trace — a
-// truncated-but-valid file covering the run up to the failure.
+// truncated-but-valid file covering the run up to the failure. Traces
+// require local simulation (they do not cross the -server wire).
 //
 // For performance work, -cpuprofile and -memprofile write pprof
 // profiles of the simulation itself:
@@ -64,6 +71,7 @@ import (
 	"time"
 
 	"stash"
+	"stash/internal/cliutil"
 )
 
 func main() {
@@ -79,14 +87,24 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock budget per cell attempt (0 = unbounded)")
 	retries := flag.Int("retries", 0, "extra attempts for failed cells")
 	failFast := flag.Bool("fail-fast", false, "stop scheduling new cells after the first failure")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial)")
-	jsonOut := flag.String("json", "", "also write raw sweep results as JSON to this file (\"-\" for stdout)")
 	tracePath := flag.String("trace", "", "write per-cell event traces to this file (one cell) or directory")
 	traceBuckets := flag.Uint64("trace-buckets", 0, "trace time-series window width in cycles (0 = default 1024)")
 	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable JSON) or binary")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	var sweepFlags cliutil.SweepFlags
+	sweepFlags.Register()
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	version()
+
+	if sweepFlags.Server != "" && *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "-trace requires local simulation; drop -server or -trace")
+		os.Exit(2)
+	}
+	if sweepFlags.Server != "" && (*failFast || *cellTimeout != 0 || *retries != 0) {
+		fmt.Fprintln(os.Stderr, "note: -fail-fast/-cell-timeout/-retries are local policies; the daemon applies its own")
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -119,8 +137,12 @@ func main() {
 		return
 	}
 
-	workloads := expandWorkloads(*workload)
-	orgs := expandOrgs(*orgName)
+	workloads := cliutil.ExpandWorkloads(*workload)
+	orgs, err := cliutil.ExpandOrgs(*orgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	specs := make([]stash.RunSpec, 0, len(workloads)*len(orgs))
 	for _, w := range workloads {
@@ -142,15 +164,18 @@ func main() {
 	}
 
 	start := time.Now()
-	results, err := stash.Sweep(context.Background(), specs, stash.SweepOptions{
-		Workers:     *jobs,
+	results, err := sweepFlags.Run(context.Background(), specs, stash.SweepOptions{
 		FailFast:    *failFast,
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
 	})
 	if len(specs) > 1 {
-		fmt.Fprintf(os.Stderr, "%d simulations on %d workers in %v\n",
-			len(specs), *jobs, time.Since(start).Round(time.Millisecond))
+		sweepFlags.ReportWall("", len(specs), time.Since(start))
+	}
+	if results == nil {
+		// The daemon refused the sweep outright (nothing ran).
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	// Failures never suppress the cells that did complete: every cell is
@@ -167,8 +192,8 @@ func main() {
 		}
 		report(r, *verbose)
 	}
-	if *jsonOut != "" {
-		writeJSON(*jsonOut, results)
+	if sweepFlags.JSONOut != "" {
+		cliutil.WriteJSON(sweepFlags.JSONOut, results)
 	}
 	if *tracePath != "" {
 		writeTraces(*tracePath, *traceFormat, results)
@@ -226,46 +251,12 @@ func indent(s, prefix string) string {
 	return sb.String()
 }
 
-func expandWorkloads(arg string) []string {
-	switch arg {
-	case "all":
-		return stash.Workloads()
-	case "micro":
-		return stash.Microbenchmarks()
-	case "apps":
-		return stash.Applications()
-	}
-	return strings.Split(arg, ",")
-}
-
-func expandOrgs(arg string) []stash.MemOrg {
-	if arg == "all" {
-		return stash.Orgs()
-	}
-	var orgs []stash.MemOrg
-	for _, name := range strings.Split(arg, ",") {
-		org, err := stash.ParseMemOrg(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		orgs = append(orgs, org)
-	}
-	return orgs
-}
-
 // writeTraces writes each cell's timeline. Cells that failed or timed
 // out keep whatever they traced before stopping, so their files are
 // truncated but still valid; only never-started cells (no timeline)
 // are skipped.
 func writeTraces(path, format string, results []stash.SweepResult) {
-	ext := ".json"
-	if format == "binary" {
-		ext = ".trace"
-	} else if format != "chrome" {
-		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want chrome or binary)\n", format)
-		os.Exit(2)
-	}
+	ext := cliutil.TraceExt(format)
 	dir := len(results) > 1
 	if dir {
 		if err := os.MkdirAll(path, 0o777); err != nil {
@@ -281,36 +272,9 @@ func writeTraces(path, format string, results []stash.SweepResult) {
 		if dir {
 			p = filepath.Join(path, fmt.Sprintf("%s-%s%s", r.Spec.Workload, r.Spec.Config.Org, ext))
 		}
-		f, err := os.Create(p)
-		if err != nil {
+		if err := cliutil.WriteTimeline(p, format, tl); err != nil {
 			log.Fatal(err)
-		}
-		if format == "binary" {
-			err = tl.WriteBinary(f)
-		} else {
-			err = tl.WriteChrome(f)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			log.Fatalf("writing trace %s: %v", p, err)
 		}
 		fmt.Fprintf(os.Stderr, "trace: %s (%d events, %d dropped)\n", p, tl.NumEvents(), tl.Dropped())
-	}
-}
-
-func writeJSON(path string, results []stash.SweepResult) {
-	out := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		out = f
-	}
-	if err := stash.EncodeJSON(out, results); err != nil {
-		log.Fatal(err)
 	}
 }

@@ -1,0 +1,67 @@
+package stash
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fingerprintVersion is folded into every fingerprint. Bump it when the
+// canonical encoding — or the simulator's observable behaviour for an
+// unchanged Config — changes, so stale cached results can never be
+// served for semantically different cells.
+const fingerprintVersion = "stash-cell-v1"
+
+// Fingerprint returns the cell's content address: a stable hex SHA-256
+// over the workload name and a canonical encoding of the Config. Two
+// specs have equal fingerprints exactly when they describe the same
+// simulation, so — because every simulation is deterministic — a
+// fingerprint fully determines the cell's Result. This is the cache key
+// discipline behind cmd/stashd's cell-result cache (DESIGN.md §12).
+//
+// The canonical encoding is independent of struct field order and of Go
+// map iteration: fields are keyed by their JSON names and sorted, zero
+// optional fields are omitted (so a default expressed explicitly or
+// left zero hashes identically), and integers keep full 64-bit
+// precision. The encoding is versioned; fingerprints are comparable
+// only within one version.
+//
+// Fingerprint does not validate the spec — an invalid Config still
+// fingerprints (callers that simulate will surface Validate's error) —
+// but it fails on a Config that cannot be encoded at all, such as a
+// MemOrg outside the six organizations.
+func (s RunSpec) Fingerprint() (string, error) {
+	cfg, err := canonicalJSON(s.Config)
+	if err != nil {
+		return "", fmt.Errorf("stash: fingerprinting %s: %w", s.Workload, err)
+	}
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion)
+	h.Write([]byte{0})
+	io.WriteString(h, s.Workload)
+	h.Write([]byte{0})
+	h.Write(cfg)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// canonicalJSON encodes v deterministically: marshal, reparse into
+// generic form with exact number text preserved, and re-marshal. The
+// round trip erases struct field declaration order (objects become maps,
+// which encoding/json writes with sorted keys) while json.Number keeps
+// 64-bit integers — fault seeds — exact.
+func canonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var generic any
+	if err := dec.Decode(&generic); err != nil {
+		return nil, err
+	}
+	return json.Marshal(generic)
+}

@@ -1,0 +1,188 @@
+package stash
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFingerprintPinned pins the exact fingerprint of one well-known
+// cell. Any change to the canonical encoding — however accidental —
+// fails here and forces a deliberate fingerprintVersion bump, which is
+// what keeps persisted cell caches from silently serving stale results.
+func TestFingerprintPinned(t *testing.T) {
+	fp, err := (RunSpec{Workload: "implicit", Config: MicroConfig(Stash)}).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "33ceb7bd5ecc5aa7462f7c74c458b9dc975c51e5d7625da8f12a3a9a01a4cfbf"
+	if fp != want {
+		t.Errorf("fingerprint of implicit/MicroConfig(Stash) changed:\n got %s\nwant %s\nIf the encoding change is intentional, bump fingerprintVersion and repin.", fp, want)
+	}
+}
+
+// TestFingerprintStable re-derives the same fingerprint many times
+// (exercising Go's randomized map iteration inside the canonical
+// encoder) and from separately constructed equal specs.
+func TestFingerprintStable(t *testing.T) {
+	mk := func() RunSpec {
+		cfg := AppConfig(StashG)
+		cfg.ChunkWords = 4
+		cfg.Faults = &FaultConfig{Seed: 1<<63 + 12345, NoCJitterMax: 7}
+		cfg.Trace = &TraceConfig{BucketCycles: 2048}
+		return RunSpec{Workload: "lud", Config: cfg}
+	}
+	want, err := mk().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		got, err := mk().Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iteration %d: fingerprint not stable: %s vs %s", i, got, want)
+		}
+	}
+}
+
+// TestFingerprintFieldOrderIrrelevant encodes the same logical object
+// through two struct types whose fields are declared in opposite
+// orders; the canonical form must be identical. This pins the property
+// that reordering Config's declaration can never invalidate a cache.
+func TestFingerprintFieldOrderIrrelevant(t *testing.T) {
+	type ab struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	type ba struct {
+		B string `json:"b"`
+		A int    `json:"a"`
+	}
+	x, err := canonicalJSON(ab{A: 3, B: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := canonicalJSON(ba{B: "v", A: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(x) != string(y) {
+		t.Errorf("canonical encodings differ across field order:\n%s\n%s", x, y)
+	}
+}
+
+// TestFingerprint64BitExact pins that large uint64 values (fault seeds)
+// survive canonicalization exactly rather than being rounded through
+// float64 — two seeds that differ only below float64 precision must
+// fingerprint differently.
+func TestFingerprint64BitExact(t *testing.T) {
+	spec := func(seed uint64) RunSpec {
+		cfg := MicroConfig(Stash)
+		cfg.Faults = &FaultConfig{Seed: seed, NoCJitterMax: 1}
+		return RunSpec{Workload: "reuse", Config: cfg}
+	}
+	a, err := spec(1 << 60).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec(1<<60 + 1).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("seeds differing by 1 ulp-below-float64-precision collided")
+	}
+}
+
+// TestFingerprintCoversEveryField mutates each semantic Config field
+// (and the workload) one at a time and requires the fingerprint to
+// move. The reflection count forces this table to grow whenever a
+// field is added to Config, so new knobs can't silently alias cells.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := RunSpec{Workload: "implicit", Config: MicroConfig(Stash)}
+	baseFP, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string]func(*Config){
+		"Org":                func(c *Config) { c.Org = Cache },
+		"GPUs":               func(c *Config) { c.GPUs++ },
+		"CPUs":               func(c *Config) { c.CPUs-- },
+		"DisableReplication": func(c *Config) { c.DisableReplication = true },
+		"EagerWriteback":     func(c *Config) { c.EagerWriteback = true },
+		"ChunkWords":         func(c *Config) { c.ChunkWords = 4 },
+		"CheckInvariants":    func(c *Config) { c.CheckInvariants = true },
+		"WatchdogBudget":     func(c *Config) { c.WatchdogBudget = 1 << 20 },
+		"Faults":             func(c *Config) { c.Faults = &FaultConfig{Seed: 9} },
+		"Trace":              func(c *Config) { c.Trace = &TraceConfig{BucketCycles: 64} },
+	}
+	ct := reflect.TypeOf(Config{})
+	if got, want := len(mutations), ct.NumField(); got != want {
+		t.Fatalf("mutation table covers %d fields but Config has %d: add the new field here and decide whether it is semantic", got, want)
+	}
+	for i := 0; i < ct.NumField(); i++ {
+		if _, ok := mutations[ct.Field(i).Name]; !ok {
+			t.Fatalf("Config field %s has no fingerprint mutation entry", ct.Field(i).Name)
+		}
+	}
+	for name, mutate := range mutations {
+		spec := base
+		mutate(&spec.Config)
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fp == baseFP {
+			t.Errorf("mutating Config.%s did not change the fingerprint", name)
+		}
+	}
+
+	other := base
+	other.Workload = "pollution"
+	fp, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == baseFP {
+		t.Error("changing the workload did not change the fingerprint")
+	}
+}
+
+// TestFingerprintNestedFields spot-checks that fields inside the
+// nested Faults/Trace structs move the hash too.
+func TestFingerprintNestedFields(t *testing.T) {
+	mk := func(edit func(*Config)) string {
+		cfg := MicroConfig(Stash)
+		cfg.Faults = &FaultConfig{Seed: 1, BankStalls: []BankStall{{Bank: 3, From: 100, For: 10}}}
+		cfg.Trace = &TraceConfig{BucketCycles: 1024}
+		if edit != nil {
+			edit(&cfg)
+		}
+		fp, err := (RunSpec{Workload: "nw", Config: cfg}).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	base := mk(nil)
+	for name, edit := range map[string]func(*Config){
+		"Faults.Seed":            func(c *Config) { c.Faults.Seed = 2 },
+		"Faults.BankStalls.Bank": func(c *Config) { c.Faults.BankStalls[0].Bank = 4 },
+		"Faults.BankStalls.For":  func(c *Config) { c.Faults.BankStalls[0].For = 0 },
+		"Trace.BucketCycles":     func(c *Config) { c.Trace.BucketCycles = 512 },
+	} {
+		if mk(edit) == base {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintInvalidOrg(t *testing.T) {
+	_, err := (RunSpec{Workload: "implicit", Config: Config{Org: MemOrg(99), GPUs: 1}}).Fingerprint()
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("want a fingerprint encoding error for an invalid MemOrg, got %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package cellcache memoizes simulation cell results by content
+// address. A cell's fingerprint (stash.RunSpec.Fingerprint) fully
+// determines its result — every simulation is deterministic — so the
+// cache stores the cell's serialized result bytes verbatim and a hit
+// replays them byte-identically without running a single engine cycle.
+//
+// The cache is tiered: a bounded in-memory LRU front tier answers hot
+// lookups, and an optional append-only on-disk log keeps every result
+// across restarts. Entries evicted from memory remain served from
+// disk; a corrupted or truncated disk record is skipped (a miss), never
+// fatal. Concurrent fills of the same key are collapsed: one caller
+// computes, the rest wait and share the bytes (singleflight).
+package cellcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Options configures a Cache. The zero value is usable: memory-only
+// with default bounds.
+type Options struct {
+	// MaxEntries bounds the in-memory tier's entry count. Zero selects
+	// the default of 4096; negative disables the in-memory tier (every
+	// hit reads through to disk).
+	MaxEntries int
+	// MaxBytes bounds the in-memory tier's total value bytes. Zero
+	// selects the default of 256 MiB.
+	MaxBytes int64
+	// Dir, when non-empty, arms the persistent tier: results are
+	// appended to Dir/cells.log and reloaded on New, so a restarted
+	// daemon keeps its cache. The directory is created if missing.
+	Dir string
+}
+
+const (
+	defaultMaxEntries = 4096
+	defaultMaxBytes   = 256 << 20
+)
+
+// Stats is a point-in-time counter snapshot; see Cache.Stats.
+type Stats struct {
+	// Hits counts lookups served from either tier; Misses the rest.
+	// A singleflight follower counts as a hit (it never simulated).
+	Hits, Misses uint64
+	// DiskHits is the subset of Hits served by the persistent tier.
+	DiskHits uint64
+	// Collapsed counts singleflight followers: concurrent Do calls for
+	// a key that shared another caller's in-flight computation.
+	Collapsed uint64
+	// Evictions counts entries dropped from the memory tier by bounds.
+	Evictions uint64
+	// MemEntries and MemBytes describe the memory tier right now;
+	// DiskEntries the persistent index (0 when the disk tier is off).
+	MemEntries  int
+	MemBytes    int64
+	DiskEntries int
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is a two-tier content-addressed result cache. All methods are
+// safe for concurrent use.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recent; values are *entry
+	byKey    map[string]*list.Element
+	memBytes int64
+	flights  map[string]*flight
+	stats    Stats
+
+	disk *diskTier // nil when Options.Dir is empty
+}
+
+// New opens a cache. With Options.Dir set, the persistent log is
+// replayed into the index (corrupted tails and records are skipped);
+// errors creating or reading the directory are returned, not fatal to
+// the caller's data.
+func New(opts Options) (*Cache, error) {
+	c := &Cache{
+		maxEntries: opts.MaxEntries,
+		maxBytes:   opts.MaxBytes,
+		lru:        list.New(),
+		byKey:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight),
+	}
+	if c.maxEntries == 0 {
+		c.maxEntries = defaultMaxEntries
+	}
+	if c.maxBytes == 0 {
+		c.maxBytes = defaultMaxBytes
+	}
+	if opts.Dir != "" {
+		d, err := openDiskTier(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("cellcache: opening disk tier: %w", err)
+		}
+		c.disk = d
+	}
+	return c, nil
+}
+
+// Close releases the persistent tier's file handle. The cache must not
+// be used afterwards.
+func (c *Cache) Close() error {
+	if c.disk != nil {
+		return c.disk.close()
+	}
+	return nil
+}
+
+// Get returns the cached bytes for key. The returned slice is shared:
+// callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	val, ok := c.lookup(key)
+	c.mu.Lock()
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	c.mu.Unlock()
+	return val, ok
+}
+
+// lookup reads through both tiers without touching the hit/miss
+// counters (Do accounts for its lookups itself).
+func (c *Cache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	disk := c.disk
+	c.mu.Unlock()
+
+	if disk != nil {
+		if val, ok := disk.get(key); ok {
+			c.mu.Lock()
+			c.stats.DiskHits++
+			c.insertMemLocked(key, val)
+			c.mu.Unlock()
+			return val, true
+		}
+	}
+	return nil, false
+}
+
+// Put stores val under key in both tiers. The cache takes ownership of
+// val; callers must not modify it afterwards.
+func (c *Cache) Put(key string, val []byte) error {
+	c.mu.Lock()
+	c.insertMemLocked(key, val)
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		if err := disk.put(key, val); err != nil {
+			return fmt.Errorf("cellcache: persisting %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// Do returns the cached bytes for key, computing them with fn on a
+// miss. Concurrent Do calls for the same key run fn once: the leader
+// computes and stores, followers block and share the result. cached
+// reports whether the bytes came without running fn in this call —
+// from either tier or from another caller's flight. fn errors are
+// returned to every waiter and never cached.
+func (c *Cache) Do(key string, fn func() ([]byte, error)) (val []byte, cached bool, err error) {
+	if val, ok := c.lookup(key); ok {
+		c.mu.Lock()
+		c.stats.Hits++
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.stats.Hits++
+		c.stats.Collapsed++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.val, true, nil
+	}
+	// Re-check the memory tier under the lock: a flight that landed
+	// between the lookup above and here must be a hit, not a second run.
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+	if f.err == nil {
+		if perr := c.Put(key, f.val); perr != nil {
+			// The result is valid even if persisting it failed; keep
+			// serving it and surface the disk problem to the leader only.
+			err = perr
+		}
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	return f.val, false, err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.MemEntries = c.lru.Len()
+	s.MemBytes = c.memBytes
+	if c.disk != nil {
+		s.DiskEntries = c.disk.len()
+	}
+	return s
+}
+
+// insertMemLocked adds or refreshes a memory-tier entry and enforces
+// the tier's bounds. c.mu must be held.
+func (c *Cache) insertMemLocked(key string, val []byte) {
+	if c.maxEntries < 0 {
+		return // memory tier disabled
+	}
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*entry)
+		c.memBytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.lru.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.lru.PushFront(&entry{key: key, val: val})
+		c.memBytes += int64(len(val))
+	}
+	for c.lru.Len() > c.maxEntries || (c.memBytes > c.maxBytes && c.lru.Len() > 1) {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		c.lru.Remove(oldest)
+		delete(c.byKey, e.key)
+		c.memBytes -= int64(len(e.val))
+		c.stats.Evictions++
+	}
+}

@@ -1,0 +1,317 @@
+package cellcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemHitMiss(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.MemEntries != 1 || s.MemBytes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestLRUEvictionBounds fills past both bounds and checks the tier
+// stays bounded, evicts oldest-first, and keeps recently-used entries.
+func TestLRUEvictionBounds(t *testing.T) {
+	c, err := New(Options{MaxEntries: 4, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	s := c.Stats()
+	if s.MemEntries != 4 || s.Evictions != 6 {
+		t.Fatalf("after 10 puts into a 4-entry tier: %+v", s)
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d survived eviction", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing", i)
+		}
+	}
+
+	// Recently-used survives: touch k6, insert, expect k7 evicted first.
+	c.Get("k6")
+	c.Put("kA", []byte("a"))
+	if _, ok := c.Get("k6"); !ok {
+		t.Error("recently-used k6 was evicted before older k7")
+	}
+	if _, ok := c.Get("k7"); ok {
+		t.Error("k7 should have been the LRU victim")
+	}
+}
+
+// TestByteBound checks the byte bound evicts independently of the
+// entry bound (while always retaining at least one entry, so a single
+// oversized value still caches).
+func TestByteBound(t *testing.T) {
+	c, err := New(Options{MaxEntries: 100, MaxBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 40))
+	}
+	if s := c.Stats(); s.MemBytes > 100 || s.MemEntries > 2 {
+		t.Errorf("byte bound not enforced: %+v", s)
+	}
+	c.Put("big", make([]byte, 500))
+	if _, ok := c.Get("big"); !ok {
+		t.Error("oversized value should still be retained as the sole entry")
+	}
+}
+
+func TestDiskRoundTripAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("cell-%03d", i)
+		v := bytes.Repeat([]byte{byte(i)}, 10+i)
+		vals[k] = v
+		if err := c.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated restart: a fresh cache over the same directory serves
+	// every entry from the log.
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if n := c2.Stats().DiskEntries; n != 20 {
+		t.Fatalf("restarted index has %d entries, want 20", n)
+	}
+	for k, want := range vals {
+		got, ok := c2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("after restart, Get(%s) = %q, %v; want %q", k, got, ok, want)
+		}
+	}
+	if s := c2.Stats(); s.DiskHits != 20 {
+		t.Errorf("want 20 disk hits after restart, got %+v", s)
+	}
+	// Promotion: a second Get is a memory hit, not another disk read.
+	c2.Get("cell-000")
+	if s := c2.Stats(); s.DiskHits != 20 {
+		t.Errorf("promoted entry re-read from disk: %+v", s)
+	}
+}
+
+// TestCorruptedDiskEntrySkipped flips a byte inside one record's value
+// and checks that on reload only that record is lost — the entries
+// before and after it still serve — and the cache keeps working.
+func TestCorruptedDiskEntrySkipped(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("aaa", []byte("first-value"))
+	c.Put("bbb", []byte("second-value"))
+	c.Put("ccc", []byte("third-value"))
+	c.Close()
+
+	path := filepath.Join(dir, logName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw, []byte("second-value"))
+	if i < 0 {
+		t.Fatal("second record not found in log")
+	}
+	raw[i] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("corrupted record must not be fatal: %v", err)
+	}
+	defer c2.Close()
+	if _, ok := c2.Get("bbb"); ok {
+		t.Error("corrupted record served")
+	}
+	for _, k := range []string{"aaa", "ccc"} {
+		if _, ok := c2.Get(k); !ok {
+			t.Errorf("intact record %s lost alongside the corrupted one", k)
+		}
+	}
+	// The corrupted key is a plain miss: re-putting repairs it.
+	if err := c2.Put("bbb", []byte("second-value")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c2.Get("bbb"); !ok || string(v) != "second-value" {
+		t.Error("re-put after corruption did not take")
+	}
+}
+
+// TestTornTailTruncated cuts the log mid-record (a crash during
+// append) and checks the intact prefix loads and appends still work.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("aaa", []byte("first-value"))
+	c.Put("bbb", []byte("second-value"))
+	c.Close()
+
+	path := filepath.Join(dir, logName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("torn tail must not be fatal: %v", err)
+	}
+	if _, ok := c2.Get("aaa"); !ok {
+		t.Error("intact prefix record lost")
+	}
+	if _, ok := c2.Get("bbb"); ok {
+		t.Error("torn record served")
+	}
+	c2.Put("ccc", []byte("third-value"))
+	c2.Close()
+
+	c3, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	for _, k := range []string{"aaa", "ccc"} {
+		if _, ok := c3.Get(k); !ok {
+			t.Errorf("%s missing after post-truncation append", k)
+		}
+	}
+}
+
+func TestForeignLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("not a cache log at all"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Dir: dir}); err == nil {
+		t.Fatal("foreign file silently adopted as a cache log")
+	}
+}
+
+// TestDoSingleflight launches many concurrent Do calls for one key and
+// checks exactly one computes while the rest share its bytes.
+func TestDoSingleflight(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([][]byte, n)
+	cachedFlags := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, cached, err := c.Do("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-gate
+				return []byte("computed"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i], cachedFlags[i] = v, cached
+		}(i)
+	}
+	// Let followers pile onto the leader's flight, then release it.
+	for c.Stats().Collapsed < n-1 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	fresh := 0
+	for i := range vals {
+		if string(vals[i]) != "computed" {
+			t.Fatalf("caller %d got %q", i, vals[i])
+		}
+		if !cachedFlags[i] {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Errorf("%d callers reported a fresh compute, want exactly the leader", fresh)
+	}
+	if v, cached, _ := c.Do("k", func() ([]byte, error) { t.Error("recompute after fill"); return nil, nil }); !cached || string(v) != "computed" {
+		t.Error("post-flight Do missed the cache")
+	}
+}
+
+// TestDoErrorNotCached: a failed compute reaches every waiter but the
+// next Do retries.
+func TestDoErrorNotCached(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, cached, err := c.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || cached || string(v) != "ok" {
+		t.Fatalf("retry after error: %q %v %v", v, cached, err)
+	}
+}

@@ -1,0 +1,197 @@
+package cellcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The persistent tier is one append-only log, Dir/cells.log:
+//
+//	header  "stashcellcache1\n"
+//	record  u32 keyLen | u32 valLen | key | val | u32 crc32(key|val)
+//
+// little-endian throughout. Append-only keeps crash behaviour simple:
+// a torn write can only damage the tail, which the loader truncates
+// away; a bit-flipped record fails its checksum and is skipped. The
+// content-address discipline (one key names exactly one value, ever)
+// means records never need updating in place and a duplicate key is
+// just a redundant copy.
+
+const (
+	logName      = "cells.log"
+	logMagic     = "stashcellcache1\n"
+	maxKeyLen    = 1 << 10
+	maxValLen    = 1 << 30
+	recordPrefix = 8 // two u32 lengths
+)
+
+type diskRef struct {
+	off    int64 // record start (the length prefix)
+	keyLen uint32
+	valLen uint32
+}
+
+type diskTier struct {
+	mu    sync.Mutex
+	f     *os.File
+	size  int64 // current append offset
+	index map[string]diskRef
+}
+
+func openDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	d := &diskTier{f: f, index: make(map[string]diskRef)}
+	if err := d.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// load replays the log into the index. Records with bad checksums are
+// skipped; an unparseable tail (torn final write) is truncated so the
+// next append continues a well-formed log. Only I/O errors and a
+// foreign header are reported.
+func (d *diskTier) load() error {
+	st, err := d.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		if _, err := d.f.Write([]byte(logMagic)); err != nil {
+			return err
+		}
+		d.size = int64(len(logMagic))
+		return nil
+	}
+	hdr := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(io.NewSectionReader(d.f, 0, int64(len(hdr))), hdr); err != nil || string(hdr) != logMagic {
+		return fmt.Errorf("%s is not a cell cache log (bad header)", d.f.Name())
+	}
+
+	off := int64(len(logMagic))
+	buf := make([]byte, 0, 4096)
+	for off < st.Size() {
+		var prefix [recordPrefix]byte
+		if _, err := d.f.ReadAt(prefix[:], off); err != nil {
+			break // torn tail
+		}
+		keyLen := binary.LittleEndian.Uint32(prefix[0:4])
+		valLen := binary.LittleEndian.Uint32(prefix[4:8])
+		if keyLen == 0 || keyLen > maxKeyLen || valLen > maxValLen {
+			break // framing lost; everything after is unusable
+		}
+		recLen := int64(recordPrefix) + int64(keyLen) + int64(valLen) + 4
+		if off+recLen > st.Size() {
+			break // truncated record
+		}
+		body := int(keyLen) + int(valLen) + 4
+		if cap(buf) < body {
+			buf = make([]byte, body)
+		}
+		buf = buf[:body]
+		if _, err := d.f.ReadAt(buf, off+recordPrefix); err != nil {
+			break
+		}
+		key := buf[:keyLen]
+		sum := binary.LittleEndian.Uint32(buf[body-4:])
+		if crc32.ChecksumIEEE(buf[:body-4]) == sum {
+			d.index[string(key)] = diskRef{off: off, keyLen: keyLen, valLen: valLen}
+		}
+		// Checksum mismatch: the record is framed but corrupt — skip it
+		// and keep scanning; later records are still good.
+		off += recLen
+	}
+	// Drop any torn tail so future appends produce a well-formed log.
+	if off < st.Size() {
+		if err := d.f.Truncate(off); err != nil {
+			return err
+		}
+	}
+	d.size = off
+	return nil
+}
+
+// get reads and verifies key's record. A record that fails
+// verification (bit rot since load) is dropped from the index and
+// reported as a miss.
+func (d *diskTier) get(key string) ([]byte, bool) {
+	d.mu.Lock()
+	ref, ok := d.index[key]
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	body := int(ref.keyLen) + int(ref.valLen) + 4
+	buf := make([]byte, body)
+	if _, err := d.f.ReadAt(buf, ref.off+recordPrefix); err != nil {
+		d.drop(key)
+		return nil, false
+	}
+	sum := binary.LittleEndian.Uint32(buf[body-4:])
+	if crc32.ChecksumIEEE(buf[:body-4]) != sum || string(buf[:ref.keyLen]) != key {
+		d.drop(key)
+		return nil, false
+	}
+	return buf[ref.keyLen : body-4], true
+}
+
+func (d *diskTier) drop(key string) {
+	d.mu.Lock()
+	delete(d.index, key)
+	d.mu.Unlock()
+}
+
+// put appends a record. Keys are content addresses — a key present in
+// the index already names these exact bytes — so re-puts are skipped
+// rather than duplicated.
+func (d *diskTier) put(key string, val []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("invalid cache key length %d", len(key))
+	}
+	if len(val) > maxValLen {
+		return errors.New("cache value too large for the disk tier")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.index[key]; ok {
+		return nil
+	}
+	rec := make([]byte, recordPrefix+len(key)+len(val)+4)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(val)))
+	copy(rec[recordPrefix:], key)
+	copy(rec[recordPrefix+len(key):], val)
+	sum := crc32.ChecksumIEEE(rec[recordPrefix : len(rec)-4])
+	binary.LittleEndian.PutUint32(rec[len(rec)-4:], sum)
+	if _, err := d.f.WriteAt(rec, d.size); err != nil {
+		return err
+	}
+	d.index[key] = diskRef{off: d.size, keyLen: uint32(len(key)), valLen: uint32(len(val))}
+	d.size += int64(len(rec))
+	return nil
+}
+
+func (d *diskTier) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.index)
+}
+
+func (d *diskTier) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

@@ -1,0 +1,106 @@
+package cliutil
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"stash"
+)
+
+// SubmitSweep posts the specs to a stashd daemon's /v1/sweep and
+// decodes the NDJSON stream back into sweep results, preserving
+// stash.Sweep's contract: one result per spec in spec order, and a
+// joined error over the failed cells (nil when every cell succeeded).
+// progress, when non-nil, fires once per received cell, in order.
+//
+// Cells the daemon has served before come from its content-addressed
+// cache: no simulation runs and the reported wall time is the original
+// run's. Timelines do not cross the wire (the JSON form is a summary),
+// so -trace flags require local simulation.
+func SubmitSweep(ctx context.Context, baseURL string, specs []stash.RunSpec, progress func(stash.SweepEvent)) ([]stash.SweepResult, error) {
+	body, err := json.Marshal(struct {
+		Specs []stash.RunSpec `json:"specs"`
+	}{specs})
+	if err != nil {
+		return nil, fmt.Errorf("encoding sweep request: %w", err)
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/sweep"
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("building sweep request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("submitting sweep to %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeServerError(resp)
+	}
+
+	results := make([]stash.SweepResult, len(specs))
+	received := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() && received < len(specs) {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r stash.SweepResult
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("decoding cell %d from %s: %w", received, baseURL, err)
+		}
+		// The daemon streams in spec order; hold it to that.
+		if want := specs[received]; r.Spec.Workload != want.Workload || r.Spec.Config.Org != want.Config.Org {
+			return nil, fmt.Errorf("daemon returned cell %s out of order (want %s)", r.Spec, want)
+		}
+		results[received] = r
+		received++
+		if progress != nil {
+			progress(stash.SweepEvent{
+				Index: received - 1, Done: received, Total: len(specs),
+				Spec: r.Spec, Wall: r.Wall, Err: r.Err,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading sweep stream from %s: %w", baseURL, err)
+	}
+	if received < len(specs) {
+		// The daemon cut the stream short (a cell hit an internal error).
+		cut := fmt.Errorf("sweep stream from %s ended after %d of %d cells", baseURL, received, len(specs))
+		for i := received; i < len(specs); i++ {
+			results[i] = stash.SweepResult{Spec: specs[i], Err: cut}
+		}
+	}
+
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// decodeServerError turns a non-200 daemon response into an error
+// carrying the structured body's message when there is one.
+func decodeServerError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return fmt.Errorf("daemon rejected the sweep: %s (HTTP %s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("daemon rejected the sweep: HTTP %s: %s", resp.Status, bytes.TrimSpace(raw))
+}

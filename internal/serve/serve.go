@@ -1,0 +1,504 @@
+// Package serve implements stashd's HTTP layer: request validation,
+// a bounded worker pool over the simulation engine, per-request
+// context and deadline propagation, and the content-addressed
+// cell-result cache in front of it all (see DESIGN.md §12).
+//
+// Endpoints:
+//
+//	POST /v1/sweep   simulate a grid of cells, streamed as NDJSON
+//	GET  /v1/cell    simulate (or replay) one cell
+//	GET  /healthz    liveness and drain state
+//	GET  /metrics    counters in Prometheus text format
+//
+// Every cell is keyed by stash.RunSpec.Fingerprint and served through
+// cellcache: a repeated cell is a cache hit that replays the stored
+// bytes verbatim — byte-identical JSON, zero engine cycles run — and
+// concurrent identical cells collapse to one simulation (singleflight).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"stash"
+	"stash/internal/cellcache"
+)
+
+// RunFunc simulates one cell under ctx. It is injectable for tests;
+// the default runs the real engine with the server's per-cell timeout
+// and retry policy via stash.Sweep, inheriting its crash isolation (a
+// hung or panicking cell returns a structured *stash.CellError).
+type RunFunc func(ctx context.Context, spec stash.RunSpec) stash.SweepResult
+
+// Config configures a Server.
+type Config struct {
+	// Cache is the content-addressed result store. Required.
+	Cache *cellcache.Cache
+	// Workers bounds concurrently simulated cells across all requests.
+	// Values below 1 select runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxCells bounds the grid size of one /v1/sweep request. Zero
+	// selects the default of 1024.
+	MaxCells int
+	// CellTimeout bounds each cell attempt's wall time (see
+	// stash.SweepOptions.CellTimeout). Zero means unbounded.
+	CellTimeout time.Duration
+	// Retries re-runs a failed cell attempt (see
+	// stash.SweepOptions.Retries).
+	Retries int
+	// Run overrides the engine (tests only). Nil selects the real one.
+	Run RunFunc
+}
+
+const defaultMaxCells = 1024
+
+// Server is the stashd request handler. Create with New, expose with
+// Handler.
+type Server struct {
+	cfg  Config
+	run  RunFunc
+	sem  chan struct{} // worker-pool slots
+	done <-chan struct{}
+
+	draining   atomic.Bool
+	queueDepth atomic.Int64 // cells admitted, waiting for a slot
+	inFlight   atomic.Int64 // cells simulating right now
+
+	sweepReqs    atomic.Uint64
+	cellReqs     atomic.Uint64
+	badReqs      atomic.Uint64
+	cellsServed  atomic.Uint64
+	cellsFailed  atomic.Uint64
+	simCycles    atomic.Uint64 // engine cycles actually simulated (fresh runs)
+	simWallNanos atomic.Int64  // host time spent simulating (fresh runs)
+}
+
+// New builds a Server. done, when non-nil, aborts cell scheduling
+// during shutdown (cells waiting for a worker slot fail fast instead
+// of racing the listener teardown).
+func New(cfg Config, done <-chan struct{}) *Server {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{cfg: cfg, sem: make(chan struct{}, workers), done: done}
+	if cfg.MaxCells == 0 {
+		s.cfg.MaxCells = defaultMaxCells
+	}
+	s.run = cfg.Run
+	if s.run == nil {
+		s.run = func(ctx context.Context, spec stash.RunSpec) stash.SweepResult {
+			rs, _ := stash.Sweep(ctx, []stash.RunSpec{spec}, stash.SweepOptions{
+				Workers:     1,
+				CellTimeout: s.cfg.CellTimeout,
+				Retries:     s.cfg.Retries,
+			})
+			return rs[0]
+		}
+	}
+	return s
+}
+
+// Handler routes the API surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/cell", s.handleCell)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain flips the server into draining: /healthz starts answering 503
+// so load balancers stop routing here while in-flight requests finish.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// apiError is the structured error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+	// Index is the offending cell's position for per-cell validation
+	// failures of a sweep request.
+	Index *int `json:"index,omitempty"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.failCell(w, code, nil, format, args...)
+}
+
+func (s *Server) failCell(w http.ResponseWriter, code int, index *int, format string, args ...any) {
+	s.badReqs.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Index: index})
+}
+
+// SweepRequest is the POST /v1/sweep body. Cells come from explicit
+// specs, a workloads x orgs grid shorthand (each workload getting the
+// paper's machine for it, as stash.Grid does), or both appended.
+type SweepRequest struct {
+	Specs     []stash.RunSpec `json:"specs,omitempty"`
+	Workloads []string        `json:"workloads,omitempty"`
+	Orgs      []string        `json:"orgs,omitempty"`
+}
+
+// maxRequestBytes bounds a request body; a full 6-org x 11-workload
+// grid of explicit specs is ~50 KB, so 8 MiB is generous.
+const maxRequestBytes = 8 << 20
+
+// parseSweepRequest decodes and fully validates the request, returning
+// the cell list or writing a structured 400/413.
+func (s *Server) parseSweepRequest(w http.ResponseWriter, r *http.Request) ([]stash.RunSpec, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, code, "invalid sweep request: %v", err)
+		return nil, false
+	}
+	specs := req.Specs
+	if len(req.Workloads) > 0 || len(req.Orgs) > 0 {
+		orgs := make([]stash.MemOrg, 0, len(req.Orgs))
+		for _, name := range req.Orgs {
+			org, err := stash.ParseMemOrg(name)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "%v", err)
+				return nil, false
+			}
+			orgs = append(orgs, org)
+		}
+		specs = append(specs, stash.Grid(req.Workloads, orgs)...)
+	}
+	if len(specs) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty sweep: give specs or workloads+orgs")
+		return nil, false
+	}
+	if len(specs) > s.cfg.MaxCells {
+		s.fail(w, http.StatusRequestEntityTooLarge, "sweep of %d cells exceeds the per-request limit of %d", len(specs), s.cfg.MaxCells)
+		return nil, false
+	}
+	for i, spec := range specs {
+		i := i
+		if !validWorkload(spec.Workload) {
+			s.failCell(w, http.StatusBadRequest, &i, "unknown workload %q (want one of %v)", spec.Workload, stash.Workloads())
+			return nil, false
+		}
+		if err := spec.Config.Validate(); err != nil {
+			s.failCell(w, http.StatusBadRequest, &i, "cell %d (%s): %v", i, spec, err)
+			return nil, false
+		}
+	}
+	return specs, true
+}
+
+func validWorkload(name string) bool {
+	for _, w := range stash.Workloads() {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleSweep streams the grid's cells as NDJSON in spec order, each
+// line one SweepResult JSON document, flushed as it completes. Cells
+// are scheduled concurrently onto the worker pool; identical repeats
+// and concurrent duplicates are served by the cache. Because every
+// line is the cell's cached byte image, resubmitting an identical
+// request yields a byte-identical body.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.sweepReqs.Add(1)
+	specs, ok := s.parseSweepRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+
+	type outcome struct {
+		line []byte
+		err  error
+	}
+	outcomes := make([]chan outcome, len(specs))
+	for i := range specs {
+		outcomes[i] = make(chan outcome, 1)
+		go func(i int) {
+			line, err := s.cell(ctx, specs[i])
+			outcomes[i] <- outcome{line, err}
+		}(i)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Stashd-Cells", strconv.Itoa(len(specs)))
+	flusher, _ := w.(http.Flusher)
+	for i := range outcomes {
+		var out outcome
+		select {
+		case out = <-outcomes[i]:
+		case <-ctx.Done():
+			return // client gone; in-flight cells see the cancellation
+		}
+		if out.err != nil {
+			// Headers are already sent; all we can do is cut the stream
+			// short, which the client sees as a truncated body.
+			return
+		}
+		// The line is the cache's shared slice: write the newline
+		// separately rather than appending into its backing array.
+		if _, err := w.Write(out.line); err != nil {
+			return
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleCell simulates (or replays) a single cell described by query
+// parameters and returns its SweepResult JSON document.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	s.cellReqs.Add(1)
+	spec, ok := s.parseCellQuery(w, r)
+	if !ok {
+		return
+	}
+	line, err := s.cell(r.Context(), spec)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(line)
+	io.WriteString(w, "\n")
+}
+
+// parseCellQuery builds a RunSpec from /v1/cell query parameters:
+// workload and org select the cell (on the paper's machine for that
+// workload); gpus, cpus and the ablation/hardening knobs override the
+// corresponding Config fields. Unknown parameters are a 400 — a typoed
+// knob must not silently simulate the default cell.
+func (s *Server) parseCellQuery(w http.ResponseWriter, r *http.Request) (stash.RunSpec, bool) {
+	q := r.URL.Query()
+	known := map[string]bool{
+		"workload": true, "org": true, "gpus": true, "cpus": true,
+		"disable_replication": true, "eager_writeback": true, "chunk_words": true,
+		"check_invariants": true, "watchdog_budget": true,
+	}
+	for k := range q {
+		if !known[k] {
+			s.fail(w, http.StatusBadRequest, "unknown query parameter %q", k)
+			return stash.RunSpec{}, false
+		}
+	}
+	name := q.Get("workload")
+	if !validWorkload(name) {
+		s.fail(w, http.StatusBadRequest, "unknown workload %q (want one of %v)", name, stash.Workloads())
+		return stash.RunSpec{}, false
+	}
+	org, err := stash.ParseMemOrg(q.Get("org"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return stash.RunSpec{}, false
+	}
+	cfg := stash.AppConfig(org)
+	if stash.IsMicrobenchmark(name) {
+		cfg = stash.MicroConfig(org)
+	}
+	intq := func(key string, dst *int) bool {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "invalid %s %q: %v", key, v, err)
+				return false
+			}
+			*dst = n
+		}
+		return true
+	}
+	boolq := func(key string, dst *bool) bool {
+		if v := q.Get(key); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "invalid %s %q: %v", key, v, err)
+				return false
+			}
+			*dst = b
+		}
+		return true
+	}
+	if !intq("gpus", &cfg.GPUs) || !intq("cpus", &cfg.CPUs) || !intq("chunk_words", &cfg.ChunkWords) ||
+		!boolq("disable_replication", &cfg.DisableReplication) || !boolq("eager_writeback", &cfg.EagerWriteback) ||
+		!boolq("check_invariants", &cfg.CheckInvariants) {
+		return stash.RunSpec{}, false
+	}
+	if v := q.Get("watchdog_budget"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "invalid watchdog_budget %q: %v", v, err)
+			return stash.RunSpec{}, false
+		}
+		cfg.WatchdogBudget = n
+	}
+	if err := cfg.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return stash.RunSpec{}, false
+	}
+	return stash.RunSpec{Workload: name, Config: cfg}, true
+}
+
+// cellFailed carries a failed cell's serialized line through the
+// cache's error path, so failures reach every singleflight waiter but
+// are never cached (a timeout or cancellation is a fact about one run,
+// not about the cell).
+type cellFailed struct {
+	line   []byte
+	status stash.CellStatus
+	err    error
+}
+
+func (e *cellFailed) Error() string { return e.err.Error() }
+func (e *cellFailed) Unwrap() error { return e.err }
+
+// cell produces the cell's NDJSON line: from the cache when the
+// fingerprint is known, otherwise by scheduling one simulation on the
+// worker pool (collapsing concurrent identical cells). Failed cells
+// yield their serialized failure line; only an encoding breakdown
+// returns a non-nil error.
+func (s *Server) cell(ctx context.Context, spec stash.RunSpec) ([]byte, error) {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		line, _, err := s.cfg.Cache.Do(fp, func() ([]byte, error) {
+			res := s.simulate(ctx, spec)
+			line, merr := json.Marshal(res)
+			if merr != nil {
+				return nil, fmt.Errorf("encoding %s: %w", spec, merr)
+			}
+			s.cellsServed.Add(1)
+			if res.Err != nil {
+				s.cellsFailed.Add(1)
+				return nil, &cellFailed{line: line, status: res.Status(), err: res.Err}
+			}
+			return line, nil
+		})
+		if err == nil {
+			return line, nil
+		}
+		var cf *cellFailed
+		if !errors.As(err, &cf) {
+			return nil, err
+		}
+		// A cancellation that is not ours — another request's client
+		// disconnected while we shared its flight — must not decide this
+		// cell's fate: rerun under our own context.
+		shared := ctx.Err() == nil
+		if shared && attempt == 0 &&
+			(cf.status == stash.StatusCanceled || cf.status == stash.StatusNotStarted) {
+			continue
+		}
+		return cf.line, nil
+	}
+}
+
+// simulate runs one engine simulation on the bounded pool, tracking
+// queue depth and in-flight gauges and the simulated-cycle throughput
+// counters. Cells that never get a slot (client gone or server
+// draining) report as never-started cancellations.
+func (s *Server) simulate(ctx context.Context, spec stash.RunSpec) stash.SweepResult {
+	s.queueDepth.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.queueDepth.Add(-1)
+	case <-ctx.Done():
+		s.queueDepth.Add(-1)
+		return stash.SweepResult{Spec: spec,
+			Err: fmt.Errorf("stash: %s not started: %w", spec, context.Cause(ctx))}
+	case <-s.done:
+		s.queueDepth.Add(-1)
+		return stash.SweepResult{Spec: spec,
+			Err: fmt.Errorf("stash: %s not started: server draining: %w", spec, context.Canceled)}
+	}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+	res := s.run(ctx, spec)
+	if res.Err == nil {
+		s.simCycles.Add(res.Result.Cycles)
+	}
+	s.simWallNanos.Add(int64(res.Wall))
+	return res
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleMetrics renders the counters in Prometheus text exposition
+// format (untyped, no labels — scrapable and greppable).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cfg.Cache.Stats()
+	simWall := time.Duration(s.simWallNanos.Load()).Seconds()
+	cyclesPerSec := 0.0
+	if simWall > 0 {
+		cyclesPerSec = float64(s.simCycles.Load()) / simWall
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name string
+		val  any
+	}{
+		{"stashd_cache_hits_total", cs.Hits},
+		{"stashd_cache_misses_total", cs.Misses},
+		{"stashd_cache_disk_hits_total", cs.DiskHits},
+		{"stashd_cache_singleflight_collapsed_total", cs.Collapsed},
+		{"stashd_cache_evictions_total", cs.Evictions},
+		{"stashd_cache_mem_entries", cs.MemEntries},
+		{"stashd_cache_mem_bytes", cs.MemBytes},
+		{"stashd_cache_disk_entries", cs.DiskEntries},
+		{"stashd_inflight_cells", s.inFlight.Load()},
+		{"stashd_queue_depth", s.queueDepth.Load()},
+		{"stashd_worker_slots", cap(s.sem)},
+		{"stashd_sweep_requests_total", s.sweepReqs.Load()},
+		{"stashd_cell_requests_total", s.cellReqs.Load()},
+		{"stashd_bad_requests_total", s.badReqs.Load()},
+		{"stashd_cells_simulated_total", s.cellsServed.Load()},
+		{"stashd_cells_failed_total", s.cellsFailed.Load()},
+		{"stashd_sim_cycles_total", s.simCycles.Load()},
+		{"stashd_sim_wall_seconds_total", simWall},
+		{"stashd_sim_cycles_per_sec", cyclesPerSec},
+	} {
+		switch v := m.val.(type) {
+		case float64:
+			fmt.Fprintf(w, "%s %g\n", m.name, v)
+		default:
+			fmt.Fprintf(w, "%s %d\n", m.name, v)
+		}
+	}
+}

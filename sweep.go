@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -101,6 +102,79 @@ func (r SweepResult) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(out)
 }
+
+// UnmarshalJSON decodes a cell previously encoded by MarshalJSON (one
+// element of an EncodeJSON document, or one stashd NDJSON line) back
+// into a SweepResult. The cell's error is reconstructed from its
+// status: hang/deadlock/invariant/panic become a *CellError carrying
+// the diagnostic, timeout satisfies errors.Is(err, ErrCellTimeout),
+// canceled/not_started carry context.Canceled, and plain errors keep
+// their message. Status therefore round-trips exactly. Timelines do
+// not round-trip — the JSON form is a summary, not the event payload —
+// so decoded results have Result.Timeline == nil.
+func (r *SweepResult) UnmarshalJSON(b []byte) error {
+	var in struct {
+		sweepResultJSON
+		// Shadow the summary-only field so a marshal-only *Timeline can
+		// never be half-decoded into the result.
+		Timeline json.RawMessage `json:"timeline,omitempty"`
+	}
+	if err := json.Unmarshal(b, &in); err != nil {
+		return fmt.Errorf("stash: decoding sweep cell: %w", err)
+	}
+	*r = SweepResult{
+		Spec:     RunSpec{Workload: in.Workload, Config: in.Config},
+		Wall:     time.Duration(in.WallNS),
+		Attempts: in.Attempts,
+	}
+	if in.Result != nil {
+		r.Result = *in.Result
+		r.Result.Timeline = nil
+	}
+	r.Err = decodeCellErr(in.Status, in.Error, in.Diagnostic, r.Spec)
+	return nil
+}
+
+// decodeCellErr rebuilds a cell error from its wire form.
+func decodeCellErr(status CellStatus, msg, diagnostic string, spec RunSpec) error {
+	kind, ok := map[CellStatus]FailureKind{
+		StatusHang:      FailHang,
+		StatusDeadlock:  FailDeadlock,
+		StatusInvariant: FailInvariant,
+		StatusPanic:     FailPanic,
+	}[status]
+	switch {
+	case ok:
+		// CellError.Error prefixes "stash: <cell>: <kind>: "; strip it so
+		// Msg round-trips instead of nesting.
+		prefix := fmt.Sprintf("stash: %s on %v: %s: ", spec.Workload, spec.Config.Org, kind)
+		return &CellError{
+			Workload:   spec.Workload,
+			Org:        spec.Config.Org,
+			Kind:       kind,
+			Msg:        strings.TrimPrefix(msg, prefix),
+			Diagnostic: diagnostic,
+		}
+	case status == StatusTimeout:
+		return &wireErr{msg: msg, sentinel: ErrCellTimeout}
+	case status == StatusCanceled, status == StatusNotStarted:
+		return &wireErr{msg: msg, sentinel: context.Canceled}
+	case status == StatusOK:
+		return nil
+	}
+	return errors.New(msg)
+}
+
+// wireErr is a decoded cell error: the wire message verbatim (so
+// re-encoding is byte-identical) still wrapping the sentinel the
+// status implies, so errors.Is keeps working after a round trip.
+type wireErr struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireErr) Error() string { return e.msg }
+func (e *wireErr) Unwrap() error { return e.sentinel }
 
 // SweepEvent is delivered to SweepOptions.Progress once per completed
 // cell. Callbacks are serialized: no two run concurrently, and Done is
@@ -241,4 +315,14 @@ func EncodeJSON(w io.Writer, results []SweepResult) error {
 		return fmt.Errorf("stash: encoding sweep results: %w", err)
 	}
 	return nil
+}
+
+// DecodeJSON reads an EncodeJSON document back into sweep results; see
+// SweepResult.UnmarshalJSON for how much of each cell round-trips.
+func DecodeJSON(r io.Reader) ([]SweepResult, error) {
+	var out []SweepResult
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("stash: decoding sweep results: %w", err)
+	}
+	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -170,6 +171,72 @@ func TestSweepCanceledContext(t *testing.T) {
 		if !errors.Is(r.Err, context.Canceled) {
 			t.Errorf("cell %d Err = %v, want context.Canceled", i, r.Err)
 		}
+	}
+}
+
+// TestSweepJSONRoundTrip: a decoded EncodeJSON document reproduces
+// every cell's spec, wall time, status — including reconstructed
+// errors with their diagnostics — and re-encodes bit-identically
+// (timelines excepted: their JSON form is a summary).
+func TestSweepJSONRoundTrip(t *testing.T) {
+	cells := []SweepResult{
+		{
+			Spec:   RunSpec{Workload: "implicit", Config: MicroConfig(Stash)},
+			Result: Result{Cycles: 123, EnergyPJ: 4.5, FlitHops: map[string]uint64{"read": 9}, Counters: map[string]uint64{"x": 1}},
+			Wall:   time.Millisecond, Attempts: 1,
+		},
+		{
+			Spec: RunSpec{Workload: "lud", Config: AppConfig(Cache)},
+			Wall: time.Second, Attempts: 2,
+			Err: &CellError{Workload: "lud", Org: Cache, Kind: FailHang, Msg: "no progress for 1000 cycles", Diagnostic: "engine: cycle=42"},
+		},
+		{
+			Spec: RunSpec{Workload: "nw", Config: AppConfig(Stash)},
+			Wall: time.Second, Attempts: 1,
+			Err: fmt.Errorf("gave up: %w", ErrCellTimeout),
+		},
+		{
+			Spec: RunSpec{Workload: "surf", Config: AppConfig(Scratch)},
+			Err:  fmt.Errorf("stash: surf on Scratch not started: %w", context.Canceled),
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(cells) {
+		t.Fatalf("decoded %d cells, want %d", len(decoded), len(cells))
+	}
+	for i, d := range decoded {
+		orig := cells[i]
+		if d.Spec != orig.Spec || d.Wall != orig.Wall || d.Attempts != orig.Attempts {
+			t.Errorf("cell %d identity: got %+v", i, d)
+		}
+		if d.Status() != orig.Status() {
+			t.Errorf("cell %d status: got %s want %s", i, d.Status(), orig.Status())
+		}
+	}
+	if !reflect.DeepEqual(decoded[0].Result, cells[0].Result) {
+		t.Errorf("ok cell result did not round-trip: %+v", decoded[0].Result)
+	}
+	var ce *CellError
+	if !errors.As(decoded[1].Err, &ce) || ce.Diagnostic != "engine: cycle=42" || ce.Msg != "no progress for 1000 cycles" {
+		t.Errorf("cell error did not round-trip: %#v", decoded[1].Err)
+	}
+	if !errors.Is(decoded[2].Err, ErrCellTimeout) {
+		t.Errorf("timeout identity lost: %v", decoded[2].Err)
+	}
+
+	var rebuf bytes.Buffer
+	if err := EncodeJSON(&rebuf, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), rebuf.Bytes()) {
+		t.Errorf("re-encoded document differs:\n%s\nvs\n%s", buf.Bytes(), rebuf.Bytes())
 	}
 }
 
