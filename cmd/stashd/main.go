@@ -4,9 +4,14 @@
 // (workload + config, keyed by stash.RunSpec.Fingerprint) is simulated
 // at most once: repeats are cache hits replayed byte-identically with
 // zero engine cycles run, concurrent identical requests collapse to
-// one simulation, and with -cache-dir the cache survives restarts.
+// one simulation, and with a persistent engine the cache survives
+// restarts.
 //
-//	stashd -addr :8341 -cache-dir /var/lib/stashd
+// The cache is configured by a single -cache engine-spec URL:
+//
+//	stashd -cache 'memory://?entries=4096&bytes=256MiB'
+//	stashd -cache 'log:///var/lib/stashd'
+//	stashd -cache 'pairtree:///var/lib/stashd?compress=gzip&ttl=24h'
 //
 //	# a grid sweep, streamed back as NDJSON (one cell per line):
 //	curl -sN localhost:8341/v1/sweep -d '{"workloads":["implicit"],"orgs":["Scratch","Stash"]}'
@@ -35,11 +40,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,9 +61,10 @@ func main() {
 	maxCells := flag.Int("max-cells", 1024, "largest accepted per-request sweep grid")
 	cellTimeout := flag.Duration("cell-timeout", 5*time.Minute, "wall-clock budget per cell attempt (0 = unbounded)")
 	retries := flag.Int("retries", 0, "extra attempts for failed cells")
-	cacheEntries := flag.Int("cache-entries", 4096, "in-memory cache tier entry bound")
-	cacheBytes := flag.Int64("cache-bytes", 256<<20, "in-memory cache tier byte bound")
-	cacheDir := flag.String("cache-dir", "", "persistent cache tier directory (empty = memory only)")
+	cacheSpec := flag.String("cache", "", "cache engine spec URL, e.g. memory://?entries=4096&bytes=256MiB, log:///var/lib/stashd, pairtree:///data?compress=gzip&ttl=24h")
+	cacheEntries := flag.Int("cache-entries", 4096, "deprecated: use -cache memory://?entries=N")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "deprecated: use -cache memory://?bytes=N")
+	cacheDir := flag.String("cache-dir", "", "deprecated: use -cache log://DIR")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests may finish after SIGTERM")
 	version := cliutil.VersionFlag()
 	flag.Parse()
@@ -64,17 +72,17 @@ func main() {
 	log.SetPrefix("stashd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	cache, err := cellcache.New(cellcache.Options{
-		MaxEntries: *cacheEntries,
-		MaxBytes:   *cacheBytes,
-		Dir:        *cacheDir,
-	})
+	spec, err := resolveCacheSpec(*cacheSpec, *cacheEntries, *cacheBytes, *cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := spec.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cache.Close()
-	if *cacheDir != "" {
-		log.Printf("persistent cache at %s: %d cells loaded", *cacheDir, cache.Stats().DiskEntries)
+	if spec.Scheme != "memory" {
+		log.Printf("persistent cache %s: %d cells loaded", spec.String(), cache.Stats().StoreEntries)
 	}
 
 	draining := make(chan struct{})
@@ -114,4 +122,34 @@ func main() {
 	}
 	<-shutdownDone
 	log.Print("stopped")
+}
+
+// resolveCacheSpec merges the -cache engine-spec URL with the
+// deprecated -cache-entries/-cache-bytes/-cache-dir aliases. The old
+// flags keep their exact pre-spec semantics (-cache-dir picks the
+// append-only log engine) but may not be combined with -cache: one
+// source of truth, no silent overrides.
+func resolveCacheSpec(raw string, entries int, bytes int64, dir string) (cellcache.Spec, error) {
+	var legacy []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "cache-entries", "cache-bytes", "cache-dir":
+			legacy = append(legacy, "-"+f.Name)
+		}
+	})
+	if raw != "" {
+		if len(legacy) > 0 {
+			return cellcache.Spec{}, fmt.Errorf("-cache cannot be combined with deprecated %s; fold them into the spec URL", strings.Join(legacy, ", "))
+		}
+		return cellcache.ParseSpec(raw)
+	}
+	if len(legacy) > 0 {
+		log.Printf("deprecated: %s; use -cache (see -help)", strings.Join(legacy, ", "))
+	}
+	sp := cellcache.Spec{Scheme: "memory", Entries: entries, Bytes: bytes}
+	if dir != "" {
+		sp.Scheme = "log"
+		sp.Path = dir
+	}
+	return sp, nil
 }

@@ -13,7 +13,15 @@ import (
 // canonical encoding — or the simulator's observable behaviour for an
 // unchanged Config — changes, so stale cached results can never be
 // served for semantically different cells.
-const fingerprintVersion = "stash-cell-v1"
+//
+// v2 accompanied the cellcache storage redesign (self-describing "sce2"
+// entry frames, pluggable engines): bumping the key version retires
+// every entry persisted by v1 daemons in one stroke, so a new binary
+// pointed at an old cache directory can never replay bytes produced
+// under the old on-disk discipline. Codec identity is deliberately NOT
+// key material — it lives in each stored entry's frame header, so the
+// same cell hits regardless of which compression the cache runs.
+const fingerprintVersion = "stash-cell-v2"
 
 // Fingerprint returns the cell's content address: a stable hex SHA-256
 // over the workload name and a canonical encoding of the Config. Two

@@ -1,6 +1,9 @@
 package stash
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -15,9 +18,40 @@ func TestFingerprintPinned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = "33ceb7bd5ecc5aa7462f7c74c458b9dc975c51e5d7625da8f12a3a9a01a4cfbf"
+	const want = "7a21751cb410811a96c8981950098a196f1886904a3b813a5a7677e1d18d43d0"
 	if fp != want {
 		t.Errorf("fingerprint of implicit/MicroConfig(Stash) changed:\n got %s\nwant %s\nIf the encoding change is intentional, bump fingerprintVersion and repin.", fp, want)
+	}
+	// The v1 pin for the same cell. v2 retiring every v1 cache entry is
+	// only true if the version string actually moves the hash; guard
+	// against a refactor that stops folding it in.
+	const v1 = "33ceb7bd5ecc5aa7462f7c74c458b9dc975c51e5d7625da8f12a3a9a01a4cfbf"
+	if fp == v1 {
+		t.Error("v2 fingerprint collided with the retired v1 pin; fingerprintVersion is no longer key material")
+	}
+}
+
+// TestFingerprintVersionIsKeyMaterial pins that the version constant
+// participates in the hash: hand-hashing the same cell under a
+// different version label must diverge from Fingerprint's output.
+func TestFingerprintVersionIsKeyMaterial(t *testing.T) {
+	spec := RunSpec{Workload: "implicit", Config: MicroConfig(Stash)}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := canonicalJSON(spec.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := sha256.New()
+	io.WriteString(alt, "stash-cell-v1")
+	alt.Write([]byte{0})
+	io.WriteString(alt, spec.Workload)
+	alt.Write([]byte{0})
+	alt.Write(cfg)
+	if fp == hex.EncodeToString(alt.Sum(nil)) {
+		t.Error("fingerprint matches a v1-labelled hash of the same cell; version bump would not invalidate old caches")
 	}
 }
 

@@ -1,66 +1,91 @@
 // Package cellcache memoizes simulation cell results by content
 // address. A cell's fingerprint (stash.RunSpec.Fingerprint) fully
 // determines its result — every simulation is deterministic — so the
-// cache stores the cell's serialized result bytes verbatim and a hit
-// replays them byte-identically without running a single engine cycle.
+// cache stores the cell's serialized result bytes and a hit replays
+// them byte-identically without running a single engine cycle.
 //
-// The cache is tiered: a bounded in-memory LRU front tier answers hot
-// lookups, and an optional append-only on-disk log keeps every result
-// across restarts. Entries evicted from memory remain served from
-// disk; a corrupted or truncated disk record is skipped (a miss), never
-// fatal. Concurrent fills of the same key are collapsed: one caller
-// computes, the rest wait and share the bytes (singleflight).
+// The package is layered (DESIGN.md §12):
+//
+//	Cache front   namespaces · singleflight · TTL · framing/codec · stats
+//	      │
+//	Engine        Memory (LRU) · Log (append-only CRC log) · Pairtree
+//	              (one file per entry under hash-prefix directories)
+//
+// The Cache front owns every policy — concurrent fills of a key
+// collapse to one computation (singleflight), failures are never
+// cached, values are framed with a self-describing codec/expiry header
+// and optionally gzip-compressed, TTL leases extend on read, and keys
+// are prefixed with a tenant namespace so tenants can never read each
+// other's cells. Engines are dumb byte stores behind the Engine
+// interface; a persistent engine gets a Memory front tier composed in
+// front of it, with store-tier hits promoted into memory.
 package cellcache
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
+	"time"
 )
 
-// Options configures a Cache. The zero value is usable: memory-only
-// with default bounds.
+// Options configures New, the programmatic constructor predating the
+// engine-spec URL grammar (see ParseSpec/Open for the full surface).
+// The zero value is usable: memory-only with default bounds.
 type Options struct {
 	// MaxEntries bounds the in-memory tier's entry count. Zero selects
 	// the default of 4096; negative disables the in-memory tier (every
-	// hit reads through to disk).
+	// hit reads through to the persistent engine).
 	MaxEntries int
 	// MaxBytes bounds the in-memory tier's total value bytes. Zero
 	// selects the default of 256 MiB.
 	MaxBytes int64
-	// Dir, when non-empty, arms the persistent tier: results are
-	// appended to Dir/cells.log and reloaded on New, so a restarted
-	// daemon keeps its cache. The directory is created if missing.
+	// Dir, when non-empty, selects the Log engine rooted at Dir, so a
+	// restarted daemon keeps its cache.
 	Dir string
 }
 
-const (
-	defaultMaxEntries = 4096
-	defaultMaxBytes   = 256 << 20
-)
+// New opens a cache described by Options. It is equivalent to opening
+// the spec "memory://?entries=..&bytes=.." (Dir empty) or
+// "log://Dir?entries=..&bytes=..".
+func New(opts Options) (*Cache, error) {
+	sp := Spec{Scheme: "memory", Entries: opts.MaxEntries, Bytes: opts.MaxBytes}
+	if opts.Dir != "" {
+		sp.Scheme, sp.Path = "log", opts.Dir
+	}
+	return sp.Open()
+}
 
 // Stats is a point-in-time counter snapshot; see Cache.Stats.
 type Stats struct {
-	// Hits counts lookups served from either tier; Misses the rest.
-	// A singleflight follower counts as a hit (it never simulated).
+	// Hits counts lookups served from any tier; Misses the rest. A
+	// singleflight follower counts as a hit (it never simulated).
 	Hits, Misses uint64
-	// DiskHits is the subset of Hits served by the persistent tier.
-	DiskHits uint64
+	// MemHits and StoreHits split Hits by serving tier (followers are
+	// in neither). A warm entry costs one StoreHit, then promotion
+	// makes repeats MemHits.
+	MemHits, StoreHits uint64
 	// Collapsed counts singleflight followers: concurrent Do calls for
 	// a key that shared another caller's in-flight computation.
 	Collapsed uint64
 	// Evictions counts entries dropped from the memory tier by bounds.
 	Evictions uint64
+	// Expired counts entries dropped because their TTL lease lapsed.
+	Expired uint64
+	// BytesRaw and BytesStored account compression on the stored tier:
+	// payload bytes before framing vs framed (compressed) bytes
+	// written. Their ratio is the compression ratio.
+	BytesRaw, BytesStored uint64
 	// MemEntries and MemBytes describe the memory tier right now;
-	// DiskEntries the persistent index (0 when the disk tier is off).
-	MemEntries  int
-	MemBytes    int64
-	DiskEntries int
+	// StoreEntries the persistent engine (0 when memory-only).
+	MemEntries   int
+	MemBytes     int64
+	StoreEntries int
 }
 
-type entry struct {
-	key string
-	val []byte
+// NamespaceStats are the per-tenant counters behind stashd's
+// per-namespace metrics.
+type NamespaceStats struct {
+	Hits, Misses          uint64
+	BytesRaw, BytesStored uint64
 }
 
 type flight struct {
@@ -69,130 +94,253 @@ type flight struct {
 	err  error
 }
 
-// Cache is a two-tier content-addressed result cache. All methods are
-// safe for concurrent use.
+const (
+	tierMiss = iota
+	tierMem
+	tierStore
+)
+
+// Cache is the content-addressed result cache front over one or two
+// engines. All methods are safe for concurrent use.
 type Cache struct {
-	maxEntries int
-	maxBytes   int64
+	mem   *Memory // front tier; nil when disabled (Spec.Entries < 0)
+	store Engine  // persistent engine; nil for memory-only
+	codec byte    // codec for newly stored payloads
+	ttl   time.Duration
+	now   func() time.Time // injectable clock (tests)
 
-	mu       sync.Mutex
-	lru      *list.List // front = most recent; values are *entry
-	byKey    map[string]*list.Element
-	memBytes int64
-	flights  map[string]*flight
-	stats    Stats
-
-	disk *diskTier // nil when Options.Dir is empty
+	mu      sync.Mutex
+	flights map[string]*flight
+	stats   Stats
+	ns      map[string]*NamespaceStats
 }
 
-// New opens a cache. With Options.Dir set, the persistent log is
-// replayed into the index (corrupted tails and records are skipped);
-// errors creating or reading the directory are returned, not fatal to
-// the caller's data.
-func New(opts Options) (*Cache, error) {
-	c := &Cache{
-		maxEntries: opts.MaxEntries,
-		maxBytes:   opts.MaxBytes,
-		lru:        list.New(),
-		byKey:      make(map[string]*list.Element),
-		flights:    make(map[string]*flight),
+func newCache(codec byte, ttl time.Duration) *Cache {
+	return &Cache{
+		codec:   codec,
+		ttl:     ttl,
+		now:     time.Now,
+		flights: make(map[string]*flight),
+		ns:      make(map[string]*NamespaceStats),
 	}
-	if c.maxEntries == 0 {
-		c.maxEntries = defaultMaxEntries
-	}
-	if c.maxBytes == 0 {
-		c.maxBytes = defaultMaxBytes
-	}
-	if opts.Dir != "" {
-		d, err := openDiskTier(opts.Dir)
-		if err != nil {
-			return nil, fmt.Errorf("cellcache: opening disk tier: %w", err)
-		}
-		c.disk = d
-	}
-	return c, nil
 }
 
-// Close releases the persistent tier's file handle. The cache must not
-// be used afterwards.
+// Close releases the engines. The cache must not be used afterwards.
 func (c *Cache) Close() error {
-	if c.disk != nil {
-		return c.disk.close()
+	if c.mem != nil {
+		c.mem.Close()
+	}
+	if c.store != nil {
+		return c.store.Close()
 	}
 	return nil
 }
 
-// Get returns the cached bytes for key. The returned slice is shared:
-// callers must not modify it.
-func (c *Cache) Get(key string) ([]byte, bool) {
-	val, ok := c.lookup(key)
-	c.mu.Lock()
-	if ok {
-		c.stats.Hits++
-	} else {
-		c.stats.Misses++
+// engineKey prefixes key with the tenant namespace. The empty
+// namespace maps to the bare key, so single-tenant callers pay
+// nothing. Namespaces must not contain ':' (stashd derives them as
+// hex digests, see internal/serve).
+func engineKey(ns, key string) string {
+	if ns == "" {
+		return key
 	}
-	c.mu.Unlock()
-	return val, ok
+	return ns + ":" + key
+}
+
+// memCodec is the codec for memory-tier frames: raw when a persistent
+// engine sits behind (hot hits must not pay decompression; the store
+// copy carries the compression), the configured codec when memory is
+// the only tier (trading CPU to fit more cells under MaxBytes).
+func (c *Cache) memCodec() byte {
+	if c.store != nil {
+		return CodecRaw
+	}
+	return c.codec
+}
+
+// Get returns the cached bytes for key in namespace ns. The returned
+// slice is shared: callers must not modify it.
+func (c *Cache) Get(ns, key string) ([]byte, bool) {
+	val, tier := c.lookup(engineKey(ns, key))
+	c.account(ns, tier)
+	return val, tier != tierMiss
+}
+
+// account updates the global and per-namespace hit/miss counters for
+// one lookup outcome.
+func (c *Cache) account(ns string, tier int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nsLocked(ns)
+	switch tier {
+	case tierMem:
+		c.stats.Hits++
+		c.stats.MemHits++
+		n.Hits++
+	case tierStore:
+		c.stats.Hits++
+		c.stats.StoreHits++
+		n.Hits++
+	default:
+		c.stats.Misses++
+		n.Misses++
+	}
+}
+
+func (c *Cache) nsLocked(ns string) *NamespaceStats {
+	n, ok := c.ns[ns]
+	if !ok {
+		n = &NamespaceStats{}
+		c.ns[ns] = n
+	}
+	return n
 }
 
 // lookup reads through both tiers without touching the hit/miss
-// counters (Do accounts for its lookups itself).
-func (c *Cache) lookup(key string) ([]byte, bool) {
-	c.mu.Lock()
-	if el, ok := c.byKey[key]; ok {
-		c.lru.MoveToFront(el)
-		val := el.Value.(*entry).val
-		c.mu.Unlock()
-		return val, true
-	}
-	disk := c.disk
-	c.mu.Unlock()
-
-	if disk != nil {
-		if val, ok := disk.get(key); ok {
-			c.mu.Lock()
-			c.stats.DiskHits++
-			c.insertMemLocked(key, val)
-			c.mu.Unlock()
-			return val, true
+// counters (Get and Do account for their lookups themselves). Expired
+// or undecodable frames are dropped and read as misses; store-tier
+// hits are promoted into the memory tier; reads extend TTL leases.
+func (c *Cache) lookup(k string) ([]byte, int) {
+	now := c.now()
+	if c.mem != nil {
+		if frame, ok := c.mem.Get(k); ok {
+			payload, expiry, _, err := decodeFrame(frame)
+			switch {
+			case err != nil:
+				c.mem.Delete(k)
+			case c.expired(expiry, now):
+				c.dropExpired(k, true)
+			default:
+				c.extend(k, payload, expiry, now)
+				return payload, tierMem
+			}
 		}
 	}
-	return nil, false
+	if c.store != nil {
+		if frame, ok := c.store.Get(k); ok {
+			payload, expiry, _, err := decodeFrame(frame)
+			switch {
+			case err != nil:
+				c.store.Delete(k)
+			case c.expired(expiry, now):
+				c.dropExpired(k, false)
+			default:
+				expiry = c.extend(k, payload, expiry, now)
+				if c.mem != nil {
+					if mf, err := encodeFrame(c.memCodec(), expiry, payload); err == nil {
+						c.mem.Put(k, mf)
+					}
+				}
+				return payload, tierStore
+			}
+		}
+	}
+	return nil, tierMiss
 }
 
-// Put stores val under key in both tiers. The cache takes ownership of
-// val; callers must not modify it afterwards.
-func (c *Cache) Put(key string, val []byte) error {
+func (c *Cache) expired(expiry int64, now time.Time) bool {
+	return expiry != 0 && now.UnixNano() >= expiry
+}
+
+// dropExpired removes an expired entry from both tiers. A memory copy
+// never outlives the store copy's lease (extensions update both), so
+// expiry in memory implies expiry on the store.
+func (c *Cache) dropExpired(k string, inMem bool) {
+	if inMem && c.mem != nil {
+		c.mem.Delete(k)
+	}
+	if c.store != nil {
+		c.store.Delete(k)
+	}
 	c.mu.Lock()
-	c.insertMemLocked(key, val)
-	disk := c.disk
+	c.stats.Expired++
 	c.mu.Unlock()
-	if disk != nil {
-		if err := disk.put(key, val); err != nil {
-			return fmt.Errorf("cellcache: persisting %s: %w", key, err)
+}
+
+// extend implements extend-on-read: once a lease has burned through
+// half its TTL, a read renews it to now+TTL in both tiers. The
+// half-life threshold bounds rewrite traffic (a hot entry rewrites at
+// most once per TTL/2) while guaranteeing an entry read at least once
+// per TTL/2 never expires. Returns the (possibly renewed) expiry.
+func (c *Cache) extend(k string, payload []byte, expiry int64, now time.Time) int64 {
+	if c.ttl <= 0 || expiry == 0 || expiry-now.UnixNano() >= int64(c.ttl)/2 {
+		return expiry
+	}
+	renewed := now.Add(c.ttl).UnixNano()
+	if c.mem != nil {
+		if mf, err := encodeFrame(c.memCodec(), renewed, payload); err == nil {
+			c.mem.Put(k, mf)
+		}
+	}
+	if c.store != nil {
+		if sf, err := encodeFrame(c.codec, renewed, payload); err == nil {
+			c.store.Put(k, sf)
+		}
+	}
+	return renewed
+}
+
+// Put stores val under key in namespace ns, in both tiers. The cache
+// takes ownership of val; callers must not modify it afterwards.
+func (c *Cache) Put(ns, key string, val []byte) error {
+	return c.put(ns, engineKey(ns, key), val)
+}
+
+func (c *Cache) put(ns, k string, val []byte) error {
+	var expiry int64
+	if c.ttl > 0 {
+		expiry = c.now().Add(c.ttl).UnixNano()
+	}
+	if c.mem != nil {
+		mf, err := encodeFrame(c.memCodec(), expiry, val)
+		if err != nil {
+			return fmt.Errorf("cellcache: framing %s: %w", k, err)
+		}
+		c.mem.Put(k, mf)
+		if c.store == nil {
+			c.accountStored(ns, len(val), len(mf))
+		}
+	}
+	if c.store != nil {
+		sf, err := encodeFrame(c.codec, expiry, val)
+		if err != nil {
+			return fmt.Errorf("cellcache: framing %s: %w", k, err)
+		}
+		c.accountStored(ns, len(val), len(sf))
+		if err := c.store.Put(k, sf); err != nil {
+			return fmt.Errorf("cellcache: persisting %s: %w", k, err)
 		}
 	}
 	return nil
 }
 
-// Do returns the cached bytes for key, computing them with fn on a
-// miss. Concurrent Do calls for the same key run fn once: the leader
-// computes and stores, followers block and share the result. cached
-// reports whether the bytes came without running fn in this call —
-// from either tier or from another caller's flight. fn errors are
-// returned to every waiter and never cached.
-func (c *Cache) Do(key string, fn func() ([]byte, error)) (val []byte, cached bool, err error) {
-	if val, ok := c.lookup(key); ok {
-		c.mu.Lock()
-		c.stats.Hits++
-		c.mu.Unlock()
+func (c *Cache) accountStored(ns string, raw, stored int) {
+	c.mu.Lock()
+	c.stats.BytesRaw += uint64(raw)
+	c.stats.BytesStored += uint64(stored)
+	n := c.nsLocked(ns)
+	n.BytesRaw += uint64(raw)
+	n.BytesStored += uint64(stored)
+	c.mu.Unlock()
+}
+
+// Do returns the cached bytes for key in namespace ns, computing them
+// with fn on a miss. Concurrent Do calls for the same (ns, key) run fn
+// once: the leader computes and stores, followers block and share the
+// result. cached reports whether the bytes came without running fn in
+// this call — from either tier or from another caller's flight. fn
+// errors are returned to every waiter and never cached.
+func (c *Cache) Do(ns, key string, fn func() ([]byte, error)) (val []byte, cached bool, err error) {
+	k := engineKey(ns, key)
+	if val, tier := c.lookup(k); tier != tierMiss {
+		c.account(ns, tier)
 		return val, true, nil
 	}
 	c.mu.Lock()
-	if f, ok := c.flights[key]; ok {
+	if f, ok := c.flights[k]; ok {
 		c.stats.Hits++
 		c.stats.Collapsed++
+		c.nsLocked(ns).Hits++
 		c.mu.Unlock()
 		<-f.done
 		if f.err != nil {
@@ -200,30 +348,37 @@ func (c *Cache) Do(key string, fn func() ([]byte, error)) (val []byte, cached bo
 		}
 		return f.val, true, nil
 	}
-	// Re-check the memory tier under the lock: a flight that landed
-	// between the lookup above and here must be a hit, not a second run.
-	if el, ok := c.byKey[key]; ok {
-		c.lru.MoveToFront(el)
-		c.stats.Hits++
-		val := el.Value.(*entry).val
-		c.mu.Unlock()
-		return val, true, nil
+	// Re-check the memory tier under the flight lock: a leader deletes
+	// its flight only after Put, so a flight that landed between the
+	// lookup above and here is visible either in the flight map or in
+	// the memory tier — never a second run.
+	if c.mem != nil {
+		if frame, ok := c.mem.Get(k); ok {
+			if payload, expiry, _, err := decodeFrame(frame); err == nil && !c.expired(expiry, c.now()) {
+				c.stats.Hits++
+				c.stats.MemHits++
+				c.nsLocked(ns).Hits++
+				c.mu.Unlock()
+				return payload, true, nil
+			}
+		}
 	}
 	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
+	c.flights[k] = f
 	c.stats.Misses++
+	c.nsLocked(ns).Misses++
 	c.mu.Unlock()
 
 	f.val, f.err = fn()
 	if f.err == nil {
-		if perr := c.Put(key, f.val); perr != nil {
+		if perr := c.put(ns, k, f.val); perr != nil {
 			// The result is valid even if persisting it failed; keep
 			// serving it and surface the disk problem to the leader only.
 			err = perr
 		}
 	}
 	c.mu.Lock()
-	delete(c.flights, key)
+	delete(c.flights, k)
 	c.mu.Unlock()
 	close(f.done)
 	if f.err != nil {
@@ -235,40 +390,49 @@ func (c *Cache) Do(key string, fn func() ([]byte, error)) (val []byte, cached bo
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.stats
-	s.MemEntries = c.lru.Len()
-	s.MemBytes = c.memBytes
-	if c.disk != nil {
-		s.DiskEntries = c.disk.len()
+	c.mu.Unlock()
+	if c.mem != nil {
+		s.MemEntries, s.MemBytes, s.Evictions = c.mem.usage()
+	}
+	if c.store != nil {
+		s.StoreEntries = c.store.Len()
 	}
 	return s
 }
 
-// insertMemLocked adds or refreshes a memory-tier entry and enforces
-// the tier's bounds. c.mu must be held.
-func (c *Cache) insertMemLocked(key string, val []byte) {
-	if c.maxEntries < 0 {
-		return // memory tier disabled
+// Namespaces snapshots the per-tenant counters, keyed by namespace.
+func (c *Cache) Namespaces() map[string]NamespaceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]NamespaceStats, len(c.ns))
+	for ns, n := range c.ns {
+		out[ns] = *n
 	}
-	if el, ok := c.byKey[key]; ok {
-		e := el.Value.(*entry)
-		c.memBytes += int64(len(val)) - int64(len(e.val))
-		e.val = val
-		c.lru.MoveToFront(el)
-	} else {
-		c.byKey[key] = c.lru.PushFront(&entry{key: key, val: val})
-		c.memBytes += int64(len(val))
-	}
-	for c.lru.Len() > c.maxEntries || (c.memBytes > c.maxBytes && c.lru.Len() > 1) {
-		oldest := c.lru.Back()
-		if oldest == nil {
-			break
+	return out
+}
+
+// purgeExpired drops entries whose lease already lapsed from the
+// persistent engine. Run once at open, so a restarted daemon does not
+// resurrect expired cells (and their disk space, for Pairtree, is
+// reclaimed). frameExpiry reads only the header — no decompression.
+func (c *Cache) purgeExpired() {
+	now := c.now()
+	var expired []string
+	c.store.Keys(func(k string) bool {
+		if frame, ok := c.store.Get(k); ok {
+			if expiry, ok := frameExpiry(frame); ok && c.expired(expiry, now) {
+				expired = append(expired, k)
+			}
 		}
-		e := oldest.Value.(*entry)
-		c.lru.Remove(oldest)
-		delete(c.byKey, e.key)
-		c.memBytes -= int64(len(e.val))
-		c.stats.Evictions++
+		return true
+	})
+	for _, k := range expired {
+		c.store.Delete(k)
+	}
+	if len(expired) > 0 {
+		c.mu.Lock()
+		c.stats.Expired += uint64(len(expired))
+		c.mu.Unlock()
 	}
 }

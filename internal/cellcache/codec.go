@@ -1,0 +1,121 @@
+package cellcache
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Every value an engine stores is framed with a self-describing
+// header, so an entry carries its own codec identity and expiry and
+// can never be misread by a cache configured differently from the one
+// that wrote it (a gzip-written entry read by a compression-off cache
+// still decompresses; a plain entry read by a gzip cache is served
+// as-is):
+//
+//	"sce2" | codec u8 | expiry u64 (unix nanoseconds, 0 = never) | payload
+//
+// little-endian. The magic doubles as the stored-entry version: v1
+// caches stored bare payloads, which fail the magic check and read as
+// misses — exactly the orphaning the stash-cell-v2 fingerprint bump
+// implies. The payload is the serialized SweepResult bytes, compressed
+// per the codec byte.
+const (
+	frameMagic = "sce2"
+	frameHdr   = 4 + 1 + 8
+
+	// Codec identities, stable on disk. New codecs append; never
+	// renumber.
+	CodecRaw  byte = 0
+	CodecGzip byte = 1
+)
+
+// ParseCodec maps an engine-spec compress= value to a codec identity.
+func ParseCodec(name string) (byte, error) {
+	switch name {
+	case "", "none", "raw":
+		return CodecRaw, nil
+	case "gzip":
+		return CodecGzip, nil
+	default:
+		return 0, fmt.Errorf("unknown compression codec %q (want none or gzip)", name)
+	}
+}
+
+// CodecName is ParseCodec's inverse, for metrics and logs.
+func CodecName(c byte) string {
+	if c == CodecGzip {
+		return "gzip"
+	}
+	return "none"
+}
+
+// encodeFrame frames payload under codec with the given expiry,
+// compressing the payload when the codec calls for it.
+func encodeFrame(codec byte, expiry int64, payload []byte) ([]byte, error) {
+	body := payload
+	if codec == CodecGzip {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		body = buf.Bytes()
+	}
+	frame := make([]byte, frameHdr+len(body))
+	copy(frame, frameMagic)
+	frame[4] = codec
+	binary.LittleEndian.PutUint64(frame[5:13], uint64(expiry))
+	copy(frame[frameHdr:], body)
+	return frame, nil
+}
+
+// frameExpiry reads just the expiry from a frame header, without
+// touching (or decompressing) the payload — the startup TTL scan's
+// fast path.
+func frameExpiry(frame []byte) (int64, bool) {
+	if len(frame) < frameHdr || string(frame[:4]) != frameMagic {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(frame[5:13])), true
+}
+
+// decodeFrame validates the header and returns the decompressed
+// payload. The codec comes from the frame, not from configuration.
+// For CodecRaw the payload aliases the frame's backing array (zero
+// copy on the hot path).
+func decodeFrame(frame []byte) (payload []byte, expiry int64, codec byte, err error) {
+	if len(frame) < frameHdr || string(frame[:4]) != frameMagic {
+		return nil, 0, 0, fmt.Errorf("not a framed cache entry")
+	}
+	codec = frame[4]
+	expiry = int64(binary.LittleEndian.Uint64(frame[5:13]))
+	body := frame[frameHdr:]
+	switch codec {
+	case CodecRaw:
+		return body, expiry, codec, nil
+	case CodecGzip:
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		payload, err = io.ReadAll(io.LimitReader(zr, maxValLen+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if len(payload) > maxValLen {
+			return nil, 0, 0, fmt.Errorf("decompressed cache entry exceeds %d bytes", maxValLen)
+		}
+		return payload, expiry, codec, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown cache entry codec %d", codec)
+	}
+}

@@ -11,40 +11,43 @@ import (
 	"sync"
 )
 
-// The persistent tier is one append-only log, Dir/cells.log:
+// Log is the append-only persistent engine: one file, Dir/cells.log:
 //
 //	header  "stashcellcache1\n"
 //	record  u32 keyLen | u32 valLen | key | val | u32 crc32(key|val)
 //
 // little-endian throughout. Append-only keeps crash behaviour simple:
 // a torn write can only damage the tail, which the loader truncates
-// away; a bit-flipped record fails its checksum and is skipped. The
-// content-address discipline (one key names exactly one value, ever)
-// means records never need updating in place and a duplicate key is
-// just a redundant copy.
+// away; a bit-flipped record fails its checksum and is skipped. Put is
+// an upsert by appending — the loader lets later records win — so a
+// TTL extension rewrite is just another append. Delete drops the key
+// from the in-memory index only; the record's bytes stay in the log
+// (and are re-indexed on restart), which is safe because the Cache
+// front re-checks every frame's expiry on read.
+type Log struct {
+	mu    sync.Mutex
+	f     *os.File
+	size  int64 // current append offset
+	index map[string]logRef
+}
 
 const (
 	logName      = "cells.log"
 	logMagic     = "stashcellcache1\n"
-	maxKeyLen    = 1 << 10
-	maxValLen    = 1 << 30
 	recordPrefix = 8 // two u32 lengths
 )
 
-type diskRef struct {
+type logRef struct {
 	off    int64 // record start (the length prefix)
 	keyLen uint32
 	valLen uint32
 }
 
-type diskTier struct {
-	mu    sync.Mutex
-	f     *os.File
-	size  int64 // current append offset
-	index map[string]diskRef
-}
-
-func openDiskTier(dir string) (*diskTier, error) {
+// OpenLog opens (creating if needed) the log engine rooted at dir and
+// replays the log into its index. Corrupted records are skipped and a
+// torn tail is truncated; only I/O errors and a foreign header are
+// reported.
+func OpenLog(dir string) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
@@ -52,7 +55,7 @@ func openDiskTier(dir string) (*diskTier, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &diskTier{f: f, index: make(map[string]diskRef)}
+	d := &Log{f: f, index: make(map[string]logRef)}
 	if err := d.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -60,11 +63,9 @@ func openDiskTier(dir string) (*diskTier, error) {
 	return d, nil
 }
 
-// load replays the log into the index. Records with bad checksums are
-// skipped; an unparseable tail (torn final write) is truncated so the
-// next append continues a well-formed log. Only I/O errors and a
-// foreign header are reported.
-func (d *diskTier) load() error {
+// load replays the log. Later records for a key overwrite earlier ones
+// in the index (append-as-upsert).
+func (d *Log) load() error {
 	st, err := d.f.Stat()
 	if err != nil {
 		return err
@@ -108,7 +109,7 @@ func (d *diskTier) load() error {
 		key := buf[:keyLen]
 		sum := binary.LittleEndian.Uint32(buf[body-4:])
 		if crc32.ChecksumIEEE(buf[:body-4]) == sum {
-			d.index[string(key)] = diskRef{off: off, keyLen: keyLen, valLen: valLen}
+			d.index[string(key)] = logRef{off: off, keyLen: keyLen, valLen: valLen}
 		}
 		// Checksum mismatch: the record is framed but corrupt — skip it
 		// and keep scanning; later records are still good.
@@ -124,10 +125,10 @@ func (d *diskTier) load() error {
 	return nil
 }
 
-// get reads and verifies key's record. A record that fails
+// Get reads and verifies key's record. A record that fails
 // verification (bit rot since load) is dropped from the index and
 // reported as a miss.
-func (d *diskTier) get(key string) ([]byte, bool) {
+func (d *Log) Get(key string) ([]byte, bool) {
 	d.mu.Lock()
 	ref, ok := d.index[key]
 	d.mu.Unlock()
@@ -137,37 +138,26 @@ func (d *diskTier) get(key string) ([]byte, bool) {
 	body := int(ref.keyLen) + int(ref.valLen) + 4
 	buf := make([]byte, body)
 	if _, err := d.f.ReadAt(buf, ref.off+recordPrefix); err != nil {
-		d.drop(key)
+		d.Delete(key)
 		return nil, false
 	}
 	sum := binary.LittleEndian.Uint32(buf[body-4:])
 	if crc32.ChecksumIEEE(buf[:body-4]) != sum || string(buf[:ref.keyLen]) != key {
-		d.drop(key)
+		d.Delete(key)
 		return nil, false
 	}
 	return buf[ref.keyLen : body-4], true
 }
 
-func (d *diskTier) drop(key string) {
-	d.mu.Lock()
-	delete(d.index, key)
-	d.mu.Unlock()
-}
-
-// put appends a record. Keys are content addresses — a key present in
-// the index already names these exact bytes — so re-puts are skipped
-// rather than duplicated.
-func (d *diskTier) put(key string, val []byte) error {
+// Put appends a record and points the index at it; an existing key's
+// older record becomes dead weight in the file but the new one wins,
+// both now and on reload.
+func (d *Log) Put(key string, val []byte) error {
 	if len(key) == 0 || len(key) > maxKeyLen {
 		return fmt.Errorf("invalid cache key length %d", len(key))
 	}
 	if len(val) > maxValLen {
-		return errors.New("cache value too large for the disk tier")
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.index[key]; ok {
-		return nil
+		return errors.New("cache value too large for the log engine")
 	}
 	rec := make([]byte, recordPrefix+len(key)+len(val)+4)
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
@@ -176,21 +166,43 @@ func (d *diskTier) put(key string, val []byte) error {
 	copy(rec[recordPrefix+len(key):], val)
 	sum := crc32.ChecksumIEEE(rec[recordPrefix : len(rec)-4])
 	binary.LittleEndian.PutUint32(rec[len(rec)-4:], sum)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, err := d.f.WriteAt(rec, d.size); err != nil {
 		return err
 	}
-	d.index[key] = diskRef{off: d.size, keyLen: uint32(len(key)), valLen: uint32(len(val))}
+	d.index[key] = logRef{off: d.size, keyLen: uint32(len(key)), valLen: uint32(len(val))}
 	d.size += int64(len(rec))
 	return nil
 }
 
-func (d *diskTier) len() int {
+func (d *Log) Delete(key string) {
+	d.mu.Lock()
+	delete(d.index, key)
+	d.mu.Unlock()
+}
+
+func (d *Log) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.index)
 }
 
-func (d *diskTier) close() error {
+func (d *Log) Keys(yield func(key string) bool) {
+	d.mu.Lock()
+	keys := make([]string, 0, len(d.index))
+	for k := range d.index {
+		keys = append(keys, k)
+	}
+	d.mu.Unlock()
+	for _, k := range keys {
+		if !yield(k) {
+			return
+		}
+	}
+}
+
+func (d *Log) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.f.Close()

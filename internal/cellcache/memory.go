@@ -1,0 +1,130 @@
+package cellcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+const (
+	defaultMaxEntries = 4096
+	defaultMaxBytes   = 256 << 20
+)
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// Memory is the in-memory LRU engine, bounded by entry count and total
+// value bytes. It serves two roles: the engine behind a memory://
+// cache, and the hot front tier composed in front of a persistent
+// engine. All methods are safe for concurrent use.
+type Memory struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu        sync.Mutex
+	lru       *list.List // front = most recent; values are *memEntry
+	byKey     map[string]*list.Element
+	bytes     int64
+	evictions uint64
+}
+
+// NewMemory builds a Memory engine. Zero bounds select the defaults
+// (4096 entries, 256 MiB).
+func NewMemory(maxEntries int, maxBytes int64) *Memory {
+	if maxEntries <= 0 {
+		maxEntries = defaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxBytes
+	}
+	return &Memory{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		lru:        list.New(),
+		byKey:      make(map[string]*list.Element),
+	}
+}
+
+func (m *Memory) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	m.lru.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+// Put upserts and then enforces the bounds, evicting oldest-first. The
+// byte bound always retains at least one entry, so a single oversized
+// value still caches.
+func (m *Memory) Put(key string, val []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		e := el.Value.(*memEntry)
+		m.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		m.lru.MoveToFront(el)
+	} else {
+		m.byKey[key] = m.lru.PushFront(&memEntry{key: key, val: val})
+		m.bytes += int64(len(val))
+	}
+	for m.lru.Len() > m.maxEntries || (m.bytes > m.maxBytes && m.lru.Len() > 1) {
+		oldest := m.lru.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*memEntry)
+		m.lru.Remove(oldest)
+		delete(m.byKey, e.key)
+		m.bytes -= int64(len(e.val))
+		m.evictions++
+	}
+	return nil
+}
+
+func (m *Memory) Delete(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		e := el.Value.(*memEntry)
+		m.lru.Remove(el)
+		delete(m.byKey, key)
+		m.bytes -= int64(len(e.val))
+	}
+}
+
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// Keys yields a snapshot of the key set taken under the lock, so yield
+// may freely call back into the engine.
+func (m *Memory) Keys(yield func(key string) bool) {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.byKey))
+	for k := range m.byKey {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	for _, k := range keys {
+		if !yield(k) {
+			return
+		}
+	}
+}
+
+func (m *Memory) Close() error { return nil }
+
+// usage reports current occupancy and lifetime evictions for Stats.
+func (m *Memory) usage() (entries int, bytes int64, evictions uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len(), m.bytes, m.evictions
+}

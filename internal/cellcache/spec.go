@@ -1,0 +1,194 @@
+package cellcache
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is a parsed cache engine specification. The textual grammar is
+// a URL whose scheme selects the engine and whose query tunes the
+// orthogonal axes (front-tier bounds, codec, TTL):
+//
+//	memory://?entries=4096&bytes=256MiB
+//	log:///var/lib/stashd?compress=gzip
+//	pairtree:///var/lib/stashd?compress=gzip&ttl=24h&entries=1024
+//
+// For the persistent engines, entries/bytes bound the in-memory front
+// tier composed in front of the engine (entries=-1 disables it);
+// compress selects the payload codec (none, gzip); ttl arms expiry
+// with extend-on-read. Unknown query parameters are an error — a
+// typoed knob must not silently select defaults.
+type Spec struct {
+	// Scheme is the engine: "memory", "log", or "pairtree".
+	Scheme string
+	// Path roots a persistent engine's files. Empty for memory.
+	Path string
+	// Entries and Bytes bound the in-memory tier (the whole cache for
+	// memory, the front tier otherwise). Zero selects the defaults
+	// (4096 entries, 256 MiB); Entries < 0 disables the tier.
+	Entries int
+	Bytes   int64
+	// Codec is the stored-payload compression identity (CodecRaw,
+	// CodecGzip). Frames are self-describing, so changing the codec
+	// never invalidates existing entries.
+	Codec byte
+	// TTL, when positive, expires entries that go unread for TTL;
+	// every read extends the lease (see Cache).
+	TTL time.Duration
+}
+
+// ParseSpec parses the engine-spec URL grammar.
+func ParseSpec(raw string) (Spec, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return Spec{}, fmt.Errorf("cellcache: invalid cache spec %q: %w", raw, err)
+	}
+	sp := Spec{Scheme: u.Scheme, Path: u.Host + u.Path}
+	if u.Opaque != "" {
+		sp.Path = u.Opaque
+	}
+	switch sp.Scheme {
+	case "memory":
+		if sp.Path != "" && sp.Path != "/" {
+			return Spec{}, fmt.Errorf("cellcache: memory:// takes no path (got %q)", sp.Path)
+		}
+		sp.Path = ""
+	case "log", "pairtree":
+		sp.Path = strings.TrimSuffix(sp.Path, "/")
+		if sp.Path == "" {
+			return Spec{}, fmt.Errorf("cellcache: %s:// requires a directory path", sp.Scheme)
+		}
+	default:
+		return Spec{}, fmt.Errorf("cellcache: unknown cache engine %q (want memory, log, or pairtree)", sp.Scheme)
+	}
+	q, err := url.ParseQuery(u.RawQuery)
+	if err != nil {
+		return Spec{}, fmt.Errorf("cellcache: invalid cache spec query %q: %w", u.RawQuery, err)
+	}
+	for key, vals := range q {
+		v := vals[len(vals)-1]
+		switch key {
+		case "entries":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Spec{}, fmt.Errorf("cellcache: invalid entries %q: %w", v, err)
+			}
+			sp.Entries = n
+		case "bytes":
+			n, err := ParseSize(v)
+			if err != nil {
+				return Spec{}, fmt.Errorf("cellcache: invalid bytes %q: %w", v, err)
+			}
+			sp.Bytes = n
+		case "compress":
+			c, err := ParseCodec(v)
+			if err != nil {
+				return Spec{}, fmt.Errorf("cellcache: %w", err)
+			}
+			sp.Codec = c
+		case "ttl":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Spec{}, fmt.Errorf("cellcache: invalid ttl %q: %w", v, err)
+			}
+			if d < 0 {
+				return Spec{}, fmt.Errorf("cellcache: negative ttl %v", d)
+			}
+			sp.TTL = d
+		default:
+			return Spec{}, fmt.Errorf("cellcache: unknown cache spec parameter %q", key)
+		}
+	}
+	return sp, nil
+}
+
+// String renders the spec back into the URL grammar (defaults
+// omitted), suitable for logs.
+func (sp Spec) String() string {
+	var q []string
+	if sp.Entries != 0 {
+		q = append(q, "entries="+strconv.Itoa(sp.Entries))
+	}
+	if sp.Bytes != 0 {
+		q = append(q, "bytes="+strconv.FormatInt(sp.Bytes, 10))
+	}
+	if sp.Codec != CodecRaw {
+		q = append(q, "compress="+CodecName(sp.Codec))
+	}
+	if sp.TTL > 0 {
+		q = append(q, "ttl="+sp.TTL.String())
+	}
+	s := sp.Scheme + "://" + sp.Path
+	if len(q) > 0 {
+		s += "?" + strings.Join(q, "&")
+	}
+	return s
+}
+
+// ParseSize parses a byte count with an optional binary-power suffix:
+// "1024", "64KiB", "256MiB", "2GiB" (KB/MB/GB accepted as synonyms).
+func ParseSize(s string) (int64, error) {
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+	} {
+		if strings.HasSuffix(s, suf.name) {
+			s, mult = strings.TrimSuffix(s, suf.name), suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size")
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("size overflows int64")
+	}
+	return n * mult, nil
+}
+
+// Open parses an engine-spec URL and opens the cache it describes.
+func Open(raw string) (*Cache, error) {
+	sp, err := ParseSpec(raw)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Open()
+}
+
+// Open builds the engine the spec names, composes the Cache front over
+// it, and runs the startup TTL scan for persistent engines.
+func (sp Spec) Open() (*Cache, error) {
+	c := newCache(sp.Codec, sp.TTL)
+	if sp.Entries >= 0 {
+		c.mem = NewMemory(sp.Entries, sp.Bytes)
+	}
+	var err error
+	switch sp.Scheme {
+	case "memory":
+		// The memory tier is the whole cache.
+	case "log":
+		c.store, err = OpenLog(sp.Path)
+	case "pairtree":
+		c.store, err = OpenPairtree(sp.Path)
+	default:
+		err = fmt.Errorf("unknown cache engine %q", sp.Scheme)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cellcache: opening %s engine: %w", sp.Scheme, err)
+	}
+	if c.store != nil && sp.TTL > 0 {
+		c.purgeExpired()
+	}
+	return c, nil
+}

@@ -14,17 +14,28 @@
 // cellcache: a repeated cell is a cache hit that replays the stored
 // bytes verbatim — byte-identical JSON, zero engine cycles run — and
 // concurrent identical cells collapse to one simulation (singleflight).
+//
+// Tenancy: the cache is namespaced by API token. A request carrying
+// "Authorization: Bearer <token>" reads and fills only its own
+// tenant's cells (the namespace is a digest of the token — raw tokens
+// never reach cache keys or disk); requests without credentials share
+// the "public" namespace. /metrics exposes per-namespace hit/miss and
+// compression-ratio counters alongside the global ones.
 package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -120,6 +131,27 @@ func (s *Server) Handler() http.Handler {
 // Drain flips the server into draining: /healthz starts answering 503
 // so load balancers stop routing here while in-flight requests finish.
 func (s *Server) Drain() { s.draining.Store(true) }
+
+// PublicNamespace is the cache namespace shared by requests without
+// credentials.
+const PublicNamespace = "public"
+
+// namespaceOf derives the request's cache namespace from its API
+// token. The namespace is a short digest of the token, so equal tokens
+// share a cache, different tokens are fully isolated, and the raw
+// token never appears in cache keys, engine files, or metrics labels.
+func namespaceOf(r *http.Request) string {
+	auth := strings.TrimSpace(r.Header.Get("Authorization"))
+	if auth == "" {
+		return PublicNamespace
+	}
+	// Accept "Bearer <token>" (any scheme case) or a bare token.
+	if i := strings.IndexByte(auth, ' '); i >= 0 && strings.EqualFold(auth[:i], "bearer") {
+		auth = strings.TrimSpace(auth[i+1:])
+	}
+	sum := sha256.Sum256([]byte(auth))
+	return "t-" + hex.EncodeToString(sum[:8])
+}
 
 // apiError is the structured error body every non-2xx response carries.
 type apiError struct {
@@ -225,6 +257,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	ns := namespaceOf(r)
 
 	type outcome struct {
 		line []byte
@@ -234,7 +267,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i := range specs {
 		outcomes[i] = make(chan outcome, 1)
 		go func(i int) {
-			line, err := s.cell(ctx, specs[i])
+			line, err := s.cell(ctx, ns, specs[i])
 			outcomes[i] <- outcome{line, err}
 		}(i)
 	}
@@ -276,7 +309,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	line, err := s.cell(r.Context(), spec)
+	line, err := s.cell(r.Context(), namespaceOf(r), spec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -376,18 +409,18 @@ type cellFailed struct {
 func (e *cellFailed) Error() string { return e.err.Error() }
 func (e *cellFailed) Unwrap() error { return e.err }
 
-// cell produces the cell's NDJSON line: from the cache when the
-// fingerprint is known, otherwise by scheduling one simulation on the
-// worker pool (collapsing concurrent identical cells). Failed cells
-// yield their serialized failure line; only an encoding breakdown
-// returns a non-nil error.
-func (s *Server) cell(ctx context.Context, spec stash.RunSpec) ([]byte, error) {
+// cell produces the cell's NDJSON line: from the tenant's cache
+// namespace when the fingerprint is known, otherwise by scheduling one
+// simulation on the worker pool (collapsing concurrent identical cells
+// within the namespace). Failed cells yield their serialized failure
+// line; only an encoding breakdown returns a non-nil error.
+func (s *Server) cell(ctx context.Context, ns string, spec stash.RunSpec) ([]byte, error) {
 	fp, err := spec.Fingerprint()
 	if err != nil {
 		return nil, err
 	}
 	for attempt := 0; ; attempt++ {
-		line, _, err := s.cfg.Cache.Do(fp, func() ([]byte, error) {
+		line, _, err := s.cfg.Cache.Do(ns, fp, func() ([]byte, error) {
 			res := s.simulate(ctx, spec)
 			line, merr := json.Marshal(res)
 			if merr != nil {
@@ -460,8 +493,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
+// compressionRatio is raw-payload bytes over stored (framed,
+// compressed) bytes: >1 means the codec is winning; 1 when nothing has
+// been stored yet.
+func compressionRatio(raw, stored uint64) float64 {
+	if stored == 0 {
+		return 1
+	}
+	return float64(raw) / float64(stored)
+}
+
 // handleMetrics renders the counters in Prometheus text exposition
-// format (untyped, no labels — scrapable and greppable).
+// format. Global counters are unlabeled (scrapable and greppable);
+// the per-tenant series carry a namespace label.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cfg.Cache.Stats()
 	simWall := time.Duration(s.simWallNanos.Load()).Seconds()
@@ -476,12 +520,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}{
 		{"stashd_cache_hits_total", cs.Hits},
 		{"stashd_cache_misses_total", cs.Misses},
-		{"stashd_cache_disk_hits_total", cs.DiskHits},
+		{"stashd_cache_mem_hits_total", cs.MemHits},
+		{"stashd_cache_disk_hits_total", cs.StoreHits},
 		{"stashd_cache_singleflight_collapsed_total", cs.Collapsed},
 		{"stashd_cache_evictions_total", cs.Evictions},
+		{"stashd_cache_expired_total", cs.Expired},
 		{"stashd_cache_mem_entries", cs.MemEntries},
 		{"stashd_cache_mem_bytes", cs.MemBytes},
-		{"stashd_cache_disk_entries", cs.DiskEntries},
+		{"stashd_cache_disk_entries", cs.StoreEntries},
+		{"stashd_cache_raw_bytes_total", cs.BytesRaw},
+		{"stashd_cache_stored_bytes_total", cs.BytesStored},
+		{"stashd_cache_compression_ratio", compressionRatio(cs.BytesRaw, cs.BytesStored)},
 		{"stashd_inflight_cells", s.inFlight.Load()},
 		{"stashd_queue_depth", s.queueDepth.Load()},
 		{"stashd_worker_slots", cap(s.sem)},
@@ -500,5 +549,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		default:
 			fmt.Fprintf(w, "%s %d\n", m.name, v)
 		}
+	}
+	byNS := s.cfg.Cache.Namespaces()
+	names := make([]string, 0, len(byNS))
+	for ns := range byNS {
+		names = append(names, ns)
+	}
+	sort.Strings(names) // deterministic exposition order
+	for _, ns := range names {
+		n := byNS[ns]
+		fmt.Fprintf(w, "stashd_ns_cache_hits_total{namespace=%q} %d\n", ns, n.Hits)
+		fmt.Fprintf(w, "stashd_ns_cache_misses_total{namespace=%q} %d\n", ns, n.Misses)
+		fmt.Fprintf(w, "stashd_ns_cache_raw_bytes_total{namespace=%q} %d\n", ns, n.BytesRaw)
+		fmt.Fprintf(w, "stashd_ns_cache_stored_bytes_total{namespace=%q} %d\n", ns, n.BytesStored)
+		fmt.Fprintf(w, "stashd_ns_cache_compression_ratio{namespace=%q} %g\n", ns, compressionRatio(n.BytesRaw, n.BytesStored))
 	}
 }

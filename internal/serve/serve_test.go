@@ -450,3 +450,114 @@ func TestMetricsThroughput(t *testing.T) {
 		t.Error("cells_simulated should count fresh runs only")
 	}
 }
+
+func postSweepAs(t *testing.T, ts *httptest.Server, token, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// TestNamespaceIsolation: cache entries are keyed by tenant. The same
+// cell under two different bearer tokens simulates twice; a repeat
+// under either token is a hit; anonymous requests share one "public"
+// namespace. Each tenant appears in /metrics as a labeled series, and
+// raw tokens never show up in the exposition.
+func TestNamespaceIsolation(t *testing.T) {
+	eng := &fakeEngine{}
+	_, ts := newTestServer(t, Config{Run: eng.run})
+
+	postSweepAs(t, ts, "alice-secret", oneCellBody)
+	if eng.calls.Load() != 1 {
+		t.Fatalf("first tenant request ran the engine %d times", eng.calls.Load())
+	}
+	postSweepAs(t, ts, "bob-secret", oneCellBody)
+	if eng.calls.Load() != 2 {
+		t.Errorf("second tenant should not see first tenant's entry (%d calls)", eng.calls.Load())
+	}
+	_, aliceRepeat := postSweepAs(t, ts, "alice-secret", oneCellBody)
+	if eng.calls.Load() != 2 {
+		t.Errorf("repeat under the same token re-ran the engine (%d calls)", eng.calls.Load())
+	}
+	_, aliceFirst := postSweepAs(t, ts, "alice-secret", oneCellBody)
+	if aliceFirst != aliceRepeat {
+		t.Error("tenant repeat not byte-identical")
+	}
+
+	// Anonymous requests share the public namespace.
+	postSweep(t, ts, oneCellBody)
+	if eng.calls.Load() != 3 {
+		t.Errorf("anonymous request should miss tenant entries (%d calls)", eng.calls.Load())
+	}
+	postSweep(t, ts, oneCellBody)
+	if eng.calls.Load() != 3 {
+		t.Errorf("anonymous repeat re-ran the engine (%d calls)", eng.calls.Load())
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	exposition := string(b)
+	if !strings.Contains(exposition, `stashd_ns_cache_hits_total{namespace="public"} 1`) {
+		t.Errorf("public namespace series missing or wrong:\n%s", exposition)
+	}
+	if strings.Contains(exposition, "alice-secret") || strings.Contains(exposition, "bob-secret") {
+		t.Error("raw bearer token leaked into /metrics")
+	}
+	if got := strings.Count(exposition, "stashd_ns_cache_hits_total{"); got != 3 {
+		t.Errorf("want 3 namespace series (public + 2 tenants), got %d", got)
+	}
+}
+
+// TestMetricsTiersAndCompression: a gzip pairtree cache reports
+// per-tier hits and a compression ratio above 1 for the synthetic
+// (JSON, highly compressible) results.
+func TestMetricsTiersAndCompression(t *testing.T) {
+	cache, err := cellcache.Open("pairtree://" + t.TempDir() + "?compress=gzip&entries=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.Close() })
+	eng := &fakeEngine{}
+	_, ts := newTestServer(t, Config{Run: eng.run, Cache: cache})
+
+	const otherCellBody = `{"specs":[{"workload":"reuse","config":{"org":"Stash","gpus":1,"cpus":15}}]}`
+	postSweep(t, ts, oneCellBody)
+	postSweep(t, ts, otherCellBody) // evicts the first cell from the 1-entry memory tier
+	postSweep(t, ts, oneCellBody)   // store-tier hit: promoted back into memory
+	postSweep(t, ts, oneCellBody)   // memory-tier hit
+
+	if got := metric(t, ts, "stashd_cache_disk_hits_total"); got != 1 {
+		t.Errorf("disk hits = %g, want 1", got)
+	}
+	if got := metric(t, ts, "stashd_cache_mem_hits_total"); got != 1 {
+		t.Errorf("mem hits = %g, want 1", got)
+	}
+	if got := metric(t, ts, "stashd_cache_hits_total"); got != 2 {
+		t.Errorf("total hits = %g, want 2", got)
+	}
+	if ratio := metric(t, ts, "stashd_cache_compression_ratio"); ratio <= 1 {
+		t.Errorf("compression ratio = %g, want > 1 for JSON payloads", ratio)
+	}
+	if raw, stored := metric(t, ts, "stashd_cache_raw_bytes_total"), metric(t, ts, "stashd_cache_stored_bytes_total"); stored >= raw || stored == 0 {
+		t.Errorf("stored bytes %g vs raw %g: gzip should shrink JSON", stored, raw)
+	}
+}
