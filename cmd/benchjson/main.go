@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -43,6 +44,8 @@ type report struct {
 
 func main() {
 	label := flag.String("label", "", "free-form label stored in the report (e.g. baseline, a git SHA)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to compare against; exits 1 when the sim_cycles_per_sec geomean ratio falls below -floor")
+	floor := flag.Float64("floor", 0.7, "minimum acceptable new/baseline sim_cycles_per_sec geomean ratio for -compare")
 	version := cliutil.VersionFlag()
 	flag.Parse()
 	version()
@@ -76,6 +79,71 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		if err := compareBaseline(rep, *compare, *floor); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline is the regression guard behind -compare: it matches
+// the new report's records against the baseline file by name and
+// requires the geomean of the new/baseline sim_cycles_per_sec ratios to
+// stay at or above floor. Records without a sim_cycles metric on both
+// sides (micro-benchmarks without a simulated clock) are ignored.
+func compareBaseline(rep report, path string, floor float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseBy := make(map[string]record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[stripProcs(r.Name)] = r
+	}
+	var logSum float64
+	n := 0
+	for _, r := range rep.Benchmarks {
+		b, ok := baseBy[stripProcs(r.Name)]
+		if !ok || r.SimCyclesPerSec <= 0 || b.SimCyclesPerSec <= 0 {
+			continue
+		}
+		ratio := r.SimCyclesPerSec / b.SimCyclesPerSec
+		fmt.Fprintf(os.Stderr, "compare %-60s %12.0f -> %12.0f cycles/s  (%.2fx)\n",
+			r.Name, b.SimCyclesPerSec, r.SimCyclesPerSec, ratio)
+		logSum += math.Log(ratio)
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("no comparable sim_cycles_per_sec records between report and %s", path)
+	}
+	geomean := math.Exp(logSum / float64(n))
+	fmt.Fprintf(os.Stderr, "compare geomean over %d cells: %.3fx (floor %.2fx, baseline %s)\n",
+		n, geomean, floor, path)
+	if geomean < floor {
+		return fmt.Errorf("sim_cycles_per_sec geomean %.3fx below floor %.2fx vs %s", geomean, floor, path)
+	}
+	return nil
+}
+
+// stripProcs removes the -N GOMAXPROCS suffix go test appends to
+// benchmark names (absent when GOMAXPROCS is 1), so reports from hosts
+// with different core counts compare by the same key.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // parseLine parses one benchmark result line: a name, the iteration

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -42,29 +43,49 @@ func DefaultParams() Params {
 	return Params{SizeBytes: 32 << 10, Ways: 8, HitLat: 1, NumLLCBanks: 16, MSHRs: 16, ChargeEnergy: true}
 }
 
+// line keeps per-word DeNovo state as three word masks instead of a
+// [WordsPerLine]coh.State array: a word is Shared, Registered, or
+// PendingReg when its bit is set in the corresponding mask, Invalid
+// when it appears in none. The masks are mutually exclusive. This
+// turns every per-word state loop on the access path into one or two
+// mask operations.
 type line struct {
-	addr  memdata.PAddr
-	vals  [memdata.WordsPerLine]uint32
-	state [memdata.WordsPerLine]coh.State
-	live  bool
+	addr   memdata.PAddr
+	vals   [memdata.WordsPerLine]uint32
+	shared memdata.WordMask
+	reg    memdata.WordMask
+	pend   memdata.WordMask
+	mshr   *mshr // the line's live MSHR, if any (mirrors c.mshrs[addr])
+	// wbWait mirrors c.wbuf.Busy(addr): the previous tenant of this
+	// address still has a writeback in flight, so the line cannot be
+	// evicted (the WBBuffer entry would be clobbered by a second Put).
+	// Set when the line is installed, cleared by the WBAck handler;
+	// keeping it on the line makes the victim scan map-free.
+	wbWait bool
 }
 
-func (l *line) anyOwned() bool {
-	for _, s := range l.state {
-		if s.Owned() {
-			return true
-		}
-	}
-	return false
-}
+// readable covers the words that can satisfy a load (any non-Invalid
+// state, see coh.State.Readable).
+func (l *line) readable() memdata.WordMask { return l.shared | l.reg | l.pend }
 
-func (l *line) anyPending() bool {
-	for _, s := range l.state {
-		if s == coh.PendingReg {
-			return true
-		}
+// owned covers Registered and PendingReg words (coh.State.Owned).
+func (l *line) owned() memdata.WordMask { return l.reg | l.pend }
+
+func (l *line) anyPending() bool { return l.pend != 0 }
+
+// wordState reconstructs the coh.State of one word, for invariant
+// checks, debugging, and Peek.
+func (l *line) wordState(i int) coh.State {
+	switch {
+	case l.pend.Has(i):
+		return coh.PendingReg
+	case l.reg.Has(i):
+		return coh.Registered
+	case l.shared.Has(i):
+		return coh.Shared
+	default:
+		return coh.Invalid
 	}
-	return false
 }
 
 type waiter struct {
@@ -97,25 +118,51 @@ type op struct {
 	run     func()
 }
 
-// fire copies the op's fields out, releases it, and then performs the
-// operation: the op is already reusable while the retried access or the
-// caller's callback runs (either may acquire ops itself).
+// fire performs the op's deferred operation. Retried accesses — the
+// high-frequency kind during a structural replay storm — reuse the op
+// in place when they stall again: no pool round-trip, no field copies,
+// just another Schedule of the already-bound run closure. The op is
+// released only once the access proceeds (or, for opDeliver, before
+// the callback runs, which may itself acquire ops).
 func (o *op) fire() {
 	c := o.c
-	kind, counted, addr, mask, vals := o.kind, o.counted, o.addr, o.mask, o.vals
-	doneL, doneS := o.doneL, o.doneS
-	o.counted = false
-	o.doneL, o.doneS = nil, nil
-	c.opFree = append(c.opFree, o)
+	counted := o.counted
 	if counted {
+		o.counted = false
 		c.outstanding--
 	}
-	switch kind {
+	switch o.kind {
 	case opRetryLoad:
-		c.Load(addr, mask, doneL)
+		l := c.allocate(o.addr)
+		switch {
+		case l == nil:
+			c.eng.Schedule(4, o.run)
+		case !c.loadWith(l, o.addr, o.mask, o.doneL):
+			o.counted = true
+			c.outstanding++
+			c.eng.Schedule(4, o.run)
+		default:
+			o.doneL = nil
+			c.opFree = append(c.opFree, o)
+		}
 	case opRetryStore:
-		c.Store(addr, mask, vals, doneS)
-	case opDeliver:
+		l := c.allocate(o.addr)
+		switch {
+		case l == nil:
+			c.eng.Schedule(4, o.run)
+		case !c.storeWith(l, o.addr, o.mask, &o.vals, o.doneS):
+			o.counted = true
+			c.outstanding++
+			c.eng.Schedule(4, o.run)
+		default:
+			o.doneS = nil
+			c.opFree = append(c.opFree, o)
+		}
+	default: // opDeliver
+		vals := o.vals
+		doneL := o.doneL
+		o.doneL = nil
+		c.opFree = append(c.opFree, o)
 		doneL(vals)
 	}
 	if counted {
@@ -140,6 +187,55 @@ type mshr struct {
 	born      sim.Cycle // cycle the entry was allocated, for age checks
 }
 
+// cset is one associativity set. Ways do not move: recency lives in a
+// per-way LRU stamp (monotonically increasing use counter) instead of
+// physical list order, so a hit refreshes recency with one word write
+// and an eviction replaces a way in place — no shifting. The stamp
+// order is exactly the move-to-front list order it replaced: front of
+// the list = largest stamp, LRU victim = smallest stamp. The tag,
+// stamp, and evictability arrays are parallel and contiguous so the
+// hot scans never dereference a line pointer; within len the arrays
+// always describe live lines.
+type cset struct {
+	addrs []memdata.PAddr
+	lines []*line
+	stamp []uint64
+	// busyMask mirrors each way's evictability: bit w set when way w's
+	// line has a pending registration, a live MSHR, or an in-flight
+	// writeback of a previous tenant (wbWait). The victim scan reads
+	// one word and iterates only the zero bits, so a replay storm's
+	// repeated scans cost a couple of bit operations per evictable way.
+	busyMask uint64
+	// wbs counts writeback-buffer entries whose address maps to this
+	// set. When zero — the overwhelmingly common case — installing a
+	// line skips the buffer lookup entirely.
+	wbs int32
+	// failEpoch remembers the Cache.epoch at which a victim scan of
+	// this set last came up empty. Until an event that can unblock a
+	// way bumps the epoch, re-scanning is pointless and allocate
+	// returns nil in O(1) — this is what keeps a structural replay
+	// storm (retries every 4 cycles) cheap on the host.
+	failEpoch uint64
+}
+
+// refreshBusy recomputes the evictability bit of addr's resident
+// line l. Callers invoke it on the rare state transitions (MSHR
+// create/retire, registration begin/ack, writeback ack), never on the
+// per-retry storm path.
+func (c *Cache) refreshBusy(addr memdata.PAddr, l *line) {
+	s := &c.sets[c.setIndex(addr)]
+	for i, a := range s.addrs {
+		if a == addr {
+			if l.pend != 0 || l.mshr != nil || l.wbWait {
+				s.busyMask |= 1 << uint(i)
+			} else {
+				s.busyMask &^= 1 << uint(i)
+			}
+			return
+		}
+	}
+}
+
 // Cache is one L1, attached to its node's router as coh.ToL1.
 type Cache struct {
 	eng  *sim.Engine
@@ -151,9 +247,18 @@ type Cache struct {
 	// sets hold LRU order (front = MRU). Line structs come from the
 	// preallocated linePool and are reused in place on eviction and
 	// after WritebackAll, so the steady-state access path never
-	// allocates: a set slice is truncated rather than nilled, keeping
-	// its dead line pointers in capacity for the next allocate.
-	sets     []([]*line)
+	// allocates: a set's slices are truncated rather than nilled,
+	// keeping dead line pointers in capacity for the next allocate.
+	sets    []cset
+	setMask int // len(sets)-1 when a power of two, else -1 (modulo path)
+	// epoch counts events that can turn an unevictable way evictable
+	// (registration ack, fill retiring an MSHR, writeback ack). It
+	// validates cset.failEpoch; a failed victim scan stays failed
+	// until the epoch moves, so blocked-set retries skip the scan.
+	epoch uint64
+	// stampN issues LRU stamps: every hit or install takes the next
+	// value, so larger stamp = more recently used.
+	stampN   uint64
 	linePool []line
 	usedLine int // lines handed out of linePool so far
 	mshrs    map[memdata.PAddr]*mshr
@@ -185,6 +290,9 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, acc
 	if numSets == 0 {
 		panic("cache: too small for associativity")
 	}
+	if p.Ways > 64 {
+		panic("cache: associativity exceeds the 64-way busyMask word")
+	}
 	c := &Cache{
 		eng:        eng,
 		net:        net,
@@ -192,11 +300,12 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, acc
 		comp:       coh.ToL1,
 		p:          p,
 		acct:       acct,
-		sets:       make([][]*line, numSets),
+		sets:       make([]cset, numSets),
 		linePool:   make([]line, numLines),
 		mshrs:      make(map[memdata.PAddr]*mshr),
 		pendingReg: make(map[memdata.PAddr]memdata.WordMask),
 		wbuf:       coh.NewWBBuffer(),
+		epoch:      1, // so a zero-valued cset.failEpoch never matches
 		hits:       set.Counter(fmt.Sprintf("l1.%s.hits", name)),
 		misses:     set.Counter(fmt.Sprintf("l1.%s.misses", name)),
 		evictions:  set.Counter(fmt.Sprintf("l1.%s.evictions", name)),
@@ -204,23 +313,36 @@ func New(eng *sim.Engine, net *noc.Network, node int, name string, p Params, acc
 		remoteHits: set.Counter(fmt.Sprintf("l1.%s.remote_hits", name)),
 	}
 	ptrs := make([]*line, numLines)
+	tags := make([]memdata.PAddr, numLines)
+	stamps := make([]uint64, numLines)
 	for i := range c.sets {
-		c.sets[i] = ptrs[i*p.Ways : i*p.Ways : (i+1)*p.Ways]
+		c.sets[i] = cset{
+			addrs: tags[i*p.Ways : i*p.Ways : (i+1)*p.Ways],
+			lines: ptrs[i*p.Ways : i*p.Ways : (i+1)*p.Ways],
+			stamp: stamps[i*p.Ways : i*p.Ways : (i+1)*p.Ways],
+		}
+	}
+	c.setMask = -1
+	if numSets&(numSets-1) == 0 {
+		c.setMask = numSets - 1
 	}
 	return c
 }
 
 func (c *Cache) setIndex(addr memdata.PAddr) int {
+	if c.setMask >= 0 {
+		return int(addr/memdata.LineBytes) & c.setMask
+	}
 	return int(addr/memdata.LineBytes) % len(c.sets)
 }
 
 func (c *Cache) lookup(addr memdata.PAddr) *line {
-	s := c.sets[c.setIndex(addr)]
-	for i, l := range s {
-		if l.live && l.addr == addr {
-			copy(s[1:i+1], s[:i])
-			s[0] = l
-			return l
+	s := &c.sets[c.setIndex(addr)]
+	for i, a := range s.addrs {
+		if a == addr {
+			c.stampN++
+			s.stamp[i] = c.stampN
+			return s.lines[i]
 		}
 	}
 	return nil
@@ -233,54 +355,72 @@ func (c *Cache) allocate(addr memdata.PAddr) *line {
 	if l := c.lookup(addr); l != nil {
 		return l
 	}
-	idx := c.setIndex(addr)
-	s := c.sets[idx]
-	if len(s) < cap(s) {
+	return c.allocateMiss(addr)
+}
+
+// allocateMiss is allocate's non-resident path: find a way for addr,
+// evicting if necessary. Callers must have established that addr is
+// not resident.
+func (c *Cache) allocateMiss(addr memdata.PAddr) *line {
+	s := &c.sets[c.setIndex(addr)]
+	if n := len(s.lines); n < cap(s.lines) {
 		// Grow into capacity, reusing a dead line left behind a
 		// truncation (WritebackAll) or taking a fresh one from the pool.
-		s = s[:len(s)+1]
-		l := s[len(s)-1]
+		s.lines = s.lines[:n+1]
+		s.addrs = s.addrs[:n+1]
+		s.stamp = s.stamp[:n+1]
+		l := s.lines[n]
 		if l == nil {
 			l = &c.linePool[c.usedLine]
 			c.usedLine++
 		}
-		copy(s[1:], s[:len(s)-1])
-		s[0] = l
-		*l = line{addr: addr, live: true}
-		c.sets[idx] = s
-		return l
+		return c.install(s, l, addr, n)
 	}
-	victim := -1
-	for i := len(s) - 1; i >= 0; i-- {
-		v := s[i]
-		if v.anyPending() || c.mshrs[v.addr] != nil || c.wbuf.Busy(v.addr) {
-			continue
-		}
-		victim = i
-		break
+	if s.failEpoch == c.epoch {
+		return nil // nothing unblocked since the last failed scan
 	}
-	if victim < 0 {
+	ev := ^s.busyMask & (uint64(1)<<uint(len(s.addrs)) - 1)
+	if ev == 0 {
+		s.failEpoch = c.epoch
 		return nil
 	}
-	l := s[victim]
-	c.evict(l)
-	copy(s[1:victim+1], s[:victim])
-	s[0] = l
-	*l = line{addr: addr, live: true}
+	victim := bits.TrailingZeros64(ev)
+	oldest := s.stamp[victim]
+	for m := ev & (ev - 1); m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if s.stamp[i] < oldest {
+			victim, oldest = i, s.stamp[i]
+		}
+	}
+	l := s.lines[victim]
+	c.evict(s, l)
+	return c.install(s, l, addr, victim)
+}
+
+// install resets l, resident at way w, as the freshest line for addr.
+func (c *Cache) install(s *cset, l *line, addr memdata.PAddr, w int) *line {
+	wbWait := s.wbs != 0 && c.wbuf.Busy(addr)
+	*l = line{addr: addr, wbWait: wbWait}
+	if wbWait {
+		s.busyMask |= 1 << uint(w)
+	} else {
+		s.busyMask &^= 1 << uint(w)
+	}
+	s.lines[w] = l
+	s.addrs[w] = addr
+	c.stampN++
+	s.stamp[w] = c.stampN
 	return l
 }
 
-func (c *Cache) evict(v *line) {
+func (c *Cache) evict(s *cset, v *line) {
 	c.evictions.Inc()
-	var mask memdata.WordMask
-	for i, st := range v.state {
-		if st == coh.Registered {
-			mask |= memdata.Bit(i)
-		}
-	}
-	v.live = false
+	mask := v.reg
 	if mask == 0 {
 		return
+	}
+	if !c.wbuf.Busy(v.addr) {
+		s.wbs++ // a new writeback-buffer entry lands in this set
 	}
 	c.writebacks.Inc()
 	c.tsnk.Event(uint64(c.eng.Now()), trace.KWriteback, uint64(v.addr), 0)
@@ -330,32 +470,32 @@ func (c *Cache) Load(addr memdata.PAddr, mask memdata.WordMask, done func(vals [
 		c.eng.Schedule(4, o.run)
 		return
 	}
-	missing := memdata.WordMask(0)
-	fetch := memdata.WordMask(0)
-	for i := 0; i < memdata.WordsPerLine; i++ {
-		if mask.Has(i) && !l.state[i].Readable() {
-			missing |= memdata.Bit(i)
-		}
-		if l.state[i] == coh.Invalid {
-			fetch |= memdata.Bit(i)
-		}
+	if !c.loadWith(l, addr, mask, done) {
+		o := c.newOp()
+		o.kind, o.addr, o.mask, o.doneL = opRetryLoad, addr, mask, done
+		c.replay(o)
 	}
+}
+
+// loadWith runs the load against its resident line. It reports false —
+// with no side effects — when every miss-status register is busy; the
+// caller replays the access.
+func (c *Cache) loadWith(l *line, addr memdata.PAddr, mask memdata.WordMask, done func(vals [memdata.WordsPerLine]uint32)) bool {
+	readable := l.readable()
+	missing := mask &^ readable
+	fetch := memdata.MaskAll &^ readable
 	if missing == 0 {
 		c.hits.Inc()
 		c.chargeAccess(true)
 		o := c.newOp()
 		o.kind, o.vals, o.doneL = opDeliver, l.vals, done
 		c.eng.Schedule(c.p.HitLat, o.run)
-		return
+		return true
 	}
-	m := c.mshrs[addr]
+	m := l.mshr // mirrors c.mshrs[addr]; the line outlives its MSHR
 	if m == nil {
 		if c.p.MSHRs > 0 && len(c.mshrs) >= c.p.MSHRs {
-			// All miss-status registers busy: the access replays.
-			o := c.newOp()
-			o.kind, o.addr, o.mask, o.doneL = opRetryLoad, addr, mask, done
-			c.replay(o)
-			return
+			return false // all miss-status registers busy
 		}
 		if n := len(c.mshrFree); n > 0 {
 			m = c.mshrFree[n-1]
@@ -365,6 +505,8 @@ func (c *Cache) Load(addr memdata.PAddr, mask memdata.WordMask, done func(vals [
 		}
 		m.born = c.eng.Now()
 		c.mshrs[addr] = m
+		l.mshr = m
+		c.refreshBusy(addr, l)
 		c.tsnk.Event(uint64(m.born), trace.KAccessBegin, uint64(addr), 0)
 	}
 	c.misses.Inc()
@@ -385,6 +527,7 @@ func (c *Cache) Load(addr memdata.PAddr, mask memdata.WordMask, done func(vals [
 			MapIdx: -1,
 		})
 	}
+	return true
 }
 
 // Store writes the masked words. done is called once the data is
@@ -401,25 +544,31 @@ func (c *Cache) Store(addr memdata.PAddr, mask memdata.WordMask, vals [memdata.W
 		c.eng.Schedule(4, o.run)
 		return
 	}
+	if !c.storeWith(l, addr, mask, &vals, done) {
+		o := c.newOp()
+		o.kind, o.addr, o.mask, o.vals, o.doneS = opRetryStore, addr, mask, vals, done
+		c.replay(o)
+	}
+}
+
+// storeWith runs the store against its resident line. It reports false
+// — with no side effects — when the registration buffer is full and
+// the line has no registration to merge with; the caller replays.
+func (c *Cache) storeWith(l *line, addr memdata.PAddr, mask memdata.WordMask, vals *[memdata.WordsPerLine]uint32, done func()) bool {
 	if c.p.MSHRs > 0 && len(c.pendingReg) >= c.p.MSHRs {
 		if _, merging := c.pendingReg[addr]; !merging {
-			// Store buffer full of in-flight registrations: replay.
-			o := c.newOp()
-			o.kind, o.addr, o.mask, o.vals, o.doneS = opRetryStore, addr, mask, vals, done
-			c.replay(o)
-			return
+			return false // registration buffer full
 		}
 	}
-	needReg := memdata.WordMask(0)
-	for i := 0; i < memdata.WordsPerLine; i++ {
-		if !mask.Has(i) {
-			continue
-		}
+	for m := mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros16(uint16(m))
 		l.vals[i] = vals[i]
-		if !l.state[i].Owned() {
-			l.state[i] = coh.PendingReg
-			needReg |= memdata.Bit(i)
-		}
+	}
+	needReg := mask &^ l.owned()
+	l.shared &^= needReg
+	l.pend |= needReg
+	if needReg != 0 {
+		c.refreshBusy(addr, l)
 	}
 	if needReg == 0 {
 		c.hits.Inc()
@@ -443,6 +592,7 @@ func (c *Cache) Store(addr memdata.PAddr, mask memdata.WordMask, vals [memdata.W
 		}
 	}
 	c.eng.Schedule(c.p.HitLat, done)
+	return true
 }
 
 // HandlePacket implements coh.Handler for LLC responses and remote
@@ -455,6 +605,21 @@ func (c *Cache) HandlePacket(p *coh.Packet) {
 		c.regAck(p)
 	case coh.WBAck:
 		c.wbuf.Release(p.Line, p.Mask)
+		if !c.wbuf.Busy(p.Line) {
+			s := &c.sets[c.setIndex(p.Line)]
+			s.wbs--
+			for i, a := range s.addrs {
+				if a == p.Line {
+					l := s.lines[i]
+					l.wbWait = false
+					if l.pend == 0 && l.mshr == nil {
+						s.busyMask &^= 1 << uint(i)
+					}
+					break
+				}
+			}
+		}
+		c.epoch++
 		c.outstanding--
 		c.chk.Progress()
 		c.checkDrained()
@@ -472,12 +637,12 @@ func (c *Cache) fill(p *coh.Packet) {
 	c.tsnk.Event(uint64(c.eng.Now()), trace.KFill, uint64(p.Line), 0)
 	l := c.lookup(p.Line)
 	if l != nil {
-		for i := 0; i < memdata.WordsPerLine; i++ {
-			if p.Mask.Has(i) && l.state[i] == coh.Invalid {
-				l.vals[i] = p.Vals[i]
-				l.state[i] = coh.Shared
-			}
+		take := p.Mask &^ l.readable() // only Invalid words accept fill data
+		for m := take; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros16(uint16(m))
+			l.vals[i] = p.Vals[i]
 		}
+		l.shared |= take
 	}
 	m := c.mshrs[p.Line]
 	if m == nil {
@@ -490,16 +655,10 @@ func (c *Cache) fill(p *coh.Packet) {
 		// which allocate() prevents; keep as a defensive path).
 		return
 	}
+	readable := l.readable()
 	remaining := m.waiters[:0]
 	for _, w := range m.waiters {
-		ready := true
-		for i := 0; i < memdata.WordsPerLine; i++ {
-			if w.mask.Has(i) && !l.state[i].Readable() {
-				ready = false
-				break
-			}
-		}
-		if ready {
+		if w.mask&^readable == 0 {
 			o := c.newOp()
 			o.kind, o.vals, o.doneL = opDeliver, l.vals, w.done
 			c.eng.Schedule(c.p.HitLat, o.run)
@@ -510,6 +669,9 @@ func (c *Cache) fill(p *coh.Packet) {
 	m.waiters = remaining
 	if len(m.waiters) == 0 && m.requested == 0 {
 		delete(c.mshrs, p.Line)
+		l.mshr = nil
+		c.refreshBusy(p.Line, l)
+		c.epoch++
 		c.retireMSHR(m)
 		c.tsnk.Event(uint64(c.eng.Now()), trace.KAccessEnd, uint64(p.Line), 0)
 		c.checkDrained()
@@ -530,11 +692,11 @@ func (c *Cache) retireMSHR(m *mshr) {
 func (c *Cache) regAck(p *coh.Packet) {
 	c.chk.Progress()
 	if l := c.lookup(p.Line); l != nil {
-		for i := 0; i < memdata.WordsPerLine; i++ {
-			if p.Mask.Has(i) && l.state[i] == coh.PendingReg {
-				l.state[i] = coh.Registered
-			}
-		}
+		take := p.Mask & l.pend
+		l.pend &^= take
+		l.reg |= take
+		c.refreshBusy(p.Line, l)
+		c.epoch++
 	}
 	rem := c.pendingReg[p.Line] &^ p.Mask
 	if rem == 0 {
@@ -551,11 +713,10 @@ func (c *Cache) serveRemote(p *coh.Packet) {
 	var vals [memdata.WordsPerLine]uint32
 	served := memdata.WordMask(0)
 	if l := c.lookup(p.Line); l != nil {
-		for i := 0; i < memdata.WordsPerLine; i++ {
-			if p.Mask.Has(i) && l.state[i].Owned() {
-				vals[i] = l.vals[i]
-				served |= memdata.Bit(i)
-			}
+		served = p.Mask & l.owned()
+		for m := served; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros16(uint16(m))
+			vals[i] = l.vals[i]
 		}
 	}
 	if rem := p.Mask &^ served; rem != 0 {
@@ -583,27 +744,16 @@ func (c *Cache) serveRemote(p *coh.Packet) {
 
 func (c *Cache) ownerInv(p *coh.Packet) {
 	if l := c.lookup(p.Line); l != nil {
-		for i := 0; i < memdata.WordsPerLine; i++ {
-			if p.Mask.Has(i) && l.state[i] == coh.Registered {
-				l.state[i] = coh.Invalid
-			}
-		}
+		l.reg &^= p.Mask // only Registered words drop to Invalid
 	}
 }
 
 // SelfInvalidate drops all Shared words (DeNovo self-invalidation at a
 // synchronization point); Registered words are kept (paper Section 4.3).
 func (c *Cache) SelfInvalidate() {
-	for _, s := range c.sets {
-		for _, l := range s {
-			if !l.live {
-				continue
-			}
-			for i := range l.state {
-				if l.state[i] == coh.Shared {
-					l.state[i] = coh.Invalid
-				}
-			}
+	for i := range c.sets {
+		for _, l := range c.sets[i].lines {
+			l.shared = 0
 		}
 	}
 }
@@ -613,13 +763,15 @@ func (c *Cache) SelfInvalidate() {
 // are truncated, not released: the dead lines stay in each slice's
 // capacity and are reused by later allocates.
 func (c *Cache) WritebackAll() {
-	for i, s := range c.sets {
-		for _, l := range s {
-			if l.live {
-				c.evict(l)
-			}
+	for i := range c.sets {
+		s := &c.sets[i]
+		for _, l := range s.lines {
+			c.evict(s, l)
 		}
-		c.sets[i] = s[:0]
+		s.lines = s.lines[:0]
+		s.addrs = s.addrs[:0]
+		s.stamp = s.stamp[:0]
+		s.busyMask = 0
 	}
 }
 
@@ -682,10 +834,9 @@ func (c *Cache) CheckInvariants(now, ageBound sim.Cycle) error {
 			return fmt.Errorf("pendingReg %#x: empty mask", addr)
 		}
 		if l := c.peekLine(addr); l != nil {
-			for i := 0; i < memdata.WordsPerLine; i++ {
-				if mask.Has(i) && l.state[i] != coh.PendingReg {
-					return fmt.Errorf("line %#x word %d: registration in flight but state is %v", addr, i, l.state[i])
-				}
+			if bad := mask &^ l.pend; bad != 0 {
+				i := bits.TrailingZeros16(uint16(bad))
+				return fmt.Errorf("line %#x word %d: registration in flight but state is %v", addr, i, l.wordState(i))
 			}
 		}
 	}
@@ -695,13 +846,25 @@ func (c *Cache) CheckInvariants(now, ageBound sim.Cycle) error {
 	if err := c.wbuf.CheckInvariants(); err != nil {
 		return err
 	}
-	for si, s := range c.sets {
-		for i, l := range s {
-			if !l.live {
-				continue
+	wbs := make(map[int]int32)
+	c.wbuf.Each(func(line memdata.PAddr) { wbs[c.setIndex(line)]++ })
+	for si := range c.sets {
+		s := &c.sets[si]
+		if s.wbs != wbs[si] {
+			return fmt.Errorf("set %d: wbs %d disagrees with %d buffered writebacks", si, s.wbs, wbs[si])
+		}
+		for i, l := range s.lines {
+			if l.addr != s.addrs[i] {
+				return fmt.Errorf("set %d way %d: tag array %#x disagrees with line %#x", si, i, s.addrs[i], l.addr)
 			}
-			for j := i + 1; j < len(s); j++ {
-				if s[j].live && s[j].addr == l.addr {
+			if l.wbWait != c.wbuf.Busy(l.addr) {
+				return fmt.Errorf("line %#x: wbWait %v disagrees with writeback buffer", l.addr, l.wbWait)
+			}
+			if want := l.pend != 0 || l.mshr != nil || l.wbWait; s.busyMask&(1<<uint(i)) != 0 != want {
+				return fmt.Errorf("set %d way %d: busy bit disagrees with line %#x state", si, i, l.addr)
+			}
+			for j := i + 1; j < len(s.lines); j++ {
+				if s.addrs[j] == l.addr {
 					return fmt.Errorf("set %d: line %#x resident twice", si, l.addr)
 				}
 			}
@@ -731,9 +894,10 @@ func (c *Cache) CheckQuiescent() error {
 
 // peekLine finds addr's resident line without refreshing LRU.
 func (c *Cache) peekLine(addr memdata.PAddr) *line {
-	for _, l := range c.sets[c.setIndex(addr)] {
-		if l.live && l.addr == addr {
-			return l
+	s := &c.sets[c.setIndex(addr)]
+	for i, a := range s.addrs {
+		if a == addr {
+			return s.lines[i]
 		}
 	}
 	return nil
@@ -744,7 +908,7 @@ func (c *Cache) peekLine(addr memdata.PAddr) *line {
 // use it to confirm the LLC's registry against the cache's own state.
 func (c *Cache) OwnsWord(addr memdata.PAddr) bool {
 	l := c.peekLine(memdata.LineOf(addr))
-	return l != nil && l.state[memdata.WordIndex(addr)] == coh.Registered
+	return l != nil && l.reg.Has(memdata.WordIndex(addr))
 }
 
 // DebugString renders the cache's transient state for failure dumps.
@@ -780,5 +944,5 @@ func (c *Cache) Peek(addr memdata.PAddr) (uint32, coh.State, bool) {
 		return 0, coh.Invalid, false
 	}
 	w := memdata.WordIndex(addr)
-	return l.vals[w], l.state[w], true
+	return l.vals[w], l.wordState(w), true
 }

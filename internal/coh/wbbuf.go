@@ -72,7 +72,11 @@ func (b *WBBuffer) Release(line memdata.PAddr, mask memdata.WordMask) {
 }
 
 // Busy reports whether any words of line are awaiting acknowledgement.
-func (b *WBBuffer) Busy(line memdata.PAddr) bool { return b.pending[line] != nil }
+// The emptiness check makes the common no-writebacks-in-flight case
+// (every eviction scan asks) free of map-lookup cost.
+func (b *WBBuffer) Busy(line memdata.PAddr) bool {
+	return len(b.pending) != 0 && b.pending[line] != nil
+}
 
 // CheckInvariants verifies conservation: every pending entry still
 // holds words (an empty-mask entry is a leaked writeback whose release
@@ -88,6 +92,15 @@ func (b *WBBuffer) CheckInvariants() error {
 
 // Len reports the number of lines with in-flight writebacks.
 func (b *WBBuffer) Len() int { return len(b.pending) }
+
+// Each calls fn for every line with an in-flight writeback, in no
+// particular order. Invariant sweeps use it to audit caller-side
+// mirrors of the buffer's occupancy.
+func (b *WBBuffer) Each(fn func(line memdata.PAddr)) {
+	for line := range b.pending {
+		fn(line)
+	}
+}
 
 // Handler consumes protocol packets addressed to one component.
 type Handler interface {

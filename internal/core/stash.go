@@ -221,6 +221,13 @@ type Stash struct {
 	// sibling line's MSHR), so drain checks scan this list instead of
 	// the whole MSHR map.
 	purgeCand []*readMSHR
+	// waiterFired is set when a waiter fires and cleared after a purge
+	// sweep. A candidate's waiter list can only lose entries when some
+	// waiter fires, so while the flag is clear the sweep skips the
+	// per-waiter scans entirely — without it, every ack re-walked every
+	// candidate's unfired waiters, which is quadratic during bursts of
+	// same-line loads.
+	waiterFired bool
 
 	// Free lists and scratch buffers for the access hot path. All are
 	// bounded by the steady-state transaction concurrency and reuse
@@ -975,6 +982,7 @@ func (s *Stash) completeIfReady(w *stashWaiter) {
 		}
 	}
 	w.fired = true
+	s.waiterFired = true
 	vals := s.gather(w.offsets)
 	done := w.done
 	s.eng.Schedule(s.p.HitLat, func() {
@@ -1114,34 +1122,41 @@ func (s *Stash) checkDrained() {
 	// through a sibling line's MSHR. Only the purge candidates
 	// (requested mask zero) can be in that state; scanning the whole
 	// MSHR map here made every ack O(outstanding lines).
-	cand := s.purgeCand[:0]
-	for _, m := range s.purgeCand {
-		if m.requested != 0 {
-			// Resurrected by a later miss; fill re-lists it when the
-			// new requests complete.
-			m.inPurge = false
-			continue
-		}
-		live := m.waiters[:0]
-		for _, w := range m.waiters {
-			if !w.fired {
-				live = append(live, w)
+	if s.waiterFired {
+		// A candidate's waiter list only shrinks when a waiter fires,
+		// so with the flag clear no candidate can have become
+		// collectible since the last sweep and the whole walk is
+		// skipped. (A candidate resurrected by a later miss stays
+		// listed until the next real sweep unlists it; it is still
+		// inPurge, so fill will not double-list it.)
+		s.waiterFired = false
+		cand := s.purgeCand[:0]
+		for _, m := range s.purgeCand {
+			if m.requested != 0 {
+				m.inPurge = false
 				continue
 			}
-			w.attached--
-			if w.attached == 0 {
-				s.releaseWaiter(w)
+			live := m.waiters[:0]
+			for _, w := range m.waiters {
+				if !w.fired {
+					live = append(live, w)
+					continue
+				}
+				w.attached--
+				if w.attached == 0 {
+					s.releaseWaiter(w)
+				}
+			}
+			m.waiters = live
+			if len(m.waiters) == 0 {
+				delete(s.mshrs, m.line)
+				s.retireMSHR(m)
+			} else {
+				cand = append(cand, m)
 			}
 		}
-		m.waiters = live
-		if len(m.waiters) == 0 {
-			delete(s.mshrs, m.line)
-			s.retireMSHR(m)
-		} else {
-			cand = append(cand, m)
-		}
+		s.purgeCand = cand
 	}
-	s.purgeCand = cand
 	if s.outstanding != 0 || len(s.mshrs) != 0 || len(s.drainWait) == 0 {
 		return
 	}

@@ -83,6 +83,11 @@ func (c *Core) Run(prog *isa.Program, threadID, numThreads int, done func()) {
 		BlockDim: 1,
 		BlockID:  threadID,
 		GridDim:  numThreads,
+		// A width-1 in-order core retires back-to-back single-cycle ALU
+		// ops with nothing contending for the issue slot, so executing a
+		// straight-line run as one fused superinstruction (Cycles = run
+		// length) is timing-exact.
+		FuseALU: true,
 	}
 	if c.warpPool == nil {
 		c.warpPool = isa.NewWarp(prog, cfg)
@@ -97,8 +102,9 @@ func (c *Core) Run(prog *isa.Program, threadID, numThreads int, done func()) {
 func (c *Core) step() {
 	p := c.warp.Step()
 	if p.Kind != isa.PendDone {
-		c.instrs.Inc()
-		c.trInstrs.Add(uint64(c.eng.Now()), 1)
+		// A fused ALU run retires p.Fused instructions in one Step.
+		c.instrs.Add(uint64(p.Fused))
+		c.trInstrs.Add(uint64(c.eng.Now()), uint64(p.Fused))
 	}
 	switch p.Kind {
 	case isa.PendDone:

@@ -331,9 +331,12 @@ func (c *CU) tick() {
 	c.cycles.Inc()
 	p := wc.warp.Step()
 	if p.Kind != isa.PendDone {
-		c.instrs.Inc()
-		c.trInstrs.Add(uint64(c.eng.Now()), 1)
-		c.acct.Add(energy.GPUInst, 1)
+		// GPU warps run with FuseALU off (per-cycle warp interleaving
+		// makes fusion timing-visible), so Fused is 1; counting it keeps
+		// the instruction accounting exact if that ever changes.
+		c.instrs.Add(uint64(p.Fused))
+		c.trInstrs.Add(uint64(c.eng.Now()), uint64(p.Fused))
+		c.acct.Add(energy.GPUInst, uint64(p.Fused))
 	}
 	switch p.Kind {
 	case isa.PendALU:

@@ -232,7 +232,10 @@ func (b *Builder) fail(msg string) {
 	}
 }
 
-// Build finalizes the program, validating structure and register use.
+// Build finalizes the program, validating structure and register use,
+// and compiles it into its pre-decoded execution plan. Register-index
+// and control-flow-target errors surface here, at build time, rather
+// than mid-simulation.
 func (b *Builder) Build() (*Program, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -246,7 +249,11 @@ func (b *Builder) Build() (*Program, error) {
 	if regs == 0 {
 		regs = 1
 	}
-	return &Program{Code: code, Regs: regs}, nil
+	p := &Program{Code: code, Regs: regs}
+	if err := p.Compile(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // MustBuild is Build for statically correct kernels.

@@ -1,0 +1,805 @@
+package isa
+
+import "fmt"
+
+// This file is the kernel compiler: at Program build time the
+// instruction slice is lowered once into a flat, pre-decoded execution
+// plan that the warp interpreter dispatches through instead of
+// re-decoding every Instr through the opcode switch on every step.
+//
+// The plan buys three things over direct interpretation:
+//
+//   - decode once: operand registers, immediates, memory spaces, and
+//     structured-control-flow targets are resolved and validated at
+//     compile time, so Step never touches an Instr again;
+//   - threaded dispatch: every ALU opcode is lowered to a pre-bound
+//     apply function whose lane loop is specialized per opcode (the
+//     reference interpreter re-selects the opcode inside the per-lane
+//     loop) with a hoisted fully-active fast path that skips the
+//     divergence-mask test on every lane;
+//   - fusion metadata: maximal straight-line runs of single-cycle ALU
+//     instructions between control-flow/memory boundaries are marked so
+//     a warp in fused mode (see WarpConfig.FuseALU) can execute the
+//     whole run as one superinstruction returning a single PendALU with
+//     Cycles == run length.
+//
+// Compile-time register validation is what makes the fast paths safe:
+// every register index is checked against Program.Regs once, so the
+// per-lane inner loops never re-validate and the lane slice can be
+// taken with a single bounded slice expression per lane.
+
+// opKind is the dense dispatch class of a compiled operation.
+type opKind uint8
+
+const (
+	opALU     opKind = iota // single-cycle register op; apply is non-nil
+	opFlops                 // occupy the lanes for cycles
+	opLoad                  // memory load (space pre-decoded)
+	opStore                 // memory store (space pre-decoded)
+	opIf                    // push mask, intersect with condition
+	opElse                  // flip within the pushed mask
+	opEndIf                 // pop mask
+	opFor                   // open counted loop
+	opEndFor                // close counted loop / back-edge
+	opBarrier               // block-wide barrier
+	opIntrin                // AddMap/ChgMap/DMA (pend kind pre-decoded)
+	opExit                  // program end
+)
+
+// applyFn mutates the register file for one ALU op. The plan binds one
+// per opcode; operands come pre-decoded from the planOp.
+type applyFn func(w *Warp, u *planOp)
+
+// planOp is one pre-decoded operation of the execution plan.
+type planOp struct {
+	kind  opKind
+	apply applyFn // ALU register-file mutation (opALU only)
+	op    Op      // source opcode, for diagnostics
+
+	rd, ra, rb, rc int
+	imm            int64
+	u32            uint32 // uint32(imm), converted once
+	spec           Spec
+	slot           int
+	space          Space
+	target         int
+	pend           PendKind // intrinsic result kind (opIntrin)
+	useRegBase     bool
+	cycles         int // flops occupancy, pre-clamped to >= 1
+
+	// fuseLen is the length of the maximal straight-line run of opALU
+	// operations starting here (1 for a lone ALU op, 0 for non-ALU).
+	// Branch targets only ever land on control boundaries, so a run is
+	// always entered at its head and can execute atomically.
+	fuseLen int
+}
+
+// plan is a compiled program: one planOp per source instruction, in
+// source order (pc values are shared with the Instr slice).
+type plan struct {
+	ops []planOp
+}
+
+// compileError reports an invalid instruction found at compile time.
+func compileError(pc int, ins *Instr, format string, args ...any) error {
+	return fmt.Errorf("isa: instruction %d (%s): %s", pc, opName(ins.Op), fmt.Sprintf(format, args...))
+}
+
+var opNames = map[Op]string{
+	OpNop: "Nop", OpMovImm: "MovImm", OpMovSpec: "MovSpec", OpMov: "Mov",
+	OpAdd: "Add", OpSub: "Sub", OpMul: "Mul", OpDiv: "Div", OpMod: "Mod",
+	OpAnd: "And", OpOr: "Or", OpXor: "Xor", OpShl: "Shl", OpShr: "Shr",
+	OpAddImm: "AddImm", OpMulImm: "MulImm", OpDivImm: "DivImm", OpModImm: "ModImm",
+	OpAndImm: "AndImm", OpShlImm: "ShlImm", OpShrImm: "ShrImm",
+	OpSetLt: "SetLt", OpSetGe: "SetGe", OpSetEq: "SetEq", OpSetNe: "SetNe",
+	OpSetLtImm: "SetLtImm", OpSetEqImm: "SetEqImm", OpSelect: "Select",
+	OpMadImm: "MadImm", OpFlops: "Flops",
+	OpLdGlobal: "LdGlobal", OpStGlobal: "StGlobal", OpLdShared: "LdShared",
+	OpStShared: "StShared", OpLdStash: "LdStash", OpStStash: "StStash",
+	OpAddMap: "AddMap", OpChgMap: "ChgMap", OpDMALoad: "DMALoad", OpDMAStore: "DMAStore",
+	OpBarrier: "Barrier", OpIf: "If", OpElse: "Else", OpEndIf: "EndIf",
+	OpFor: "For", OpEndFor: "EndFor", OpExit: "Exit",
+}
+
+func opName(op Op) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", int(op))
+}
+
+// compile lowers prog.Code into an execution plan, validating every
+// register index, control-flow target, and special-register selector.
+func compile(prog *Program) (*plan, error) {
+	ops := make([]planOp, len(prog.Code))
+	regs := prog.Regs
+	checkReg := func(pc int, ins *Instr, name string, r int) error {
+		if r < 0 || r >= regs {
+			return compileError(pc, ins, "register %s=%d out of range [0,%d)", name, r, regs)
+		}
+		return nil
+	}
+	for pc := range prog.Code {
+		ins := &prog.Code[pc]
+		u := &ops[pc]
+		u.op = ins.Op
+		u.rd, u.ra, u.rb, u.rc = ins.Rd, ins.Ra, ins.Rb, ins.Rc
+		u.imm = ins.Imm
+		u.u32 = uint32(ins.Imm)
+		u.spec = ins.Spec
+		u.slot = ins.Slot
+		u.target = ins.Target
+		u.useRegBase = ins.UseRegBase
+
+		// needs lists the register operands this opcode actually reads
+		// or writes; everything listed is validated once, here.
+		var needs []regUse
+		switch ins.Op {
+		case OpNop, OpFlops, OpBarrier, OpElse, OpEndIf, OpEndFor, OpExit:
+			// no register operands
+		case OpMovImm:
+			needs = []regUse{{"Rd", ins.Rd}}
+		case OpMovSpec:
+			if ins.Spec < SpecTid || ins.Spec > SpecWarpID {
+				return nil, compileError(pc, ins, "unknown special register %d", ins.Spec)
+			}
+			needs = []regUse{{"Rd", ins.Rd}}
+		case OpMov:
+			needs = []regUse{{"Rd", ins.Rd}, {"Ra", ins.Ra}}
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpSetLt, OpSetGe, OpSetEq, OpSetNe, OpMadImm:
+			needs = []regUse{{"Rd", ins.Rd}, {"Ra", ins.Ra}, {"Rb", ins.Rb}}
+		case OpAddImm, OpMulImm, OpDivImm, OpModImm, OpAndImm, OpShlImm, OpShrImm,
+			OpSetLtImm, OpSetEqImm:
+			needs = []regUse{{"Rd", ins.Rd}, {"Ra", ins.Ra}}
+		case OpSelect:
+			needs = []regUse{{"Rd", ins.Rd}, {"Ra", ins.Ra}, {"Rb", ins.Rb}, {"Rc", ins.Rc}}
+		case OpLdGlobal, OpLdShared, OpLdStash:
+			needs = []regUse{{"Rd", ins.Rd}, {"Ra", ins.Ra}}
+		case OpStGlobal, OpStShared, OpStStash:
+			needs = []regUse{{"Ra", ins.Ra}, {"Rb", ins.Rb}}
+		case OpAddMap, OpChgMap, OpDMALoad, OpDMAStore:
+			if ins.UseRegBase {
+				needs = []regUse{{"Ra", ins.Ra}, {"Rb", ins.Rb}}
+			}
+		case OpIf:
+			needs = []regUse{{"Ra", ins.Ra}}
+		case OpFor:
+			needs = []regUse{{"Rd", ins.Rd}}
+			if ins.Ra >= 0 {
+				needs = append(needs, regUse{"Ra", ins.Ra})
+			}
+		default:
+			return nil, compileError(pc, ins, "unknown opcode")
+		}
+		for _, n := range needs {
+			if err := checkReg(pc, ins, n.name, n.reg); err != nil {
+				return nil, err
+			}
+		}
+
+		switch ins.Op {
+		case OpFlops:
+			u.kind = opFlops
+			u.cycles = int(ins.Imm)
+			if u.cycles < 1 {
+				u.cycles = 1
+			}
+		case OpLdGlobal, OpLdShared, OpLdStash:
+			u.kind = opLoad
+			u.space = spaceOf(ins.Op)
+		case OpStGlobal, OpStShared, OpStStash:
+			u.kind = opStore
+			u.space = spaceOf(ins.Op)
+		case OpAddMap, OpChgMap, OpDMALoad, OpDMAStore:
+			u.kind = opIntrin
+			switch ins.Op {
+			case OpAddMap:
+				u.pend = PendAddMap
+			case OpChgMap:
+				u.pend = PendChgMap
+			case OpDMALoad:
+				u.pend = PendDMALoad
+			default:
+				u.pend = PendDMAStore
+			}
+		case OpBarrier:
+			u.kind = opBarrier
+		case OpIf:
+			u.kind = opIf
+			if err := checkTarget(prog, pc, ins, OpElse, OpEndIf); err != nil {
+				return nil, err
+			}
+		case OpElse:
+			u.kind = opElse
+			if err := checkTarget(prog, pc, ins, OpEndIf, OpEndIf); err != nil {
+				return nil, err
+			}
+		case OpEndIf:
+			u.kind = opEndIf
+		case OpFor:
+			u.kind = opFor
+			u.ra = ins.Ra // may legitimately be -1 (immediate trip count)
+			if err := checkTarget(prog, pc, ins, OpEndFor, OpEndFor); err != nil {
+				return nil, err
+			}
+		case OpEndFor:
+			u.kind = opEndFor
+			if ins.Target < 0 || ins.Target >= pc || prog.Code[ins.Target].Op != OpFor {
+				return nil, compileError(pc, ins, "back-edge target %d is not an earlier For", ins.Target)
+			}
+		case OpExit:
+			u.kind = opExit
+		default:
+			u.kind = opALU
+			u.apply = aluApply[ins.Op]
+			if u.apply == nil {
+				return nil, compileError(pc, ins, "no ALU lowering")
+			}
+		}
+	}
+
+	// Fusion metadata: mark each maximal straight-line opALU run with
+	// its length at the head (and every later member, so a warp that
+	// single-steps into a run — fusion disabled — still sees fuseLen
+	// for the remainder; entry mid-run cannot happen in fused mode
+	// because branch targets always land on control boundaries).
+	for pc := len(ops) - 1; pc >= 0; pc-- {
+		if ops[pc].kind != opALU {
+			continue
+		}
+		ops[pc].fuseLen = 1
+		if pc+1 < len(ops) && ops[pc+1].kind == opALU {
+			ops[pc].fuseLen = ops[pc+1].fuseLen + 1
+		}
+	}
+	return &plan{ops: ops}, nil
+}
+
+type regUse struct {
+	name string
+	reg  int
+}
+
+func spaceOf(op Op) Space {
+	switch op {
+	case OpLdGlobal, OpStGlobal:
+		return Global
+	case OpLdShared, OpStShared:
+		return Shared
+	default:
+		return Stash
+	}
+}
+
+// checkTarget validates a forward structured-control-flow target.
+func checkTarget(prog *Program, pc int, ins *Instr, want1, want2 Op) error {
+	t := ins.Target
+	if t <= pc || t >= len(prog.Code) {
+		return compileError(pc, ins, "target %d outside (%d,%d)", t, pc, len(prog.Code))
+	}
+	if got := prog.Code[t].Op; got != want1 && got != want2 {
+		return compileError(pc, ins, "target %d is %s, want %s or %s", t, opName(got), opName(want1), opName(want2))
+	}
+	return nil
+}
+
+// --- per-opcode ALU lowering ---
+//
+// Each apply function owns its lane loop, with the opcode selected
+// once (threaded dispatch) instead of per lane, and a fully-active
+// fast path — tracked by the warp's O(1) activeCount — that iterates
+// the register file by stride with no per-lane mask test.
+
+var aluApply [OpFlops + 1]applyFn
+
+func init() {
+	aluApply[OpNop] = applyNop
+	aluApply[OpMovImm] = applyMovImm
+	aluApply[OpMovSpec] = applyMovSpec
+	aluApply[OpMov] = applyMov
+	aluApply[OpAdd] = applyAdd
+	aluApply[OpSub] = applySub
+	aluApply[OpMul] = applyMul
+	aluApply[OpDiv] = applyDiv
+	aluApply[OpMod] = applyMod
+	aluApply[OpAnd] = applyAnd
+	aluApply[OpOr] = applyOr
+	aluApply[OpXor] = applyXor
+	aluApply[OpShl] = applyShl
+	aluApply[OpShr] = applyShr
+	aluApply[OpAddImm] = applyAddImm
+	aluApply[OpMulImm] = applyMulImm
+	aluApply[OpDivImm] = applyDivImm
+	aluApply[OpModImm] = applyModImm
+	aluApply[OpAndImm] = applyAndImm
+	aluApply[OpShlImm] = applyShlImm
+	aluApply[OpShrImm] = applyShrImm
+	aluApply[OpSetLt] = applySetLt
+	aluApply[OpSetGe] = applySetGe
+	aluApply[OpSetEq] = applySetEq
+	aluApply[OpSetNe] = applySetNe
+	aluApply[OpSetLtImm] = applySetLtImm
+	aluApply[OpSetEqImm] = applySetEqImm
+	aluApply[OpSelect] = applySelect
+	aluApply[OpMadImm] = applyMadImm
+}
+
+func applyNop(w *Warp, u *planOp) {}
+
+func applyMovImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			w.regs[b+u.rd] = u.u32
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			w.lane(l)[u.rd] = u.u32
+		}
+	}
+}
+
+func applyMovSpec(w *Warp, u *planOp) {
+	switch u.spec {
+	case SpecTid, SpecLane:
+		base := 0
+		if u.spec == SpecTid {
+			base = w.cfg.FirstThread
+		}
+		if w.fullyActive() {
+			l := 0
+			for b, s := 0, w.stride; b < len(w.regs); b += s {
+				w.regs[b+u.rd] = uint32(base + l)
+				l++
+			}
+			return
+		}
+		for l, a := range w.active {
+			if a {
+				w.lane(l)[u.rd] = uint32(base + l)
+			}
+		}
+	default:
+		v := w.special(u.spec, 0) // lane-uniform
+		if w.fullyActive() {
+			for b, s := 0, w.stride; b < len(w.regs); b += s {
+				w.regs[b+u.rd] = v
+			}
+			return
+		}
+		for l, a := range w.active {
+			if a {
+				w.lane(l)[u.rd] = v
+			}
+		}
+	}
+}
+
+func applyMov(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra]
+		}
+	}
+}
+
+func applyAdd(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] + r[u.rb]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] + r[u.rb]
+		}
+	}
+}
+
+func applySub(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] - r[u.rb]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] - r[u.rb]
+		}
+	}
+}
+
+func applyMul(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] * r[u.rb]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] * r[u.rb]
+		}
+	}
+}
+
+func applyDiv(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] / nonzero(r[u.rb])
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] / nonzero(r[u.rb])
+		}
+	}
+}
+
+func applyMod(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] % nonzero(r[u.rb])
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] % nonzero(r[u.rb])
+		}
+	}
+}
+
+func applyAnd(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] & r[u.rb]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] & r[u.rb]
+		}
+	}
+}
+
+func applyOr(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] | r[u.rb]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] | r[u.rb]
+		}
+	}
+}
+
+func applyXor(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] ^ r[u.rb]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] ^ r[u.rb]
+		}
+	}
+}
+
+func applyShl(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] << (r[u.rb] & 31)
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] << (r[u.rb] & 31)
+		}
+	}
+}
+
+func applyShr(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] >> (r[u.rb] & 31)
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] >> (r[u.rb] & 31)
+		}
+	}
+}
+
+func applyAddImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] + u.u32
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] + u.u32
+		}
+	}
+}
+
+func applyMulImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] * u.u32
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] * u.u32
+		}
+	}
+}
+
+func applyDivImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] / nonzero(u.u32)
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] / nonzero(u.u32)
+		}
+	}
+}
+
+func applyModImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] % nonzero(u.u32)
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] % nonzero(u.u32)
+		}
+	}
+}
+
+func applyAndImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] & u.u32
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] & u.u32
+		}
+	}
+}
+
+func applyShlImm(w *Warp, u *planOp) {
+	sh := u.u32 & 31
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] << sh
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] << sh
+		}
+	}
+}
+
+func applyShrImm(w *Warp, u *planOp) {
+	sh := u.u32 & 31
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra] >> sh
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra] >> sh
+		}
+	}
+}
+
+func applySetLt(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = boolToU32(int32(r[u.ra]) < int32(r[u.rb]))
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = boolToU32(int32(r[u.ra]) < int32(r[u.rb]))
+		}
+	}
+}
+
+func applySetGe(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = boolToU32(int32(r[u.ra]) >= int32(r[u.rb]))
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = boolToU32(int32(r[u.ra]) >= int32(r[u.rb]))
+		}
+	}
+}
+
+func applySetEq(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = boolToU32(r[u.ra] == r[u.rb])
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = boolToU32(r[u.ra] == r[u.rb])
+		}
+	}
+}
+
+func applySetNe(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = boolToU32(r[u.ra] != r[u.rb])
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = boolToU32(r[u.ra] != r[u.rb])
+		}
+	}
+}
+
+func applySetLtImm(w *Warp, u *planOp) {
+	imm := int32(u.imm)
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = boolToU32(int32(r[u.ra]) < imm)
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = boolToU32(int32(r[u.ra]) < imm)
+		}
+	}
+}
+
+func applySetEqImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = boolToU32(r[u.ra] == u.u32)
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = boolToU32(r[u.ra] == u.u32)
+		}
+	}
+}
+
+func applySelect(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			if r[u.ra] != 0 {
+				r[u.rd] = r[u.rb]
+			} else {
+				r[u.rd] = r[u.rc]
+			}
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			if r[u.ra] != 0 {
+				r[u.rd] = r[u.rb]
+			} else {
+				r[u.rd] = r[u.rc]
+			}
+		}
+	}
+}
+
+func applyMadImm(w *Warp, u *planOp) {
+	if w.fullyActive() {
+		for b, s := 0, w.stride; b < len(w.regs); b += s {
+			r := w.regs[b : b+s : b+s]
+			r[u.rd] = r[u.ra]*u.u32 + r[u.rb]
+		}
+		return
+	}
+	for l, a := range w.active {
+		if a {
+			r := w.lane(l)
+			r[u.rd] = r[u.ra]*u.u32 + r[u.rb]
+		}
+	}
+}

@@ -12,7 +12,11 @@
 // 3.2 describes). AddMap/ChgMap and DMA transfers are intrinsics.
 package isa
 
-import "stash/internal/core"
+import (
+	"sync"
+
+	"stash/internal/core"
+)
 
 // Op enumerates instruction opcodes.
 type Op int
@@ -48,7 +52,7 @@ const (
 	OpSetNe
 	OpSetLtImm
 	OpSetEqImm
-	OpSelect // Rd = Ra != 0 ? Rb : Rc ... encoded via Extra register
+	OpSelect // Rd = Ra != 0 ? Rb : Rc (third operand in the Rc field)
 	OpMadImm // Rd = Ra*Imm + Rb (integer multiply-add, for addressing)
 	OpFlops  // placeholder FP work: occupies the lane for Imm cycles
 
@@ -113,7 +117,35 @@ const (
 )
 
 // Program is a validated instruction sequence plus its register needs.
+// Programs are compiled once into a pre-decoded execution plan (see
+// compile.go) that every warp dispatches through; Builder.Build
+// compiles eagerly, hand-assembled Programs compile lazily on first
+// warp Reset. A Program must not be copied after first use.
 type Program struct {
 	Code []Instr
 	Regs int
+
+	compileOnce sync.Once
+	plan        *plan
+	compileErr  error
+}
+
+// Compile lowers the program into its execution plan, validating every
+// register index and control-flow target. It is idempotent and safe
+// for concurrent use; the plan is cached on the Program.
+func (p *Program) Compile() error {
+	p.compileOnce.Do(func() {
+		p.plan, p.compileErr = compile(p)
+	})
+	return p.compileErr
+}
+
+// mustPlan returns the compiled plan, panicking on an invalid program
+// — interpreting an instruction stream that fails validation was
+// always a panic, it just used to happen one instruction at a time.
+func (p *Program) mustPlan() *plan {
+	if err := p.Compile(); err != nil {
+		panic(err.Error())
+	}
+	return p.plan
 }

@@ -65,13 +65,20 @@ type line struct {
 	owner [memdata.WordsPerLine]coh.Owner
 	owned memdata.WordMask // words registered to owner[i]
 	dirty memdata.WordMask // words newer than DRAM
-	live  bool
 }
 
 func (l *line) pinned() bool { return l.owned != 0 }
 
+// cacheSet is one associativity set. Ways do not move: recency lives
+// in a per-way LRU stamp rather than physical list order, so a hit
+// refreshes recency with one word write and an eviction replaces a
+// way in place. The tag array is parallel to lines so the hot lookup
+// scan never dereferences a line pointer; within len both arrays
+// always describe live lines.
 type cacheSet struct {
-	lines []*line // LRU order: front = most recent
+	addrs []memdata.PAddr
+	lines []*line
+	stamp []uint64
 }
 
 // ownerGroups collects the per-owner word masks of one directory
@@ -150,6 +157,7 @@ type Bank struct {
 	acct *energy.Account
 
 	sets     []cacheSet
+	stampN   uint64 // LRU stamp issuer: larger = more recently used
 	nextFree sim.Cycle
 	ogFree   []*ownerGroups // reusable owner-group scratch (in flight until the response sends)
 	opFree   []*bankOp
@@ -197,8 +205,14 @@ func NewBank(eng *sim.Engine, net *noc.Network, node int, p Params, mem *memdata
 		evictions: set.Counter(fmt.Sprintf("llc.%d.evictions", node)),
 	}
 	ptrs := make([]*line, numLines)
+	tags := make([]memdata.PAddr, numLines)
+	stamps := make([]uint64, numLines)
 	for i := range b.sets {
-		b.sets[i].lines = ptrs[i*p.Ways : i*p.Ways : (i+1)*p.Ways]
+		b.sets[i] = cacheSet{
+			addrs: tags[i*p.Ways : i*p.Ways : (i+1)*p.Ways],
+			lines: ptrs[i*p.Ways : i*p.Ways : (i+1)*p.Ways],
+			stamp: stamps[i*p.Ways : i*p.Ways : (i+1)*p.Ways],
+		}
 	}
 	return b
 }
@@ -227,11 +241,11 @@ func (b *Bank) setIndex(addr memdata.PAddr) int {
 // lookup returns the resident line for addr, refreshing LRU, or nil.
 func (b *Bank) lookup(addr memdata.PAddr) *line {
 	s := &b.sets[b.setIndex(addr)]
-	for i, l := range s.lines {
-		if l.addr == addr && l.live {
-			copy(s.lines[1:i+1], s.lines[:i])
-			s.lines[0] = l
-			return l
+	for i, a := range s.addrs {
+		if a == addr {
+			b.stampN++
+			s.stamp[i] = b.stampN
+			return s.lines[i]
 		}
 	}
 	return nil
@@ -248,22 +262,24 @@ func (b *Bank) fetch(addr memdata.PAddr) (*line, bool) {
 	// response closure holds the previous occupant until it sends, and
 	// reusing its storage would let a racing fill clobber the values the
 	// response is about to serve. Fills are DRAM-latency rare; only the
-	// set slice is reused.
-	l := &line{addr: addr, vals: b.mem.LoadLine(addr), live: true}
+	// set slices are reused.
+	l := &line{addr: addr, vals: b.mem.LoadLine(addr)}
 	b.acct.Add(energy.DRAMAccess, 1)
-	if len(s.lines) < cap(s.lines) {
-		s.lines = s.lines[:len(s.lines)+1]
-		copy(s.lines[1:], s.lines[:len(s.lines)-1])
-		s.lines[0] = l
-		return l, true
+	if n := len(s.lines); n < cap(s.lines) {
+		s.lines = s.lines[:n+1]
+		s.addrs = s.addrs[:n+1]
+		s.stamp = s.stamp[:n+1]
+		return l, b.install(s, l, addr, n)
 	}
-	// Evict the least recently used non-pinned line. Registered words pin
-	// a line: the registry entry must survive until written back.
+	// Evict the least recently used non-pinned line (minimum stamp).
+	// Registered words pin a line: the registry entry must survive
+	// until written back.
 	victim := -1
-	for i := len(s.lines) - 1; i >= 0; i-- {
-		if !s.lines[i].pinned() {
+	var oldest uint64
+	for i, cand := range s.lines {
+		if !cand.pinned() && (victim < 0 || s.stamp[i] < oldest) {
 			victim = i
-			break
+			oldest = s.stamp[i]
 		}
 	}
 	if victim < 0 {
@@ -275,9 +291,17 @@ func (b *Bank) fetch(addr memdata.PAddr) (*line, bool) {
 		b.acct.Add(energy.DRAMAccess, 1)
 	}
 	b.evictions.Inc()
-	copy(s.lines[1:victim+1], s.lines[:victim])
-	s.lines[0] = l
-	return l, true
+	return l, b.install(s, l, addr, victim)
+}
+
+// install places l, the freshest line, at way w. It returns true so
+// fetch's fill paths can tail-call it.
+func (b *Bank) install(s *cacheSet, l *line, addr memdata.PAddr, w int) bool {
+	s.lines[w] = l
+	s.addrs[w] = addr
+	b.stampN++
+	s.stamp[w] = b.stampN
+	return true
 }
 
 // SetChecker attaches the self-check layer; a nil checker (the
@@ -550,11 +574,11 @@ func (b *Bank) CheckInvariants() error {
 	for si := range b.sets {
 		s := &b.sets[si]
 		for i, l := range s.lines {
-			if !l.live {
-				continue
+			if l.addr != s.addrs[i] {
+				return fmt.Errorf("set %d way %d: tag array %#x disagrees with line %#x", si, i, s.addrs[i], l.addr)
 			}
 			for j := i + 1; j < len(s.lines); j++ {
-				if s.lines[j].live && s.lines[j].addr == l.addr {
+				if s.addrs[j] == l.addr {
 					return fmt.Errorf("set %d: line %#x resident twice", si, l.addr)
 				}
 			}
@@ -577,7 +601,7 @@ func (b *Bank) CheckInvariants() error {
 func (b *Bank) ForEachOwned(fn func(addr memdata.PAddr, word int, own coh.Owner)) {
 	for si := range b.sets {
 		for _, l := range b.sets[si].lines {
-			if !l.live || l.owned == 0 {
+			if l.owned == 0 {
 				continue
 			}
 			for w := 0; w < memdata.WordsPerLine; w++ {
@@ -596,11 +620,9 @@ func (b *Bank) DebugString() string {
 	live, owned := 0, 0
 	for si := range b.sets {
 		for _, l := range b.sets[si].lines {
-			if l.live {
-				live++
-				if l.owned != 0 {
-					owned++
-				}
+			live++
+			if l.owned != 0 {
+				owned++
 			}
 		}
 	}
@@ -608,7 +630,7 @@ func (b *Bank) DebugString() string {
 		b.inFlight, live, owned, b.dropped, b.nextFree)
 	for si := range b.sets {
 		for _, l := range b.sets[si].lines {
-			if l.live && l.owned != 0 {
+			if l.owned != 0 {
 				fmt.Fprintf(&sb, "\nline %#x owned=%016b", l.addr, l.owned)
 			}
 		}
@@ -623,8 +645,9 @@ func (b *Bank) DebugString() string {
 func (b *Bank) Peek(addr memdata.PAddr) (val uint32, owner *coh.Owner, ok bool) {
 	lineAddr := memdata.LineOf(addr)
 	s := &b.sets[b.setIndex(lineAddr)]
-	for _, l := range s.lines {
-		if l.live && l.addr == lineAddr {
+	for i, a := range s.addrs {
+		if a == lineAddr {
+			l := s.lines[i]
 			w := memdata.WordIndex(addr)
 			if l.owned.Has(w) {
 				return l.vals[w], &l.owner[w], true

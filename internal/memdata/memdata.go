@@ -6,7 +6,10 @@
 // stash, caches, and protocol is testable, not assumed.
 package memdata
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // VAddr is a virtual byte address.
 type VAddr uint64
@@ -49,60 +52,130 @@ func Bit(i int) WordMask { return 1 << uint(i) }
 func (m WordMask) Has(i int) bool { return m&Bit(i) != 0 }
 
 // Count returns the number of words in the mask.
-func (m WordMask) Count() int {
-	n := 0
-	for i := 0; i < WordsPerLine; i++ {
-		if m.Has(i) {
-			n++
-		}
-	}
-	return n
+func (m WordMask) Count() int { return bits.OnesCount16(uint16(m)) }
+
+// Memory page geometry: 4 KB pages, the same granularity the vm package
+// maps at, so a page is the natural unit of physical locality. A cache
+// line (64 B) never straddles a page.
+const (
+	memPageShift = 12
+	memPageBytes = 1 << memPageShift
+	memPageWords = memPageBytes / WordBytes
+)
+
+// mpage is one resident 4 KB page: a dense word array plus a
+// written-word bitmap that keeps Footprint exact (only words actually
+// stored count, not whole pages).
+type mpage struct {
+	vals    [memPageWords]uint32
+	written [memPageWords / 64]uint64
 }
 
 // Memory is the simulated DRAM: a sparse, word-granularity physical
 // memory holding 32-bit values. Unwritten words read as zero.
+//
+// Storage is paged: one map lookup locates a 4 KB page (with a
+// last-page cache making streaming access map-free) and line transfers
+// become a single 16-word copy instead of 16 per-word map operations.
 type Memory struct {
-	words map[PAddr]uint32
+	pages    map[PAddr]*mpage
+	lastKey  PAddr
+	lastPage *mpage // page cache; nil until the first page exists
+	written  int    // distinct words ever written, for Footprint
 }
 
 // NewMemory returns an empty memory.
-func NewMemory() *Memory { return &Memory{words: make(map[PAddr]uint32)} }
+func NewMemory() *Memory { return &Memory{pages: make(map[PAddr]*mpage)} }
+
+// page returns the resident page containing a, or nil.
+func (m *Memory) page(a PAddr) *mpage {
+	key := a >> memPageShift
+	if m.lastPage != nil && key == m.lastKey {
+		return m.lastPage
+	}
+	p := m.pages[key]
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
+	}
+	return p
+}
+
+// ensurePage returns the page containing a, creating it if needed.
+func (m *Memory) ensurePage(a PAddr) *mpage {
+	if p := m.page(a); p != nil {
+		return p
+	}
+	key := a >> memPageShift
+	p := &mpage{}
+	m.pages[key] = p
+	m.lastKey, m.lastPage = key, p
+	return p
+}
+
+// markWritten records a store to word index wi of page p, keeping the
+// distinct-words-written count exact.
+func (m *Memory) markWritten(p *mpage, wi int) {
+	bit := uint64(1) << (uint(wi) & 63)
+	if p.written[wi>>6]&bit == 0 {
+		p.written[wi>>6] |= bit
+		m.written++
+	}
+}
+
+// wordIndex returns a's word index within its page.
+func wordIndex(a PAddr) int {
+	return int(a&(memPageBytes-1)) / WordBytes
+}
 
 // LoadWord returns the 32-bit word at physical address a (word aligned).
 func (m *Memory) LoadWord(a PAddr) uint32 {
 	checkAligned(a)
-	return m.words[a]
+	p := m.page(a)
+	if p == nil {
+		return 0
+	}
+	return p.vals[wordIndex(a)]
 }
 
 // StoreWord writes the 32-bit word at physical address a (word aligned).
 func (m *Memory) StoreWord(a PAddr, v uint32) {
 	checkAligned(a)
-	m.words[a] = v
+	p := m.ensurePage(a)
+	wi := wordIndex(a)
+	m.markWritten(p, wi)
+	p.vals[wi] = v
 }
 
 // LoadLine reads the full line containing a.
 func (m *Memory) LoadLine(a PAddr) [WordsPerLine]uint32 {
-	base := LineOf(a)
 	var out [WordsPerLine]uint32
-	for i := 0; i < WordsPerLine; i++ {
-		out[i] = m.words[base+PAddr(i*WordBytes)]
+	p := m.page(a)
+	if p == nil {
+		return out
 	}
+	wi := wordIndex(LineOf(a))
+	copy(out[:], p.vals[wi:wi+WordsPerLine])
 	return out
 }
 
 // StoreMasked writes the words selected by mask from vals into the line
 // containing a. vals is indexed by word position within the line.
 func (m *Memory) StoreMasked(a PAddr, mask WordMask, vals [WordsPerLine]uint32) {
-	base := LineOf(a)
-	for i := 0; i < WordsPerLine; i++ {
-		if mask.Has(i) {
-			m.words[base+PAddr(i*WordBytes)] = vals[i]
-		}
+	if mask == 0 {
+		return
+	}
+	p := m.ensurePage(a)
+	base := wordIndex(LineOf(a))
+	for mk := mask; mk != 0; mk &= mk - 1 {
+		i := bits.TrailingZeros16(uint16(mk))
+		wi := base + i
+		m.markWritten(p, wi)
+		p.vals[wi] = vals[i]
 	}
 }
 
 // Footprint reports the number of distinct words ever written.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int { return m.written }
 
 func checkAligned(a PAddr) {
 	if a%WordBytes != 0 {

@@ -37,8 +37,17 @@ type event struct {
 }
 
 // ringWindow is the number of future cycles covered by the bucket ring.
-// It must be a power of two; 64 lets the occupancy set live in one word.
-const ringWindow = 64
+// It must be a power of two and a multiple of 64 (the occupancy set is
+// an array of words). 256 covers every common component latency —
+// SRAM hits, link traversals, replays, and the 170-cycle DRAM fill —
+// so in steady state the far heap sees almost no traffic.
+const ringWindow = 256
+
+// occWords is the length of the occupancy bit-set. nextRing's
+// empty-ring fast path is unrolled for exactly this many words.
+const occWords = ringWindow / 64
+
+var _ [1]struct{} = [occWords - 3]struct{}{} // static: occWords == 4
 
 // bucket holds the events of one absolute cycle in FIFO order. head
 // indexes the next event to run; the slice keeps its capacity when the
@@ -65,7 +74,7 @@ type Engine struct {
 	steps uint64
 
 	ring    [ringWindow]bucket
-	occ     uint64 // bit b set: ring[b] has unexecuted events
+	occ     [occWords]uint64 // bit b set: ring[b] has unexecuted events
 	far     []event
 	pending int
 
@@ -74,6 +83,13 @@ type Engine struct {
 	untilintr  uint64 // events left until the next poll
 
 	probes []probeEntry
+
+	// untilHook is the merged countdown to the earliest due hook (probe
+	// or interrupt poll); sinceHook+1 is the stride slowTick credits to
+	// every per-hook counter when untilHook reaches zero. Together they
+	// let tick touch one word per event instead of every hook's counter.
+	untilHook uint64
+	sinceHook uint64
 }
 
 // probeEntry is one installed host-side probe (see AddProbe).
@@ -84,7 +100,11 @@ type probeEntry struct {
 }
 
 // NewEngine returns an engine with the clock at cycle 0 and no events.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.rearmHooks()
+	return e
+}
 
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
@@ -110,12 +130,13 @@ func (e *Engine) At(t Cycle, fn func()) {
 	e.seq++
 	e.pending++
 	if t-e.now < ringWindow {
-		b := &e.ring[t&(ringWindow-1)]
+		i := t & (ringWindow - 1)
+		b := &e.ring[i]
 		// The window is exactly ringWindow cycles wide, so each bucket
 		// can hold at most one distinct cycle's events at a time.
 		b.at = t
 		b.events = append(b.events, event{at: t, seq: e.seq, fn: fn})
-		e.occ |= 1 << (t & (ringWindow - 1))
+		e.occ[i>>6] |= 1 << (i & 63)
 		return
 	}
 	e.farPush(event{at: t, seq: e.seq, fn: fn})
@@ -123,16 +144,29 @@ func (e *Engine) At(t Cycle, fn func()) {
 
 // nextRing returns the ring bucket holding the earliest pending near
 // event, or nil when the ring is empty. All ring events lie in
-// [now, now+ringWindow), so rotating the occupancy set by now's bucket
-// index turns "earliest cycle" into "lowest set bit".
+// [now, now+ringWindow), so the scan walks the occupancy words
+// cyclically from now's bucket index: the first set bit it meets is
+// the earliest cycle.
 func (e *Engine) nextRing() *bucket {
-	if e.occ == 0 {
+	if e.occ[0]|e.occ[1]|e.occ[2]|e.occ[3] == 0 {
 		return nil
 	}
 	r := uint(e.now & (ringWindow - 1))
-	rot := bits.RotateLeft64(e.occ, -int(r))
-	i := (r + uint(bits.TrailingZeros64(rot))) & (ringWindow - 1)
-	return &e.ring[i]
+	w := r >> 6
+	if m := e.occ[w] &^ (1<<(r&63) - 1); m != 0 {
+		return &e.ring[w<<6+uint(bits.TrailingZeros64(m))]
+	}
+	for k := uint(1); k <= occWords; k++ {
+		ww := (w + k) & (occWords - 1)
+		m := e.occ[ww]
+		if ww == w {
+			m &= 1<<(r&63) - 1 // wrapped: only bits before now's slot
+		}
+		if m != 0 {
+			return &e.ring[ww<<6+uint(bits.TrailingZeros64(m))]
+		}
+	}
+	return nil
 }
 
 // PeekNext reports the timestamp of the earliest pending event. ok is
@@ -163,9 +197,11 @@ func (e *Engine) SetInterrupt(every uint64, poll func() bool) {
 	if every < 1 {
 		every = 1
 	}
+	e.settleHooks()
 	e.interrupt = poll
 	e.interruptN = every
 	e.untilintr = every
+	e.rearmHooks()
 }
 
 // AddProbe installs a host-side hook that Step calls once every
@@ -180,32 +216,54 @@ func (e *Engine) AddProbe(every uint64, fn func()) {
 	if every < 1 {
 		every = 1
 	}
+	e.settleHooks()
 	e.probes = append(e.probes, probeEntry{fn: fn, every: every, until: every})
+	e.rearmHooks()
 }
 
 // SetProbe removes every installed probe and, with a non-nil fn,
 // installs it as the sole probe. Kept for callers that owned the
 // single probe slot before AddProbe existed.
 func (e *Engine) SetProbe(every uint64, fn func()) {
+	e.settleHooks()
 	e.probes = e.probes[:0]
+	e.rearmHooks()
 	if fn != nil {
 		e.AddProbe(every, fn)
 	}
 }
 
-// Step executes the single earliest pending event.
-// It reports whether an event was executed.
-func (e *Engine) Step() bool {
+// tick runs the per-executed-event host hooks: probes in installation
+// order, then the interrupt poll. Step calls it before popping an
+// event; Run's batched drain calls it once per event it executes, so
+// probe and interrupt cadence is identical on both paths. The merged
+// untilHook countdown makes the common nothing-due event one decrement
+// and one branch instead of a walk over every installed hook.
+func (e *Engine) tick() {
+	e.untilHook--
+	if e.untilHook == 0 {
+		e.slowTick()
+	}
+}
+
+// slowTick fires the due hooks and recomputes the merged countdown.
+func (e *Engine) slowTick() {
+	fired := e.sinceHook + 1
+	// Degenerate re-arm first: a hook may panic (watchdog, invariant
+	// checker, interrupt), skipping rearmHooks below. Per-event ticking
+	// is then still correct should the engine keep running.
+	e.untilHook = 1
+	e.sinceHook = 0
 	for i := range e.probes {
 		p := &e.probes[i]
-		p.until--
+		p.until -= fired
 		if p.until == 0 {
 			p.until = p.every
 			p.fn()
 		}
 	}
 	if e.interrupt != nil {
-		e.untilintr--
+		e.untilintr -= fired
 		if e.untilintr == 0 {
 			e.untilintr = e.interruptN
 			if e.interrupt() {
@@ -213,6 +271,49 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
+	e.rearmHooks()
+}
+
+// rearmHooks recomputes the merged countdown to the earliest due hook.
+// With no hooks installed it re-arms to a large stride so tick stays a
+// single decrement; sinceHook carries the elapsed events forward so
+// hook cadence is exact across re-arms.
+func (e *Engine) rearmHooks() {
+	next := uint64(1) << 32
+	for i := range e.probes {
+		if u := e.probes[i].until; u < next {
+			next = u
+		}
+	}
+	if e.interrupt != nil && e.untilintr < next {
+		next = e.untilintr
+	}
+	e.untilHook = next
+	e.sinceHook = next - 1
+}
+
+// settleHooks charges the events elapsed since the last re-arm to every
+// per-hook counter, so a hook installed mid-stride starts its period
+// from the current event rather than the stride boundary. No counter
+// can reach zero here: the elapsed count is strictly less than the
+// stride, which is the minimum of all counters at re-arm time.
+func (e *Engine) settleHooks() {
+	elapsed := e.sinceHook + 1 - e.untilHook
+	if elapsed == 0 {
+		return
+	}
+	for i := range e.probes {
+		e.probes[i].until -= elapsed
+	}
+	if e.interrupt != nil {
+		e.untilintr -= elapsed
+	}
+}
+
+// Step executes the single earliest pending event.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	e.tick()
 	if e.pending == 0 {
 		return false
 	}
@@ -239,7 +340,8 @@ func (e *Engine) pop() event {
 	if b.head == len(b.events) {
 		b.head = 0
 		b.events = b.events[:0]
-		e.occ &^= 1 << (b.at & (ringWindow - 1))
+		i := b.at & (ringWindow - 1)
+		e.occ[i>>6] &^= 1 << (i & 63)
 	}
 	return ev
 }
@@ -295,9 +397,43 @@ func (e *Engine) farPop() event {
 }
 
 // Run executes events until none remain.
+//
+// Run drains the earliest ring bucket in one batch instead of paying
+// the occupancy-set rotation in nextRing for every event: once the
+// earliest bucket is located and no far event is due at or before its
+// cycle, none can become due mid-drain (pre-existing far events are
+// strictly later, and a far push from inside the drain lands at least
+// ringWindow cycles out), so the whole FIFO — including same-cycle
+// events appended during the drain — executes with one cheap
+// head/len check per event. Probe and interrupt cadence, event order,
+// and panic-time engine state are identical to repeated Step calls.
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.pending > 0 {
+		b := e.nextRing()
+		if b == nil || (len(e.far) > 0 && e.far[0].at <= b.at) {
+			e.Step() // a far event is due first: take the slow path
+			continue
+		}
+		for b.head < len(b.events) {
+			e.tick()
+			ev := b.events[b.head]
+			b.events[b.head].fn = nil // release the closure promptly
+			b.head++
+			if b.head == len(b.events) {
+				b.head = 0
+				b.events = b.events[:0]
+				i := b.at & (ringWindow - 1)
+				e.occ[i>>6] &^= 1 << (i & 63)
+			}
+			e.now = ev.at
+			e.steps++
+			e.pending--
+			ev.fn()
+		}
 	}
+	// The equivalent Step loop ends with one empty call that still runs
+	// the probes and the interrupt poll; keep that visible cadence.
+	e.tick()
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock

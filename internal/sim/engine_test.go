@@ -440,13 +440,13 @@ func TestRunUntilDoesNotMoveClockBackwards(t *testing.T) {
 func TestZeroAllocSteadyState(t *testing.T) {
 	e := NewEngine()
 	fn := func() {}
-	// Warm up ring buckets and far-heap capacity.
-	for i := 0; i < 1000; i++ {
-		e.Schedule(Cycle(i%70), fn)
+	// Warm up every ring bucket and the far-heap capacity.
+	for i := 0; i < 2000; i++ {
+		e.Schedule(Cycle(i%(ringWindow+16)), fn)
 	}
 	e.Run()
 	if avg := testing.AllocsPerRun(100, func() {
-		for d := Cycle(0); d < 70; d++ { // spans ring and far heap
+		for d := Cycle(0); d < ringWindow+16; d += 3 { // spans ring and far heap
 			e.Schedule(d, fn)
 		}
 		e.Run()

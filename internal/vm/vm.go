@@ -25,23 +25,35 @@ func PageOf(v memdata.VAddr) memdata.VAddr { return v &^ (PageBytes - 1) }
 // PPageOf returns the page-aligned base of a physical address.
 func PPageOf(p memdata.PAddr) memdata.PAddr { return p &^ (PageBytes - 1) }
 
+// virtBase and frameBase anchor the allocator: virtual allocations
+// start above the null page, physical frames at a non-identity offset
+// so reverse translation is a real computation. Both being non-zero is
+// what lets the page tables use 0 as their unmapped sentinel.
+const (
+	virtBase  memdata.VAddr = 0x1000_0000
+	frameBase memdata.PAddr = 0x0020_0000
+)
+
 // AddressSpace is a process address space: an allocator plus a page table.
+//
+// Both translation directions are dense slices indexed by page number
+// relative to the allocator bases — the allocator only ever hands out
+// pages upward from virtBase/frameBase, so the tables stay compact and
+// a translation is two bounds checks and an indexed load instead of a
+// map lookup on every memory access.
 type AddressSpace struct {
 	nextVirt  memdata.VAddr
 	nextFrame memdata.PAddr
-	vToP      map[memdata.VAddr]memdata.PAddr // page-aligned virtual -> physical
-	pToV      map[memdata.PAddr]memdata.VAddr // page-aligned physical -> virtual
+	vToP      []memdata.PAddr // index (vpage-virtBase)/PageBytes; 0 = unmapped
+	pToV      []memdata.VAddr // index (ppage-frameBase)/PageBytes; 0 = unmapped
+	mapped    int
 }
 
-// NewAddressSpace returns an empty address space. Virtual allocations
-// start above the null page; physical frames are interleaved across a
-// non-identity layout so reverse translation is a real computation.
+// NewAddressSpace returns an empty address space.
 func NewAddressSpace() *AddressSpace {
 	return &AddressSpace{
-		nextVirt:  0x1000_0000,
-		nextFrame: 0x0020_0000,
-		vToP:      make(map[memdata.VAddr]memdata.PAddr),
-		pToV:      make(map[memdata.PAddr]memdata.VAddr),
+		nextVirt:  virtBase,
+		nextFrame: frameBase,
 	}
 }
 
@@ -64,41 +76,64 @@ func (as *AddressSpace) Alloc(size int) memdata.VAddr {
 }
 
 func (as *AddressSpace) ensureMapped(vpage memdata.VAddr) {
-	if _, ok := as.vToP[vpage]; ok {
+	idx := int((vpage - virtBase) / PageBytes)
+	for idx >= len(as.vToP) {
+		as.vToP = append(as.vToP, 0)
+	}
+	if as.vToP[idx] != 0 {
 		return
 	}
 	frame := as.nextFrame
 	as.nextFrame += PageBytes
-	as.vToP[vpage] = frame
-	as.pToV[frame] = vpage
+	as.vToP[idx] = frame
+	as.mapped++
+	pidx := int((frame - frameBase) / PageBytes)
+	for pidx >= len(as.pToV) {
+		as.pToV = append(as.pToV, 0)
+	}
+	as.pToV[pidx] = vpage
 }
 
 // Translate returns the physical address of virtual address v.
 // The page must have been allocated; a fault panics, because workloads
 // only ever touch memory they allocated.
 func (as *AddressSpace) Translate(v memdata.VAddr) memdata.PAddr {
-	frame, ok := as.vToP[PageOf(v)]
-	if !ok {
-		panic(fmt.Sprintf("vm: page fault at %#x", uint64(v)))
+	if v >= virtBase {
+		idx := int((v - virtBase) / PageBytes)
+		if idx < len(as.vToP) {
+			if frame := as.vToP[idx]; frame != 0 {
+				return frame + memdata.PAddr(v&(PageBytes-1))
+			}
+		}
 	}
-	return frame + memdata.PAddr(v-PageOf(v))
+	panic(fmt.Sprintf("vm: page fault at %#x", uint64(v)))
 }
 
 // Reverse returns the virtual address mapped to physical address p and
 // whether such a mapping exists.
 func (as *AddressSpace) Reverse(p memdata.PAddr) (memdata.VAddr, bool) {
-	vpage, ok := as.pToV[PPageOf(p)]
-	if !ok {
+	if p < frameBase {
 		return 0, false
 	}
-	return vpage + memdata.VAddr(p-PPageOf(p)), true
+	idx := int((p - frameBase) / PageBytes)
+	if idx >= len(as.pToV) {
+		return 0, false
+	}
+	vpage := as.pToV[idx]
+	if vpage == 0 {
+		return 0, false
+	}
+	return vpage + memdata.VAddr(p&(PageBytes-1)), true
 }
 
 // Mapped reports whether virtual address v has a page mapping.
 func (as *AddressSpace) Mapped(v memdata.VAddr) bool {
-	_, ok := as.vToP[PageOf(v)]
-	return ok
+	if v < virtBase {
+		return false
+	}
+	idx := int((v - virtBase) / PageBytes)
+	return idx < len(as.vToP) && as.vToP[idx] != 0
 }
 
 // PageCount reports the number of mapped pages.
-func (as *AddressSpace) PageCount() int { return len(as.vToP) }
+func (as *AddressSpace) PageCount() int { return as.mapped }

@@ -24,9 +24,17 @@ cd "$(dirname "$0")/.."
 
 BENCH=${BENCH:-BenchmarkFig5}
 BENCHTIME=${BENCHTIME:-3x}
+DISPATCHTIME=${DISPATCHTIME:-1000x}
 LABEL=${LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}
 OUT=${OUT:-BENCH_$(date -u +%Y%m%d).json}
 
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . |
-	go run ./cmd/benchjson -label "$LABEL" >"$OUT"
+# The report carries two benchmark families: the Figure 5 workload grid
+# (simulator throughput, sim_cycles_per_sec) and the warp-dispatch
+# micro-benchmarks from internal/isa (interpreter cost in isolation,
+# instr/s, zero allocs/op in steady state).
+{
+	go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 .
+	go test -run '^$' -bench 'BenchmarkWarpStep|BenchmarkCompiledDispatch' \
+		-benchmem -benchtime "$DISPATCHTIME" -count 1 ./internal/isa
+} | go run ./cmd/benchjson -label "$LABEL" >"$OUT"
 echo "wrote $OUT" >&2
