@@ -34,6 +34,23 @@
 // On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, queued
 // cells fail fast, in-flight requests get -drain-timeout to finish,
 // then connections are closed.
+//
+// The daemon fails well. Sick cache storage degrades it rather than
+// failing requests: a simulated result whose persist fails is still
+// served, and a circuit breaker (breaker=/breaker_backoff= in the
+// -cache spec) stops hammering a dead store tier while the memory
+// tier keeps serving. Overload sheds with 429 + Retry-After past
+// -max-queue waiting cells (whole sweeps before single cells),
+// clients can bound a request with an X-Stashd-Deadline header
+// (clamped by -max-deadline), and -tenant-slots keeps one namespace
+// from occupying every worker. Startup probes the cache engine and
+// refuses to boot on failure. For chaos drills, any engine wraps in
+// deterministic fault injection straight from the spec:
+//
+//	stashd -cache 'faulty+pairtree:///data?fault_seed=7&fault_put=0.2&fault_down_first=100'
+//
+// See the "Operating stashd" runbook in README.md for the failure
+// modes and the /metrics series to alert on.
 package main
 
 import (
@@ -61,6 +78,9 @@ func main() {
 	maxCells := flag.Int("max-cells", 1024, "largest accepted per-request sweep grid")
 	cellTimeout := flag.Duration("cell-timeout", 5*time.Minute, "wall-clock budget per cell attempt (0 = unbounded)")
 	retries := flag.Int("retries", 0, "extra attempts for failed cells")
+	maxQueue := flag.Int("max-queue", 0, "cells queued for a worker before requests are shed with 429 (0 = 4x max-cells, -1 = unbounded)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on per-request X-Stashd-Deadline simulation budgets (0 = unbounded)")
+	tenantSlots := flag.Int("tenant-slots", 0, "concurrently simulating cells per namespace (0 = workers-1, -1 = unbounded)")
 	cacheSpec := flag.String("cache", "", "cache engine spec URL, e.g. memory://?entries=4096&bytes=256MiB, log:///var/lib/stashd, pairtree:///data?compress=gzip&ttl=24h")
 	cacheEntries := flag.Int("cache-entries", 4096, "deprecated: use -cache memory://?entries=N")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "deprecated: use -cache memory://?bytes=N")
@@ -81,6 +101,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cache.Close()
+	// Fail fast on an engine that cannot round-trip a sentinel entry:
+	// a misconfigured or unwritable cache should kill the boot, not
+	// surface as every cell running degraded. Deliberately injected
+	// faults (a faulty+ spec, for chaos runs) only warn — booting sick
+	// is the point there.
+	if err := cache.Probe(); err != nil {
+		if spec.Fault != nil {
+			log.Printf("cache probe: %v (fault injection armed; continuing)", err)
+		} else {
+			log.Fatalf("cache probe failed (engine %s unusable): %v", spec.String(), err)
+		}
+	}
 	if spec.Scheme != "memory" {
 		log.Printf("persistent cache %s: %d cells loaded", spec.String(), cache.Stats().StoreEntries)
 	}
@@ -92,6 +124,9 @@ func main() {
 		MaxCells:    *maxCells,
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
+		MaxQueue:    *maxQueue,
+		MaxDeadline: *maxDeadline,
+		TenantSlots: *tenantSlots,
 	}, draining)
 	hs := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,140 @@
+package cellcache
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrStoreUnavailable is returned (wrapped in a PersistError by Do)
+// when the store tier's circuit breaker is open and a write was
+// skipped rather than attempted against an engine known to be sick.
+var ErrStoreUnavailable = errors.New("cellcache: store tier unavailable (circuit breaker open)")
+
+// Breaker states, exposed through Stats.BreakerState and stashd's
+// stashd_cache_breaker_state metric.
+const (
+	BreakerClosed   = 0
+	BreakerHalfOpen = 1
+	BreakerOpen     = 2
+)
+
+// breaker is the store tier's circuit breaker. The Cache front feeds
+// it every store-engine Put outcome; after threshold consecutive
+// failures it opens, and while open both store reads and writes are
+// skipped — a dead disk is not hammered on every cache miss, and the
+// memory tier plus fresh simulation keep serving (degraded mode).
+// After a jittered backoff the breaker half-opens: operations flow
+// again as probes, the first Put success closes it, a Put failure
+// reopens it with doubled backoff (capped). Reads never change the
+// state — Engine.Get cannot distinguish an I/O error from a miss, so
+// only writes carry a health signal.
+type breaker struct {
+	threshold int
+	base      time.Duration
+	maxWait   time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	wait        time.Duration
+	until       time.Time // while open: earliest half-open probe time
+	trips       uint64
+	rng         uint64 // splitmix64 state for backoff jitter
+}
+
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerBackoff   = time.Second
+	maxBreakerBackoffMult   = 64
+)
+
+func newBreaker(threshold int, backoff time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if backoff <= 0 {
+		backoff = defaultBreakerBackoff
+	}
+	return &breaker{
+		threshold: threshold,
+		base:      backoff,
+		maxWait:   maxBreakerBackoffMult * backoff,
+		now:       now,
+		wait:      backoff,
+		rng:       1,
+	}
+}
+
+// allow reports whether a store operation may proceed. While open it
+// answers false until the backoff elapses, then flips to half-open and
+// lets probes through.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return true
+	}
+	if b.now().Before(b.until) {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	return true
+}
+
+// success records a healthy store write: the breaker closes and the
+// failure streak and backoff reset.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.consecutive = 0
+	b.state = BreakerClosed
+	b.wait = b.base
+	b.mu.Unlock()
+}
+
+// failure records a failed store write. A half-open probe failure
+// reopens immediately with doubled backoff; in closed state the
+// threshold-th consecutive failure trips the breaker.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.wait = min(2*b.wait, b.maxWait)
+		b.open()
+	case BreakerClosed:
+		if b.consecutive >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// open trips the breaker with the current backoff, jittered ±25% so a
+// fleet of nodes sharing a sick backend does not probe in lockstep.
+// Called with b.mu held.
+func (b *breaker) open() {
+	b.state = BreakerOpen
+	b.trips++
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	jitter := 0.75 + 0.5*float64(z>>11)/float64(1<<53) // [0.75, 1.25)
+	b.until = b.now().Add(time.Duration(jitter * float64(b.wait)))
+}
+
+// snapshot reports the state and trip count for Stats.
+func (b *breaker) snapshot() (state int, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An open breaker whose backoff has lapsed is half-open in spirit:
+	// the next operation will probe. Report it as such so metrics do
+	// not claim "open" forever on an idle server.
+	if b.state == BreakerOpen && !b.now().Before(b.until) {
+		return BreakerHalfOpen, b.trips
+	}
+	return b.state, b.trips
+}

@@ -74,6 +74,15 @@ type Stats struct {
 	// payload bytes before framing vs framed (compressed) bytes
 	// written. Their ratio is the compression ratio.
 	BytesRaw, BytesStored uint64
+	// PutErrors counts store-tier writes that failed against the
+	// engine; each one is a result that was served degraded (computed
+	// but not persisted).
+	PutErrors uint64
+	// BreakerTrips counts closed→open transitions of the store tier's
+	// circuit breaker; BreakerState is its state right now
+	// (BreakerClosed, BreakerHalfOpen, or BreakerOpen).
+	BreakerTrips uint64
+	BreakerState int
 	// MemEntries and MemBytes describe the memory tier right now;
 	// StoreEntries the persistent engine (0 when memory-only).
 	MemEntries   int
@@ -103,11 +112,12 @@ const (
 // Cache is the content-addressed result cache front over one or two
 // engines. All methods are safe for concurrent use.
 type Cache struct {
-	mem   *Memory // front tier; nil when disabled (Spec.Entries < 0)
-	store Engine  // persistent engine; nil for memory-only
-	codec byte    // codec for newly stored payloads
-	ttl   time.Duration
-	now   func() time.Time // injectable clock (tests)
+	mem     *Memory  // front tier; nil when disabled (Spec.Entries < 0)
+	store   Engine   // persistent engine; nil for memory-only
+	breaker *breaker // store-tier circuit breaker; nil when disabled or memory-only
+	codec   byte     // codec for newly stored payloads
+	ttl     time.Duration
+	now     func() time.Time // injectable clock (tests)
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -123,6 +133,46 @@ func newCache(codec byte, ttl time.Duration) *Cache {
 		flights: make(map[string]*flight),
 		ns:      make(map[string]*NamespaceStats),
 	}
+}
+
+// PersistError reports that a value was computed successfully but
+// could not be written to the store tier — the result in hand is
+// valid and must be served; only its durability is degraded. Do wraps
+// every store-side write failure (engine I/O errors and
+// breaker-skipped writes alike) in this type so callers can tell
+// "serve it, count it, move on" apart from a failed computation.
+type PersistError struct{ Err error }
+
+func (e *PersistError) Error() string {
+	return "cellcache: result computed but not persisted: " + e.Err.Error()
+}
+func (e *PersistError) Unwrap() error { return e.Err }
+
+// storeAllowed reports whether store-tier operations may proceed
+// under the breaker. With no breaker, always.
+func (c *Cache) storeAllowed() bool {
+	return c.breaker == nil || c.breaker.allow()
+}
+
+// storeWrite writes one frame to the store engine, feeding the
+// breaker the outcome and counting engine failures.
+func (c *Cache) storeWrite(k string, frame []byte) error {
+	if !c.storeAllowed() {
+		return ErrStoreUnavailable
+	}
+	if err := c.store.Put(k, frame); err != nil {
+		if c.breaker != nil {
+			c.breaker.failure()
+		}
+		c.mu.Lock()
+		c.stats.PutErrors++
+		c.mu.Unlock()
+		return err
+	}
+	if c.breaker != nil {
+		c.breaker.success()
+	}
+	return nil
 }
 
 // Close releases the engines. The cache must not be used afterwards.
@@ -216,7 +266,7 @@ func (c *Cache) lookup(k string) ([]byte, int) {
 			}
 		}
 	}
-	if c.store != nil {
+	if c.store != nil && c.storeAllowed() {
 		if frame, ok := c.store.Get(k); ok {
 			payload, expiry, _, err := decodeFrame(frame)
 			switch {
@@ -274,7 +324,7 @@ func (c *Cache) extend(k string, payload []byte, expiry int64, now time.Time) in
 	}
 	if c.store != nil {
 		if sf, err := encodeFrame(c.codec, renewed, payload); err == nil {
-			c.store.Put(k, sf)
+			c.storeWrite(k, sf) // best effort; the read already succeeded
 		}
 	}
 	return renewed
@@ -306,10 +356,10 @@ func (c *Cache) put(ns, k string, val []byte) error {
 		if err != nil {
 			return fmt.Errorf("cellcache: framing %s: %w", k, err)
 		}
-		c.accountStored(ns, len(val), len(sf))
-		if err := c.store.Put(k, sf); err != nil {
+		if err := c.storeWrite(k, sf); err != nil {
 			return fmt.Errorf("cellcache: persisting %s: %w", k, err)
 		}
+		c.accountStored(ns, len(val), len(sf))
 	}
 	return nil
 }
@@ -330,6 +380,11 @@ func (c *Cache) accountStored(ns string, raw, stored int) {
 // result. cached reports whether the bytes came without running fn in
 // this call — from either tier or from another caller's flight. fn
 // errors are returned to every waiter and never cached.
+//
+// A computed-but-not-persisted value — the engine write failed or the
+// breaker skipped it — is returned alongside a *PersistError: val is
+// valid and servable, only its durability is degraded. The disk being
+// sick must never fail a computation that succeeded.
 func (c *Cache) Do(ns, key string, fn func() ([]byte, error)) (val []byte, cached bool, err error) {
 	k := engineKey(ns, key)
 	if val, tier := c.lookup(k); tier != tierMiss {
@@ -373,8 +428,9 @@ func (c *Cache) Do(ns, key string, fn func() ([]byte, error)) (val []byte, cache
 	if f.err == nil {
 		if perr := c.put(ns, k, f.val); perr != nil {
 			// The result is valid even if persisting it failed; keep
-			// serving it and surface the disk problem to the leader only.
-			err = perr
+			// serving it and surface the disk problem to the leader only,
+			// typed so callers can serve degraded instead of failing.
+			err = &PersistError{Err: perr}
 		}
 	}
 	c.mu.Lock()
@@ -398,7 +454,53 @@ func (c *Cache) Stats() Stats {
 	if c.store != nil {
 		s.StoreEntries = c.store.Len()
 	}
+	if c.breaker != nil {
+		s.BreakerState, s.BreakerTrips = c.breaker.snapshot()
+	}
 	return s
+}
+
+// Probe round-trips a sentinel entry through every tier — write, read
+// back, compare, delete — straight against the engines (bypassing the
+// breaker), verifying the cache is usable before a daemon starts
+// taking traffic. A broken -cache target fails fast at boot with a
+// clear error instead of erroring on the first live request.
+func (c *Cache) Probe() error {
+	const key = "!probe" // '!' can never appear in a ns:fingerprint key
+	want := []byte("stashd startup probe")
+	frame, err := encodeFrame(c.codec, 0, want)
+	if err != nil {
+		return fmt.Errorf("cellcache: probe framing: %w", err)
+	}
+	probeEngine := func(tier string, e Engine) error {
+		if err := e.Put(key, frame); err != nil {
+			return fmt.Errorf("cellcache: %s tier probe write: %w", tier, err)
+		}
+		got, ok := e.Get(key)
+		if !ok {
+			return fmt.Errorf("cellcache: %s tier probe read: written entry not found", tier)
+		}
+		payload, _, _, err := decodeFrame(got)
+		if err != nil {
+			return fmt.Errorf("cellcache: %s tier probe read: %w", tier, err)
+		}
+		if string(payload) != string(want) {
+			return fmt.Errorf("cellcache: %s tier probe read back %d bytes, want %d", tier, len(payload), len(want))
+		}
+		e.Delete(key)
+		return nil
+	}
+	if c.mem != nil {
+		if err := probeEngine("memory", c.mem); err != nil {
+			return err
+		}
+	}
+	if c.store != nil {
+		if err := probeEngine("store", c.store); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Namespaces snapshots the per-tenant counters, keyed by namespace.

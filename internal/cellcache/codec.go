@@ -15,16 +15,25 @@ import (
 // still decompresses; a plain entry read by a gzip cache is served
 // as-is):
 //
-//	"sce2" | codec u8 | expiry u64 (unix nanoseconds, 0 = never) | payload
+//	"sce3" | codec u8 | expiry u64 (unix nanoseconds, 0 = never) | bodyLen u32 | body
 //
 // little-endian. The magic doubles as the stored-entry version: v1
 // caches stored bare payloads, which fail the magic check and read as
 // misses — exactly the orphaning the stash-cell-v2 fingerprint bump
-// implies. The payload is the serialized SweepResult bytes, compressed
+// implies. The body is the serialized SweepResult bytes, compressed
 // per the codec byte.
+//
+// v3 adds the explicit body length so a frame that was cut short by a
+// torn or interrupted write is detected at the Cache layer even for
+// uncompressed payloads (gzip carries its own footer; raw bytes
+// previously had no way to prove they were whole). v2 frames — the
+// same header minus the length — are still decoded, so upgrading
+// never orphans an existing cache.
 const (
-	frameMagic = "sce2"
-	frameHdr   = 4 + 1 + 8
+	frameMagic   = "sce3"
+	frameHdr     = 4 + 1 + 8 + 4
+	frameMagicV2 = "sce2"
+	frameHdrV2   = 4 + 1 + 8
 
 	// Codec identities, stable on disk. New codecs append; never
 	// renumber.
@@ -71,15 +80,17 @@ func encodeFrame(codec byte, expiry int64, payload []byte) ([]byte, error) {
 	copy(frame, frameMagic)
 	frame[4] = codec
 	binary.LittleEndian.PutUint64(frame[5:13], uint64(expiry))
+	binary.LittleEndian.PutUint32(frame[13:17], uint32(len(body)))
 	copy(frame[frameHdr:], body)
 	return frame, nil
 }
 
 // frameExpiry reads just the expiry from a frame header, without
 // touching (or decompressing) the payload — the startup TTL scan's
-// fast path.
+// fast path. Both frame versions share the expiry offset.
 func frameExpiry(frame []byte) (int64, bool) {
-	if len(frame) < frameHdr || string(frame[:4]) != frameMagic {
+	if len(frame) < frameHdrV2 ||
+		(string(frame[:4]) != frameMagic && string(frame[:4]) != frameMagicV2) {
 		return 0, false
 	}
 	return int64(binary.LittleEndian.Uint64(frame[5:13])), true
@@ -88,14 +99,24 @@ func frameExpiry(frame []byte) (int64, bool) {
 // decodeFrame validates the header and returns the decompressed
 // payload. The codec comes from the frame, not from configuration.
 // For CodecRaw the payload aliases the frame's backing array (zero
-// copy on the hot path).
+// copy on the hot path). A v3 frame whose body is shorter than its
+// declared length — a torn write — is an error, which the Cache turns
+// into a dropped entry and a recompute.
 func decodeFrame(frame []byte) (payload []byte, expiry int64, codec byte, err error) {
-	if len(frame) < frameHdr || string(frame[:4]) != frameMagic {
+	var body []byte
+	switch {
+	case len(frame) >= frameHdr && string(frame[:4]) == frameMagic:
+		body = frame[frameHdr:]
+		if want := binary.LittleEndian.Uint32(frame[13:17]); uint32(len(body)) != want {
+			return nil, 0, 0, fmt.Errorf("torn cache entry: %d body bytes, header says %d", len(body), want)
+		}
+	case len(frame) >= frameHdrV2 && string(frame[:4]) == frameMagicV2:
+		body = frame[frameHdrV2:]
+	default:
 		return nil, 0, 0, fmt.Errorf("not a framed cache entry")
 	}
 	codec = frame[4]
 	expiry = int64(binary.LittleEndian.Uint64(frame[5:13]))
-	body := frame[frameHdr:]
 	switch codec {
 	case CodecRaw:
 		return body, expiry, codec, nil

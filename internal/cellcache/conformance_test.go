@@ -57,20 +57,39 @@ var engineCases = []engineCase{
 			}
 			return e
 		},
-		corrupt: func(t *testing.T, dir string) {
-			n := 0
-			filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-				if err == nil && !d.IsDir() && strings.HasSuffix(path, pairtreeSuffix) {
-					corruptFile(t, path, 0)
-					n++
-				}
-				return nil
-			})
-			if n == 0 {
-				t.Fatal("no pairtree entry files to corrupt")
-			}
-		},
+		corrupt: corruptPairtree,
 	},
+	// A healed Faulty wrapper must be indistinguishable from its inner
+	// engine — the chaos harness's "replay after heal" guarantee starts
+	// with the wrapper itself conforming.
+	{
+		name:       "faulty-pairtree",
+		persistent: true,
+		open: func(t *testing.T, dir string) Engine {
+			e, err := OpenPairtree(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := NewFaulty(e, FaultProfile{Seed: 9, PutErr: 0.5, GetErr: 0.5, Torn: 0.5, DownFirst: 4})
+			f.Heal()
+			return f
+		},
+		corrupt: corruptPairtree,
+	},
+}
+
+func corruptPairtree(t *testing.T, dir string) {
+	n := 0
+	filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, pairtreeSuffix) {
+			corruptFile(t, path, 0)
+			n++
+		}
+		return nil
+	})
+	if n == 0 {
+		t.Fatal("no pairtree entry files to corrupt")
+	}
 }
 
 // corruptFile flips a byte in the back half of the file (inside value
@@ -212,6 +231,12 @@ var cacheCases = []cacheCase{
 	{"log-gzip", true, func(dir, params string) string { return "log://" + dir + join(params, "compress=gzip") }},
 	{"pairtree", true, func(dir, params string) string { return "pairtree://" + dir + params }},
 	{"pairtree-gzip", true, func(dir, params string) string { return "pairtree://" + dir + join(params, "compress=gzip") }},
+	// Zero-probability fault wrapper: the full Cache contract must hold
+	// through the Faulty seam (and the default breaker) unchanged.
+	{"faulty-pairtree", true, func(dir, params string) string { return "faulty+pairtree://" + dir + params }},
+	{"faulty-pairtree-gzip", true, func(dir, params string) string {
+		return "faulty+pairtree://" + dir + join(params, "compress=gzip")
+	}},
 }
 
 // join appends a query parameter to an optional existing "?..." tail.

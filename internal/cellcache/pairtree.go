@@ -147,6 +147,15 @@ func (p *Pairtree) Put(key string, val []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// The rename only makes the entry durable if the data reached the
+	// platter first — fsync before rename, then fsync the parent
+	// directory so the rename itself survives a power cut. Without
+	// both, a crash can leave a named file with garbage (or no) blocks.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -158,6 +167,10 @@ func (p *Pairtree) Put(key string, val []byte) error {
 	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
 		return err
+	}
+	if dir, err := os.Open(filepath.Dir(dst)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	if !existed {
 		p.count++

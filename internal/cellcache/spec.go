@@ -10,16 +10,21 @@ import (
 
 // Spec is a parsed cache engine specification. The textual grammar is
 // a URL whose scheme selects the engine and whose query tunes the
-// orthogonal axes (front-tier bounds, codec, TTL):
+// orthogonal axes (front-tier bounds, codec, TTL, breaker, faults):
 //
 //	memory://?entries=4096&bytes=256MiB
 //	log:///var/lib/stashd?compress=gzip
 //	pairtree:///var/lib/stashd?compress=gzip&ttl=24h&entries=1024
+//	faulty+pairtree:///tmp/chaos?fault_seed=7&fault_put=0.2&fault_torn=0.1
 //
 // For the persistent engines, entries/bytes bound the in-memory front
 // tier composed in front of the engine (entries=-1 disables it);
 // compress selects the payload codec (none, gzip); ttl arms expiry
-// with extend-on-read. Unknown query parameters are an error — a
+// with extend-on-read; breaker/breaker_backoff tune the store tier's
+// circuit breaker (breaker=0 disables it). A "faulty+" scheme prefix
+// wraps the engine in deterministic storage fault injection (see
+// Faulty) tuned by the fault_* parameters — the chaos harness behind
+// degraded-mode testing. Unknown query parameters are an error — a
 // typoed knob must not silently select defaults.
 type Spec struct {
 	// Scheme is the engine: "memory", "log", or "pairtree".
@@ -38,6 +43,17 @@ type Spec struct {
 	// TTL, when positive, expires entries that go unread for TTL;
 	// every read extends the lease (see Cache).
 	TTL time.Duration
+	// BreakerThreshold is the consecutive store-write failures that
+	// trip the circuit breaker: 0 selects the default (5), negative
+	// disables the breaker. Ignored without a store engine.
+	BreakerThreshold int
+	// BreakerBackoff is the initial open window before a half-open
+	// probe (doubled per consecutive trip, jittered). Zero selects the
+	// default (1s).
+	BreakerBackoff time.Duration
+	// Fault, when non-nil, wraps the store engine in a Faulty with
+	// this profile ("faulty+" schemes).
+	Fault *FaultProfile
 }
 
 // ParseSpec parses the engine-spec URL grammar.
@@ -49,6 +65,10 @@ func ParseSpec(raw string) (Spec, error) {
 	sp := Spec{Scheme: u.Scheme, Path: u.Host + u.Path}
 	if u.Opaque != "" {
 		sp.Path = u.Opaque
+	}
+	if inner, ok := strings.CutPrefix(sp.Scheme, "faulty+"); ok {
+		sp.Scheme = inner
+		sp.Fault = &FaultProfile{}
 	}
 	switch sp.Scheme {
 	case "memory":
@@ -98,11 +118,80 @@ func ParseSpec(raw string) (Spec, error) {
 				return Spec{}, fmt.Errorf("cellcache: negative ttl %v", d)
 			}
 			sp.TTL = d
+		case "breaker":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Spec{}, fmt.Errorf("cellcache: invalid breaker threshold %q (want 0 to disable or a positive count)", v)
+			}
+			if n == 0 {
+				sp.BreakerThreshold = -1 // explicit off
+			} else {
+				sp.BreakerThreshold = n
+			}
+		case "breaker_backoff":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return Spec{}, fmt.Errorf("cellcache: invalid breaker_backoff %q (want a positive duration)", v)
+			}
+			sp.BreakerBackoff = d
+		case "fault_seed", "fault_put", "fault_get", "fault_torn",
+			"fault_latency", "fault_down_first", "fault_down_every", "fault_down_for":
+			if sp.Fault == nil {
+				return Spec{}, fmt.Errorf("cellcache: %s requires a faulty+ engine scheme", key)
+			}
+			if err := parseFaultParam(sp.Fault, key, v); err != nil {
+				return Spec{}, err
+			}
 		default:
 			return Spec{}, fmt.Errorf("cellcache: unknown cache spec parameter %q", key)
 		}
 	}
 	return sp, nil
+}
+
+// parseFaultParam sets one fault_* knob on the profile.
+func parseFaultParam(p *FaultProfile, key, v string) error {
+	switch key {
+	case "fault_seed":
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("cellcache: invalid %s %q: %w", key, v, err)
+		}
+		p.Seed = n
+	case "fault_put", "fault_get", "fault_torn":
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil || x < 0 || x > 1 {
+			return fmt.Errorf("cellcache: invalid %s %q (want a probability in [0,1])", key, v)
+		}
+		switch key {
+		case "fault_put":
+			p.PutErr = x
+		case "fault_get":
+			p.GetErr = x
+		case "fault_torn":
+			p.Torn = x
+		}
+	case "fault_latency":
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return fmt.Errorf("cellcache: invalid %s %q (want a non-negative duration)", key, v)
+		}
+		p.Latency = d
+	case "fault_down_first", "fault_down_every", "fault_down_for":
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("cellcache: invalid %s %q (want a non-negative count)", key, v)
+		}
+		switch key {
+		case "fault_down_first":
+			p.DownFirst = n
+		case "fault_down_every":
+			p.DownEvery = n
+		case "fault_down_for":
+			p.DownFor = n
+		}
+	}
+	return nil
 }
 
 // String renders the spec back into the URL grammar (defaults
@@ -121,7 +210,45 @@ func (sp Spec) String() string {
 	if sp.TTL > 0 {
 		q = append(q, "ttl="+sp.TTL.String())
 	}
-	s := sp.Scheme + "://" + sp.Path
+	switch {
+	case sp.BreakerThreshold < 0:
+		q = append(q, "breaker=0")
+	case sp.BreakerThreshold > 0:
+		q = append(q, "breaker="+strconv.Itoa(sp.BreakerThreshold))
+	}
+	if sp.BreakerBackoff > 0 {
+		q = append(q, "breaker_backoff="+sp.BreakerBackoff.String())
+	}
+	scheme := sp.Scheme
+	if sp.Fault != nil {
+		scheme = "faulty+" + scheme
+		p := sp.Fault
+		if p.Seed != 0 {
+			q = append(q, "fault_seed="+strconv.FormatUint(p.Seed, 10))
+		}
+		if p.PutErr > 0 {
+			q = append(q, "fault_put="+strconv.FormatFloat(p.PutErr, 'g', -1, 64))
+		}
+		if p.GetErr > 0 {
+			q = append(q, "fault_get="+strconv.FormatFloat(p.GetErr, 'g', -1, 64))
+		}
+		if p.Torn > 0 {
+			q = append(q, "fault_torn="+strconv.FormatFloat(p.Torn, 'g', -1, 64))
+		}
+		if p.Latency > 0 {
+			q = append(q, "fault_latency="+p.Latency.String())
+		}
+		if p.DownFirst > 0 {
+			q = append(q, "fault_down_first="+strconv.Itoa(p.DownFirst))
+		}
+		if p.DownEvery > 0 {
+			q = append(q, "fault_down_every="+strconv.Itoa(p.DownEvery))
+		}
+		if p.DownFor > 0 {
+			q = append(q, "fault_down_for="+strconv.Itoa(p.DownFor))
+		}
+	}
+	s := scheme + "://" + sp.Path
 	if len(q) > 0 {
 		s += "?" + strings.Join(q, "&")
 	}
@@ -167,7 +294,10 @@ func Open(raw string) (*Cache, error) {
 }
 
 // Open builds the engine the spec names, composes the Cache front over
-// it, and runs the startup TTL scan for persistent engines.
+// it, and runs the startup TTL scan for persistent engines. A fault
+// profile wraps the store engine in a Faulty; unless disabled, a store
+// engine also gets the circuit breaker (default threshold, or the
+// spec's breaker/breaker_backoff overrides).
 func (sp Spec) Open() (*Cache, error) {
 	c := newCache(sp.Codec, sp.TTL)
 	if sp.Entries >= 0 {
@@ -176,7 +306,13 @@ func (sp Spec) Open() (*Cache, error) {
 	var err error
 	switch sp.Scheme {
 	case "memory":
-		// The memory tier is the whole cache.
+		// The memory tier is the whole cache — unless faults are being
+		// injected, which need the Engine seam: a faulty memory cache
+		// runs a second Memory engine as the store tier behind the
+		// wrapper (handy for chaos tests with no disk).
+		if sp.Fault != nil {
+			c.store = NewMemory(0, 0)
+		}
 	case "log":
 		c.store, err = OpenLog(sp.Path)
 	case "pairtree":
@@ -186,6 +322,13 @@ func (sp Spec) Open() (*Cache, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("cellcache: opening %s engine: %w", sp.Scheme, err)
+	}
+	if c.store != nil && sp.Fault != nil {
+		c.store = NewFaulty(c.store, *sp.Fault)
+	}
+	if c.store != nil && sp.BreakerThreshold >= 0 {
+		c.breaker = newBreaker(sp.BreakerThreshold, sp.BreakerBackoff,
+			func() time.Time { return c.now() })
 	}
 	if c.store != nil && sp.TTL > 0 {
 		c.purgeExpired()

@@ -8,88 +8,227 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"stash"
 )
+
+// SubmitOptions tunes SubmitSweep's resilience against a daemon that
+// sheds, drains, or drops the connection mid-stream. The zero value
+// selects the defaults.
+type SubmitOptions struct {
+	// Attempts is the total number of submission rounds, the first
+	// included. Zero selects 4; 1 disables resumption.
+	Attempts int
+	// Backoff is the base delay between rounds, doubled per round and
+	// jittered ±25%. Zero selects 500ms. A 429's Retry-After overrides
+	// the computed delay for that round.
+	Backoff time.Duration
+	// Client overrides http.DefaultClient.
+	Client *http.Client
+
+	// sleep is injectable for tests; nil sleeps on the real clock,
+	// honoring ctx.
+	sleep func(context.Context, time.Duration) error
+}
 
 // SubmitSweep posts the specs to a stashd daemon's /v1/sweep and
 // decodes the NDJSON stream back into sweep results, preserving
 // stash.Sweep's contract: one result per spec in spec order, and a
 // joined error over the failed cells (nil when every cell succeeded).
-// progress, when non-nil, fires once per received cell, in order.
+// progress, when non-nil, fires once per received cell.
 //
 // Cells the daemon has served before come from its content-addressed
 // cache: no simulation runs and the reported wall time is the original
 // run's. Timelines do not cross the wire (the JSON form is a summary),
 // so -trace flags require local simulation.
+//
+// The submission is resumable: if the daemon cuts the stream short
+// (restart, drain, network drop) or sheds the request with 429, the
+// client waits — honoring Retry-After when given — and resubmits only
+// the cells it has no result for. Cells the daemon reported as never
+// started are likewise re-requested while attempts remain: nothing ran,
+// so a rerun cannot contradict anything observed. Completed cells are
+// never resubmitted as work — on the wire they are resubmitted as
+// fingerprints the daemon answers from cache.
 func SubmitSweep(ctx context.Context, baseURL string, specs []stash.RunSpec, progress func(stash.SweepEvent)) ([]stash.SweepResult, error) {
+	return SubmitSweepOpts(ctx, baseURL, specs, progress, SubmitOptions{})
+}
+
+// SubmitSweepOpts is SubmitSweep with explicit resilience options.
+func SubmitSweepOpts(ctx context.Context, baseURL string, specs []stash.RunSpec, progress func(stash.SweepEvent), opts SubmitOptions) ([]stash.SweepResult, error) {
+	attempts := opts.Attempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	sleep := opts.sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			}
+		}
+	}
+
+	results := make([]stash.SweepResult, len(specs))
+	have := make([]bool, len(specs))
+	done := 0
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		// The missing set: cells never received, plus (while retries
+		// remain) cells the daemon reported as never started. Computed
+		// before the backoff so a completed sweep never sleeps.
+		var missing []int
+		for i := range specs {
+			if !have[i] || results[i].Status() == stash.StatusNotStarted {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		if attempt > 0 {
+			wait := time.Duration(float64(backoff) * (0.75 + 0.5*rand.Float64()))
+			var ra *retryAfterError
+			if errors.As(lastErr, &ra) && ra.after > 0 {
+				wait = ra.after
+			}
+			if err := sleep(ctx, wait); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		}
+		lastErr = submitOnce(ctx, client, baseURL, specs, missing, results, have, &done, progress)
+		if lastErr == nil {
+			continue // full round received; loop re-checks the missing set
+		}
+		var perm *permanentError
+		if errors.As(lastErr, &perm) {
+			return nil, perm.err
+		}
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	var errs []error
+	for i := range results {
+		if !have[i] {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no result from %s", baseURL)
+			}
+			results[i] = stash.SweepResult{Spec: specs[i],
+				Err: fmt.Errorf("stash: %s not received after %d attempts: %w", specs[i], attempts, lastErr)}
+		}
+		if results[i].Err != nil {
+			errs = append(errs, results[i].Err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// permanentError marks a daemon rejection retrying cannot fix (400,
+// 413, ...).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// retryAfterError carries a 429's advertised delay.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+
+// submitOnce runs one submission round over the missing cells, filling
+// results/have in place. A nil return means the stream completed; the
+// round may still have received structured failures.
+func submitOnce(ctx context.Context, client *http.Client, baseURL string, specs []stash.RunSpec, missing []int, results []stash.SweepResult, have []bool, done *int, progress func(stash.SweepEvent)) error {
+	subset := make([]stash.RunSpec, len(missing))
+	for i, idx := range missing {
+		subset[i] = specs[idx]
+	}
 	body, err := json.Marshal(struct {
 		Specs []stash.RunSpec `json:"specs"`
-	}{specs})
+	}{subset})
 	if err != nil {
-		return nil, fmt.Errorf("encoding sweep request: %w", err)
+		return &permanentError{fmt.Errorf("encoding sweep request: %w", err)}
 	}
 	url := strings.TrimSuffix(baseURL, "/") + "/v1/sweep"
 	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("building sweep request: %w", err)
+		return &permanentError{fmt.Errorf("building sweep request: %w", err)}
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("submitting sweep to %s: %w", baseURL, err)
+		return fmt.Errorf("submitting sweep to %s: %w", baseURL, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeServerError(resp)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusTooManyRequests:
+		after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return &retryAfterError{decodeServerError(resp), time.Duration(after) * time.Second}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return decodeServerError(resp) // draining: retryable elsewhere
+	default:
+		return &permanentError{decodeServerError(resp)}
 	}
 
-	results := make([]stash.SweepResult, len(specs))
 	received := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 64<<20)
-	for sc.Scan() && received < len(specs) {
+	for sc.Scan() && received < len(missing) {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
 		var r stash.SweepResult
 		if err := json.Unmarshal(line, &r); err != nil {
-			return nil, fmt.Errorf("decoding cell %d from %s: %w", received, baseURL, err)
+			return fmt.Errorf("decoding cell %d from %s: %w", received, baseURL, err)
 		}
+		idx := missing[received]
 		// The daemon streams in spec order; hold it to that.
-		if want := specs[received]; r.Spec.Workload != want.Workload || r.Spec.Config.Org != want.Config.Org {
-			return nil, fmt.Errorf("daemon returned cell %s out of order (want %s)", r.Spec, want)
+		if want := specs[idx]; r.Spec.Workload != want.Workload || r.Spec.Config.Org != want.Config.Org {
+			return &permanentError{fmt.Errorf("daemon returned cell %s out of order (want %s)", r.Spec, want)}
 		}
-		results[received] = r
+		if !have[idx] {
+			*done++
+		}
+		results[idx], have[idx] = r, true
 		received++
 		if progress != nil {
 			progress(stash.SweepEvent{
-				Index: received - 1, Done: received, Total: len(specs),
+				Index: idx, Done: *done, Total: len(specs),
 				Spec: r.Spec, Wall: r.Wall, Err: r.Err,
 			})
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("reading sweep stream from %s: %w", baseURL, err)
+		return fmt.Errorf("reading sweep stream from %s: %w", baseURL, err)
 	}
-	if received < len(specs) {
-		// The daemon cut the stream short (a cell hit an internal error).
-		cut := fmt.Errorf("sweep stream from %s ended after %d of %d cells", baseURL, received, len(specs))
-		for i := received; i < len(specs); i++ {
-			results[i] = stash.SweepResult{Spec: specs[i], Err: cut}
-		}
+	if received < len(missing) {
+		return fmt.Errorf("sweep stream from %s ended after %d of %d cells", baseURL, received, len(missing))
 	}
-
-	var errs []error
-	for _, r := range results {
-		if r.Err != nil {
-			errs = append(errs, r.Err)
-		}
-	}
-	return results, errors.Join(errs...)
+	return nil
 }
 
 // decodeServerError turns a non-200 daemon response into an error

@@ -1,0 +1,346 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stash"
+)
+
+// submitServer is a scripted stashd stand-in: each round's handler
+// consumes one entry from script, and every decoded request body is
+// recorded so tests can assert exactly which cells were resubmitted.
+type submitServer struct {
+	t      *testing.T
+	mu     sync.Mutex
+	rounds [][]stash.RunSpec
+	script []func(w http.ResponseWriter, specs []stash.RunSpec)
+}
+
+func (s *submitServer) handler(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Specs []stash.RunSpec `json:"specs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.t.Errorf("bad request body: %v", err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.rounds = append(s.rounds, req.Specs)
+	n := len(s.rounds) - 1
+	s.mu.Unlock()
+	if n >= len(s.script) {
+		s.t.Errorf("unexpected round %d (script has %d)", n, len(s.script))
+		http.Error(w, "off script", http.StatusInternalServerError)
+		return
+	}
+	s.script[n](w, req.Specs)
+}
+
+func (s *submitServer) roundCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rounds)
+}
+
+func (s *submitServer) round(i int) []stash.RunSpec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds[i]
+}
+
+func okLine(t *testing.T, w http.ResponseWriter, spec stash.RunSpec) {
+	t.Helper()
+	res := stash.SweepResult{
+		Spec:     spec,
+		Result:   stash.Result{Cycles: 500 + uint64(len(spec.Workload))},
+		Wall:     time.Millisecond,
+		Attempts: 1,
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Error(err)
+		panic(http.ErrAbortHandler)
+	}
+	w.Write(append(raw, '\n'))
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func testSpecs() []stash.RunSpec {
+	return []stash.RunSpec{
+		{Workload: "implicit", Config: stash.Config{Org: stash.Stash, GPUs: 1, CPUs: 15}},
+		{Workload: "reuse", Config: stash.Config{Org: stash.Stash, GPUs: 1, CPUs: 15}},
+		{Workload: "lud", Config: stash.Config{Org: stash.Stash, GPUs: 1, CPUs: 15}},
+	}
+}
+
+// recordedSleep returns a sleep hook that never sleeps but records
+// every requested delay.
+func recordedSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	var mu sync.Mutex
+	return func(_ context.Context, d time.Duration) error {
+		mu.Lock()
+		defer mu.Unlock()
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+// TestSubmitSweepResumesAfterCut: the daemon drops the connection
+// after streaming two of three cells; the client resubmits only the
+// missing cell and assembles a complete, in-order result set.
+func TestSubmitSweepResumesAfterCut(t *testing.T) {
+	specs := testSpecs()
+	srv := &submitServer{t: t}
+	srv.script = []func(http.ResponseWriter, []stash.RunSpec){
+		func(w http.ResponseWriter, got []stash.RunSpec) {
+			if len(got) != 3 {
+				t.Errorf("round 0 got %d specs, want 3", len(got))
+			}
+			okLine(t, w, got[0])
+			okLine(t, w, got[1])
+			panic(http.ErrAbortHandler) // cut mid-stream
+		},
+		func(w http.ResponseWriter, got []stash.RunSpec) {
+			for _, sp := range got {
+				okLine(t, w, sp)
+			}
+		},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handler))
+	defer ts.Close()
+
+	var delays []time.Duration
+	results, err := SubmitSweepOpts(context.Background(), ts.URL, specs, nil,
+		SubmitOptions{sleep: recordedSleep(&delays)})
+	if err != nil {
+		t.Fatalf("SubmitSweep: %v", err)
+	}
+	if srv.roundCount() != 2 {
+		t.Fatalf("rounds = %d, want 2", srv.roundCount())
+	}
+	if resub := srv.round(1); len(resub) != 1 || resub[0].Workload != "lud" {
+		t.Errorf("round 1 resubmitted %v, want just lud", resub)
+	}
+	if len(delays) != 1 {
+		t.Errorf("slept %d times, want 1", len(delays))
+	}
+	for i, r := range results {
+		if r.Status() != stash.StatusOK {
+			t.Errorf("cell %d = %s, want ok", i, r.Status())
+		}
+		if r.Spec.Workload != specs[i].Workload {
+			t.Errorf("cell %d is %s, want %s (order lost)", i, r.Spec, specs[i])
+		}
+	}
+}
+
+// TestSubmitSweepHonorsRetryAfter: a 429's Retry-After overrides the
+// computed backoff for that round.
+func TestSubmitSweepHonorsRetryAfter(t *testing.T) {
+	specs := testSpecs()[:1]
+	srv := &submitServer{t: t}
+	srv.script = []func(http.ResponseWriter, []stash.RunSpec){
+		func(w http.ResponseWriter, _ []stash.RunSpec) {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"server overloaded: 9 cells queued"}`)
+		},
+		func(w http.ResponseWriter, got []stash.RunSpec) {
+			for _, sp := range got {
+				okLine(t, w, sp)
+			}
+		},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handler))
+	defer ts.Close()
+
+	var delays []time.Duration
+	results, err := SubmitSweepOpts(context.Background(), ts.URL, specs, nil,
+		SubmitOptions{sleep: recordedSleep(&delays)})
+	if err != nil {
+		t.Fatalf("SubmitSweep: %v", err)
+	}
+	if len(delays) != 1 || delays[0] != 7*time.Second {
+		t.Errorf("delays = %v, want exactly [7s]", delays)
+	}
+	if results[0].Status() != stash.StatusOK {
+		t.Errorf("cell = %s, want ok", results[0].Status())
+	}
+}
+
+// TestSubmitSweepPermanentError: a 4xx rejection is not retried — one
+// request, immediate error carrying the daemon's message.
+func TestSubmitSweepPermanentError(t *testing.T) {
+	srv := &submitServer{t: t}
+	srv.script = []func(http.ResponseWriter, []stash.RunSpec){
+		func(w http.ResponseWriter, _ []stash.RunSpec) {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintln(w, `{"error":"unknown workload \"nope\""}`)
+		},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handler))
+	defer ts.Close()
+
+	var delays []time.Duration
+	_, err := SubmitSweepOpts(context.Background(), ts.URL, testSpecs(), nil,
+		SubmitOptions{sleep: recordedSleep(&delays)})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v, want the daemon's message", err)
+	}
+	if srv.roundCount() != 1 {
+		t.Errorf("rounds = %d, want 1 (no retry on 400)", srv.roundCount())
+	}
+	if len(delays) != 0 {
+		t.Errorf("slept %v before a permanent error", delays)
+	}
+}
+
+// TestSubmitSweepGivesUpAfterAttempts: a daemon that serves one cell
+// per connection before dropping it. Three attempts are enough to
+// collect three cells (each round resumes where the last cut off);
+// two attempts are not, and the unreceived cell carries a structured
+// error naming the budget while received cells are kept.
+func TestSubmitSweepGivesUpAfterAttempts(t *testing.T) {
+	specs := testSpecs()
+	cut := func(w http.ResponseWriter, got []stash.RunSpec) {
+		okLine(t, w, got[0]) // always one cell, then drop
+		panic(http.ErrAbortHandler)
+	}
+
+	srv := &submitServer{t: t}
+	srv.script = []func(http.ResponseWriter, []stash.RunSpec){cut, cut, cut}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handler))
+	defer ts.Close()
+	var delays []time.Duration
+	results, err := SubmitSweepOpts(context.Background(), ts.URL, specs, nil,
+		SubmitOptions{Attempts: 3, sleep: recordedSleep(&delays)})
+	if err != nil {
+		t.Fatalf("three rounds of one cell each should assemble the sweep: %v", err)
+	}
+	if srv.roundCount() != 3 {
+		t.Errorf("rounds = %d, want 3", srv.roundCount())
+	}
+	for i, r := range results {
+		if r.Status() != stash.StatusOK {
+			t.Errorf("cell %d = %s, want ok", i, r.Status())
+		}
+	}
+
+	srv2 := &submitServer{t: t}
+	srv2.script = []func(http.ResponseWriter, []stash.RunSpec){cut, cut}
+	ts2 := httptest.NewServer(http.HandlerFunc(srv2.handler))
+	defer ts2.Close()
+	results, err = SubmitSweepOpts(context.Background(), ts2.URL, specs, nil,
+		SubmitOptions{Attempts: 2, sleep: recordedSleep(&delays)})
+	if err == nil || !strings.Contains(err.Error(), "not received after 2 attempts") {
+		t.Fatalf("err = %v, want a not-received error naming the budget", err)
+	}
+	if results[0].Status() != stash.StatusOK || results[1].Status() != stash.StatusOK {
+		t.Errorf("received cells lost: %s, %s", results[0].Status(), results[1].Status())
+	}
+	if results[2].Err == nil || !strings.Contains(results[2].Err.Error(), "not received") {
+		t.Errorf("cell 2 error = %v, want not-received", results[2].Err)
+	}
+}
+
+// TestSubmitSweepRerequestsNotStarted: cells a draining daemon reports
+// as never started are re-requested while attempts remain — nothing
+// ran, so a rerun cannot contradict anything observed.
+func TestSubmitSweepRerequestsNotStarted(t *testing.T) {
+	specs := testSpecs()
+	srv := &submitServer{t: t}
+	srv.script = []func(http.ResponseWriter, []stash.RunSpec){
+		func(w http.ResponseWriter, got []stash.RunSpec) {
+			okLine(t, w, got[0])
+			// The daemon drained: remaining cells stream as structured
+			// not_started lines, stream intact.
+			for _, sp := range got[1:] {
+				raw, err := json.Marshal(stash.SweepResult{Spec: sp,
+					Err: fmt.Errorf("stash: %s not started: server draining: %w", sp, context.Canceled)})
+				if err != nil {
+					t.Error(err)
+					panic(http.ErrAbortHandler)
+				}
+				w.Write(append(raw, '\n'))
+			}
+		},
+		func(w http.ResponseWriter, got []stash.RunSpec) {
+			for _, sp := range got {
+				okLine(t, w, sp)
+			}
+		},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handler))
+	defer ts.Close()
+
+	var delays []time.Duration
+	results, err := SubmitSweepOpts(context.Background(), ts.URL, specs, nil,
+		SubmitOptions{sleep: recordedSleep(&delays)})
+	if err != nil {
+		t.Fatalf("SubmitSweep: %v", err)
+	}
+	if srv.roundCount() != 2 {
+		t.Fatalf("rounds = %d, want 2", srv.roundCount())
+	}
+	if resub := srv.round(1); len(resub) != 2 ||
+		resub[0].Workload != "reuse" || resub[1].Workload != "lud" {
+		t.Errorf("round 1 resubmitted %v, want the two not-started cells", resub)
+	}
+	for i, r := range results {
+		if r.Status() != stash.StatusOK {
+			t.Errorf("cell %d = %s, want ok", i, r.Status())
+		}
+	}
+}
+
+// TestSubmitSweepProgressIndices: progress events carry original sweep
+// indices and a monotonically complete done count even when cells
+// arrive across resumed rounds.
+func TestSubmitSweepProgressIndices(t *testing.T) {
+	specs := testSpecs()
+	srv := &submitServer{t: t}
+	srv.script = []func(http.ResponseWriter, []stash.RunSpec){
+		func(w http.ResponseWriter, got []stash.RunSpec) {
+			okLine(t, w, got[0])
+			okLine(t, w, got[1])
+			panic(http.ErrAbortHandler)
+		},
+		func(w http.ResponseWriter, got []stash.RunSpec) {
+			for _, sp := range got {
+				okLine(t, w, sp)
+			}
+		},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handler))
+	defer ts.Close()
+
+	var events []stash.SweepEvent
+	var delays []time.Duration
+	_, err := SubmitSweepOpts(context.Background(), ts.URL, specs,
+		func(ev stash.SweepEvent) { events = append(events, ev) },
+		SubmitOptions{sleep: recordedSleep(&delays)})
+	if err != nil {
+		t.Fatalf("SubmitSweep: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d progress events, want 3", len(events))
+	}
+	wantIdx := []int{0, 1, 2}
+	for i, ev := range events {
+		if ev.Index != wantIdx[i] || ev.Done != i+1 || ev.Total != 3 {
+			t.Errorf("event %d = index %d done %d/%d, want index %d done %d/3",
+				i, ev.Index, ev.Done, ev.Total, wantIdx[i], i+1)
+		}
+	}
+}

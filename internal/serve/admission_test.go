@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"stash"
+)
+
+// waitMetric polls /metrics until name reaches want (or 5s pass).
+func waitMetric(t *testing.T, ts *httptest.Server, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if metric(t, ts, name) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("%s never reached %g (now %g)", name, want, metric(t, ts, name))
+}
+
+// TestAdmissionShedsSweepsBeforeCells: past MaxQueue, sweeps shed with
+// 429 + Retry-After while single cells ride the worker-pool headroom a
+// while longer; past the headroom cells shed too, and a drained queue
+// admits again.
+func TestAdmissionShedsSweepsBeforeCells(t *testing.T) {
+	eng := &fakeEngine{gate: make(chan struct{}), started: make(chan string, 8)}
+	_, ts := newTestServer(t, Config{Run: eng.run, Workers: 1, MaxQueue: 3, TenantSlots: -1})
+
+	getCell := func(query string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/cell?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Fill: one cell in flight, two queued (depth 2 of 3).
+	fillerDone := make(chan string, 1)
+	go func() {
+		_, body := postSweep(t, ts, `{"workloads":["implicit","reuse","pollution"],"orgs":["Stash"]}`)
+		fillerDone <- body
+	}()
+	<-eng.started
+	waitMetric(t, ts, "stashd_queue_depth", 2)
+
+	// A 2-cell sweep would exceed MaxQueue: shed, with retry advice.
+	resp, body := postSweep(t, ts, `{"workloads":["implicit","reuse"],"orgs":["Cache"]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload sweep: status %d: %s", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	var e apiError
+	if err := json.Unmarshal([]byte(body), &e); err != nil || !strings.Contains(e.Error, "overloaded") {
+		t.Errorf("shed body not structured: %q", body)
+	}
+	if got := metric(t, ts, "stashd_shed_requests_total"); got != 1 {
+		t.Errorf("shed requests = %g, want 1", got)
+	}
+
+	// A single cell still fits the headroom (MaxQueue + workers).
+	admitted := make(chan int, 2)
+	go func() { admitted <- getCell("workload=lud&org=Stash") }()
+	waitMetric(t, ts, "stashd_queue_depth", 3)
+
+	// At the same depth a multi-cell sweep still sheds — whole sweeps
+	// go before single cells.
+	if resp, _ := postSweep(t, ts, `{"workloads":["implicit","reuse"],"orgs":["Cache"]}`); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("2-cell sweep at depth 3: status %d, want 429", resp.StatusCode)
+	}
+
+	// One more cell exhausts the headroom; the next cell sheds too.
+	go func() { admitted <- getCell("workload=surf&org=Stash") }()
+	waitMetric(t, ts, "stashd_queue_depth", 4)
+	if code := getCell("workload=nw&org=Stash"); code != http.StatusTooManyRequests {
+		t.Errorf("over-headroom cell: status %d, want 429", code)
+	}
+	if got := metric(t, ts, "stashd_shed_requests_total"); got != 3 {
+		t.Errorf("shed requests = %g, want 3", got)
+	}
+
+	// Drain; everything admitted completes, and admission resets.
+	close(eng.gate)
+	for i := 0; i < 2; i++ {
+		if code := <-admitted; code != http.StatusOK {
+			t.Errorf("admitted cell %d finished with %d", i, code)
+		}
+	}
+	out := <-fillerDone
+	if n := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); n != 3 {
+		t.Errorf("filler sweep returned %d lines, want 3", n)
+	}
+	if resp, _ := postSweep(t, ts, oneCellBody); resp.StatusCode != http.StatusOK {
+		t.Errorf("post-drain sweep: status %d", resp.StatusCode)
+	}
+}
+
+// TestDeadlineHeader: X-Stashd-Deadline bounds the request's
+// simulation time — cells past it stream as structured canceled lines
+// citing the deadline — and a malformed header is a 400.
+func TestDeadlineHeader(t *testing.T) {
+	eng := &fakeEngine{gate: make(chan struct{})} // never released: cells run until canceled
+	_, ts := newTestServer(t, Config{Run: eng.run})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(oneCellBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Stashd-Deadline", "50ms")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: request took %v", elapsed)
+	}
+	var cell stash.SweepResult
+	if err := json.Unmarshal(raw, &cell); err != nil {
+		t.Fatalf("%v\n%s", err, raw)
+	}
+	if cell.Status() != stash.StatusCanceled {
+		t.Errorf("status = %s, want canceled", cell.Status())
+	}
+	if cell.Err == nil || !strings.Contains(cell.Err.Error(), "deadline") {
+		t.Errorf("cell error does not cite the deadline: %v", cell.Err)
+	}
+
+	badReq, err := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(oneCellBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badReq.Header.Set("X-Stashd-Deadline", "soon")
+	resp, err = http.DefaultClient.Do(badReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed deadline: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMaxDeadlineClamp: the server-side cap applies both when the
+// client asks for a longer budget and when it sends no header at all.
+func TestMaxDeadlineClamp(t *testing.T) {
+	eng := &fakeEngine{gate: make(chan struct{})}
+	_, ts := newTestServer(t, Config{Run: eng.run, MaxDeadline: 50 * time.Millisecond})
+
+	for _, header := range []string{"", "10m"} {
+		req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(oneCellBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if header != "" {
+			req.Header.Set("X-Stashd-Deadline", header)
+		}
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("header %q: clamp ignored (%v)", header, elapsed)
+		}
+		var cell stash.SweepResult
+		if err := json.Unmarshal(raw, &cell); err != nil {
+			t.Fatalf("header %q: %v\n%s", header, err, raw)
+		}
+		if cell.Status() != stash.StatusCanceled {
+			t.Errorf("header %q: status = %s, want canceled", header, cell.Status())
+		}
+	}
+}
+
+// TestTenantFairness: with per-tenant slots below the worker count,
+// one tenant's burst leaves capacity for another — the second tenant's
+// cell starts while the first tenant's second cell is still waiting on
+// its namespace slot.
+func TestTenantFairness(t *testing.T) {
+	eng := &fakeEngine{gate: make(chan struct{}), started: make(chan string, 8)}
+	_, ts := newTestServer(t, Config{Run: eng.run, Workers: 2, TenantSlots: 1})
+
+	aDone := make(chan string, 1)
+	go func() {
+		_, body := postSweepAs(t, ts, "tenant-a", `{"workloads":["implicit","reuse"],"orgs":["Stash"]}`)
+		aDone <- body
+	}()
+	first := <-eng.started // tenant A's first cell holds A's only slot
+
+	bDone := make(chan string, 1)
+	go func() {
+		_, body := postSweepAs(t, ts, "tenant-b", `{"specs":[{"workload":"lud","config":{"org":"Stash","gpus":15,"cpus":1}}]}`)
+		bDone <- body
+	}()
+	select {
+	case second := <-eng.started:
+		// A's second cell is parked on the tenant semaphore, so the
+		// second simulation to start can only be B's.
+		if second != "lud/Stash" {
+			t.Errorf("second started cell = %q (first was %q), want tenant B's lud/Stash", second, first)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tenant B starved: its cell never started while tenant A held one slot")
+	}
+	if eng.calls.Load() != 2 {
+		t.Errorf("engine calls = %d, want 2 (A's second cell must wait)", eng.calls.Load())
+	}
+
+	close(eng.gate)
+	aBody := <-aDone
+	if n := len(strings.Split(strings.TrimRight(aBody, "\n"), "\n")); n != 2 {
+		t.Errorf("tenant A got %d lines, want 2", n)
+	}
+	var bCell stash.SweepResult
+	if err := json.Unmarshal([]byte(<-bDone), &bCell); err != nil || bCell.Status() != stash.StatusOK {
+		t.Errorf("tenant B cell = %s (%v)", bCell.Status(), err)
+	}
+}

@@ -33,9 +33,11 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +67,22 @@ type Config struct {
 	// Retries re-runs a failed cell attempt (see
 	// stash.SweepOptions.Retries).
 	Retries int
+	// MaxQueue bounds cells admitted but not yet holding a worker slot.
+	// A request that would push the queue past it is shed with 429 and
+	// a Retry-After estimate — whole sweeps are shed before single
+	// cells (cells get the worker pool's extra headroom). Zero selects
+	// 4x MaxCells; negative disables shedding.
+	MaxQueue int
+	// MaxDeadline caps each request's simulation budget. It clamps the
+	// client's X-Stashd-Deadline header and applies on its own when the
+	// header is absent. Zero means unbounded.
+	MaxDeadline time.Duration
+	// TenantSlots bounds one namespace's concurrently simulating cells,
+	// so a single tenant's burst cannot monopolize the worker pool.
+	// Zero selects max(1, Workers-1) — a lone tenant keeps nearly full
+	// throughput while one slot always remains winnable by others.
+	// Negative disables the per-tenant bound.
+	TenantSlots int
 	// Run overrides the engine (tests only). Nil selects the real one.
 	Run RunFunc
 }
@@ -83,13 +101,19 @@ type Server struct {
 	queueDepth atomic.Int64 // cells admitted, waiting for a slot
 	inFlight   atomic.Int64 // cells simulating right now
 
-	sweepReqs    atomic.Uint64
-	cellReqs     atomic.Uint64
-	badReqs      atomic.Uint64
-	cellsServed  atomic.Uint64
-	cellsFailed  atomic.Uint64
-	simCycles    atomic.Uint64 // engine cycles actually simulated (fresh runs)
-	simWallNanos atomic.Int64  // host time spent simulating (fresh runs)
+	tenantMu sync.Mutex
+	tenants  map[string]chan struct{} // per-namespace simulation slots
+
+	sweepReqs     atomic.Uint64
+	cellReqs      atomic.Uint64
+	badReqs       atomic.Uint64
+	shedReqs      atomic.Uint64 // requests refused by admission control
+	cellsServed   atomic.Uint64
+	cellsFailed   atomic.Uint64
+	degradedCells atomic.Uint64 // cells served whose persist failed
+	panicCells    atomic.Uint64 // cells isolated by the serve-layer recover
+	simCycles     atomic.Uint64 // engine cycles actually simulated (fresh runs)
+	simWallNanos  atomic.Int64  // host time spent simulating (fresh runs)
 }
 
 // New builds a Server. done, when non-nil, aborts cell scheduling
@@ -100,9 +124,18 @@ func New(cfg Config, done <-chan struct{}) *Server {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Server{cfg: cfg, sem: make(chan struct{}, workers), done: done}
+	s := &Server{cfg: cfg, sem: make(chan struct{}, workers), done: done,
+		tenants: make(map[string]chan struct{})}
 	if cfg.MaxCells == 0 {
 		s.cfg.MaxCells = defaultMaxCells
+	}
+	if cfg.MaxQueue == 0 {
+		// Deep enough that a handful of legitimate full-size grids queue
+		// rather than shed on an otherwise idle server.
+		s.cfg.MaxQueue = 4 * s.cfg.MaxCells
+	}
+	if cfg.TenantSlots == 0 {
+		s.cfg.TenantSlots = max(1, workers-1)
 	}
 	s.run = cfg.Run
 	if s.run == nil {
@@ -151,6 +184,83 @@ func namespaceOf(r *http.Request) string {
 	}
 	sum := sha256.Sum256([]byte(auth))
 	return "t-" + hex.EncodeToString(sum[:8])
+}
+
+// admit applies queue-depth admission control for a request wanting to
+// schedule n cells. A request that would push the queue past MaxQueue
+// is shed with 429 and a Retry-After estimate before any simulation
+// state is touched — shedding early and whole is cheaper for both
+// sides than timing out late and piecemeal. Single cells (n == 1) get
+// the worker pool's extra headroom on top of MaxQueue, so whole sweeps
+// are shed first and a probe cell still gets through while big grids
+// are being refused.
+func (s *Server) admit(w http.ResponseWriter, n int) bool {
+	if s.cfg.MaxQueue < 0 {
+		return true
+	}
+	limit := int64(s.cfg.MaxQueue)
+	if n == 1 {
+		limit += int64(cap(s.sem))
+	}
+	depth := s.queueDepth.Load()
+	if depth+int64(n) <= limit {
+		return true
+	}
+	s.shedReqs.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(depth)))
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(
+		"server overloaded: %d cells queued, %d more would exceed the admission limit of %d; retry after the advertised delay",
+		depth, n, limit)})
+	return false
+}
+
+// retryAfter estimates (in whole seconds, clamped to [1, 60]) how long
+// until the current queue drains, from the observed mean cell wall
+// time and the worker-pool width.
+func (s *Server) retryAfter(depth int64) int {
+	avg := time.Second
+	if served := s.cellsServed.Load(); served > 0 {
+		if observed := time.Duration(s.simWallNanos.Load() / int64(served)); observed > 0 {
+			avg = observed
+		}
+	}
+	est := time.Duration((depth/int64(cap(s.sem)) + 1)) * avg
+	return int(min(max(est/time.Second, 1), 60))
+}
+
+// deadlineHeader is the request header naming the client's simulation
+// budget as a Go duration ("30s", "2m"); the server clamps it to
+// Config.MaxDeadline.
+const deadlineHeader = "X-Stashd-Deadline"
+
+// requestContext derives the context simulations run under: the
+// client's X-Stashd-Deadline clamped by MaxDeadline, or MaxDeadline
+// alone when the header is absent. The returned context deliberately
+// does not replace r.Context() for streaming decisions — a lapsed
+// deadline cancels cells (which then stream as structured failures),
+// while only a vanished client cuts the stream.
+func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	d := s.cfg.MaxDeadline
+	if h := strings.TrimSpace(r.Header.Get(deadlineHeader)); h != "" {
+		req, err := time.ParseDuration(h)
+		if err != nil || req <= 0 {
+			s.fail(w, http.StatusBadRequest, "invalid %s %q: want a positive Go duration like 30s", deadlineHeader, h)
+			return nil, nil, false
+		}
+		if d == 0 || req < d {
+			d = req
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, true
+	}
+	// The cause wraps DeadlineExceeded so results classify as
+	// canceled, not error, while the message names the budget.
+	ctx, cancel := context.WithTimeoutCause(r.Context(), d,
+		fmt.Errorf("request deadline %v exceeded: %w", d, context.DeadlineExceeded))
+	return ctx, cancel, true
 }
 
 // apiError is the structured error body every non-2xx response carries.
@@ -256,7 +366,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ctx := r.Context()
+	if !s.admit(w, len(specs)) {
+		return
+	}
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	ns := namespaceOf(r)
 
 	type outcome struct {
@@ -279,8 +396,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		var out outcome
 		select {
 		case out = <-outcomes[i]:
-		case <-ctx.Done():
-			return // client gone; in-flight cells see the cancellation
+		case <-r.Context().Done():
+			// Only a vanished client cuts the stream. A lapsed deadline
+			// cancels ctx instead, which resolves the remaining cells
+			// into structured failure lines that still stream.
+			return
 		}
 		if out.err != nil {
 			// Headers are already sent; all we can do is cut the stream
@@ -309,7 +429,15 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	line, err := s.cell(r.Context(), namespaceOf(r), spec)
+	if !s.admit(w, 1) {
+		return
+	}
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	line, err := s.cell(ctx, namespaceOf(r), spec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -421,7 +549,7 @@ func (s *Server) cell(ctx context.Context, ns string, spec stash.RunSpec) ([]byt
 	}
 	for attempt := 0; ; attempt++ {
 		line, _, err := s.cfg.Cache.Do(ns, fp, func() ([]byte, error) {
-			res := s.simulate(ctx, spec)
+			res := s.simulate(ctx, ns, spec)
 			line, merr := json.Marshal(res)
 			if merr != nil {
 				return nil, fmt.Errorf("encoding %s: %w", spec, merr)
@@ -434,6 +562,15 @@ func (s *Server) cell(ctx context.Context, ns string, spec stash.RunSpec) ([]byt
 			return line, nil
 		})
 		if err == nil {
+			return line, nil
+		}
+		// A result that simulated fine but could not be persisted (sick
+		// store engine, open breaker) is degraded, not failed: the
+		// client paid for the cycles and gets the bytes; only the next
+		// identical request pays again.
+		var pe *cellcache.PersistError
+		if errors.As(err, &pe) {
+			s.degradedCells.Add(1)
 			return line, nil
 		}
 		var cf *cellFailed
@@ -452,35 +589,104 @@ func (s *Server) cell(ctx context.Context, ns string, spec stash.RunSpec) ([]byt
 	}
 }
 
+// tenantSem returns (creating on first use) the namespace's
+// simulation-slot semaphore, or nil when per-tenant fairness is off.
+func (s *Server) tenantSem(ns string) chan struct{} {
+	if s.cfg.TenantSlots < 0 {
+		return nil
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	sem, ok := s.tenants[ns]
+	if !ok {
+		sem = make(chan struct{}, s.cfg.TenantSlots)
+		s.tenants[ns] = sem
+	}
+	return sem
+}
+
 // simulate runs one engine simulation on the bounded pool, tracking
 // queue depth and in-flight gauges and the simulated-cycle throughput
-// counters. Cells that never get a slot (client gone or server
-// draining) report as never-started cancellations.
-func (s *Server) simulate(ctx context.Context, spec stash.RunSpec) stash.SweepResult {
+// counters. Admission is two-stage: a namespace slot first (so one
+// tenant's burst cannot occupy every worker), then a global worker
+// slot. Cells that never get a slot (client gone, deadline lapsed, or
+// server draining) report as never-started cancellations.
+func (s *Server) simulate(ctx context.Context, ns string, spec stash.RunSpec) stash.SweepResult {
 	s.queueDepth.Add(1)
+	dequeued := false
+	dequeue := func() {
+		if !dequeued {
+			dequeued = true
+			s.queueDepth.Add(-1)
+		}
+	}
+	defer dequeue()
+	notStarted := func(why string, cause error) stash.SweepResult {
+		return stash.SweepResult{Spec: spec,
+			Err: fmt.Errorf("stash: %s not started: %s%w", spec, why, cause)}
+	}
+	if tsem := s.tenantSem(ns); tsem != nil {
+		select {
+		case tsem <- struct{}{}:
+			defer func() { <-tsem }()
+		case <-ctx.Done():
+			return notStarted("", context.Cause(ctx))
+		case <-s.done:
+			return notStarted("server draining: ", context.Canceled)
+		}
+	}
 	select {
 	case s.sem <- struct{}{}:
-		s.queueDepth.Add(-1)
+		// A slot freed by a finishing cell can race the drain signal
+		// (select picks arbitrarily among ready cases); re-check so a
+		// draining server never starts queued work late.
+		select {
+		case <-s.done:
+			<-s.sem
+			return notStarted("server draining: ", context.Canceled)
+		default:
+		}
+		dequeue()
 	case <-ctx.Done():
-		s.queueDepth.Add(-1)
-		return stash.SweepResult{Spec: spec,
-			Err: fmt.Errorf("stash: %s not started: %w", spec, context.Cause(ctx))}
+		return notStarted("", context.Cause(ctx))
 	case <-s.done:
-		s.queueDepth.Add(-1)
-		return stash.SweepResult{Spec: spec,
-			Err: fmt.Errorf("stash: %s not started: server draining: %w", spec, context.Canceled)}
+		return notStarted("server draining: ", context.Canceled)
 	}
 	s.inFlight.Add(1)
 	defer func() {
 		s.inFlight.Add(-1)
 		<-s.sem
 	}()
-	res := s.run(ctx, spec)
+	res := s.runIsolated(ctx, spec)
 	if res.Err == nil {
 		s.simCycles.Add(res.Result.Cycles)
 	}
 	s.simWallNanos.Add(int64(res.Wall))
 	return res
+}
+
+// runIsolated invokes the engine with a last-line panic barrier. The
+// engine has its own crash isolation, but an injected RunFunc or a bug
+// outside stash.Sweep's recover must still cost one cell, not the
+// daemon: the panic becomes a structured CellError with the stack
+// attached, and Wall is forced positive so Status() reports panic
+// rather than not_started (a started-and-crashed cell must not be
+// mistaken for one that is safe to transparently rerun).
+func (s *Server) runIsolated(ctx context.Context, spec stash.RunSpec) (res stash.SweepResult) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			s.panicCells.Add(1)
+			res = stash.SweepResult{Spec: spec, Wall: max(time.Since(start), 1), Err: &stash.CellError{
+				Workload: spec.Workload,
+				Org:      spec.Config.Org,
+				Kind:     stash.FailPanic,
+				Msg:      fmt.Sprint(p),
+				Stack:    string(debug.Stack()),
+			}}
+		}
+	}()
+	return s.run(ctx, spec)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -490,7 +696,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"status":"draining"}`)
 		return
 	}
+	// A tripped store breaker is degraded, not down: simulation and the
+	// memory tier still serve, so the answer stays 200 (load balancers
+	// keep routing) while the body tells operators why persistence is
+	// off.
+	if cs := s.cfg.Cache.Stats(); cs.BreakerState != cellcache.BreakerClosed {
+		fmt.Fprintf(w, "{\"status\":\"degraded\",\"breaker\":%q}\n", breakerStateName(cs.BreakerState))
+		return
+	}
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func breakerStateName(state int) string {
+	switch state {
+	case cellcache.BreakerOpen:
+		return "open"
+	case cellcache.BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
 }
 
 // compressionRatio is raw-payload bytes over stored (framed,
@@ -531,14 +756,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"stashd_cache_raw_bytes_total", cs.BytesRaw},
 		{"stashd_cache_stored_bytes_total", cs.BytesStored},
 		{"stashd_cache_compression_ratio", compressionRatio(cs.BytesRaw, cs.BytesStored)},
+		{"stashd_cache_put_errors_total", cs.PutErrors},
+		{"stashd_cache_breaker_trips_total", cs.BreakerTrips},
+		{"stashd_cache_breaker_state", cs.BreakerState},
 		{"stashd_inflight_cells", s.inFlight.Load()},
 		{"stashd_queue_depth", s.queueDepth.Load()},
 		{"stashd_worker_slots", cap(s.sem)},
 		{"stashd_sweep_requests_total", s.sweepReqs.Load()},
 		{"stashd_cell_requests_total", s.cellReqs.Load()},
 		{"stashd_bad_requests_total", s.badReqs.Load()},
+		{"stashd_shed_requests_total", s.shedReqs.Load()},
 		{"stashd_cells_simulated_total", s.cellsServed.Load()},
 		{"stashd_cells_failed_total", s.cellsFailed.Load()},
+		{"stashd_degraded_cells_total", s.degradedCells.Load()},
+		{"stashd_panic_cells_total", s.panicCells.Load()},
 		{"stashd_sim_cycles_total", s.simCycles.Load()},
 		{"stashd_sim_wall_seconds_total", simWall},
 		{"stashd_sim_cycles_per_sec", cyclesPerSec},
