@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -39,6 +40,7 @@ type report struct {
 	GoVersion  string    `json:"go_version"`
 	GOOS       string    `json:"goos"`
 	GOARCH     string    `json:"goarch"`
+	MinOf      int       `json:"min_of,omitempty"`
 	Benchmarks []record  `json:"benchmarks"`
 }
 
@@ -46,9 +48,14 @@ func main() {
 	label := flag.String("label", "", "free-form label stored in the report (e.g. baseline, a git SHA)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to compare against; exits 1 when the sim_cycles_per_sec geomean ratio falls below -floor")
 	floor := flag.Float64("floor", 0.7, "minimum acceptable new/baseline sim_cycles_per_sec geomean ratio for -compare")
+	minOf := flag.Int("min-of", 1, "fold N consecutive runs of each benchmark (from go test -count N) into one record, keeping the fastest; min-of-N damps scheduler noise in regression gates")
 	version := cliutil.VersionFlag()
 	flag.Parse()
 	version()
+	if *minOf < 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: -min-of must be >= 1")
+		os.Exit(2)
+	}
 
 	rep := report{
 		Label:     *label,
@@ -73,6 +80,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *minOf > 1 {
+		rep.MinOf = *minOf
+		rep.Benchmarks = foldMinOf(rep.Benchmarks, *minOf, os.Stderr)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "\t")
 	if err := enc.Encode(rep); err != nil {
@@ -85,6 +96,38 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// foldMinOf collapses the consecutive runs `go test -count N` emits
+// for each benchmark into the single fastest record (minimum ns/op),
+// the standard way to strip one-sided scheduler noise before a
+// regression comparison. The kept record is one coherent measurement —
+// its allocs, custom metrics, and derived sim_cycles_per_sec all come
+// from the same run, never mixed across runs. Runs are matched by raw
+// name and must be adjacent, exactly as go test prints them; a group
+// whose size differs from n folds anyway but warns, so a truncated
+// bench log cannot masquerade as a clean min-of-N gate.
+func foldMinOf(recs []record, n int, warn io.Writer) []record {
+	out := recs[:0]
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].Name == recs[i].Name {
+			j++
+		}
+		best := recs[i]
+		for _, r := range recs[i+1 : j] {
+			if r.NsPerOp < best.NsPerOp {
+				best = r
+			}
+		}
+		if j-i != n {
+			fmt.Fprintf(warn, "benchjson: %s ran %d times, want %d (-min-of %d)\n",
+				best.Name, j-i, n, n)
+		}
+		out = append(out, best)
+		i = j
+	}
+	return out
 }
 
 // compareBaseline is the regression guard behind -compare: it matches

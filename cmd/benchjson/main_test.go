@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFoldMinOf(t *testing.T) {
+	mustParse := func(line string) record {
+		t.Helper()
+		r, ok := parseLine(line)
+		if !ok {
+			t.Fatalf("parseLine(%q) failed", line)
+		}
+		return r
+	}
+	recs := []record{
+		// Three consecutive runs of Fig5, as go test -count 3 prints them:
+		// the middle run is fastest and carries its own coherent metrics.
+		mustParse("BenchmarkFig5/lud-8 3 2000 ns/op 10 allocs/op 900 sim_cycles"),
+		mustParse("BenchmarkFig5/lud-8 3 1000 ns/op 12 allocs/op 900 sim_cycles"),
+		mustParse("BenchmarkFig5/lud-8 3 3000 ns/op 11 allocs/op 900 sim_cycles"),
+		// A short group: only 2 of the expected 3 runs.
+		mustParse("BenchmarkWarpStep-8 100 500 ns/op"),
+		mustParse("BenchmarkWarpStep-8 100 400 ns/op"),
+	}
+
+	var warn strings.Builder
+	out := foldMinOf(recs, 3, &warn)
+	if len(out) != 2 {
+		t.Fatalf("folded to %d records, want 2: %+v", len(out), out)
+	}
+	if out[0].NsPerOp != 1000 || out[0].AllocsPerOp != 12 {
+		t.Errorf("fig5 fold kept %+v, want the whole 1000 ns/op run (allocs 12)", out[0])
+	}
+	if want := 900 / (1000 / 1e9); out[0].SimCyclesPerSec != want {
+		t.Errorf("fig5 sim_cycles_per_sec = %g, want %g (derived from the kept run)", out[0].SimCyclesPerSec, want)
+	}
+	if out[1].NsPerOp != 400 {
+		t.Errorf("warpstep fold kept %g ns/op, want 400", out[1].NsPerOp)
+	}
+	if w := warn.String(); !strings.Contains(w, "BenchmarkWarpStep-8 ran 2 times, want 3") {
+		t.Errorf("short group did not warn: %q", w)
+	}
+	if w := warn.String(); strings.Contains(w, "Fig5") {
+		t.Errorf("complete group warned: %q", warn.String())
+	}
+}
+
+func TestFoldMinOfSingletons(t *testing.T) {
+	recs := []record{
+		{Name: "BenchmarkA", NsPerOp: 1},
+		{Name: "BenchmarkB", NsPerOp: 2},
+	}
+	var warn strings.Builder
+	out := foldMinOf(recs, 1, &warn)
+	if len(out) != 2 || out[0].Name != "BenchmarkA" || out[1].Name != "BenchmarkB" {
+		t.Fatalf("min-of 1 changed records: %+v", out)
+	}
+	if warn.Len() != 0 {
+		t.Errorf("min-of 1 warned: %q", warn.String())
+	}
+}

@@ -49,6 +49,20 @@
 //
 //	stashd -cache 'faulty+pairtree:///data?fault_seed=7&fault_put=0.2&fault_down_first=100'
 //
+// Cluster mode scales past one machine (DESIGN.md §15). Shards are
+// ordinary nodes, ideally with a remote+ cache spec so they fill from
+// peers before simulating; a coordinator routes each cell to the shard
+// owning its fingerprint on a consistent-hash ring and merges the
+// per-shard streams back in spec order, byte-identical to one node:
+//
+//	stashd -addr :8351 -cache 'remote+memory://?peers=http://h1:8351,http://h2:8351&self=http://h1:8351'
+//	stashd -role coordinator -shards http://h1:8351,http://h2:8351 -hedge 30s
+//	stashd -role coordinator -ring /etc/stashd/ring            # one URL per line
+//
+// A dead shard's cells re-dispatch to the ring successor, stragglers
+// are hedged after -hedge, and shard 429s propagate into coordinator
+// backoff — see the "Running a cluster" section in README.md.
+//
 // See the "Operating stashd" runbook in README.md for the failure
 // modes and the /metrics series to alert on.
 package main
@@ -64,16 +78,23 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"stash/internal/cellcache"
 	"stash/internal/cliutil"
+	"stash/internal/cluster"
 	"stash/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8341", "listen address")
+	role := flag.String("role", "node", "node (simulate locally) or coordinator (route cells to -shards)")
+	shardList := flag.String("shards", "", "comma-separated shard base URLs (coordinator role)")
+	ringFile := flag.String("ring", "", "static ring file, one shard base URL per line (coordinator role)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the consistent-hash ring (coordinator role)")
+	hedge := flag.Duration("hedge", 0, "hedge straggler cells to the ring successor after this long (0 = off; coordinator role)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrently simulated cells across all requests")
 	maxCells := flag.Int("max-cells", 1024, "largest accepted per-request sweep grid")
 	cellTimeout := flag.Duration("cell-timeout", 5*time.Minute, "wall-clock budget per cell attempt (0 = unbounded)")
@@ -81,7 +102,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "cells queued for a worker before requests are shed with 429 (0 = 4x max-cells, -1 = unbounded)")
 	maxDeadline := flag.Duration("max-deadline", 0, "cap on per-request X-Stashd-Deadline simulation budgets (0 = unbounded)")
 	tenantSlots := flag.Int("tenant-slots", 0, "concurrently simulating cells per namespace (0 = workers-1, -1 = unbounded)")
-	cacheSpec := flag.String("cache", "", "cache engine spec URL, e.g. memory://?entries=4096&bytes=256MiB, log:///var/lib/stashd, pairtree:///data?compress=gzip&ttl=24h")
+	cacheSpec := flag.String("cache", "", "cache engine spec URL, e.g. memory://?entries=4096&bytes=256MiB, log:///var/lib/stashd, pairtree:///data?compress=gzip&ttl=24h, remote+memory://?peers=...")
 	cacheEntries := flag.Int("cache-entries", 4096, "deprecated: use -cache memory://?entries=N")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "deprecated: use -cache memory://?bytes=N")
 	cacheDir := flag.String("cache-dir", "", "deprecated: use -cache log://DIR")
@@ -92,7 +113,45 @@ func main() {
 	log.SetPrefix("stashd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	spec, err := resolveCacheSpec(*cacheSpec, *cacheEntries, *cacheBytes, *cacheDir)
+	switch *role {
+	case "coordinator":
+		if offending := visitedFlags("cache", "cache-entries", "cache-bytes", "cache-dir", "workers", "cell-timeout", "retries", "tenant-slots"); len(offending) > 0 {
+			log.Fatalf("-role coordinator holds no cache and runs no simulations; configure %s on the shards", strings.Join(offending, ", "))
+		}
+		shards, err := resolveShards(*shardList, *ringFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coord, err := cluster.New(shards, cluster.Options{VNodes: *vnodes, HedgeAfter: *hedge})
+		if err != nil {
+			log.Fatal(err)
+		}
+		front := serve.NewCoordinator(serve.CoordinatorConfig{
+			Cluster:     coord,
+			MaxCells:    *maxCells,
+			MaxDeadline: *maxDeadline,
+		})
+		banner := fmt.Sprintf("%s coordinating %d shards on %s (vnodes %d, hedge %v)",
+			cliutil.Version(), len(shards), *addr, *vnodes, *hedge)
+		serveHTTP(*addr, front.Handler(), *drainTimeout, banner, func() { front.Drain() })
+
+	case "node":
+		if offending := visitedFlags("shards", "ring", "vnodes", "hedge"); len(offending) > 0 {
+			log.Fatalf("%s require -role coordinator", strings.Join(offending, ", "))
+		}
+		runNode(*addr, *workers, *maxCells, *cellTimeout, *retries, *maxQueue, *maxDeadline,
+			*tenantSlots, *cacheSpec, *cacheEntries, *cacheBytes, *cacheDir, *drainTimeout)
+
+	default:
+		log.Fatalf("unknown -role %q (want node or coordinator)", *role)
+	}
+}
+
+func runNode(addr string, workers, maxCells int, cellTimeout time.Duration, retries, maxQueue int,
+	maxDeadline time.Duration, tenantSlots int, cacheSpec string, cacheEntries int, cacheBytes int64,
+	cacheDir string, drainTimeout time.Duration) {
+	spec, err := resolveCacheSpec(cacheSpec, cacheEntries, cacheBytes, cacheDir,
+		visitedFlags("cache-entries", "cache-bytes", "cache-dir"), log.Printf)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,30 +179,41 @@ func main() {
 	draining := make(chan struct{})
 	srv := serve.New(serve.Config{
 		Cache:       cache,
-		Workers:     *workers,
-		MaxCells:    *maxCells,
-		CellTimeout: *cellTimeout,
-		Retries:     *retries,
-		MaxQueue:    *maxQueue,
-		MaxDeadline: *maxDeadline,
-		TenantSlots: *tenantSlots,
+		Workers:     workers,
+		MaxCells:    maxCells,
+		CellTimeout: cellTimeout,
+		Retries:     retries,
+		MaxQueue:    maxQueue,
+		MaxDeadline: maxDeadline,
+		TenantSlots: tenantSlots,
 	}, draining)
+	banner := fmt.Sprintf("%s listening on %s (%d workers, cell timeout %v)",
+		cliutil.Version(), addr, workers, cellTimeout)
+	serveHTTP(addr, srv.Handler(), drainTimeout, banner, func() {
+		srv.Drain()     // /healthz -> 503 so load balancers stop routing here
+		close(draining) // queued cells fail fast instead of starting late
+	})
+}
+
+// serveHTTP runs the listener with the shared SIGTERM/SIGINT drain
+// choreography: drain() flips the role's health/admission state, then
+// in-flight requests get drainTimeout to finish before connections are
+// force-closed.
+func serveHTTP(addr string, handler http.Handler, drainTimeout time.Duration, banner string, drain func()) {
 	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr:              addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Printf("draining: refusing new work, waiting up to %v for in-flight requests", *drainTimeout)
-		srv.Drain()     // /healthz -> 503 so load balancers stop routing here
-		close(draining) // queued cells fail fast instead of starting late
-		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		log.Printf("draining: refusing new work, waiting up to %v for in-flight requests", drainTimeout)
+		drain()
+		shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shCtx); err != nil {
 			log.Printf("drain timeout: force-closing remaining connections (%v)", err)
@@ -151,7 +221,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("%s listening on %s (%d workers, cell timeout %v)", cliutil.Version(), *addr, *workers, *cellTimeout)
+	log.Print(banner)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -159,32 +229,73 @@ func main() {
 	log.Print("stopped")
 }
 
-// resolveCacheSpec merges the -cache engine-spec URL with the
-// deprecated -cache-entries/-cache-bytes/-cache-dir aliases. The old
-// flags keep their exact pre-spec semantics (-cache-dir picks the
-// append-only log engine) but may not be combined with -cache: one
-// source of truth, no silent overrides.
-func resolveCacheSpec(raw string, entries int, bytes int64, dir string) (cellcache.Spec, error) {
-	var legacy []string
+// visitedFlags returns "-name" for each of the named flags the user
+// set on the command line.
+func visitedFlags(names ...string) []string {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	var out []string
 	flag.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "cache-entries", "cache-bytes", "cache-dir":
-			legacy = append(legacy, "-"+f.Name)
+		if set[f.Name] {
+			out = append(out, "-"+f.Name)
 		}
 	})
+	return out
+}
+
+// resolveShards merges the two coordinator membership sources: exactly
+// one of -shards (inline list) or -ring (file) must name the fleet.
+func resolveShards(shardList, ringFile string) ([]string, error) {
+	switch {
+	case shardList != "" && ringFile != "":
+		return nil, fmt.Errorf("-shards and -ring are both set; pick one membership source")
+	case ringFile != "":
+		return cluster.ReadRingFile(ringFile)
+	case shardList != "":
+		var shards []string
+		for _, s := range strings.Split(shardList, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				shards = append(shards, s)
+			}
+		}
+		if len(shards) == 0 {
+			return nil, fmt.Errorf("-shards lists no shard URLs")
+		}
+		return shards, nil
+	default:
+		return nil, fmt.Errorf("-role coordinator requires -shards host1,host2,... or -ring FILE")
+	}
+}
+
+// deprecationOnce collapses the legacy cache-flag warning to a single
+// line per process, no matter how the aliases are combined.
+var deprecationOnce sync.Once
+
+// resolveCacheSpec merges the -cache engine-spec URL with the
+// deprecated -cache-entries/-cache-bytes/-cache-dir aliases (legacy
+// holds the ones actually set). The old flags keep their exact
+// pre-spec semantics (-cache-dir picks the append-only log engine) but
+// may not be combined with -cache: one source of truth, no silent
+// overrides. Using any alias warns once per process, naming the
+// equivalent -cache spec to migrate to.
+func resolveCacheSpec(raw string, entries int, bytes int64, dir string, legacy []string, warnf func(string, ...any)) (cellcache.Spec, error) {
 	if raw != "" {
 		if len(legacy) > 0 {
 			return cellcache.Spec{}, fmt.Errorf("-cache cannot be combined with deprecated %s; fold them into the spec URL", strings.Join(legacy, ", "))
 		}
 		return cellcache.ParseSpec(raw)
 	}
-	if len(legacy) > 0 {
-		log.Printf("deprecated: %s; use -cache (see -help)", strings.Join(legacy, ", "))
-	}
 	sp := cellcache.Spec{Scheme: "memory", Entries: entries, Bytes: bytes}
 	if dir != "" {
 		sp.Scheme = "log"
 		sp.Path = dir
+	}
+	if len(legacy) > 0 {
+		deprecationOnce.Do(func() {
+			warnf("deprecated: %s will be removed; use the equivalent -cache '%s'", strings.Join(legacy, ", "), sp.String())
+		})
 	}
 	return sp, nil
 }

@@ -74,6 +74,10 @@ type Stats struct {
 	// payload bytes before framing vs framed (compressed) bytes
 	// written. Their ratio is the compression ratio.
 	BytesRaw, BytesStored uint64
+	// RemoteFills, RemoteMisses, and RemoteErrors describe the remote
+	// peer-fill tier when one is configured (remote+ specs): lookups a
+	// peer answered, lookups no peer had, and peer fetches that failed.
+	RemoteFills, RemoteMisses, RemoteErrors uint64
 	// PutErrors counts store-tier writes that failed against the
 	// engine; each one is a result that was served degraded (computed
 	// but not persisted).
@@ -454,10 +458,43 @@ func (c *Cache) Stats() Stats {
 	if c.store != nil {
 		s.StoreEntries = c.store.Len()
 	}
+	if r, ok := c.store.(*Remote); ok {
+		s.RemoteFills, s.RemoteMisses, s.RemoteErrors = r.snapshot()
+	}
 	if c.breaker != nil {
 		s.BreakerState, s.BreakerTrips = c.breaker.snapshot()
 	}
 	return s
+}
+
+// PeekFrame returns the stored frame for an engine key (ns:fingerprint
+// or a bare fingerprint) exactly as a tier holds it — no stats, no TTL
+// extension, no promotion, and, crucially, no remote tier: a Remote
+// store is read through its Local engine, so one shard peeking another
+// can never cascade into peer-of-peer fetches. Expired and undecodable
+// frames read as absent. This is the read side of GET /v1/cellframe,
+// the shard-to-shard peer-fill protocol.
+func (c *Cache) PeekFrame(key string) ([]byte, bool) {
+	now := c.now()
+	usable := func(frame []byte) bool {
+		payload, expiry, _, err := decodeFrame(frame)
+		return err == nil && payload != nil && !c.expired(expiry, now)
+	}
+	if c.mem != nil {
+		if frame, ok := c.mem.Get(key); ok && usable(frame) {
+			return frame, true
+		}
+	}
+	store := c.store
+	if r, ok := store.(*Remote); ok {
+		store = r.Local()
+	}
+	if store != nil && c.storeAllowed() {
+		if frame, ok := store.Get(key); ok && usable(frame) {
+			return frame, true
+		}
+	}
+	return nil, false
 }
 
 // Probe round-trips a sentinel entry through every tier — write, read

@@ -1,0 +1,214 @@
+package cellcache
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"stash/internal/cluster"
+)
+
+// RemoteConfig tunes a Remote tier (the remote+<engine>:// spec
+// wrapper). Peers is required; everything else has defaults.
+type RemoteConfig struct {
+	// Peers are the base URLs of every cluster shard, including this
+	// one; Self (when set) is removed from the candidate set so a shard
+	// never asks itself over the network.
+	Peers []string
+	Self  string
+	// Timeout bounds each peer fetch. Zero selects 500ms — a peer hit
+	// must be decisively cheaper than simulating, or not happen at all.
+	Timeout time.Duration
+	// BreakerThreshold is the consecutive fetch failures that open one
+	// peer's circuit breaker (fetches skip that peer until a half-open
+	// probe succeeds). Zero selects 3; negative disables the breakers.
+	BreakerThreshold int
+	// BreakerBackoff is the initial open window before a half-open
+	// probe, doubled per consecutive trip. Zero selects 1s.
+	BreakerBackoff time.Duration
+	// Client overrides http.DefaultClient (tests).
+	Client *http.Client
+}
+
+// Remote is an Engine wrapper implementing the cluster's peer-fill
+// tier: a Get that misses the wrapped engine asks the ring-nearest
+// peers for the cell's frame over GET /v1/cellframe before reporting a
+// miss, so a shard whose routing just changed (membership change,
+// failover, hedge) warms from the peer that already paid for the
+// simulation instead of re-running it. Fetched frames are adopted into
+// the wrapped engine, so each cell crosses the network at most once.
+//
+// Failure is never louder than a miss: a dead, slow, or erroring peer
+// feeds its per-peer circuit breaker and the lookup degrades to local
+// simulation. This is the DiStash blueprint's tiered multi-stash store
+// — the paper's stash with one more, network-shaped, tier behind it.
+type Remote struct {
+	inner   Engine
+	ring    *cluster.Ring
+	client  *http.Client
+	timeout time.Duration
+
+	breakers map[string]*breaker // per-peer; nil when disabled
+
+	fills  atomic.Uint64 // peer fetches that produced a valid frame
+	misses atomic.Uint64 // lookups no peer had (local simulation follows)
+	errs   atomic.Uint64 // peer fetches that failed (timeout, 5xx, bad frame)
+}
+
+// NewRemote wraps inner with the peer-fill tier.
+func NewRemote(inner Engine, cfg RemoteConfig) (*Remote, error) {
+	self := strings.TrimSuffix(cfg.Self, "/")
+	var peers []string
+	for _, p := range cfg.Peers {
+		if p = strings.TrimSuffix(strings.TrimSpace(p), "/"); p != "" && p != self {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cellcache: remote tier needs at least one peer besides self")
+	}
+	ring, err := cluster.NewRing(peers, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cellcache: remote tier: %w", err)
+	}
+	r := &Remote{
+		inner:   inner,
+		ring:    ring,
+		client:  cfg.Client,
+		timeout: cfg.Timeout,
+	}
+	if r.client == nil {
+		r.client = http.DefaultClient
+	}
+	if r.timeout <= 0 {
+		r.timeout = 500 * time.Millisecond
+	}
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
+	if threshold > 0 {
+		r.breakers = make(map[string]*breaker, len(peers))
+		for _, p := range peers {
+			r.breakers[p] = newBreaker(threshold, cfg.BreakerBackoff, time.Now)
+		}
+	}
+	return r, nil
+}
+
+// Local returns the wrapped engine — the path that never touches the
+// network. serve's /v1/cellframe handler reads through it so peer
+// peeks can never cascade into peer-of-peer fetches.
+func (r *Remote) Local() Engine { return r.inner }
+
+// ringKey maps an engine key to the routing key the coordinator used:
+// the bare fingerprint, with any tenant-namespace prefix stripped.
+// Peer selection must agree with cell routing or fills would ask the
+// wrong shard.
+func ringKey(key string) string {
+	if i := strings.LastIndexByte(key, ':'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// Get reads the wrapped engine first, then asks up to two ring-nearest
+// peers (the key's likely owner and its successor) for the frame. A
+// fetched frame is validated and adopted locally before being
+// returned; every failure path degrades to (nil, false) — a miss the
+// Cache front answers by simulating locally.
+func (r *Remote) Get(key string) ([]byte, bool) {
+	if frame, ok := r.inner.Get(key); ok {
+		return frame, true
+	}
+	seq := r.ring.Sequence(ringKey(key))
+	if len(seq) > 2 {
+		seq = seq[:2]
+	}
+	for _, peer := range seq {
+		br := r.breakers[peer]
+		if br != nil && !br.allow() {
+			continue
+		}
+		frame, st := r.fetch(peer, key)
+		if br != nil {
+			if st == fetchErr {
+				br.failure()
+			} else {
+				br.success()
+			}
+		}
+		if st == fetchHit {
+			r.fills.Add(1)
+			r.inner.Put(key, frame) // best effort: adoption failing must not fail the hit
+			return frame, true
+		}
+	}
+	r.misses.Add(1)
+	return nil, false
+}
+
+const (
+	fetchHit = iota
+	fetchMiss
+	fetchErr
+)
+
+// fetch runs one GET /v1/cellframe against peer. 200 with a decodable
+// frame is a hit, 404 a clean miss; everything else (including a frame
+// that fails validation) is an error that feeds the peer's breaker.
+func (r *Remote) fetch(peer, key string) ([]byte, int) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", peer+"/v1/cellframe?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		r.errs.Add(1)
+		return nil, fetchErr
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.errs.Add(1)
+		return nil, fetchErr
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, fetchMiss
+	default:
+		r.errs.Add(1)
+		return nil, fetchErr
+	}
+	frame, err := io.ReadAll(io.LimitReader(resp.Body, int64(maxValLen)+frameHdr+1))
+	if err != nil {
+		r.errs.Add(1)
+		return nil, fetchErr
+	}
+	// Validate before adopting: a truncated or corrupt transfer must
+	// not plant an undecodable frame in the local engine.
+	if _, _, _, err := decodeFrame(frame); err != nil {
+		r.errs.Add(1)
+		return nil, fetchErr
+	}
+	return frame, fetchHit
+}
+
+// Put, Delete, Len, Keys, and Close delegate to the wrapped engine:
+// the remote tier is read-side only — writes stay local, and the
+// coordinator's fingerprint routing is what keeps them where reads
+// will look.
+func (r *Remote) Put(key string, val []byte) error { return r.inner.Put(key, val) }
+func (r *Remote) Delete(key string)                { r.inner.Delete(key) }
+func (r *Remote) Len() int                         { return r.inner.Len() }
+func (r *Remote) Keys(fn func(string) bool)        { r.inner.Keys(fn) }
+func (r *Remote) Close() error                     { return r.inner.Close() }
+
+// snapshot returns the fill/miss/error counters.
+func (r *Remote) snapshot() (fills, misses, errs uint64) {
+	return r.fills.Load(), r.misses.Load(), r.errs.Load()
+}

@@ -1,0 +1,278 @@
+package cellcache
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// peerServer is a fake shard serving GET /v1/cellframe from a frame
+// map, counting requests.
+func peerServer(t *testing.T, frames map[string][]byte) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.URL.Path != "/v1/cellframe" {
+			t.Errorf("peer got path %q", r.URL.Path)
+		}
+		frame, ok := frames[r.URL.Query().Get("key")]
+		if !ok {
+			http.Error(w, "no such cell", http.StatusNotFound)
+			return
+		}
+		w.Write(frame)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func mustFrame(t *testing.T, payload string) []byte {
+	t.Helper()
+	frame, err := encodeFrame(CodecRaw, 0, []byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestRemotePeerFill(t *testing.T) {
+	key := "t-aa:deadbeef"
+	srv, hits := peerServer(t, map[string][]byte{key: mustFrame(t, "cell result")})
+	r, err := NewRemote(NewMemory(0, 0), RemoteConfig{Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, ok := r.Get(key)
+	if !ok {
+		t.Fatal("peer fill missed")
+	}
+	payload, _, _, err := decodeFrame(frame)
+	if err != nil || string(payload) != "cell result" {
+		t.Fatalf("filled frame decodes to %q, %v", payload, err)
+	}
+	if f, m, e := r.snapshot(); f != 1 || m != 0 || e != 0 {
+		t.Fatalf("snapshot = %d fills, %d misses, %d errs; want 1,0,0", f, m, e)
+	}
+	// The frame was adopted: the second Get is local, no network.
+	before := hits.Load()
+	if _, ok := r.Get(key); !ok {
+		t.Fatal("adopted frame missing from inner engine")
+	}
+	if hits.Load() != before {
+		t.Fatalf("second Get hit the peer (%d -> %d requests)", before, hits.Load())
+	}
+}
+
+func TestRemoteMissDegrades(t *testing.T) {
+	srv, _ := peerServer(t, nil)
+	r, err := NewRemote(NewMemory(0, 0), RemoteConfig{Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("miss everywhere reported as hit")
+	}
+	if f, m, e := r.snapshot(); f != 0 || m != 1 || e != 0 {
+		t.Fatalf("snapshot = %d,%d,%d; want 0,1,0 (404 is a clean miss, not an error)", f, m, e)
+	}
+}
+
+// TestRemoteBadFrameRejected pins that a corrupt peer response is an
+// error, not a hit: nothing undecodable may be adopted locally.
+func TestRemoteBadFrameRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not a frame"))
+	}))
+	defer srv.Close()
+	inner := NewMemory(0, 0)
+	r, err := NewRemote(inner, RemoteConfig{Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("corrupt peer frame served as a hit")
+	}
+	if _, _, e := r.snapshot(); e == 0 {
+		t.Fatal("corrupt frame not counted as an error")
+	}
+	if inner.Len() != 0 {
+		t.Fatal("corrupt frame adopted into the local engine")
+	}
+}
+
+// TestRemoteDeadPeerBreaker pins the degradation path: a peer that
+// errors trips its breaker after the threshold and is then skipped —
+// lookups keep answering (as misses) without hammering the dead peer.
+func TestRemoteDeadPeerBreaker(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "sick", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	r, err := NewRemote(NewMemory(0, 0), RemoteConfig{
+		Peers:            []string{srv.URL},
+		BreakerThreshold: 2,
+		BreakerBackoff:   time.Hour, // no half-open probe during the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := r.Get(fmt.Sprintf("key-%d", i)); ok {
+			t.Fatal("dead peer produced a hit")
+		}
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("dead peer was hit %d times, want exactly the 2 breaker-threshold probes", got)
+	}
+	if f, m, e := r.snapshot(); f != 0 || m != 6 || e != 2 {
+		t.Fatalf("snapshot = %d,%d,%d; want 0 fills, 6 misses, 2 errs", f, m, e)
+	}
+}
+
+func TestRemoteNeedsAPeer(t *testing.T) {
+	if _, err := NewRemote(NewMemory(0, 0), RemoteConfig{}); err == nil {
+		t.Error("no peers accepted")
+	}
+	if _, err := NewRemote(NewMemory(0, 0), RemoteConfig{
+		Peers: []string{"http://me:1/"}, Self: "http://me:1",
+	}); err == nil {
+		t.Error("self-only peer list accepted")
+	}
+}
+
+// TestRemoteCachePeerFill drives the whole stack through the spec
+// grammar: a remote+memory cache whose Get misses locally fills from
+// the peer with zero local computation, promotes into the memory tier,
+// and counts the fill in Stats.
+func TestRemoteCachePeerFill(t *testing.T) {
+	key := "cafef00d"
+	srv, hits := peerServer(t, map[string][]byte{key: mustFrame(t, "peer cell")})
+	c, err := Open("remote+memory://?peers=" + srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	val, ok := c.Get("", key)
+	if !ok || string(val) != "peer cell" {
+		t.Fatalf("Get = %q, %v; want peer fill", val, ok)
+	}
+	st := c.Stats()
+	if st.RemoteFills != 1 || st.StoreHits != 1 {
+		t.Fatalf("stats = %+v, want RemoteFills=1 StoreHits=1", st)
+	}
+	// Promotion: the repeat hit is a memory-tier hit, no network.
+	before := hits.Load()
+	if _, ok := c.Get("", key); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if hits.Load() != before {
+		t.Fatal("promoted entry re-fetched from the peer")
+	}
+	if st := c.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want MemHits=1 after promotion", st)
+	}
+
+	// A key no peer has degrades to an ordinary miss, and Do simulates
+	// locally.
+	ran := false
+	val, cached, err := c.Do("", "0000aaaa", func() ([]byte, error) { ran = true; return []byte("local"), nil })
+	if err != nil || cached || !ran || string(val) != "local" {
+		t.Fatalf("Do after remote miss = %q cached=%v ran=%v err=%v", val, cached, ran, err)
+	}
+	if st := c.Stats(); st.RemoteMisses == 0 {
+		t.Fatalf("stats = %+v, want RemoteMisses counted", st)
+	}
+}
+
+// TestPeekFrame pins the /v1/cellframe read side: frames come back
+// verbatim from local tiers only — no stats churn, no peer cascade.
+func TestPeekFrame(t *testing.T) {
+	srv, hits := peerServer(t, nil)
+	c, err := Open("remote+memory://?peers=" + srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("t-aa", "feedface", []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	frame, ok := c.PeekFrame("t-aa:feedface")
+	if !ok {
+		t.Fatal("PeekFrame missed a present entry")
+	}
+	payload, _, _, err := decodeFrame(frame)
+	if err != nil || string(payload) != "mine" {
+		t.Fatalf("peeked frame decodes to %q, %v", payload, err)
+	}
+	if _, ok := c.PeekFrame("t-aa:absent"); ok {
+		t.Fatal("PeekFrame hit an absent entry")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("PeekFrame touched the peer %d times; peeks must never cascade", hits.Load())
+	}
+	hitsBefore, missBefore := c.Stats().Hits, c.Stats().Misses
+	c.PeekFrame("t-aa:feedface")
+	if st := c.Stats(); st.Hits != hitsBefore || st.Misses != missBefore {
+		t.Fatal("PeekFrame moved the hit/miss counters")
+	}
+}
+
+func TestParseSpecRemote(t *testing.T) {
+	sp, err := ParseSpec("remote+memory://?peers=http://a:1,http://b:1&self=http://a:1&remote_timeout=250ms&remote_breaker=5&remote_backoff=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &RemoteConfig{
+		Peers: []string{"http://a:1", "http://b:1"}, Self: "http://a:1",
+		Timeout: 250 * time.Millisecond, BreakerThreshold: 5, BreakerBackoff: 2 * time.Second,
+	}
+	if sp.Scheme != "memory" || !reflect.DeepEqual(sp.Remote, want) {
+		t.Fatalf("ParseSpec = %+v (remote %+v), want scheme memory, remote %+v", sp, sp.Remote, want)
+	}
+
+	sp, err = ParseSpec("remote+faulty+pairtree:///d?peers=http://a:1&fault_seed=3&remote_breaker=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Scheme != "pairtree" || sp.Fault == nil || sp.Fault.Seed != 3 ||
+		sp.Remote == nil || sp.Remote.BreakerThreshold != -1 {
+		t.Fatalf("stacked prefixes parsed as %+v (fault %+v, remote %+v)", sp, sp.Fault, sp.Remote)
+	}
+
+	for _, in := range []string{
+		"remote+memory://",                             // no peers
+		"remote+memory://?peers=",                      // empty peers
+		"memory://?peers=http://a:1",                   // peers without remote+
+		"memory://?self=http://a:1",                    // ditto
+		"remote+memory://?peers=x&remote_timeout=fast", // bad duration
+		"remote+memory://?peers=x&remote_breaker=-1",   // negative threshold
+		"remote+memory://?peers=x&remote_backoff=0s",   // non-positive backoff
+		"faulty+remote+memory://?peers=x",              // prefixes in the wrong order
+	} {
+		if sp, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", in, sp)
+		}
+	}
+}
+
+func TestSpecRemoteRoundTrip(t *testing.T) {
+	in := "remote+memory://?peers=http://a:1,http://b:1&self=http://a:1&remote_timeout=250ms&remote_breaker=5&remote_backoff=2s"
+	sp, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := ParseSpec(sp.String())
+	if err != nil {
+		t.Fatalf("respec %q -> %q: %v", in, sp.String(), err)
+	}
+	if !reflect.DeepEqual(sp, sp2) {
+		t.Errorf("remote spec round trip drifted: %+v vs %+v", sp, sp2)
+	}
+}

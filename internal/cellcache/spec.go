@@ -16,6 +16,7 @@ import (
 //	log:///var/lib/stashd?compress=gzip
 //	pairtree:///var/lib/stashd?compress=gzip&ttl=24h&entries=1024
 //	faulty+pairtree:///tmp/chaos?fault_seed=7&fault_put=0.2&fault_torn=0.1
+//	remote+memory://?peers=http://a:8080,http://b:8080&self=http://a:8080
 //
 // For the persistent engines, entries/bytes bound the in-memory front
 // tier composed in front of the engine (entries=-1 disables it);
@@ -24,7 +25,11 @@ import (
 // circuit breaker (breaker=0 disables it). A "faulty+" scheme prefix
 // wraps the engine in deterministic storage fault injection (see
 // Faulty) tuned by the fault_* parameters — the chaos harness behind
-// degraded-mode testing. Unknown query parameters are an error — a
+// degraded-mode testing. A "remote+" scheme prefix wraps the engine in
+// the cluster peer-fill tier (see Remote) tuned by peers= (required),
+// self=, remote_timeout=, remote_breaker= (0 disables the per-peer
+// breakers), and remote_backoff=; prefixes compose as
+// remote+faulty+<engine>. Unknown query parameters are an error — a
 // typoed knob must not silently select defaults.
 type Spec struct {
 	// Scheme is the engine: "memory", "log", or "pairtree".
@@ -54,6 +59,9 @@ type Spec struct {
 	// Fault, when non-nil, wraps the store engine in a Faulty with
 	// this profile ("faulty+" schemes).
 	Fault *FaultProfile
+	// Remote, when non-nil, wraps the store engine in the cluster
+	// peer-fill tier ("remote+" schemes).
+	Remote *RemoteConfig
 }
 
 // ParseSpec parses the engine-spec URL grammar.
@@ -65,6 +73,10 @@ func ParseSpec(raw string) (Spec, error) {
 	sp := Spec{Scheme: u.Scheme, Path: u.Host + u.Path}
 	if u.Opaque != "" {
 		sp.Path = u.Opaque
+	}
+	if inner, ok := strings.CutPrefix(sp.Scheme, "remote+"); ok {
+		sp.Scheme = inner
+		sp.Remote = &RemoteConfig{}
 	}
 	if inner, ok := strings.CutPrefix(sp.Scheme, "faulty+"); ok {
 		sp.Scheme = inner
@@ -142,11 +154,61 @@ func ParseSpec(raw string) (Spec, error) {
 			if err := parseFaultParam(sp.Fault, key, v); err != nil {
 				return Spec{}, err
 			}
+		case "peers", "self", "remote_timeout", "remote_breaker", "remote_backoff":
+			if sp.Remote == nil {
+				return Spec{}, fmt.Errorf("cellcache: %s requires a remote+ engine scheme", key)
+			}
+			if err := parseRemoteParam(sp.Remote, key, v); err != nil {
+				return Spec{}, err
+			}
 		default:
 			return Spec{}, fmt.Errorf("cellcache: unknown cache spec parameter %q", key)
 		}
 	}
+	if sp.Remote != nil && len(sp.Remote.Peers) == 0 {
+		return Spec{}, fmt.Errorf("cellcache: remote+ requires peers= (comma-separated shard base URLs)")
+	}
 	return sp, nil
+}
+
+// parseRemoteParam sets one remote-tier knob on the config.
+func parseRemoteParam(r *RemoteConfig, key, v string) error {
+	switch key {
+	case "peers":
+		for _, p := range strings.Split(v, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				r.Peers = append(r.Peers, p)
+			}
+		}
+		if len(r.Peers) == 0 {
+			return fmt.Errorf("cellcache: peers= lists no shard URLs")
+		}
+	case "self":
+		r.Self = v
+	case "remote_timeout":
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("cellcache: invalid remote_timeout %q (want a positive duration)", v)
+		}
+		r.Timeout = d
+	case "remote_breaker":
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("cellcache: invalid remote_breaker %q (want 0 to disable or a positive count)", v)
+		}
+		if n == 0 {
+			r.BreakerThreshold = -1 // explicit off
+		} else {
+			r.BreakerThreshold = n
+		}
+	case "remote_backoff":
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("cellcache: invalid remote_backoff %q (want a positive duration)", v)
+		}
+		r.BreakerBackoff = d
+	}
+	return nil
 }
 
 // parseFaultParam sets one fault_* knob on the profile.
@@ -220,6 +282,25 @@ func (sp Spec) String() string {
 		q = append(q, "breaker_backoff="+sp.BreakerBackoff.String())
 	}
 	scheme := sp.Scheme
+	if sp.Remote != nil {
+		r := sp.Remote
+		q = append(q, "peers="+strings.Join(r.Peers, ","))
+		if r.Self != "" {
+			q = append(q, "self="+r.Self)
+		}
+		if r.Timeout > 0 {
+			q = append(q, "remote_timeout="+r.Timeout.String())
+		}
+		switch {
+		case r.BreakerThreshold < 0:
+			q = append(q, "remote_breaker=0")
+		case r.BreakerThreshold > 0:
+			q = append(q, "remote_breaker="+strconv.Itoa(r.BreakerThreshold))
+		}
+		if r.BreakerBackoff > 0 {
+			q = append(q, "remote_backoff="+r.BreakerBackoff.String())
+		}
+	}
 	if sp.Fault != nil {
 		scheme = "faulty+" + scheme
 		p := sp.Fault
@@ -247,6 +328,9 @@ func (sp Spec) String() string {
 		if p.DownFor > 0 {
 			q = append(q, "fault_down_for="+strconv.Itoa(p.DownFor))
 		}
+	}
+	if sp.Remote != nil {
+		scheme = "remote+" + scheme
 	}
 	s := scheme + "://" + sp.Path
 	if len(q) > 0 {
@@ -306,11 +390,11 @@ func (sp Spec) Open() (*Cache, error) {
 	var err error
 	switch sp.Scheme {
 	case "memory":
-		// The memory tier is the whole cache — unless faults are being
-		// injected, which need the Engine seam: a faulty memory cache
-		// runs a second Memory engine as the store tier behind the
-		// wrapper (handy for chaos tests with no disk).
-		if sp.Fault != nil {
+		// The memory tier is the whole cache — unless a wrapper needs
+		// the Engine seam: a faulty or remote memory cache runs a second
+		// Memory engine as the store tier behind the wrapper (chaos
+		// tests with no disk; diskless cluster shards).
+		if sp.Fault != nil || sp.Remote != nil {
 			c.store = NewMemory(0, 0)
 		}
 	case "log":
@@ -325,6 +409,15 @@ func (sp Spec) Open() (*Cache, error) {
 	}
 	if c.store != nil && sp.Fault != nil {
 		c.store = NewFaulty(c.store, *sp.Fault)
+	}
+	if sp.Remote != nil {
+		// Remote wraps outermost so peer fills adopt through the fault
+		// injector (chaos realism) and Stats can find it by type.
+		r, err := NewRemote(c.store, *sp.Remote)
+		if err != nil {
+			return nil, err
+		}
+		c.store = r
 	}
 	if c.store != nil && sp.BreakerThreshold >= 0 {
 		c.breaker = newBreaker(sp.BreakerThreshold, sp.BreakerBackoff,

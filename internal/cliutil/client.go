@@ -30,6 +30,23 @@ type SubmitOptions struct {
 	Backoff time.Duration
 	// Client overrides http.DefaultClient.
 	Client *http.Client
+	// Header is merged into every submission round's request headers —
+	// how the cluster coordinator forwards a client's Authorization
+	// token (tenant namespace) and clamped X-Stashd-Deadline budget to
+	// the shards it dispatches to.
+	Header http.Header
+	// OnResult, when non-nil, observes every cell line as it is
+	// received: index is the cell's position in the submitted spec
+	// slice, res the decoded result, and line the verbatim NDJSON bytes
+	// (the daemon's cached byte image — callers may retain the slice).
+	// It can fire more than once for a cell when a never-started cell
+	// is re-requested on a later round; it never fires for cells no
+	// round ever received.
+	OnResult func(index int, res stash.SweepResult, line []byte)
+	// OnBackoff, when non-nil, observes each inter-round wait before it
+	// starts: the delay about to be slept (a 429's Retry-After when the
+	// daemon advertised one) and the error that caused the retry.
+	OnBackoff func(wait time.Duration, cause error)
 
 	// sleep is injectable for tests; nil sleeps on the real clock,
 	// honoring ctx.
@@ -110,12 +127,15 @@ func SubmitSweepOpts(ctx context.Context, baseURL string, specs []stash.RunSpec,
 			if errors.As(lastErr, &ra) && ra.after > 0 {
 				wait = ra.after
 			}
+			if opts.OnBackoff != nil {
+				opts.OnBackoff(wait, lastErr)
+			}
 			if err := sleep(ctx, wait); err != nil {
 				return nil, err
 			}
 			backoff *= 2
 		}
-		lastErr = submitOnce(ctx, client, baseURL, specs, missing, results, have, &done, progress)
+		lastErr = submitOnce(ctx, client, baseURL, specs, missing, results, have, &done, progress, opts)
 		if lastErr == nil {
 			continue // full round received; loop re-checks the missing set
 		}
@@ -160,7 +180,7 @@ func (e *retryAfterError) Error() string { return e.err.Error() }
 // submitOnce runs one submission round over the missing cells, filling
 // results/have in place. A nil return means the stream completed; the
 // round may still have received structured failures.
-func submitOnce(ctx context.Context, client *http.Client, baseURL string, specs []stash.RunSpec, missing []int, results []stash.SweepResult, have []bool, done *int, progress func(stash.SweepEvent)) error {
+func submitOnce(ctx context.Context, client *http.Client, baseURL string, specs []stash.RunSpec, missing []int, results []stash.SweepResult, have []bool, done *int, progress func(stash.SweepEvent), opts SubmitOptions) error {
 	subset := make([]stash.RunSpec, len(missing))
 	for i, idx := range missing {
 		subset[i] = specs[idx]
@@ -177,6 +197,11 @@ func submitOnce(ctx context.Context, client *http.Client, baseURL string, specs 
 		return &permanentError{fmt.Errorf("building sweep request: %w", err)}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for key, vals := range opts.Header {
+		for _, v := range vals {
+			req.Header.Add(key, v)
+		}
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("submitting sweep to %s: %w", baseURL, err)
@@ -215,6 +240,9 @@ func submitOnce(ctx context.Context, client *http.Client, baseURL string, specs 
 		}
 		results[idx], have[idx] = r, true
 		received++
+		if opts.OnResult != nil {
+			opts.OnResult(idx, r, bytes.Clone(line))
+		}
 		if progress != nil {
 			progress(stash.SweepEvent{
 				Index: idx, Done: *done, Total: len(specs),

@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stash"
+	"stash/internal/cliutil"
+)
+
+// Options tunes a Coordinator. The zero value selects the defaults.
+type Options struct {
+	// VNodes is the virtual-node count per shard on the ring. Zero
+	// selects DefaultVNodes.
+	VNodes int
+	// Client overrides http.DefaultClient for shard requests.
+	Client *http.Client
+	// HedgeAfter, when positive, arms straggler hedging: a cell still
+	// unfinished this long after dispatch is duplicated to its ring
+	// successor, the first result wins, and the loser's request is
+	// canceled. Zero disables hedging.
+	HedgeAfter time.Duration
+	// ShardAttempts is how many submission rounds cliutil.SubmitSweep
+	// gives one shard (resuming across cut streams, honoring 429
+	// Retry-After) before the coordinator declares the shard failed and
+	// re-dispatches the unfinished cells to the ring successor. Zero
+	// selects 2.
+	ShardAttempts int
+	// Backoff is the base inter-round delay for shard submissions
+	// (doubled per round, jittered; a shard's Retry-After overrides
+	// it). Zero selects 250ms.
+	Backoff time.Duration
+}
+
+// Coordinator fans sweep grids out over a shard ring and merges the
+// per-shard NDJSON streams back into one stream in spec order. Every
+// cell routes to the shard that owns its fingerprint, so each shard's
+// content-addressed cache accumulates exactly the cells it will be
+// asked for again. All methods are safe for concurrent use; one
+// Coordinator serves every request of a coordinator daemon.
+type Coordinator struct {
+	ring *Ring
+	opts Options
+
+	cells         atomic.Uint64 // cells dispatched across all sweeps
+	hedged        atomic.Uint64 // hedge requests issued
+	hedgeWins     atomic.Uint64 // cells whose hedge beat the primary
+	redispatched  atomic.Uint64 // cells moved to a ring successor
+	shardFailures atomic.Uint64 // shard submissions that left cells unfinished
+	backoffs      atomic.Uint64 // inter-round waits (incl. 429 Retry-After)
+
+	routedMu sync.Mutex
+	routed   map[string]uint64 // cells routed per shard (first dispatch only)
+}
+
+// New builds a Coordinator over the shard base URLs.
+func New(shards []string, opts Options) (*Coordinator, error) {
+	ring, err := NewRing(shards, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.ShardAttempts <= 0 {
+		opts.ShardAttempts = 2
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 250 * time.Millisecond
+	}
+	return &Coordinator{ring: ring, opts: opts, routed: make(map[string]uint64)}, nil
+}
+
+// Ring exposes the coordinator's shard ring (read-only).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Stats is a point-in-time snapshot of the coordinator's counters,
+// rendered into /metrics by internal/serve.
+type Stats struct {
+	// Shards is the ring membership in sorted order.
+	Shards []string
+	// Cells counts cells dispatched across all sweeps; Routed splits
+	// the first-dispatch routing per shard (re-dispatches and hedges
+	// are counted separately, not re-attributed).
+	Cells  uint64
+	Routed map[string]uint64
+	// Hedged counts duplicate straggler requests issued; HedgeWins the
+	// subset whose duplicate delivered the cell's winning line.
+	Hedged, HedgeWins uint64
+	// Redispatched counts cells moved to a ring successor after their
+	// shard failed; ShardFailures the shard submissions that caused it.
+	Redispatched, ShardFailures uint64
+	// Backoffs counts inter-round waits against shards, including 429
+	// Retry-After honors.
+	Backoffs uint64
+}
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{
+		Shards:        c.ring.Members(),
+		Cells:         c.cells.Load(),
+		Hedged:        c.hedged.Load(),
+		HedgeWins:     c.hedgeWins.Load(),
+		Redispatched:  c.redispatched.Load(),
+		ShardFailures: c.shardFailures.Load(),
+		Backoffs:      c.backoffs.Load(),
+		Routed:        make(map[string]uint64),
+	}
+	c.routedMu.Lock()
+	for shard, n := range c.routed {
+		s.Routed[shard] = n
+	}
+	c.routedMu.Unlock()
+	return s
+}
+
+func (c *Coordinator) addRouted(shard string, n int) {
+	c.routedMu.Lock()
+	c.routed[shard] += uint64(n)
+	c.routedMu.Unlock()
+}
+
+// dispatch is the per-sweep state shared by the shard submitters, the
+// hedger, and the in-order emitter.
+type dispatch struct {
+	specs  []stash.RunSpec
+	seqs   [][]string // per-cell failover chain: owner, then successors
+	header http.Header
+	done   []chan struct{} // done[i] closes when lines[i] is final
+
+	mu          sync.Mutex
+	lines       [][]byte // the winning NDJSON line per cell
+	provisional [][]byte // last not-started line, kept as a fallback
+	hedged      []bool
+}
+
+// finish records cell i's final line if none won yet, reporting
+// whether this call was the winner.
+func (d *dispatch) finish(i int, line []byte) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lines[i] != nil {
+		return false
+	}
+	d.lines[i] = line
+	close(d.done[i])
+	return true
+}
+
+// keepProvisional remembers a structured not-started line for cell i:
+// not final (a retry or failover may still produce the real result),
+// but better than a synthesized error if every candidate shard fails.
+func (d *dispatch) keepProvisional(i int, line []byte) {
+	d.mu.Lock()
+	if d.lines[i] == nil {
+		d.provisional[i] = line
+	}
+	d.mu.Unlock()
+}
+
+// unfinished filters idxs down to cells with no final line yet.
+func (d *dispatch) unfinished(idxs []int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for _, i := range idxs {
+		if d.lines[i] == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// finishExhausted settles a cell every candidate shard failed to
+// serve: its provisional not-started line when one was received,
+// otherwise a synthesized structured failure — the stream always
+// carries one line per spec, even with the whole cluster down.
+func (d *dispatch) finishExhausted(i int) {
+	d.mu.Lock()
+	line := d.provisional[i]
+	d.mu.Unlock()
+	if line == nil {
+		res := stash.SweepResult{Spec: d.specs[i],
+			Err: fmt.Errorf("stash: %s: no shard served this cell (every ring candidate failed)", d.specs[i])}
+		line, _ = json.Marshal(res)
+	}
+	d.finish(i, line)
+}
+
+// Dispatch routes each spec to the shard owning its fingerprint,
+// submits the per-shard sub-sweeps concurrently, and calls emit once
+// per cell in spec order with the cell's NDJSON line — each line the
+// shard's cached byte image, so the merged stream is byte-identical to
+// a single node serving the same grid. header (may be nil) is
+// forwarded to every shard request.
+//
+// Failure handling: a shard whose submission rounds leave cells
+// unfinished has those cells re-dispatched to each cell's ring
+// successor (then its successor, until the ring is exhausted);
+// stragglers are optionally hedged (Options.HedgeAfter) with the first
+// result winning and the loser canceled; a shard's 429 Retry-After
+// propagates into the submission backoff via cliutil.SubmitSweep.
+// Dispatch returns an error only when ctx ends or emit fails — a cell
+// that could not be served anywhere still emits a structured failure
+// line.
+func (c *Coordinator) Dispatch(ctx context.Context, header http.Header, specs []stash.RunSpec, emit func(i int, line []byte) error) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	d := &dispatch{
+		specs:       specs,
+		seqs:        make([][]string, len(specs)),
+		header:      header,
+		done:        make([]chan struct{}, len(specs)),
+		lines:       make([][]byte, len(specs)),
+		provisional: make([][]byte, len(specs)),
+		hedged:      make([]bool, len(specs)),
+	}
+	groups := make(map[string][]int)
+	for i, spec := range specs {
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			return err
+		}
+		d.seqs[i] = c.ring.Sequence(fp)
+		d.done[i] = make(chan struct{})
+		groups[d.seqs[i][0]] = append(groups[d.seqs[i][0]], i)
+	}
+	c.cells.Add(uint64(len(specs)))
+
+	var wg sync.WaitGroup
+	for shard, idxs := range groups {
+		c.addRouted(shard, len(idxs))
+		wg.Add(1)
+		go func(shard string, idxs []int) {
+			defer wg.Done()
+			c.runGroup(ctx, d, shard, idxs, 0)
+		}(shard, idxs)
+	}
+	if c.opts.HedgeAfter > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.hedge(ctx, d)
+		}()
+	}
+
+	var err error
+	for i := range specs {
+		select {
+		case <-d.done[i]:
+		case <-ctx.Done():
+			err = context.Cause(ctx)
+		}
+		if err != nil {
+			break
+		}
+		if err = emit(i, d.lines[i]); err != nil {
+			break
+		}
+	}
+	// Cancel before waiting: losing hedges and still-streaming shard
+	// submissions unwind promptly once the merged stream is settled.
+	cancel()
+	wg.Wait()
+	return err
+}
+
+// retryable reports whether a received line may be superseded by a
+// failover attempt. Only never-started cells qualify: nothing ran, so
+// a rerun cannot contradict anything observed. Every other disposition
+// — success, error, timeout, hang, cancellation — is the shard's
+// answer and streams as-is, exactly as a single node would stream it.
+func retryable(res stash.SweepResult) bool {
+	return res.Err != nil && res.Status() == stash.StatusNotStarted
+}
+
+// runGroup submits one shard's cells and walks the failover chain for
+// whatever the shard leaves unfinished. hop indexes into each cell's
+// ring sequence; every cell in idxs has seqs[i][hop] == shard.
+func (c *Coordinator) runGroup(ctx context.Context, d *dispatch, shard string, idxs []int, hop int) {
+	subset := make([]stash.RunSpec, len(idxs))
+	for j, i := range idxs {
+		subset[j] = d.specs[i]
+	}
+	opts := cliutil.SubmitOptions{
+		Attempts: c.opts.ShardAttempts,
+		Backoff:  c.opts.Backoff,
+		Client:   c.opts.Client,
+		Header:   d.header,
+		OnResult: func(j int, res stash.SweepResult, line []byte) {
+			i := idxs[j]
+			if retryable(res) {
+				d.keepProvisional(i, line)
+				return
+			}
+			d.finish(i, line)
+		},
+		OnBackoff: func(time.Duration, error) { c.backoffs.Add(1) },
+	}
+	cliutil.SubmitSweepOpts(ctx, shard, subset, nil, opts) //nolint:errcheck // per-cell outcomes drive the failover below
+	remaining := d.unfinished(idxs)
+	if len(remaining) == 0 || ctx.Err() != nil {
+		return
+	}
+	c.shardFailures.Add(1)
+	// Re-dispatch each unfinished cell one hop down its own failover
+	// chain. Chains differ per key (the successor is the next member
+	// clockwise of the key's owning point), so the remainder regroups.
+	next := make(map[string][]int)
+	for _, i := range remaining {
+		if hop+1 < len(d.seqs[i]) {
+			nxt := d.seqs[i][hop+1]
+			next[nxt] = append(next[nxt], i)
+		} else {
+			d.finishExhausted(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for nxt, nidxs := range next {
+		c.redispatched.Add(uint64(len(nidxs)))
+		wg.Add(1)
+		go func(shard string, idxs []int) {
+			defer wg.Done()
+			c.runGroup(ctx, d, shard, idxs, hop+1)
+		}(nxt, nidxs)
+	}
+	wg.Wait()
+}
+
+// hedge fires once, HedgeAfter into the dispatch: every cell still
+// unfinished is a straggler and gets one duplicate request to its ring
+// successor. First result wins; the loser is canceled.
+func (c *Coordinator) hedge(ctx context.Context, d *dispatch) {
+	t := time.NewTimer(c.opts.HedgeAfter)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return
+	case <-t.C:
+	}
+	for i := range d.specs {
+		if len(d.seqs[i]) < 2 {
+			continue // nowhere to hedge to
+		}
+		d.mu.Lock()
+		straggling := d.lines[i] == nil && !d.hedged[i]
+		if straggling {
+			d.hedged[i] = true
+		}
+		d.mu.Unlock()
+		if !straggling {
+			continue
+		}
+		c.hedged.Add(1)
+		go c.hedgeCell(ctx, d, i, d.seqs[i][1])
+	}
+}
+
+// hedgeCell runs one duplicate single-cell submission against shard.
+// Its context is canceled the moment the primary delivers the cell, so
+// the losing request never occupies the successor for long.
+func (c *Coordinator) hedgeCell(ctx context.Context, d *dispatch, i int, shard string) {
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	go func() {
+		select {
+		case <-d.done[i]:
+			hcancel() // primary won: cancel the loser
+		case <-hctx.Done():
+		}
+	}()
+	opts := cliutil.SubmitOptions{
+		Attempts: 1,
+		Client:   c.opts.Client,
+		Header:   d.header,
+		OnResult: func(_ int, res stash.SweepResult, line []byte) {
+			if retryable(res) {
+				return
+			}
+			if d.finish(i, line) {
+				c.hedgeWins.Add(1)
+			}
+		},
+	}
+	cliutil.SubmitSweepOpts(hctx, shard, []stash.RunSpec{d.specs[i]}, nil, opts) //nolint:errcheck // a failed hedge leaves the primary in charge
+}

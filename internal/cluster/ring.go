@@ -1,0 +1,168 @@
+// Package cluster turns a fleet of stashd nodes into one logical
+// simulation service: a consistent-hash ring assigns every sweep cell
+// to a shard by its content fingerprint (so each shard's
+// content-addressed cache stays hot for the cells it owns), and a
+// coordinator splits incoming sweep grids into per-shard sub-sweeps,
+// dispatches them concurrently over the ordinary /v1/sweep NDJSON
+// protocol, and streams the merged result back in spec order —
+// byte-identical to what a single node would have produced.
+//
+// The package deliberately knows nothing about HTTP handlers or cache
+// engines: internal/serve mounts the coordinator behind the API
+// surface, and internal/cellcache reuses the Ring to pick which peer
+// to fill from in its remote tier. This is the serving-layer analogue
+// of the paper's stash — one logical store, many physical homes — and
+// the DiStash blueprint from PAPERS.md: requests route to the stash
+// that already holds the data.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per member when a Ring is
+// built with vnodes <= 0. 128 points per member keeps the max/min
+// member load within ~1.3x for realistic key populations (pinned by
+// TestRingBalance) while membership changes stay cheap to compute.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring: each member contributes
+// vnodes pseudo-random points on a 64-bit circle, and a key belongs to
+// the member owning the first point at or clockwise after the key's
+// hash. Assignment depends only on the member names, the vnode count,
+// and SHA-256 — never on process state or map iteration — so every
+// node of a cluster (and every restart) computes identical routing.
+// Adding or removing one member moves only the keys adjacent to its
+// points (~K/n of them), leaving every other shard's cache hot.
+type Ring struct {
+	members []string
+	points  []point
+}
+
+type point struct {
+	hash   uint64
+	member int32
+}
+
+// NewRing builds a ring over the member names (shard base URLs, in
+// stashd's case). Members are deduplicated against exact repeats and
+// sorted internally, so the ring is identical no matter the order the
+// members were listed in. vnodes <= 0 selects DefaultVNodes.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sorted := make([]string, len(members))
+	copy(sorted, members)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m)
+		}
+	}
+	r := &Ring{
+		members: sorted,
+		points:  make([]point, 0, len(sorted)*vnodes),
+	}
+	for mi, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(m + "\x00" + strconv.Itoa(v))
+			r.points = append(r.points, point{hash: h, member: int32(mi)})
+		}
+	}
+	// Ties broken by member index: deterministic even if two members'
+	// vnode points collide (astronomically unlikely, but cheap to pin).
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256, big endian.
+// SHA-256 keeps assignment identical across processes, architectures,
+// and Go versions — no seeded or runtime-varying hashing.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the ring's member names in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// locate returns the index of the first ring point at or clockwise
+// after key's hash.
+func (r *Ring) locate(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.locate(key)].member]
+}
+
+// Sequence returns every member ordered by ring distance from key: the
+// owner first, then each distinct successor in clockwise order. It is
+// the failover chain for the key — a dead owner's work re-dispatches
+// to Sequence(key)[1], and so on.
+func (r *Ring) Sequence(key string) []string {
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	start := r.locate(key)
+	for n := 0; n < len(r.points) && len(out) < len(r.members); n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// ReadRingFile reads a static ring membership file: one shard base URL
+// per line, blank lines and #-comments ignored. It is the -ring
+// alternative to listing shards on the stashd command line.
+func ReadRingFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading ring file: %w", err)
+	}
+	var members []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.ContainsAny(line, " \t") {
+			return nil, fmt.Errorf("cluster: ring file %s line %d: %q is not a single shard URL", path, ln+1, line)
+		}
+		members = append(members, line)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring file %s lists no shards", path)
+	}
+	return members, nil
+}

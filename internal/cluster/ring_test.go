@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Hex-digest-shaped keys, like RunSpec fingerprints.
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://shard-%d:8080", i)
+	}
+	return out
+}
+
+// TestRingBalance pins the vnode count's load-spread guarantee: at
+// DefaultVNodes the most- and least-loaded of 5 shards stay within
+// 1.5x of each other over a realistic key population.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(members(5), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make(map[string]int)
+	keys := testKeys(20000)
+	for _, k := range keys {
+		load[r.Owner(k)]++
+	}
+	if len(load) != 5 {
+		t.Fatalf("only %d of 5 members own keys: %v", len(load), load)
+	}
+	min, max := len(keys), 0
+	for _, n := range load {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > 1.5 {
+		t.Errorf("max/min member load = %d/%d = %.2f, want <= 1.5 (load %v)", max, min, ratio, load)
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing property: adding
+// (or removing) one member to an n-member ring moves only the keys
+// adjacent to the new member's points — about K/n of them, never more
+// than ~1.5x that.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := testKeys(20000)
+	for _, n := range []int{3, 5, 8} {
+		before, err := NewRing(members(n), DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(members(n+1), DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		newcomer := fmt.Sprintf("http://shard-%d:8080", n)
+		for _, k := range keys {
+			a, b := before.Owner(k), after.Owner(k)
+			if a != b {
+				moved++
+				if b != newcomer {
+					t.Fatalf("n=%d: key %s moved %s -> %s, not to the new member", n, k[:8], a, b)
+				}
+			}
+		}
+		ideal := len(keys) / (n + 1)
+		if float64(moved) > 1.5*float64(ideal) {
+			t.Errorf("n=%d->%d: %d keys moved, want <= 1.5 * %d", n, n+1, moved, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d->%d: no keys moved to the new member", n, n+1)
+		}
+	}
+}
+
+// TestRingDeterministic pins assignment against golden vectors: the
+// ring must route identically across processes, platforms, and Go
+// versions (it is pure SHA-256 over member names and vnode indices),
+// or a rolling restart would cold every shard's cache.
+func TestRingDeterministic(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"0000000000000000000000000000000000000000000000000000000000000000": "http://a:1",
+		"6fd9b9b2e1b33fd5d13d8fec6597cdbef53a9610bf9d6c2310bb3f47f794e4c0": "http://c:1",
+		"lud/Stash":     "http://c:1",
+		"nw/Scratch":    "http://c:1",
+		"sgemm/Stash":   "http://c:1",
+		"backprop/DMA":  "http://a:1",
+		"surf/Scratch":  "http://a:1",
+		"pathfinder/x":  "http://a:1",
+		"hotspot/Stash": "http://c:1",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (golden vector: deterministic routing broke)", key, got, want)
+		}
+	}
+}
+
+// Member order on the command line must not change routing.
+func TestRingOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://c:1", "http://a:1", "http://b:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("member listing order changed Owner(%q): %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+		if !reflect.DeepEqual(a.Sequence(k), b.Sequence(k)) {
+			t.Fatalf("member listing order changed Sequence(%q)", k)
+		}
+	}
+}
+
+// TestRingSequence pins the failover chain's shape: the owner first,
+// then every other member exactly once.
+func TestRingSequence(t *testing.T) {
+	ms := members(4)
+	r, err := NewRing(ms, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		seq := r.Sequence(k)
+		if len(seq) != len(ms) {
+			t.Fatalf("Sequence(%q) has %d members, want %d", k, len(seq), len(ms))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("Sequence(%q)[0] = %q, want owner %q", k, seq[0], r.Owner(k))
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats member %q", k, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r, err := NewRing([]string{"http://only:1"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("anything"); got != "http://only:1" {
+		t.Fatalf("Owner = %q", got)
+	}
+	if seq := r.Sequence("anything"); len(seq) != 1 {
+		t.Fatalf("Sequence = %v, want exactly the one member", seq)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 8); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Error("empty member name accepted")
+	}
+}
+
+func TestReadRingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ring")
+	content := "# production ring\nhttp://a:8080\n\nhttp://b:8080\n  http://c:8080  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRingFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReadRingFile = %v, want %v", got, want)
+	}
+
+	if err := os.WriteFile(path, []byte("http://a:8080 http://b:8080\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRingFile(path); err == nil {
+		t.Error("two URLs on one line accepted")
+	}
+	if err := os.WriteFile(path, []byte("# only comments\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRingFile(path); err == nil {
+		t.Error("empty ring file accepted")
+	}
+	if _, err := ReadRingFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing ring file accepted")
+	}
+}

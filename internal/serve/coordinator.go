@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"stash"
+	"stash/internal/cluster"
+)
+
+// CoordinatorConfig configures a cluster Coordinator front.
+type CoordinatorConfig struct {
+	// Cluster routes and dispatches cells over the shard ring. Required.
+	Cluster *cluster.Coordinator
+	// MaxCells bounds one sweep request's grid, exactly as on a node.
+	// Zero selects the node default.
+	MaxCells int
+	// MaxDeadline clamps the X-Stashd-Deadline header forwarded to
+	// shards (and is forwarded on its own when the header is absent).
+	// Zero forwards the client's header unclamped.
+	MaxDeadline time.Duration
+}
+
+// Coordinator is the cluster-mode request handler: the same API
+// surface as a node Server (clients cannot tell them apart), but every
+// cell is routed to the shard owning its fingerprint and the merged
+// NDJSON stream comes back in spec order, byte-identical to a
+// single-node run. The coordinator holds no cache and runs no
+// simulations — shards do both; it only validates, routes, merges, and
+// re-routes around failures (see cluster.Coordinator).
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	draining  atomic.Bool
+	sweepReqs atomic.Uint64
+	cellReqs  atomic.Uint64
+	badReqs   atomic.Uint64
+}
+
+// NewCoordinator builds the HTTP front over a cluster dispatcher.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.MaxCells == 0 {
+		cfg.MaxCells = defaultMaxCells
+	}
+	return &Coordinator{cfg: cfg}
+}
+
+// Handler routes the coordinator's API surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	mux.HandleFunc("GET /v1/cell", c.handleCell)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// Drain flips /healthz to 503 so load balancers stop routing here
+// while in-flight dispatches finish.
+func (c *Coordinator) Drain() { c.draining.Store(true) }
+
+// forwardHeader assembles the headers every shard request carries: the
+// client's Authorization token (tenant namespaces must mean the same
+// thing on every shard) and the simulation budget — the client's
+// X-Stashd-Deadline clamped by MaxDeadline, or MaxDeadline alone. The
+// coordinator deliberately sets no local timeout: shards enforce the
+// budget and resolve overruns into the same structured canceled lines
+// a single node would stream, preserving byte identity.
+func (c *Coordinator) forwardHeader(w http.ResponseWriter, r *http.Request) (http.Header, bool) {
+	h := make(http.Header)
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		h.Set("Authorization", auth)
+	}
+	d := c.cfg.MaxDeadline
+	if v := strings.TrimSpace(r.Header.Get(deadlineHeader)); v != "" {
+		req, err := time.ParseDuration(v)
+		if err != nil || req <= 0 {
+			failWith(w, &c.badReqs, http.StatusBadRequest, nil,
+				"invalid %s %q: want a positive Go duration like 30s", deadlineHeader, v)
+			return nil, false
+		}
+		if d == 0 || req < d {
+			d = req
+		}
+	}
+	if d > 0 {
+		h.Set(deadlineHeader, d.String())
+	}
+	return h, true
+}
+
+// handleSweep validates the grid exactly as a node would, then streams
+// the cluster-merged NDJSON body: one line per cell in spec order,
+// flushed as each cell settles.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	c.sweepReqs.Add(1)
+	specs, ok := parseSweepRequest(w, r, c.cfg.MaxCells, &c.badReqs)
+	if !ok {
+		return
+	}
+	header, ok := c.forwardHeader(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Stashd-Cells", strconv.Itoa(len(specs)))
+	flusher, _ := w.(http.Flusher)
+	// Dispatch under the request context: a vanished client cancels
+	// every in-flight shard sub-sweep. Errors after the first byte can
+	// only cut the stream short, exactly as on a node.
+	c.cfg.Cluster.Dispatch(r.Context(), header, specs, func(_ int, line []byte) error { //nolint:errcheck
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+// handleCell routes one cell to its owning shard and relays the line.
+func (c *Coordinator) handleCell(w http.ResponseWriter, r *http.Request) {
+	c.cellReqs.Add(1)
+	spec, ok := parseCellQuery(w, r, &c.badReqs)
+	if !ok {
+		return
+	}
+	header, ok := c.forwardHeader(w, r)
+	if !ok {
+		return
+	}
+	var line []byte
+	err := c.cfg.Cluster.Dispatch(r.Context(), header, []stash.RunSpec{spec},
+		func(_ int, l []byte) error { line = l; return nil })
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		failWith(w, &c.badReqs, http.StatusInternalServerError, nil, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(line)
+	io.WriteString(w, "\n")
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if c.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"role\":\"coordinator\",\"shards\":%d}\n",
+		len(c.cfg.Cluster.Ring().Members()))
+}
+
+// handleMetrics renders the coordinator's counters in Prometheus text
+// format: dispatch volume, failure handling (hedges, re-dispatches,
+// shard failures, backoffs), and first-dispatch routing per shard.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := c.cfg.Cluster.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name string
+		val  uint64
+	}{
+		{"stashd_coord_sweep_requests_total", c.sweepReqs.Load()},
+		{"stashd_coord_cell_requests_total", c.cellReqs.Load()},
+		{"stashd_coord_bad_requests_total", c.badReqs.Load()},
+		{"stashd_coord_cells_total", st.Cells},
+		{"stashd_coord_hedged_cells_total", st.Hedged},
+		{"stashd_coord_hedge_wins_total", st.HedgeWins},
+		{"stashd_coord_redispatched_cells_total", st.Redispatched},
+		{"stashd_coord_shard_failures_total", st.ShardFailures},
+		{"stashd_coord_backoffs_total", st.Backoffs},
+		{"stashd_coord_shards", uint64(len(st.Shards))},
+	} {
+		fmt.Fprintf(w, "%s %d\n", m.name, m.val)
+	}
+	for _, shard := range st.Shards { // ring order: deterministic exposition
+		fmt.Fprintf(w, "stashd_coord_shard_cells_total{shard=%q} %d\n", shard, st.Routed[shard])
+	}
+}

@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stash"
+	"stash/internal/cluster"
+)
+
+// Shard health modes for the chaos wrapper in front of a test shard.
+const (
+	shardHealthy  = iota
+	shardCutFirst // stream one line of the next sweep, then die
+	shardDead     // every sweep answers 503
+)
+
+// testShard is one cluster member: a real node Server with an
+// injectable engine, fronted by a wrapper that can simulate shard
+// death mid-stream.
+type testShard struct {
+	eng  *fakeEngine
+	ts   *httptest.Server
+	mode atomic.Int32
+}
+
+// cutAfterLines aborts the response after limit NDJSON lines — a shard
+// dying mid-stream, as the client sees it.
+type cutAfterLines struct {
+	http.ResponseWriter
+	lines, limit int
+}
+
+func (c *cutAfterLines) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.lines += bytes.Count(p[:n], []byte("\n"))
+	if c.lines >= c.limit {
+		c.Flush()
+		panic(http.ErrAbortHandler)
+	}
+	return n, err
+}
+
+func (c *cutAfterLines) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func newTestShard(t *testing.T, eng *fakeEngine) *testShard {
+	t.Helper()
+	sh := &testShard{eng: eng}
+	_, inner := newTestServer(t, Config{Run: eng.run})
+	h := inner.Config.Handler // httptest exposes the handler via Config
+	sh.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == "POST" {
+			switch sh.mode.Load() {
+			case shardDead:
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, `{"error":"shard killed"}`)
+				return
+			case shardCutFirst:
+				sh.mode.Store(shardDead)
+				h.ServeHTTP(&cutAfterLines{ResponseWriter: w, limit: 1}, r)
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(sh.ts.Close)
+	return sh
+}
+
+// newCluster boots n shards plus the coordinator front.
+func newCluster(t *testing.T, n int, engs []*fakeEngine, opts cluster.Options) ([]*testShard, *cluster.Coordinator, *httptest.Server) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = newTestShard(t, engs[i])
+		urls[i] = shards[i].ts.URL
+	}
+	if opts.ShardAttempts == 0 {
+		opts.ShardAttempts = 1
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = 10 * time.Millisecond
+	}
+	coord, err := cluster.New(urls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(NewCoordinator(CoordinatorConfig{Cluster: coord}).Handler())
+	t.Cleanup(front.Close)
+	return shards, coord, front
+}
+
+const gridBody = `{"workloads":["lud","nw","sgemm","backprop","surf","pathfinder"],"orgs":["Scratch","Stash"]}`
+
+func gridSpecs() []stash.RunSpec {
+	return stash.Grid([]string{"lud", "nw", "sgemm", "backprop", "surf", "pathfinder"},
+		[]stash.MemOrg{stash.Scratch, stash.Stash})
+}
+
+// singleNodeBody runs the grid on a fresh one-node server with the
+// same deterministic engine — the byte-identity reference.
+func singleNodeBody(t *testing.T, body string) string {
+	t.Helper()
+	_, ts := newTestServer(t, Config{Run: (&fakeEngine{}).run})
+	resp, got := postSweep(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node sweep: HTTP %d: %s", resp.StatusCode, got)
+	}
+	return got
+}
+
+// TestClusterByteIdentity is the tentpole acceptance test: a 3-shard
+// cluster's merged sweep stream is byte-identical to a single node's,
+// in spec order; the repeat run is served entirely from shard caches
+// (zero new simulations); and the coordinator metrics account every
+// cell.
+func TestClusterByteIdentity(t *testing.T) {
+	engs := []*fakeEngine{{}, {}, {}}
+	shards, coord, front := newCluster(t, 3, engs, cluster.Options{})
+
+	want := singleNodeBody(t, gridBody)
+	resp, got := postSweep(t, front, gridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep: HTTP %d: %s", resp.StatusCode, got)
+	}
+	if got != want {
+		t.Fatalf("cluster stream is not byte-identical to single node:\ncluster:\n%s\nsingle:\n%s", got, want)
+	}
+	if n := resp.Header.Get("X-Stashd-Cells"); n != "12" {
+		t.Errorf("X-Stashd-Cells = %q, want 12", n)
+	}
+	sims := int64(0)
+	for _, sh := range shards {
+		sims += sh.eng.calls.Load()
+	}
+	if sims != 12 {
+		t.Errorf("%d simulations across shards, want exactly 12 (each cell on exactly one shard)", sims)
+	}
+
+	// Repeat: all shard cache hits, still byte-identical.
+	_, got2 := postSweep(t, front, gridBody)
+	if got2 != want {
+		t.Fatal("repeat cluster sweep drifted from single-node bytes")
+	}
+	again := int64(0)
+	for _, sh := range shards {
+		again += sh.eng.calls.Load()
+	}
+	if again != sims {
+		t.Errorf("repeat sweep ran %d new simulations, want 0 (cache replay)", again-sims)
+	}
+
+	st := coord.Stats()
+	if st.Cells != 24 {
+		t.Errorf("Stats.Cells = %d, want 24 across both sweeps", st.Cells)
+	}
+	routed := uint64(0)
+	for _, n := range st.Routed {
+		routed += n
+	}
+	if routed != 24 {
+		t.Errorf("per-shard routed cells sum to %d, want 24", routed)
+	}
+	if st.Redispatched != 0 || st.Hedged != 0 {
+		t.Errorf("healthy cluster reported failures: %+v", st)
+	}
+	if v := metric(t, front, "stashd_coord_cells_total"); v != 24 {
+		t.Errorf("stashd_coord_cells_total = %g, want 24", v)
+	}
+	if v := metric(t, front, "stashd_coord_shards"); v != 3 {
+		t.Errorf("stashd_coord_shards = %g, want 3", v)
+	}
+}
+
+// TestClusterShardDeath kills one shard mid-stream (one line served,
+// then connection cut, then 503s): every unfinished cell re-dispatches
+// to its ring successor, the merged output stays complete and
+// byte-identical, and the re-dispatch counters show the failover.
+func TestClusterShardDeath(t *testing.T) {
+	engs := []*fakeEngine{{}, {}, {}}
+	shards, coord, front := newCluster(t, 3, engs, cluster.Options{})
+
+	// Kill whichever shard owns the most cells, so the mid-stream cut
+	// (one line, then dead) is guaranteed to strand at least one cell.
+	ring := coord.Ring()
+	byShard := make(map[string]int)
+	for _, spec := range gridSpecs() {
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		byShard[ring.Owner(fp)]++
+	}
+	victim, most := 0, 0
+	for i, sh := range shards {
+		if n := byShard[sh.ts.URL]; n > most {
+			victim, most = i, n
+		}
+	}
+	if most < 2 {
+		t.Fatalf("no shard owns >= 2 of the 12 cells (distribution %v)", byShard)
+	}
+	shards[victim].mode.Store(shardCutFirst)
+
+	want := singleNodeBody(t, gridBody)
+	resp, got := postSweep(t, front, gridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep with dead shard: HTTP %d", resp.StatusCode)
+	}
+	if got != want {
+		t.Fatalf("merged stream after shard death is not byte-identical:\ncluster:\n%s\nsingle:\n%s", got, want)
+	}
+	st := coord.Stats()
+	if st.Redispatched == 0 || st.ShardFailures == 0 {
+		t.Errorf("shard death left no failover trace: %+v", st)
+	}
+	if v := metric(t, front, "stashd_coord_redispatched_cells_total"); v == 0 {
+		t.Error("stashd_coord_redispatched_cells_total = 0 after a shard died")
+	}
+}
+
+// TestClusterAllShardsDead pins the worst case: with every shard down,
+// the stream still carries one structured failure line per cell —
+// complete, in order, never truncated.
+func TestClusterAllShardsDead(t *testing.T) {
+	engs := []*fakeEngine{{}, {}}
+	shards, _, front := newCluster(t, 2, engs, cluster.Options{})
+	for _, sh := range shards {
+		sh.mode.Store(shardDead)
+	}
+	resp, got := postSweep(t, front, gridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("got %d lines, want 12 structured failures", len(lines))
+	}
+	for i, line := range lines {
+		var res stash.SweepResult
+		if err := res.UnmarshalJSON([]byte(line)); err != nil {
+			t.Fatalf("line %d does not decode: %v", i, err)
+		}
+		if res.Err == nil {
+			t.Fatalf("line %d reports success with every shard dead: %s", i, line)
+		}
+	}
+}
+
+// blockingEngine serves deterministic results except for specs it is
+// told to straggle on, which hang until the request is canceled.
+type blockingEngine struct {
+	fakeEngine
+	mu    sync.Mutex
+	stuck map[string]bool
+}
+
+func (b *blockingEngine) run(ctx context.Context, spec stash.RunSpec) stash.SweepResult {
+	b.mu.Lock()
+	stuck := b.stuck[spec.String()]
+	b.mu.Unlock()
+	if stuck {
+		<-ctx.Done()
+		return stash.SweepResult{Spec: spec, Wall: time.Nanosecond,
+			Err: fmt.Errorf("stash: %s canceled: %w", spec, context.Cause(ctx))}
+	}
+	return b.fakeEngine.run(ctx, spec)
+}
+
+// TestClusterHedging pins straggler handling: a shard that hangs on
+// one cell gets hedged after HedgeAfter, the ring successor's result
+// wins, the loser is canceled, and the merged output is still
+// byte-identical to a single-node run.
+func TestClusterHedging(t *testing.T) {
+	blocker := &blockingEngine{stuck: make(map[string]bool)}
+	clean := []*fakeEngine{{}, {}, {}}
+	shards := make([]*testShard, 3)
+	urls := make([]string, 3)
+	for i := range shards {
+		eng := clean[i].run
+		if i == 0 {
+			eng = blocker.run
+		}
+		sh := &testShard{}
+		_, inner := newTestServer(t, Config{Run: eng})
+		sh.ts = httptest.NewServer(inner.Config.Handler)
+		t.Cleanup(sh.ts.Close)
+		shards[i], urls[i] = sh, sh.ts.URL
+	}
+	coord, err := cluster.New(urls, cluster.Options{
+		ShardAttempts: 1,
+		HedgeAfter:    50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(NewCoordinator(CoordinatorConfig{Cluster: coord}).Handler())
+	t.Cleanup(front.Close)
+
+	// Straggle every cell shard 0 owns: its whole sub-sweep hangs, and
+	// only hedges to the ring successors can complete those cells.
+	ring := coord.Ring()
+	strandable := 0
+	for _, spec := range gridSpecs() {
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Owner(fp) == urls[0] {
+			blocker.mu.Lock()
+			blocker.stuck[spec.String()] = true
+			blocker.mu.Unlock()
+			strandable++
+		}
+	}
+	if strandable == 0 {
+		t.Skipf("shard 0 owns no cells of this grid (port-dependent routing); nothing to straggle")
+	}
+
+	want := singleNodeBody(t, gridBody)
+	resp, got := postSweep(t, front, gridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if got != want {
+		t.Fatalf("hedged stream is not byte-identical:\ncluster:\n%s\nsingle:\n%s", got, want)
+	}
+	st := coord.Stats()
+	if st.Hedged == 0 || st.HedgeWins == 0 {
+		t.Errorf("straggling shard produced no hedges: %+v", st)
+	}
+	if v := metric(t, front, "stashd_coord_hedge_wins_total"); v == 0 {
+		t.Error("stashd_coord_hedge_wins_total = 0 after hedged straggler")
+	}
+}
+
+// TestCluster429Backoff pins Retry-After propagation: a shard that
+// sheds with 429 makes the coordinator back off and resubmit rather
+// than fail over or drop cells.
+func TestCluster429Backoff(t *testing.T) {
+	eng := &fakeEngine{}
+	_, inner := newTestServer(t, Config{Run: eng.run})
+	var shed atomic.Bool
+	h := inner.Config.Handler
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == "POST" && shed.CompareAndSwap(false, true) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"overloaded"}`)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	coord, err := cluster.New([]string{ts.URL}, cluster.Options{ShardAttempts: 3, Backoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(NewCoordinator(CoordinatorConfig{Cluster: coord}).Handler())
+	t.Cleanup(front.Close)
+
+	want := singleNodeBody(t, gridBody)
+	resp, got := postSweep(t, front, gridBody)
+	if resp.StatusCode != http.StatusOK || got != want {
+		t.Fatalf("sweep through shedding shard: HTTP %d, identical=%v", resp.StatusCode, got == want)
+	}
+	if st := coord.Stats(); st.Backoffs == 0 {
+		t.Errorf("429 produced no coordinator backoff: %+v", st)
+	}
+}
+
+// TestCoordinatorCellEndpoint pins that GET /v1/cell through the
+// coordinator answers with node-identical bytes and node-identical
+// validation.
+func TestCoordinatorCellEndpoint(t *testing.T) {
+	engs := []*fakeEngine{{}, {}}
+	_, _, front := newCluster(t, 2, engs, cluster.Options{})
+	_, node := newTestServer(t, Config{Run: (&fakeEngine{}).run})
+
+	const q = "/v1/cell?workload=implicit&org=Stash"
+	get := func(ts string) (int, string) {
+		resp, err := http.Get(ts + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b := new(strings.Builder)
+		if _, err := io.Copy(b, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b.String()
+	}
+	codeC, bodyC := get(front.URL)
+	codeN, bodyN := get(node.URL)
+	if codeC != http.StatusOK || codeN != http.StatusOK || bodyC != bodyN {
+		t.Fatalf("coordinator cell (HTTP %d) differs from node (HTTP %d):\n%s\n%s", codeC, codeN, bodyC, bodyN)
+	}
+
+	resp, err := http.Get(front.URL + "/v1/cell?workload=nope&org=Stash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid workload through coordinator: HTTP %d, want 400", resp.StatusCode)
+	}
+	if v := metric(t, front, "stashd_coord_bad_requests_total"); v == 0 {
+		t.Error("stashd_coord_bad_requests_total = 0 after a 400")
+	}
+}
+
+// TestCoordinatorForwardsDeadline pins the budget clamp: the client's
+// X-Stashd-Deadline is forwarded to shards clamped by MaxDeadline, and
+// an invalid header is a 400 before anything is dispatched.
+func TestCoordinatorForwardsDeadline(t *testing.T) {
+	var gotDeadline atomic.Value
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotDeadline.Store(r.Header.Get(deadlineHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable) // no cells needed; header is the point
+		fmt.Fprintln(w, `{"error":"nope"}`)
+	}))
+	t.Cleanup(shard.Close)
+	coord, err := cluster.New([]string{shard.URL}, cluster.Options{ShardAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(NewCoordinator(CoordinatorConfig{
+		Cluster: coord, MaxDeadline: 5 * time.Second,
+	}).Handler())
+	t.Cleanup(front.Close)
+
+	req, _ := http.NewRequest("POST", front.URL+"/v1/sweep", strings.NewReader(oneCellBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(deadlineHeader, "1h") // above the clamp
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d, _ := gotDeadline.Load().(string); d != "5s" {
+		t.Errorf("shard saw %s %q, want clamped 5s", deadlineHeader, d)
+	}
+
+	req, _ = http.NewRequest("POST", front.URL+"/v1/sweep", strings.NewReader(oneCellBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(deadlineHeader, "yesterday")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid deadline header: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"stash"
+	"stash/internal/cellcache"
+)
+
+// TestRemoteTierPeerFill drives the remote+ cellcache tier through two
+// real daemons: shard A simulates a cell; shard B, configured with
+// remote+memory pointing at A, serves the same cell byte-identically
+// with zero local simulation — one /v1/cellframe fetch instead.
+func TestRemoteTierPeerFill(t *testing.T) {
+	engA := &fakeEngine{}
+	_, tsA := newTestServer(t, Config{Run: engA.run})
+
+	engB := &fakeEngine{}
+	cacheB, err := cellcache.Open("remote+memory://?peers=" + tsA.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cacheB.Close() })
+	_, tsB := newTestServer(t, Config{Run: engB.run, Cache: cacheB})
+
+	respA, bodyA := postSweep(t, tsA, oneCellBody)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("shard A sweep: HTTP %d", respA.StatusCode)
+	}
+	if engA.calls.Load() != 1 {
+		t.Fatalf("shard A ran %d simulations, want 1", engA.calls.Load())
+	}
+
+	respB, bodyB := postSweep(t, tsB, oneCellBody)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("shard B sweep: HTTP %d", respB.StatusCode)
+	}
+	if bodyB != bodyA {
+		t.Fatalf("peer-filled line differs:\nA: %s\nB: %s", bodyA, bodyB)
+	}
+	if engB.calls.Load() != 0 {
+		t.Fatalf("shard B simulated %d cells, want 0 (peer fill)", engB.calls.Load())
+	}
+	if st := cacheB.Stats(); st.RemoteFills != 1 {
+		t.Fatalf("shard B cache stats %+v, want RemoteFills=1", st)
+	}
+	if v := metric(t, tsB, "stashd_cache_remote_fills_total"); v != 1 {
+		t.Errorf("stashd_cache_remote_fills_total = %g, want 1", v)
+	}
+	if v := metric(t, tsA, "stashd_cellframe_hits_total"); v != 1 {
+		t.Errorf("shard A stashd_cellframe_hits_total = %g, want 1", v)
+	}
+
+	// A's daemon dying degrades B to local simulation — never an error.
+	tsA.Close()
+	const otherCell = `{"specs":[{"workload":"reuse","config":{"org":"Scratch","gpus":1,"cpus":15}}]}`
+	respB2, _ := postSweep(t, tsB, otherCell)
+	if respB2.StatusCode != http.StatusOK {
+		t.Fatalf("sweep with dead peer: HTTP %d", respB2.StatusCode)
+	}
+	if engB.calls.Load() != 1 {
+		t.Fatalf("shard B simulated %d cells after peer death, want exactly 1", engB.calls.Load())
+	}
+	if st := cacheB.Stats(); st.RemoteErrors == 0 {
+		t.Errorf("dead peer fetch not counted: %+v", st)
+	}
+}
+
+// TestCellFrameEndpoint pins the endpoint's contract: bad requests are
+// 400, absent cells 404, present cells come back as the stored frame.
+func TestCellFrameEndpoint(t *testing.T) {
+	eng := &fakeEngine{}
+	_, ts := newTestServer(t, Config{Run: eng.run})
+	if resp, _ := http.Get(ts.URL + "/v1/cellframe"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing key: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/cellframe?key=public:absent"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent key: HTTP %d, want 404", resp.StatusCode)
+	}
+	postSweep(t, ts, oneCellBody)
+	fp := cellKeyOf(t)
+	resp, err := http.Get(ts.URL + "/v1/cellframe?key=public:" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("present key: HTTP %d, want 200", resp.StatusCode)
+	}
+	if v := metric(t, ts, "stashd_cellframe_requests_total"); v != 3 {
+		t.Errorf("stashd_cellframe_requests_total = %g, want 3", v)
+	}
+}
+
+// cellKeyOf returns the fingerprint of oneCellBody's single cell,
+// exactly as the server computed it from the decoded spec.
+func cellKeyOf(t *testing.T) string {
+	t.Helper()
+	spec := stash.RunSpec{Workload: "implicit",
+		Config: stash.Config{Org: stash.Stash, GPUs: 1, CPUs: 15}}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}

@@ -106,6 +106,8 @@ type Server struct {
 
 	sweepReqs     atomic.Uint64
 	cellReqs      atomic.Uint64
+	frameReqs     atomic.Uint64 // peer GET /v1/cellframe lookups
+	frameHits     atomic.Uint64 // the subset answered with a frame
 	badReqs       atomic.Uint64
 	shedReqs      atomic.Uint64 // requests refused by admission control
 	cellsServed   atomic.Uint64
@@ -156,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/cell", s.handleCell)
+	mux.HandleFunc("GET /v1/cellframe", s.handleCellFrame)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -276,7 +279,14 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 }
 
 func (s *Server) failCell(w http.ResponseWriter, code int, index *int, format string, args ...any) {
-	s.badReqs.Add(1)
+	failWith(w, &s.badReqs, code, index, format, args...)
+}
+
+// failWith writes the structured error body, counting it against bad.
+// Free-standing so the node Server and the cluster Coordinator share
+// one error shape.
+func failWith(w http.ResponseWriter, bad *atomic.Uint64, code int, index *int, format string, args ...any) {
+	bad.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Index: index})
@@ -296,8 +306,10 @@ type SweepRequest struct {
 const maxRequestBytes = 8 << 20
 
 // parseSweepRequest decodes and fully validates the request, returning
-// the cell list or writing a structured 400/413.
-func (s *Server) parseSweepRequest(w http.ResponseWriter, r *http.Request) ([]stash.RunSpec, bool) {
+// the cell list or writing a structured 400/413. Free-standing so the
+// cluster Coordinator validates grids identically to a node — a grid a
+// shard would reject must be rejected before it is split and dispatched.
+func parseSweepRequest(w http.ResponseWriter, r *http.Request, maxCells int, bad *atomic.Uint64) ([]stash.RunSpec, bool) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	var req SweepRequest
@@ -307,7 +319,7 @@ func (s *Server) parseSweepRequest(w http.ResponseWriter, r *http.Request) ([]st
 		if errors.As(err, &tooLarge) {
 			code = http.StatusRequestEntityTooLarge
 		}
-		s.fail(w, code, "invalid sweep request: %v", err)
+		failWith(w, bad, code, nil, "invalid sweep request: %v", err)
 		return nil, false
 	}
 	specs := req.Specs
@@ -316,7 +328,7 @@ func (s *Server) parseSweepRequest(w http.ResponseWriter, r *http.Request) ([]st
 		for _, name := range req.Orgs {
 			org, err := stash.ParseMemOrg(name)
 			if err != nil {
-				s.fail(w, http.StatusBadRequest, "%v", err)
+				failWith(w, bad, http.StatusBadRequest, nil, "%v", err)
 				return nil, false
 			}
 			orgs = append(orgs, org)
@@ -324,21 +336,21 @@ func (s *Server) parseSweepRequest(w http.ResponseWriter, r *http.Request) ([]st
 		specs = append(specs, stash.Grid(req.Workloads, orgs)...)
 	}
 	if len(specs) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty sweep: give specs or workloads+orgs")
+		failWith(w, bad, http.StatusBadRequest, nil, "empty sweep: give specs or workloads+orgs")
 		return nil, false
 	}
-	if len(specs) > s.cfg.MaxCells {
-		s.fail(w, http.StatusRequestEntityTooLarge, "sweep of %d cells exceeds the per-request limit of %d", len(specs), s.cfg.MaxCells)
+	if len(specs) > maxCells {
+		failWith(w, bad, http.StatusRequestEntityTooLarge, nil, "sweep of %d cells exceeds the per-request limit of %d", len(specs), maxCells)
 		return nil, false
 	}
 	for i, spec := range specs {
 		i := i
 		if !validWorkload(spec.Workload) {
-			s.failCell(w, http.StatusBadRequest, &i, "unknown workload %q (want one of %v)", spec.Workload, stash.Workloads())
+			failWith(w, bad, http.StatusBadRequest, &i, "unknown workload %q (want one of %v)", spec.Workload, stash.Workloads())
 			return nil, false
 		}
 		if err := spec.Config.Validate(); err != nil {
-			s.failCell(w, http.StatusBadRequest, &i, "cell %d (%s): %v", i, spec, err)
+			failWith(w, bad, http.StatusBadRequest, &i, "cell %d (%s): %v", i, spec, err)
 			return nil, false
 		}
 	}
@@ -362,7 +374,7 @@ func validWorkload(name string) bool {
 // request yields a byte-identical body.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweepReqs.Add(1)
-	specs, ok := s.parseSweepRequest(w, r)
+	specs, ok := parseSweepRequest(w, r, s.cfg.MaxCells, &s.badReqs)
 	if !ok {
 		return
 	}
@@ -425,7 +437,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // parameters and returns its SweepResult JSON document.
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	s.cellReqs.Add(1)
-	spec, ok := s.parseCellQuery(w, r)
+	spec, ok := parseCellQuery(w, r, &s.badReqs)
 	if !ok {
 		return
 	}
@@ -454,8 +466,10 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 // workload and org select the cell (on the paper's machine for that
 // workload); gpus, cpus and the ablation/hardening knobs override the
 // corresponding Config fields. Unknown parameters are a 400 — a typoed
-// knob must not silently simulate the default cell.
-func (s *Server) parseCellQuery(w http.ResponseWriter, r *http.Request) (stash.RunSpec, bool) {
+// knob must not silently simulate the default cell. Free-standing so
+// the cluster Coordinator answers /v1/cell with node-identical
+// validation.
+func parseCellQuery(w http.ResponseWriter, r *http.Request, bad *atomic.Uint64) (stash.RunSpec, bool) {
 	q := r.URL.Query()
 	known := map[string]bool{
 		"workload": true, "org": true, "gpus": true, "cpus": true,
@@ -464,18 +478,18 @@ func (s *Server) parseCellQuery(w http.ResponseWriter, r *http.Request) (stash.R
 	}
 	for k := range q {
 		if !known[k] {
-			s.fail(w, http.StatusBadRequest, "unknown query parameter %q", k)
+			failWith(w, bad, http.StatusBadRequest, nil, "unknown query parameter %q", k)
 			return stash.RunSpec{}, false
 		}
 	}
 	name := q.Get("workload")
 	if !validWorkload(name) {
-		s.fail(w, http.StatusBadRequest, "unknown workload %q (want one of %v)", name, stash.Workloads())
+		failWith(w, bad, http.StatusBadRequest, nil, "unknown workload %q (want one of %v)", name, stash.Workloads())
 		return stash.RunSpec{}, false
 	}
 	org, err := stash.ParseMemOrg(q.Get("org"))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		failWith(w, bad, http.StatusBadRequest, nil, "%v", err)
 		return stash.RunSpec{}, false
 	}
 	cfg := stash.AppConfig(org)
@@ -486,7 +500,7 @@ func (s *Server) parseCellQuery(w http.ResponseWriter, r *http.Request) (stash.R
 		if v := q.Get(key); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				s.fail(w, http.StatusBadRequest, "invalid %s %q: %v", key, v, err)
+				failWith(w, bad, http.StatusBadRequest, nil, "invalid %s %q: %v", key, v, err)
 				return false
 			}
 			*dst = n
@@ -497,7 +511,7 @@ func (s *Server) parseCellQuery(w http.ResponseWriter, r *http.Request) (stash.R
 		if v := q.Get(key); v != "" {
 			b, err := strconv.ParseBool(v)
 			if err != nil {
-				s.fail(w, http.StatusBadRequest, "invalid %s %q: %v", key, v, err)
+				failWith(w, bad, http.StatusBadRequest, nil, "invalid %s %q: %v", key, v, err)
 				return false
 			}
 			*dst = b
@@ -512,16 +526,43 @@ func (s *Server) parseCellQuery(w http.ResponseWriter, r *http.Request) (stash.R
 	if v := q.Get("watchdog_budget"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "invalid watchdog_budget %q: %v", v, err)
+			failWith(w, bad, http.StatusBadRequest, nil, "invalid watchdog_budget %q: %v", v, err)
 			return stash.RunSpec{}, false
 		}
 		cfg.WatchdogBudget = n
 	}
 	if err := cfg.Validate(); err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		failWith(w, bad, http.StatusBadRequest, nil, "%v", err)
 		return stash.RunSpec{}, false
 	}
 	return stash.RunSpec{Workload: name, Config: cfg}, true
+}
+
+// handleCellFrame serves a stored cell frame verbatim by engine key —
+// the shard-to-shard peer-fill protocol behind the remote+ cellcache
+// tier (see cellcache.Remote). The key is the full engine key
+// (namespace-prefixed for tenant cells): peers ask for exactly the key
+// they missed on, so tenant isolation carries across the wire — a peer
+// fills t-xxx:fp only into t-xxx's namespace. Lookups never simulate,
+// never touch the asking shard's stats or TTL leases, and never
+// cascade to further peers (PeekFrame reads local tiers only). Misses
+// are a plain 404 with no body — the caller treats them as "simulate
+// locally", not as errors.
+func (s *Server) handleCellFrame(w http.ResponseWriter, r *http.Request) {
+	s.frameReqs.Add(1)
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.fail(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	frame, ok := s.cfg.Cache.PeekFrame(key)
+	if !ok {
+		http.Error(w, "no such cell", http.StatusNotFound)
+		return
+	}
+	s.frameHits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
 }
 
 // cellFailed carries a failed cell's serialized line through the
@@ -756,6 +797,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"stashd_cache_raw_bytes_total", cs.BytesRaw},
 		{"stashd_cache_stored_bytes_total", cs.BytesStored},
 		{"stashd_cache_compression_ratio", compressionRatio(cs.BytesRaw, cs.BytesStored)},
+		{"stashd_cache_remote_fills_total", cs.RemoteFills},
+		{"stashd_cache_remote_misses_total", cs.RemoteMisses},
+		{"stashd_cache_remote_errors_total", cs.RemoteErrors},
+		{"stashd_cellframe_requests_total", s.frameReqs.Load()},
+		{"stashd_cellframe_hits_total", s.frameHits.Load()},
 		{"stashd_cache_put_errors_total", cs.PutErrors},
 		{"stashd_cache_breaker_trips_total", cs.BreakerTrips},
 		{"stashd_cache_breaker_state", cs.BreakerState},

@@ -6,7 +6,12 @@
 #   scripts/bench.sh                 # Figure 5 grid, three iterations per cell
 #   BENCH=. scripts/bench.sh         # every benchmark
 #   BENCHTIME=1x scripts/bench.sh    # quicker, noisier single iteration
+#   MINOF=3 scripts/bench.sh         # run each cell 3 times, keep the fastest
 #   LABEL=baseline OUT=BENCH_baseline.json scripts/bench.sh
+#
+# MINOF > 1 runs every benchmark N times (go test -count N) and folds
+# each group to its fastest run (benchjson -min-of N), the standard way
+# to strip one-sided scheduler noise before a regression comparison.
 #
 # The default Figure 5 selection includes BenchmarkFig5TraceOverhead,
 # so every report carries a trace-on vs trace-off row pair; compare
@@ -25,6 +30,7 @@ cd "$(dirname "$0")/.."
 BENCH=${BENCH:-BenchmarkFig5}
 BENCHTIME=${BENCHTIME:-3x}
 DISPATCHTIME=${DISPATCHTIME:-1000x}
+MINOF=${MINOF:-1}
 LABEL=${LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}
 OUT=${OUT:-BENCH_$(date -u +%Y%m%d).json}
 
@@ -33,8 +39,8 @@ OUT=${OUT:-BENCH_$(date -u +%Y%m%d).json}
 # micro-benchmarks from internal/isa (interpreter cost in isolation,
 # instr/s, zero allocs/op in steady state).
 {
-	go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 .
+	go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$MINOF" .
 	go test -run '^$' -bench 'BenchmarkWarpStep|BenchmarkCompiledDispatch' \
-		-benchmem -benchtime "$DISPATCHTIME" -count 1 ./internal/isa
-} | go run ./cmd/benchjson -label "$LABEL" >"$OUT"
+		-benchmem -benchtime "$DISPATCHTIME" -count "$MINOF" ./internal/isa
+} | go run ./cmd/benchjson -label "$LABEL" -min-of "$MINOF" >"$OUT"
 echo "wrote $OUT" >&2
