@@ -1,0 +1,190 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"stash"
+	"stash/internal/cliutil"
+	"stash/internal/frontier"
+)
+
+// The frontier experiment sweeps a memory-technology design-space grid
+// (workloads x organizations x technology profiles x stash capacities)
+// and extracts, per workload, the Pareto frontier over total energy
+// (dynamic + leakage), execution time, and local storage capacity.
+// Everything printed to stdout is a pure function of the simulated
+// metrics, so fresh and cache-served runs are byte-identical.
+var (
+	frontierWorkloads = flag.String("frontier-workloads", "reuse", "comma-separated workloads for -exp frontier (or 'micro', 'apps', 'all')")
+	frontierOrgs      = flag.String("frontier-orgs", "Scratch,Cache,Stash", "comma-separated organizations for -exp frontier")
+	frontierTechs     = flag.String("frontier-techs", "sram,stt-mram,edram", "comma-separated technology profiles for -exp frontier")
+	frontierCaps      = flag.String("frontier-caps", "16,32", "comma-separated stash capacities in KB for -exp frontier")
+	frontierJSON      = flag.String("frontier-json", "", "write the frontier cells (full grid, frontier-flagged) as JSON to this file")
+)
+
+// frontierCell is one design point with its objectives, as printed and
+// as dumped by -frontier-json.
+type frontierCell struct {
+	Workload   string  `json:"workload"`
+	Org        string  `json:"org"`
+	Tech       string  `json:"tech"`
+	CapacityKB int     `json:"capacity_kb"`
+	Cycles     uint64  `json:"cycles"`
+	DynamicPJ  float64 `json:"dynamic_pj"`
+	StaticPJ   float64 `json:"static_pj"`
+	TotalPJ    float64 `json:"total_pj"`
+	OnFrontier bool    `json:"on_frontier"`
+}
+
+func (c frontierCell) id() string {
+	return fmt.Sprintf("%s/%s/%s/%dKB", c.Workload, c.Org, c.Tech, c.CapacityKB)
+}
+
+func parseCaps(arg string) ([]int, error) {
+	var caps []int
+	for _, f := range strings.Split(arg, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		kb, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -frontier-caps entry %q: %v", f, err)
+		}
+		caps = append(caps, kb)
+	}
+	return caps, nil
+}
+
+// cellTech names the technology axis of a grid cell: the stash profile
+// where the organization has a stash, otherwise the (always-set) GPU L1
+// profile.
+func cellTech(cfg stash.Config) string {
+	if cfg.StashTech != nil && cfg.StashTech.Profile != "" {
+		return cfg.StashTech.Profile
+	}
+	if cfg.L1Tech != nil && cfg.L1Tech.Profile != "" {
+		return cfg.L1Tech.Profile
+	}
+	return "sram"
+}
+
+func figFrontier() {
+	header("Frontier: memory-technology design space (energy vs time vs capacity)")
+
+	workloads := cliutil.ExpandWorkloads(*frontierWorkloads)
+	orgs, err := cliutil.ExpandOrgs(*frontierOrgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	techs := strings.Split(*frontierTechs, ",")
+	for i := range techs {
+		techs[i] = strings.TrimSpace(techs[i])
+	}
+	caps, err := parseCaps(*frontierCaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs, err := stash.TechGrid(workloads, orgs, techs, caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	results, err := sweepFlags.Run(context.Background(), specs, stash.SweepOptions{})
+	if results == nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		sweepFlags.ReportWall("frontier: ", len(specs), time.Since(start))
+	}
+	sweptResults = append(sweptResults, results...)
+
+	cells := make([]frontierCell, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			failedCells++
+			fmt.Fprintf(os.Stderr, "frontier: %s failed (status %s): %v\n", r.Spec, r.Status(), r.Err)
+			continue
+		}
+		cfg := r.Spec.Config
+		cells = append(cells, frontierCell{
+			Workload:   r.Spec.Workload,
+			Org:        cfg.Org.String(),
+			Tech:       cellTech(cfg),
+			CapacityKB: cfg.LocalMemKB(),
+			Cycles:     r.Result.Cycles,
+			DynamicPJ:  r.Result.EnergyPJ,
+			StaticPJ:   r.Result.StaticEnergyPJ,
+			TotalPJ:    r.Result.EnergyPJ + r.Result.StaticEnergyPJ,
+		})
+	}
+
+	// Extract one frontier per workload: objectives from different
+	// workloads are not comparable. All three objectives are minimized
+	// (capacity is an area cost).
+	byWorkload := make(map[string][]int)
+	for i, c := range cells {
+		byWorkload[c.Workload] = append(byWorkload[c.Workload], i)
+	}
+	names := make([]string, 0, len(byWorkload))
+	for w := range byWorkload {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		idx := byWorkload[w]
+		pts := make([]frontier.Point, len(idx))
+		for k, i := range idx {
+			pts[k] = frontier.Point{
+				ID:      cells[i].id(),
+				Metrics: []float64{cells[i].TotalPJ, float64(cells[i].Cycles), float64(cells[i].CapacityKB)},
+			}
+		}
+		front, err := frontier.Extract(pts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		onFront := make(map[string]bool, len(front))
+		for _, p := range front {
+			onFront[p.ID] = true
+		}
+		for _, i := range idx {
+			cells[i].OnFrontier = onFront[cells[i].id()]
+		}
+
+		fmt.Println()
+		fmt.Printf("%s: %d design points, %d on the Pareto frontier\n", w, len(idx), len(front))
+		fmt.Printf("  %-10s %-10s %8s %10s %14s %14s %14s  %s\n",
+			"org", "tech", "cap KB", "cycles", "dynamic pJ", "static pJ", "total pJ", "frontier")
+		for _, i := range idx {
+			c := cells[i]
+			mark := ""
+			if c.OnFrontier {
+				mark = "*"
+			}
+			fmt.Printf("  %-10s %-10s %8d %10d %14.1f %14.1f %14.1f  %s\n",
+				c.Org, c.Tech, c.CapacityKB, c.Cycles, c.DynamicPJ, c.StaticPJ, c.TotalPJ, mark)
+		}
+	}
+
+	if *frontierJSON != "" {
+		data, err := json.MarshalIndent(cells, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*frontierJSON, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d frontier cells to %s\n", len(cells), *frontierJSON)
+	}
+}

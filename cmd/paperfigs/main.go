@@ -7,6 +7,7 @@
 //	paperfigs -exp table4   # related-work comparison
 //	paperfigs -exp fig5     # microbenchmarks: time/energy/instr/traffic
 //	paperfigs -exp fig6     # applications: time/energy
+//	paperfigs -exp frontier # memory-technology design space + Pareto frontier
 //	paperfigs -exp all
 //
 // Figures are printed as normalized tables (Scratch = 100), matching
@@ -61,7 +62,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig5|fig6|all")
+	exp := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|fig5|fig6|frontier|all")
 	sweepFlags.Register()
 	version := cliutil.VersionFlag()
 	flag.Parse()
@@ -83,6 +84,8 @@ func main() {
 		fig5()
 	case "fig6":
 		fig6()
+	case "frontier":
+		figFrontier()
 	case "all":
 		table1()
 		table2()

@@ -25,6 +25,17 @@
 //	-eager-writeback   write dirty stash data back at every kernel boundary
 //	-chunk-words N     lazy-writeback chunk granularity (power of two, <=16)
 //
+// Memory-technology flags explore non-SRAM structures (DESIGN.md §16);
+// each takes a profile name (sram, stt-mram, edram) and each structure
+// can be resized independently:
+//
+//	-stash-tech P      stash data-array technology
+//	-l1-tech P         GPU L1 technology
+//	-llc-tech P        LLC bank technology
+//	-stash-cap N       stash capacity in KB     (0 = default 16)
+//	-l1-cap N          L1 capacity in KB        (0 = default 32)
+//	-llc-cap N         LLC per-bank capacity KB (0 = default 256)
+//
 // Hardening flags (see DESIGN.md §10) make long sweeps robust: a cell
 // that hangs, deadlocks, breaks an invariant, or panics is reported as
 // a structured per-cell failure — with its machine-state diagnostic in
@@ -82,6 +93,12 @@ func main() {
 	noRepl := flag.Bool("no-replication", false, "disable the data replication optimization")
 	eager := flag.Bool("eager-writeback", false, "eager (kernel-boundary) stash writebacks")
 	chunkWords := flag.Int("chunk-words", 0, "lazy-writeback chunk granularity in words (0 = default 16)")
+	stashTech := flag.String("stash-tech", "", "stash memory technology profile (sram|stt-mram|edram; empty = baseline)")
+	l1Tech := flag.String("l1-tech", "", "GPU L1 memory technology profile (empty = baseline)")
+	llcTech := flag.String("llc-tech", "", "LLC memory technology profile (empty = baseline)")
+	stashCap := flag.Int("stash-cap", 0, "stash capacity in KB (0 = default)")
+	l1Cap := flag.Int("l1-cap", 0, "L1 capacity in KB (0 = default)")
+	llcCap := flag.Int("llc-cap", 0, "LLC per-bank capacity in KB (0 = default)")
 	check := flag.Bool("check", false, "enable coherence invariant checking")
 	watchdog := flag.Uint64("watchdog", 0, "fail a cell after this many cycles without protocol progress (0 = off)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock budget per cell attempt (0 = unbounded)")
@@ -156,6 +173,15 @@ func main() {
 			cfg.ChunkWords = *chunkWords
 			cfg.CheckInvariants = *check
 			cfg.WatchdogBudget = *watchdog
+			if *stashTech != "" || *stashCap != 0 {
+				cfg.StashTech = &stash.TechSpec{Profile: *stashTech, CapacityKB: *stashCap}
+			}
+			if *l1Tech != "" || *l1Cap != 0 {
+				cfg.L1Tech = &stash.TechSpec{Profile: *l1Tech, CapacityKB: *l1Cap}
+			}
+			if *llcTech != "" || *llcCap != 0 {
+				cfg.LLCTech = &stash.TechSpec{Profile: *llcTech, CapacityKB: *llcCap}
+			}
 			if *tracePath != "" {
 				cfg.Trace = &stash.TraceConfig{BucketCycles: *traceBuckets}
 			}
@@ -225,6 +251,9 @@ func report(r stash.SweepResult, verbose bool) {
 	}
 	res := r.Result
 	fmt.Print(res)
+	if res.StaticEnergyPJ != 0 {
+		fmt.Printf("  static energy: %.1f nJ (leakage; not in the dynamic total)\n", res.StaticEnergyPJ/1e3)
+	}
 	fmt.Printf("  traffic: read=%d write=%d writeback=%d flit-hops\n",
 		res.FlitHops["read"], res.FlitHops["write"], res.FlitHops["writeback"])
 	if verbose {

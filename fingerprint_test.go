@@ -152,6 +152,9 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		"WatchdogBudget":     func(c *Config) { c.WatchdogBudget = 1 << 20 },
 		"Faults":             func(c *Config) { c.Faults = &FaultConfig{Seed: 9} },
 		"Trace":              func(c *Config) { c.Trace = &TraceConfig{BucketCycles: 64} },
+		"StashTech":          func(c *Config) { c.StashTech = &TechSpec{Profile: "stt-mram"} },
+		"L1Tech":             func(c *Config) { c.L1Tech = &TechSpec{Profile: "edram"} },
+		"LLCTech":            func(c *Config) { c.LLCTech = &TechSpec{Profile: "stt-mram"} },
 	}
 	ct := reflect.TypeOf(Config{})
 	if got, want := len(mutations), ct.NumField(); got != want {

@@ -34,6 +34,22 @@ type Params struct {
 	NumLLCBanks  int
 	MSHRs        int  // maximum outstanding missed lines; bursts beyond this stall
 	ChargeEnergy bool // false for CPU L1s: the paper does not measure them
+	// ReadExtra and WriteExtra add technology-dependent cycles on top of
+	// HitLat: ReadExtra delays load completions (hit and fill delivery),
+	// WriteExtra delays store accepts. Zero (the default SRAM baseline)
+	// is bit-identical to the pre-technology timing model. Coherence
+	// packet injection times are never perturbed: writeback sends stay
+	// synchronous so the protocol's per-flow ordering (a WBReq must not
+	// reorder against a later RegReq of the same line) is preserved by
+	// construction.
+	ReadExtra  sim.Cycle
+	WriteExtra sim.Cycle
+	// TechEnergy switches energy charging from the unified L1Hit/L1Miss
+	// classes to the read/write-split classes (L1ReadHit etc.), so
+	// asymmetric technologies price loads and stores differently. Off by
+	// default: the split classes then stay at zero count, keeping the
+	// default energy total bit-identical.
+	TechEnergy bool
 }
 
 // DefaultParams returns the paper's Table 2 GPU L1 configuration:
@@ -444,11 +460,24 @@ func (c *Cache) replay(o *op) {
 	c.eng.Schedule(4, o.run)
 }
 
-func (c *Cache) chargeAccess(hit bool) {
+func (c *Cache) chargeAccess(hit, write bool) {
 	if !c.p.ChargeEnergy {
 		return
 	}
 	c.acct.Add(energy.TLBAccess, 1)
+	if c.p.TechEnergy {
+		switch {
+		case hit && !write:
+			c.acct.Add(energy.L1ReadHit, 1)
+		case hit && write:
+			c.acct.Add(energy.L1WriteHit, 1)
+		case !write:
+			c.acct.Add(energy.L1ReadMiss, 1)
+		default:
+			c.acct.Add(energy.L1WriteMiss, 1)
+		}
+		return
+	}
 	if hit {
 		c.acct.Add(energy.L1Hit, 1)
 	} else {
@@ -486,10 +515,10 @@ func (c *Cache) loadWith(l *line, addr memdata.PAddr, mask memdata.WordMask, don
 	fetch := memdata.MaskAll &^ readable
 	if missing == 0 {
 		c.hits.Inc()
-		c.chargeAccess(true)
+		c.chargeAccess(true, false)
 		o := c.newOp()
 		o.kind, o.vals, o.doneL = opDeliver, l.vals, done
-		c.eng.Schedule(c.p.HitLat, o.run)
+		c.eng.Schedule(c.p.HitLat+c.p.ReadExtra, o.run)
 		return true
 	}
 	m := l.mshr // mirrors c.mshrs[addr]; the line outlives its MSHR
@@ -512,7 +541,7 @@ func (c *Cache) loadWith(l *line, addr memdata.PAddr, mask memdata.WordMask, don
 	c.misses.Inc()
 	c.tsnk.Event(uint64(c.eng.Now()), trace.KMiss, uint64(addr), 0)
 	c.trMisses.Add(uint64(c.eng.Now()), 1)
-	c.chargeAccess(false)
+	c.chargeAccess(false, false)
 	// A miss fetches the whole line (line-granularity transfer, as in
 	// the paper's line-based DeNovo): unlike the stash, the cache cannot
 	// fetch compactly, which is exactly the Table 1 contrast.
@@ -572,12 +601,12 @@ func (c *Cache) storeWith(l *line, addr memdata.PAddr, mask memdata.WordMask, va
 	}
 	if needReg == 0 {
 		c.hits.Inc()
-		c.chargeAccess(true)
+		c.chargeAccess(true, true)
 	} else {
 		c.misses.Inc()
 		c.tsnk.Event(uint64(c.eng.Now()), trace.KMiss, uint64(addr), 0)
 		c.trMisses.Add(uint64(c.eng.Now()), 1)
-		c.chargeAccess(false)
+		c.chargeAccess(false, true)
 		pending := c.pendingReg[addr]
 		newReq := needReg &^ pending
 		c.pendingReg[addr] = pending | needReg
@@ -591,7 +620,7 @@ func (c *Cache) storeWith(l *line, addr memdata.PAddr, mask memdata.WordMask, va
 			})
 		}
 	}
-	c.eng.Schedule(c.p.HitLat, done)
+	c.eng.Schedule(c.p.HitLat+c.p.WriteExtra, done)
 	return true
 }
 
@@ -661,7 +690,7 @@ func (c *Cache) fill(p *coh.Packet) {
 		if w.mask&^readable == 0 {
 			o := c.newOp()
 			o.kind, o.vals, o.doneL = opDeliver, l.vals, w.done
-			c.eng.Schedule(c.p.HitLat, o.run)
+			c.eng.Schedule(c.p.HitLat+c.p.ReadExtra, o.run)
 		} else {
 			remaining = append(remaining, w)
 		}
@@ -733,7 +762,28 @@ func (c *Cache) serveRemote(p *coh.Packet) {
 			c.node, uint64(p.Line), p.Mask, served))
 	}
 	if c.p.ChargeEnergy {
-		c.acct.Add(energy.L1Hit, 1)
+		if c.p.TechEnergy {
+			c.acct.Add(energy.L1ReadHit, 1)
+		} else {
+			c.acct.Add(energy.L1Hit, 1)
+		}
+	}
+	if c.p.ReadExtra > 0 {
+		// Delay the response by the technology's read latency. The pooled
+		// request packet is only valid during this call, so its addressing
+		// fields are copied into the closure. All traffic from this cache
+		// to the requester is DataResps delayed by the same constant, so
+		// per-flow FIFO order is preserved.
+		line, mask := p.Line, p.Mask
+		reqNode, reqComp := p.ReqNode, p.ReqComp
+		c.eng.Schedule(c.p.ReadExtra, func() {
+			coh.Send(c.net, &coh.Packet{
+				Type: coh.DataResp, Line: line, Mask: mask, Vals: vals,
+				SrcNode: c.node, SrcComp: c.comp,
+				DstNode: reqNode, DstComp: reqComp,
+			})
+		})
+		return
 	}
 	coh.Send(c.net, &coh.Packet{
 		Type: coh.DataResp, Line: p.Line, Mask: p.Mask, Vals: vals,

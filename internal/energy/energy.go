@@ -27,12 +27,29 @@ const (
 	L2Access                   // shared L2/LLC bank access
 	NoCFlitHop                 // one flit crossing one mesh link
 	DRAMAccess                 // off-chip access (not in the paper's stacks; cost 0 by default)
+
+	// Read/write-split variants, charged instead of the unified classes
+	// above when a memory-technology profile is active (Config.StashTech
+	// etc.). Non-volatile and eDRAM technologies have asymmetric read and
+	// write energies, which the unified classes cannot express. Default
+	// costs equal the corresponding unified class, and the default (SRAM)
+	// path never charges them, so golden metrics are unaffected.
+	StashRead   // stash array read (hit-path data read, writeback drain, remote serve)
+	StashWrite  // stash array write (store data write, fill install, replication copy)
+	L1ReadHit   // L1 load hit
+	L1WriteHit  // L1 store hit
+	L1ReadMiss  // L1 load miss
+	L1WriteMiss // L1 store miss
+	L2Read      // LLC bank read access (ReadReq)
+	L2Write     // LLC bank write access (WriteReq/WBReq/RegReq)
 	numEvents
 )
 
 var eventNames = [numEvents]string{
 	"gpu_inst", "l1_hit", "l1_miss", "tlb_access", "scratch_access",
 	"stash_hit", "stash_miss", "l2_access", "noc_flit_hop", "dram_access",
+	"stash_read", "stash_write", "l1_read_hit", "l1_write_hit",
+	"l1_read_miss", "l1_write_miss", "l2_read", "l2_write",
 }
 
 // String returns the event's snake_case name.
@@ -71,6 +88,14 @@ var eventComponent = [numEvents]Component{
 	L2Access:      L2,
 	NoCFlitHop:    NoC,
 	DRAMAccess:    DRAM,
+	StashRead:     ScratchStash,
+	StashWrite:    ScratchStash,
+	L1ReadHit:     L1,
+	L1WriteHit:    L1,
+	L1ReadMiss:    L1,
+	L1WriteMiss:   L1,
+	L2Read:        L2,
+	L2Write:       L2,
 }
 
 // ComponentOf returns the stacked-bar component an event belongs to.
@@ -97,6 +122,16 @@ func DefaultCosts() Costs {
 	c[L2Access] = 240.0
 	c[NoCFlitHop] = 10.0
 	c[DRAMAccess] = 0 // not part of the paper's dynamic-energy stacks
+	// Split variants default to the unified value: for SRAM, reads and
+	// writes cost the same. Technology profiles rescale these per axis.
+	c[StashRead] = c[StashHit]
+	c[StashWrite] = c[StashHit]
+	c[L1ReadHit] = c[L1Hit]
+	c[L1WriteHit] = c[L1Hit]
+	c[L1ReadMiss] = c[L1Miss]
+	c[L1WriteMiss] = c[L1Miss]
+	c[L2Read] = c[L2Access]
+	c[L2Write] = c[L2Access]
 	return c
 }
 
@@ -134,6 +169,19 @@ func (a *Account) ComponentPJ(c Component) float64 {
 		}
 	}
 	return total
+}
+
+// NonzeroCounts returns the recorded event counts keyed by event name,
+// omitting events that never occurred. The returned map is freshly
+// allocated and safe to retain.
+func (a *Account) NonzeroCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for e := Event(0); e < numEvents; e++ {
+		if a.counts[e] != 0 {
+			out[eventNames[e]] = a.counts[e]
+		}
+	}
+	return out
 }
 
 // Breakdown returns per-component energy in the paper's stacking order.

@@ -84,7 +84,7 @@ func TestAccountAccumulation(t *testing.T) {
 
 // Property: the component breakdown always sums to the total.
 func TestBreakdownSumsToTotalProperty(t *testing.T) {
-	f := func(counts [10]uint16) bool {
+	f := func(counts [numEvents]uint16) bool {
 		a := NewAccount(DefaultCosts())
 		for e := Event(0); e < numEvents; e++ {
 			a.Add(e, uint64(counts[e]))
@@ -106,5 +106,100 @@ func TestEventAndComponentNames(t *testing.T) {
 	}
 	if ScratchStash.String() != "Scratch/Stash" {
 		t.Errorf("ScratchStash.String() = %q", ScratchStash.String())
+	}
+	seen := map[string]Event{}
+	for e := Event(0); e < numEvents; e++ {
+		name := e.String()
+		if name == "" {
+			t.Errorf("event %d has no name", e)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("events %d and %d share the name %q", prev, e, name)
+		}
+		seen[name] = e
+	}
+}
+
+func TestSplitEventDefaults(t *testing.T) {
+	c := DefaultCosts()
+	// Split read/write variants default to the unified class: SRAM reads
+	// and writes cost the same, so re-pricing a run through the splits is
+	// energy-neutral until a technology rescales them.
+	for _, pair := range [][2]Event{
+		{StashRead, StashHit}, {StashWrite, StashHit},
+		{L1ReadHit, L1Hit}, {L1WriteHit, L1Hit},
+		{L1ReadMiss, L1Miss}, {L1WriteMiss, L1Miss},
+		{L2Read, L2Access}, {L2Write, L2Access},
+	} {
+		if c[pair[0]] != c[pair[1]] {
+			t.Errorf("default cost[%v] = %v, want unified cost[%v] = %v", pair[0], c[pair[0]], pair[1], c[pair[1]])
+		}
+	}
+	// Splits attribute to the same stacked-bar component as the class
+	// they refine, so Figure 5b/6b stacks stay well-formed under tech.
+	for split, unified := range map[Event]Event{
+		StashRead: StashHit, StashWrite: StashHit,
+		L1ReadHit: L1Hit, L1WriteHit: L1Hit,
+		L1ReadMiss: L1Miss, L1WriteMiss: L1Miss,
+		L2Read: L2Access, L2Write: L2Access,
+	} {
+		if ComponentOf(split) != ComponentOf(unified) {
+			t.Errorf("ComponentOf(%v) = %v, want %v's component %v", split, ComponentOf(split), unified, ComponentOf(unified))
+		}
+	}
+}
+
+// TestAccountCustomCosts prices the same counts under a non-default,
+// write-asymmetric cost table (an STT-MRAM-like technology) and checks
+// total, per-component attribution, and that untouched classes keep
+// their unified pricing.
+func TestAccountCustomCosts(t *testing.T) {
+	costs := DefaultCosts()
+	costs[StashRead] = 72.0   // 55.4 * 1.3, rounded for exactness
+	costs[StashWrite] = 332.4 // 55.4 * 6
+	costs[L2Read] = 100.5
+	costs[L2Write] = 990.25
+	a := NewAccount(costs)
+	a.Add(StashRead, 7)
+	a.Add(StashWrite, 3)
+	a.Add(L2Read, 2)
+	a.Add(L2Write, 1)
+	a.Add(GPUInst, 5)
+	a.Add(StashHit, 4) // legacy class still prices at Table 3
+
+	wantStash := 7*72.0 + 3*332.4 + 4*55.4
+	wantL2 := 2*100.5 + 1*990.25
+	wantCore := 5 * 220.0
+	if got := a.ComponentPJ(ScratchStash); math.Abs(got-wantStash) > 1e-9 {
+		t.Errorf("ComponentPJ(ScratchStash) = %v, want %v", got, wantStash)
+	}
+	if got := a.ComponentPJ(L2); math.Abs(got-wantL2) > 1e-9 {
+		t.Errorf("ComponentPJ(L2) = %v, want %v", got, wantL2)
+	}
+	if got := a.TotalPJ(); math.Abs(got-(wantStash+wantL2+wantCore)) > 1e-9 {
+		t.Errorf("TotalPJ = %v, want %v", got, wantStash+wantL2+wantCore)
+	}
+	b := a.Breakdown()
+	if math.Abs(b[ScratchStash]-wantStash) > 1e-9 || math.Abs(b[L2]-wantL2) > 1e-9 || math.Abs(b[GPUCore]-wantCore) > 1e-9 {
+		t.Errorf("Breakdown = %v", b)
+	}
+}
+
+func TestNonzeroCounts(t *testing.T) {
+	a := NewAccount(DefaultCosts())
+	if got := a.NonzeroCounts(); len(got) != 0 {
+		t.Errorf("fresh account has nonzero counts: %v", got)
+	}
+	a.Add(StashRead, 3)
+	a.Add(L2Write, 9)
+	a.Add(GPUInst, 0) // explicit zero add stays omitted
+	got := a.NonzeroCounts()
+	if len(got) != 2 || got["stash_read"] != 3 || got["l2_write"] != 9 {
+		t.Errorf("NonzeroCounts = %v", got)
+	}
+	// The map is a fresh copy: mutating it must not corrupt the account.
+	got["stash_read"] = 999
+	if a.Count(StashRead) != 3 {
+		t.Errorf("NonzeroCounts aliases the account")
 	}
 }

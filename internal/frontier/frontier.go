@@ -1,0 +1,68 @@
+// Package frontier extracts Pareto frontiers from design-space
+// exploration results. It is metric-agnostic: every point carries a
+// vector of objectives, all minimized (negate a metric to maximize it),
+// and extraction keeps exactly the points no other point strictly
+// dominates.
+package frontier
+
+import "fmt"
+
+// Point is one design-space cell: an opaque identifier plus its
+// objective vector. All objectives are minimized.
+type Point struct {
+	// ID names the cell (e.g. "reuse/Stash/stt-mram/32KB"); frontier
+	// never interprets it.
+	ID string
+	// Metrics is the objective vector. Every point in one Extract call
+	// must have the same length.
+	Metrics []float64
+}
+
+// Dominates reports whether a is at least as good as b on every
+// objective and strictly better on at least one. Equal vectors do not
+// dominate each other, so duplicated designs both survive extraction.
+func Dominates(a, b Point) bool {
+	better := false
+	for i, m := range a.Metrics {
+		if m > b.Metrics[i] {
+			return false
+		}
+		if m < b.Metrics[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// Extract returns the Pareto-optimal subset of points: those not
+// strictly dominated by any other point. The result preserves input
+// order, so extraction is deterministic for a deterministic grid. It
+// errors if the objective vectors are empty or ragged.
+func Extract(points []Point) ([]Point, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	dim := len(points[0].Metrics)
+	if dim == 0 {
+		return nil, fmt.Errorf("frontier: point %q has no objectives", points[0].ID)
+	}
+	for _, p := range points {
+		if len(p.Metrics) != dim {
+			return nil, fmt.Errorf("frontier: point %q has %d objectives, want %d", p.ID, len(p.Metrics), dim)
+		}
+	}
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front, nil
+}

@@ -1,0 +1,110 @@
+package frontier
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b []float64
+		want bool
+	}{
+		{"strictly better everywhere", []float64{1, 1}, []float64{2, 2}, true},
+		{"better on one equal on other", []float64{1, 2}, []float64{2, 2}, true},
+		{"equal vectors", []float64{2, 2}, []float64{2, 2}, false},
+		{"trade-off", []float64{1, 3}, []float64{3, 1}, false},
+		{"worse", []float64{3, 3}, []float64{1, 1}, false},
+	} {
+		if got := Dominates(Point{Metrics: tc.a}, Point{Metrics: tc.b}); got != tc.want {
+			t.Errorf("%s: Dominates(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	pts := []Point{
+		{ID: "a", Metrics: []float64{1, 5, 3}},
+		{ID: "b", Metrics: []float64{2, 2, 2}},
+		{ID: "c", Metrics: []float64{3, 3, 3}}, // dominated by b
+		{ID: "d", Metrics: []float64{5, 1, 4}},
+		{ID: "e", Metrics: []float64{2, 2, 2}}, // duplicate of b: both kept
+	}
+	front, err := Extract(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, p := range front {
+		ids = append(ids, p.ID)
+	}
+	if want := []string{"a", "b", "d", "e"}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("frontier = %v, want %v (input order, duplicates kept)", ids, want)
+	}
+}
+
+func TestExtractEmptyAndErrors(t *testing.T) {
+	if front, err := Extract(nil); err != nil || front != nil {
+		t.Errorf("Extract(nil) = %v, %v; want nil, nil", front, err)
+	}
+	if _, err := Extract([]Point{{ID: "x"}}); err == nil {
+		t.Error("empty objective vector accepted")
+	}
+	if _, err := Extract([]Point{
+		{ID: "x", Metrics: []float64{1}},
+		{ID: "y", Metrics: []float64{1, 2}},
+	}); err == nil {
+		t.Error("ragged objective vectors accepted")
+	}
+}
+
+// TestExtractDifferential checks Extract against a direct
+// definition-based oracle on a deterministic pseudo-random cloud.
+func TestExtractDifferential(t *testing.T) {
+	// xorshift-style deterministic generator; no time or global RNG.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1000) / 1000
+	}
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		pts = append(pts, Point{
+			ID:      string(rune('A' + i%26)),
+			Metrics: []float64{next(), next(), next()},
+		})
+	}
+	front, err := Extract(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFront := make(map[int]bool)
+	k := 0
+	for i, p := range pts {
+		if k < len(front) && front[k].ID == p.ID && reflect.DeepEqual(front[k].Metrics, p.Metrics) {
+			inFront[i] = true
+			k++
+		}
+	}
+	if k != len(front) {
+		t.Fatalf("frontier is not an ordered subsequence of the input")
+	}
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if dominated == inFront[i] {
+			t.Errorf("point %d (%v): dominated=%v but inFront=%v", i, p.Metrics, dominated, inFront[i])
+		}
+	}
+	if len(front) == 0 || len(front) == len(pts) {
+		t.Fatalf("degenerate frontier size %d of %d", len(front), len(pts))
+	}
+}

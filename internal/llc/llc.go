@@ -32,6 +32,19 @@ type Params struct {
 	OccupyLat sim.Cycle // bank busy time per access (throughput)
 	DRAMLat   sim.Cycle // additional latency for a fill from memory
 	NumBanks  int       // banks in the system (for address interleaving)
+	// ReadExtra and WriteExtra add technology-dependent cycles to a
+	// bank's service time: ReadExtra on ReadReq, WriteExtra on the
+	// write-class requests (RegReq, WBReq, WriteReq). The extra cycles
+	// extend both the access latency and the bank occupancy, so requests
+	// are still processed strictly in arrival order — per-type latency
+	// can never reorder directory updates. Zero (the SRAM baseline) is
+	// bit-identical to the pre-technology timing model.
+	ReadExtra  sim.Cycle
+	WriteExtra sim.Cycle
+	// TechEnergy switches energy charging from the unified L2Access
+	// class to the read/write-split classes (L2Read/L2Write). Off by
+	// default, keeping the default energy total bit-identical.
+	TechEnergy bool
 }
 
 // DefaultParams returns the paper's Table 2 L2 configuration: 4 MB
@@ -342,15 +355,27 @@ func (b *Bank) HandlePacket(p *coh.Packet) {
 	}
 	b.inFlight++
 	b.trRequests.Add(uint64(b.eng.Now()), 1)
+	extra := b.p.WriteExtra
+	if p.Type == coh.ReadReq {
+		extra = b.p.ReadExtra
+	}
 	start := b.eng.Now() + stallBy
 	if b.nextFree > start {
 		start = b.nextFree
 	}
-	b.nextFree = start + b.p.OccupyLat
-	b.acct.Add(energy.L2Access, 1)
+	b.nextFree = start + b.p.OccupyLat + extra
+	if b.p.TechEnergy {
+		if p.Type == coh.ReadReq {
+			b.acct.Add(energy.L2Read, 1)
+		} else {
+			b.acct.Add(energy.L2Write, 1)
+		}
+	} else {
+		b.acct.Add(energy.L2Access, 1)
+	}
 	o := b.newOp()
 	o.pkt = *p
-	b.eng.At(start+b.p.AccessLat, o.run)
+	b.eng.At(start+b.p.AccessLat+extra, o.run)
 }
 
 func (b *Bank) newOp() *bankOp {

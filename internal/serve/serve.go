@@ -475,6 +475,8 @@ func parseCellQuery(w http.ResponseWriter, r *http.Request, bad *atomic.Uint64) 
 		"workload": true, "org": true, "gpus": true, "cpus": true,
 		"disable_replication": true, "eager_writeback": true, "chunk_words": true,
 		"check_invariants": true, "watchdog_budget": true,
+		"stash_tech": true, "l1_tech": true, "llc_tech": true,
+		"stash_cap_kb": true, "l1_cap_kb": true, "llc_cap_kb": true,
 	}
 	for k := range q {
 		if !known[k] {
@@ -530,6 +532,25 @@ func parseCellQuery(w http.ResponseWriter, r *http.Request, bad *atomic.Uint64) 
 			return stash.RunSpec{}, false
 		}
 		cfg.WatchdogBudget = n
+	}
+	// Technology axes: <axis>_tech names a profile, <axis>_cap_kb resizes
+	// the structure; either alone materializes the spec. Validation of
+	// the profile name and bounds happens in cfg.Validate below.
+	techq := func(techKey, capKey string, dst **stash.TechSpec) bool {
+		profile := q.Get(techKey)
+		capKB := 0
+		if !intq(capKey, &capKB) {
+			return false
+		}
+		if profile != "" || capKB != 0 {
+			*dst = &stash.TechSpec{Profile: profile, CapacityKB: capKB}
+		}
+		return true
+	}
+	if !techq("stash_tech", "stash_cap_kb", &cfg.StashTech) ||
+		!techq("l1_tech", "l1_cap_kb", &cfg.L1Tech) ||
+		!techq("llc_tech", "llc_cap_kb", &cfg.LLCTech) {
+		return stash.RunSpec{}, false
 	}
 	if err := cfg.Validate(); err != nil {
 		failWith(w, bad, http.StatusBadRequest, nil, "%v", err)

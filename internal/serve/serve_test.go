@@ -355,12 +355,33 @@ func TestCellEndpoint(t *testing.T) {
 		t.Errorf("ablation cell did not simulate (%d calls)", eng.calls.Load())
 	}
 
+	// Technology axes reach the config too.
+	resp, body = get("workload=lud&org=Stash&stash_tech=stt-mram&stash_cap_kb=32&l1_tech=edram")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tech cell status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal([]byte(body), &cell); err != nil {
+		t.Fatal(err)
+	}
+	if st := cell.Spec.Config.StashTech; st == nil || st.Profile != "stt-mram" || st.CapacityKB != 32 {
+		t.Errorf("stash tech spec = %+v", cell.Spec.Config.StashTech)
+	}
+	if lt := cell.Spec.Config.L1Tech; lt == nil || lt.Profile != "edram" || lt.CapacityKB != 0 {
+		t.Errorf("l1 tech spec = %+v", cell.Spec.Config.L1Tech)
+	}
+	if eng.calls.Load() != 3 {
+		t.Errorf("tech cell did not simulate (%d calls)", eng.calls.Load())
+	}
+
 	for _, q := range []string{
 		"workload=lud&org=Nope",
 		"workload=nope&org=Stash",
 		"workload=lud&org=Stash&typo=1",
 		"workload=lud&org=Stash&gpus=banana",
 		"workload=lud&org=Stash&gpus=0",
+		"workload=lud&org=Stash&stash_tech=unobtainium",
+		"workload=lud&org=Stash&stash_cap_kb=banana",
+		"workload=lud&org=Stash&llc_cap_kb=-3",
 	} {
 		resp, body := get(q)
 		if resp.StatusCode != http.StatusBadRequest {

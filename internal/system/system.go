@@ -82,6 +82,29 @@ type Config struct {
 	// component. Nil (the default) leaves each emit site a nil-check
 	// no-op, preserving bit-identical timing and zero allocations.
 	Trace *trace.Options
+	// Static holds leakage power expressed as picojoules per simulated
+	// cycle, per technology-profiled structure group, summed over all
+	// instances of that structure in the machine. The public Config
+	// lowering computes it from the selected technology profiles; the
+	// measurement layer multiplies by elapsed cycles. Zero values (the
+	// default) report no static energy — static power is deliberately
+	// kept out of the dynamic-energy account so the paper's Figure 5b/6b
+	// stacks stay comparable.
+	Static StaticEnergy
+}
+
+// StaticEnergy is per-cycle leakage energy (pJ/cycle) by structure
+// group. It never influences timing; it only scales with cycle count
+// at measurement time.
+type StaticEnergy struct {
+	StashPJPerCycle float64
+	L1PJPerCycle    float64
+	LLCPJPerCycle   float64
+}
+
+// Any reports whether any structure has nonzero leakage configured.
+func (s StaticEnergy) Any() bool {
+	return s.StashPJPerCycle != 0 || s.L1PJPerCycle != 0 || s.LLCPJPerCycle != 0
 }
 
 // MicrobenchConfig returns the paper's microbenchmark machine: 1 GPU CU
@@ -218,6 +241,9 @@ func New(cfg Config) *System {
 			name := fmt.Sprintf("cpu%d", n)
 			l1p := cfg.L1
 			l1p.ChargeEnergy = false // paper: CPU L1 energy not measured
+			// The technology axes model the GPU-side storage hierarchy
+			// (plus the shared LLC); CPU L1s stay at the SRAM baseline.
+			l1p.ReadExtra, l1p.WriteExtra, l1p.TechEnergy = 0, 0, false
 			l1 := cache.New(eng, net, n, name, l1p, acct, set)
 			router.Attach(coh.ToL1, l1)
 			s.l1s[n] = l1

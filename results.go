@@ -26,6 +26,21 @@ type Result struct {
 	FlitHops map[string]uint64
 	// Counters is the full raw counter snapshot for deeper analysis.
 	Counters map[string]uint64
+	// EnergyEvents counts the energy-model events that occurred, keyed
+	// by event name (e.g. "l1_hit", "stash_write"). Multiplying each by
+	// its configured per-access cost reproduces EnergyPJ exactly, so a
+	// consumer can re-price a run under different cost tables without
+	// re-simulating. Zero-count events are omitted.
+	EnergyEvents map[string]uint64
+	// StaticEnergyPJ is leakage energy over the run (leakage power x
+	// elapsed cycles), reported only when a technology profile with
+	// nonzero leakage is configured. It is deliberately NOT included in
+	// EnergyPJ: the paper's dynamic-energy stacks stay comparable, and
+	// design-space tooling adds the two when ranking total energy.
+	StaticEnergyPJ float64 `json:",omitempty"`
+	// StaticByStructure breaks StaticEnergyPJ into the profiled
+	// structure groups ("Scratch/Stash", "L1 D$", "L2 $").
+	StaticByStructure map[string]float64 `json:",omitempty"`
 	// Timeline is the run's event trace, non-nil exactly when the
 	// Config's Trace was set. Failed runs carry the partial timeline up
 	// to the failure. Its JSON form is a compact summary; write the
@@ -40,6 +55,26 @@ func measure(s *system.System) Result {
 		EnergyByComponent: make(map[string]float64),
 		FlitHops:          make(map[string]uint64),
 		Counters:          s.Stats.Snapshot(),
+		EnergyEvents:      s.Acct.NonzeroCounts(),
+	}
+	if st := s.Cfg.Static; st.Any() {
+		cycles := float64(r.Cycles)
+		r.StaticByStructure = make(map[string]float64)
+		for _, part := range []struct {
+			name string
+			pj   float64
+		}{
+			{energy.ScratchStash.String(), st.StashPJPerCycle},
+			{energy.L1.String(), st.L1PJPerCycle},
+			{energy.L2.String(), st.LLCPJPerCycle},
+		} {
+			if part.pj == 0 {
+				continue
+			}
+			e := part.pj * cycles
+			r.StaticByStructure[part.name] = e
+			r.StaticEnergyPJ += e
+		}
 	}
 	for c := energy.Component(0); c < energy.NumComponents; c++ {
 		if pj := s.Acct.ComponentPJ(c); pj != 0 || c < energy.DRAM {

@@ -167,6 +167,16 @@ type Config struct {
 	// per-bucket time-series, attached to Result.Timeline. Tracing is
 	// timing-neutral: metrics are bit-identical with it on or off.
 	Trace *TraceConfig `json:"trace,omitempty"`
+	// StashTech, L1Tech, and LLCTech select memory technologies for the
+	// stash, the GPU L1 caches, and the LLC banks (see TechSpec). Nil
+	// means the SRAM baseline and is bit-identical to the pre-technology
+	// timing model; non-nil specs are a versioned timing-model extension
+	// pinned by their own golden vectors. An axis naming a structure the
+	// organization lacks (e.g. StashTech under Cache) is accepted and has
+	// no metric effect.
+	StashTech *TechSpec `json:"stash_tech,omitempty"`
+	L1Tech    *TechSpec `json:"l1_tech,omitempty"`
+	LLCTech   *TechSpec `json:"llc_tech,omitempty"`
 }
 
 // FaultConfig is a seeded, deterministic timing-fault schedule. Faults
@@ -250,7 +260,7 @@ func (c Config) Validate() error {
 	if err := c.Trace.validate(); err != nil {
 		return err
 	}
-	return nil
+	return c.validateTech()
 }
 
 // MicroConfig is the paper's microbenchmark machine: 1 GPU CU and 15
@@ -298,6 +308,7 @@ func (c Config) internal() (system.Config, error) {
 		cfg.Faults = sched
 	}
 	cfg.Trace = c.Trace.internal()
+	c.applyTech(&cfg)
 	return cfg, nil
 }
 

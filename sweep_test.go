@@ -240,6 +240,64 @@ func TestSweepJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEnergyBreakdownJSONRoundTrip: the per-component and per-event
+// energy breakdown of a real simulated cell — including the technology
+// extension's static-energy fields and the TechSpec carried in the spec
+// — survives the sweep NDJSON encoding exactly, so downstream tooling
+// can re-price runs from the dump without re-simulating.
+func TestEnergyBreakdownJSONRoundTrip(t *testing.T) {
+	cfg := MicroConfig(Stash)
+	cfg.StashTech = &TechSpec{Profile: "edram"}
+	cfg.L1Tech = &TechSpec{Profile: "stt-mram", CapacityKB: 64}
+	results, err := Sweep(context.Background(), []RunSpec{{Workload: "implicit", Config: cfg}}, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := results[0]
+	if len(orig.Result.EnergyEvents) == 0 {
+		t.Fatal("simulated cell has no EnergyEvents")
+	}
+	if orig.Result.StaticEnergyPJ == 0 || len(orig.Result.StaticByStructure) == 0 {
+		t.Fatalf("tech cell has no static energy: %+v", orig.Result.StaticByStructure)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decoded[0]
+	if !reflect.DeepEqual(got.Spec, orig.Spec) {
+		t.Errorf("spec with tech axes did not round-trip:\n got %+v\nwant %+v", got.Spec, orig.Spec)
+	}
+	for name, field := range map[string][2]interface{}{
+		"EnergyEvents":      {got.Result.EnergyEvents, orig.Result.EnergyEvents},
+		"EnergyByComponent": {got.Result.EnergyByComponent, orig.Result.EnergyByComponent},
+		"StaticByStructure": {got.Result.StaticByStructure, orig.Result.StaticByStructure},
+	} {
+		if !reflect.DeepEqual(field[0], field[1]) {
+			t.Errorf("%s did not round-trip:\n got %+v\nwant %+v", name, field[0], field[1])
+		}
+	}
+	if got.Result.StaticEnergyPJ != orig.Result.StaticEnergyPJ {
+		t.Errorf("StaticEnergyPJ = %v, want %v", got.Result.StaticEnergyPJ, orig.Result.StaticEnergyPJ)
+	}
+	if got.Result.EnergyPJ != orig.Result.EnergyPJ {
+		t.Errorf("EnergyPJ = %v, want %v", got.Result.EnergyPJ, orig.Result.EnergyPJ)
+	}
+
+	var rebuf bytes.Buffer
+	if err := EncodeJSON(&rebuf, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), rebuf.Bytes()) {
+		t.Error("re-encoded energy breakdown document differs")
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	ok := MicroConfig(Stash)
 	if err := ok.Validate(); err != nil {

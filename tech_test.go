@@ -1,0 +1,325 @@
+package stash
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTechFingerprintsUnchangedWithoutTechAxes pins the fingerprints of
+// cells spanning both machine shapes and several organizations, captured
+// immediately before the technology axes were added to Config. Absent
+// (nil) tech fields must keep every pre-existing cell-cache entry valid,
+// so these hashes must never move without a fingerprintVersion bump.
+func TestTechFingerprintsUnchangedWithoutTechAxes(t *testing.T) {
+	chunk4 := AppConfig(Scratch)
+	chunk4.ChunkWords = 4
+	for _, tc := range []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{"implicit/MicroConfig(Stash)",
+			RunSpec{Workload: "implicit", Config: MicroConfig(Stash)},
+			"7a21751cb410811a96c8981950098a196f1886904a3b813a5a7677e1d18d43d0"},
+		{"lud/AppConfig(StashG)",
+			RunSpec{Workload: "lud", Config: AppConfig(StashG)},
+			"caf416af79cdf2996abe2cdb47f7593b77f013b682d42ffbec57ef7e1e3ef87f"},
+		{"reuse/MicroConfig(Cache)",
+			RunSpec{Workload: "reuse", Config: MicroConfig(Cache)},
+			"fd6086159774e850aa96c473c1d0efb891b6a188bc1544a21238f136ef2df008"},
+		{"sgemm/AppConfig(Scratch)+ChunkWords=4",
+			RunSpec{Workload: "sgemm", Config: chunk4},
+			"c9da90731f54662d54b13c942214eb1f639c6acfe3e791f97affb84f08074ffc"},
+	} {
+		fp, err := tc.spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if fp != tc.want {
+			t.Errorf("%s: fingerprint moved without any tech axis set:\n got %s\nwant %s\nAdding Config fields must not re-key existing cache entries.", tc.name, fp, tc.want)
+		}
+	}
+}
+
+// TestTechSpecFieldSensitivity mutates every TechSpec field on every
+// axis and requires the fingerprint to move: two cells differing in any
+// technology parameter must never alias in the cell cache.
+func TestTechSpecFieldSensitivity(t *testing.T) {
+	mk := func(edit func(*Config)) string {
+		cfg := MicroConfig(Stash)
+		cfg.StashTech = &TechSpec{Profile: "sram"}
+		cfg.L1Tech = &TechSpec{Profile: "sram"}
+		cfg.LLCTech = &TechSpec{Profile: "sram"}
+		if edit != nil {
+			edit(&cfg)
+		}
+		fp, err := (RunSpec{Workload: "implicit", Config: cfg}).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	base := mk(nil)
+	edits := map[string]func(*Config){
+		"StashTech.Profile":          func(c *Config) { c.StashTech.Profile = "stt-mram" },
+		"StashTech.ReadLatDelta":     func(c *Config) { c.StashTech.ReadLatDelta = 3 },
+		"StashTech.WriteLatDelta":    func(c *Config) { c.StashTech.WriteLatDelta = 5 },
+		"StashTech.ReadEnergyScale":  func(c *Config) { c.StashTech.ReadEnergyScale = 1.5 },
+		"StashTech.WriteEnergyScale": func(c *Config) { c.StashTech.WriteEnergyScale = 2.5 },
+		"StashTech.LeakageMWPerKB":   func(c *Config) { c.StashTech.LeakageMWPerKB = 0.01 },
+		"StashTech.CapacityKB":       func(c *Config) { c.StashTech.CapacityKB = 32 },
+		"L1Tech.Profile":             func(c *Config) { c.L1Tech.Profile = "edram" },
+		"L1Tech.CapacityKB":          func(c *Config) { c.L1Tech.CapacityKB = 64 },
+		"LLCTech.Profile":            func(c *Config) { c.LLCTech.Profile = "edram" },
+		"LLCTech.CapacityKB":         func(c *Config) { c.LLCTech.CapacityKB = 128 },
+	}
+	seen := map[string]string{base: "base"}
+	for name, edit := range edits {
+		fp := mk(edit)
+		if fp == base {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutations %s and %s collided on fingerprint %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	// The same spec on different axes must also be distinct cells.
+	onStash := mk(func(c *Config) { c.StashTech.Profile = "edram" })
+	onL1 := mk(func(c *Config) { c.L1Tech.Profile = "edram" })
+	if onStash == onL1 {
+		t.Error("the same profile on StashTech vs L1Tech fingerprinted identically")
+	}
+}
+
+func TestTechSpecValidation(t *testing.T) {
+	valid := []Config{
+		MicroConfig(Stash), // all axes nil
+		func() Config {
+			c := MicroConfig(Stash)
+			c.StashTech = &TechSpec{} // empty spec = custom identity
+			return c
+		}(),
+		func() Config {
+			c := MicroConfig(Stash)
+			c.StashTech = &TechSpec{Profile: "stt-mram", WriteLatDelta: 20}
+			c.L1Tech = &TechSpec{ReadEnergyScale: 0.5, CapacityKB: 64}
+			c.LLCTech = &TechSpec{Profile: "edram", CapacityKB: 256}
+			return c
+		}(),
+		func() Config {
+			// A tech axis for a structure the org lacks is accepted.
+			c := MicroConfig(Cache)
+			c.StashTech = &TechSpec{Profile: "stt-mram"}
+			return c
+		}(),
+	}
+	for i, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid config %d rejected: %v", i, err)
+		}
+	}
+
+	invalid := []struct {
+		name string
+		edit func(*Config)
+		want string
+	}{
+		{"unknown profile", func(c *Config) { c.StashTech = &TechSpec{Profile: "memristor"} }, "StashTech"},
+		{"negative read scale", func(c *Config) { c.L1Tech = &TechSpec{ReadEnergyScale: -1} }, "L1Tech"},
+		{"negative write delta", func(c *Config) { c.LLCTech = &TechSpec{WriteLatDelta: -2} }, "LLCTech"},
+		{"huge lat delta", func(c *Config) { c.StashTech = &TechSpec{ReadLatDelta: 1 << 20} }, "StashTech"},
+		{"huge energy scale", func(c *Config) { c.StashTech = &TechSpec{WriteEnergyScale: 1e9} }, "StashTech"},
+		{"stash capacity too small", func(c *Config) { c.StashTech = &TechSpec{CapacityKB: 1} }, "StashTech"},
+		{"l1 capacity too large", func(c *Config) { c.L1Tech = &TechSpec{CapacityKB: 1 << 20} }, "L1Tech"},
+		{"negative capacity", func(c *Config) { c.LLCTech = &TechSpec{CapacityKB: -4} }, "LLCTech"},
+	}
+	for _, tc := range invalid {
+		c := MicroConfig(Stash)
+		tc.edit(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the offending axis %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTechSRAMProfileKeepsMetrics runs cells with and without an
+// explicit "sram" profile. SRAM is the identity technology for timing,
+// so cycle counts must be bit-identical; energy accounting switches to
+// the refined read/write-split classes. On a pure cache hierarchy the
+// splits partition the unified events exactly (same costs, same counts),
+// so energy is bit-equal too; on a stash the refined model additionally
+// prices fill writes into the data array, so its energy is strictly
+// higher than the legacy unified accounting.
+func TestTechSRAMProfileKeepsMetrics(t *testing.T) {
+	withSRAM := func(org MemOrg) (Result, Result) {
+		base, err := RunWorkload("implicit", org)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := MicroConfig(org)
+		cfg.StashTech = &TechSpec{Profile: "sram"}
+		cfg.L1Tech = &TechSpec{Profile: "sram"}
+		cfg.LLCTech = &TechSpec{Profile: "sram"}
+		got, err := RunWorkloadCfg("implicit", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, base
+	}
+
+	got, base := withSRAM(Cache)
+	if got.Cycles != base.Cycles {
+		t.Errorf("Cache: sram profile changed cycles: %d vs %d", got.Cycles, base.Cycles)
+	}
+	if got.EnergyPJ != base.EnergyPJ {
+		t.Errorf("Cache: sram profile changed energy: %v vs %v pJ (splits must partition the unified classes exactly)", got.EnergyPJ, base.EnergyPJ)
+	}
+	if got.EnergyEvents["l1_read_hit"] != base.EnergyEvents["l1_hit"] {
+		t.Errorf("l1_read_hit %d should equal legacy l1_hit %d on this workload", got.EnergyEvents["l1_read_hit"], base.EnergyEvents["l1_hit"])
+	}
+	if rm, wm := got.EnergyEvents["l1_read_miss"], got.EnergyEvents["l1_write_miss"]; rm+wm != base.EnergyEvents["l1_miss"] {
+		t.Errorf("l1 miss splits %d+%d should partition legacy l1_miss %d", rm, wm, base.EnergyEvents["l1_miss"])
+	}
+	if r, w := got.EnergyEvents["l2_read"], got.EnergyEvents["l2_write"]; r+w != base.EnergyEvents["l2_access"] {
+		t.Errorf("l2 splits %d+%d should partition legacy l2_access %d", r, w, base.EnergyEvents["l2_access"])
+	}
+
+	got, base = withSRAM(Stash)
+	if got.Cycles != base.Cycles {
+		t.Errorf("Stash: sram profile changed cycles: %d vs %d", got.Cycles, base.Cycles)
+	}
+	if got.EnergyPJ <= base.EnergyPJ {
+		t.Errorf("Stash: refined accounting prices fill writes, so energy %v should exceed legacy %v", got.EnergyPJ, base.EnergyPJ)
+	}
+	if got.StaticEnergyPJ == 0 {
+		t.Error("sram profile has nonzero leakage but StaticEnergyPJ is 0")
+	}
+	for _, split := range []string{"stash_read", "stash_write", "l2_read", "l2_write"} {
+		if got.EnergyEvents[split] == 0 {
+			t.Errorf("split event %s not charged under an explicit profile", split)
+		}
+		if base.EnergyEvents[split] != 0 {
+			t.Errorf("split event %s charged on the default path", split)
+		}
+	}
+	for _, unified := range []string{"stash_hit", "l2_access"} {
+		if got.EnergyEvents[unified] != 0 {
+			t.Errorf("unified event %s still charged under an explicit profile", unified)
+		}
+	}
+}
+
+// TestTechSTTMRAMChangesMetrics pins the direction of the technology
+// model: a write-penalized profile on the stash must cost cycles and
+// change dynamic energy relative to the SRAM baseline.
+func TestTechSTTMRAMChangesMetrics(t *testing.T) {
+	base, err := RunWorkload("implicit", Stash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MicroConfig(Stash)
+	cfg.StashTech = &TechSpec{Profile: "stt-mram"}
+	got, err := RunWorkloadCfg("implicit", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles <= base.Cycles {
+		t.Errorf("stt-mram stash did not cost cycles: %d vs baseline %d", got.Cycles, base.Cycles)
+	}
+	if got.EnergyPJ == base.EnergyPJ {
+		t.Error("stt-mram stash left dynamic energy bit-identical to SRAM")
+	}
+	if got.StaticEnergyPJ >= float64(got.Cycles)*0.05*16*1e9/700e6 {
+		t.Error("stt-mram leakage should be far below an SRAM-leakage bound")
+	}
+}
+
+func TestTechGridShape(t *testing.T) {
+	specs, err := TechGrid([]string{"reuse"}, []MemOrg{Cache, Stash}, []string{"sram", "stt-mram"}, []int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache: one cell per tech (no stash capacity axis); Stash: tech x cap.
+	if want := 2 + 2*2; len(specs) != want {
+		t.Fatalf("grid has %d cells, want %d", len(specs), want)
+	}
+	for i, s := range specs {
+		if err := s.Config.Validate(); err != nil {
+			t.Errorf("cell %d invalid: %v", i, err)
+		}
+		if s.Config.L1Tech == nil || s.Config.L1Tech.Profile == "" {
+			t.Errorf("cell %d missing explicit L1 profile", i)
+		}
+		if s.Config.LLCTech != nil {
+			t.Errorf("cell %d set an LLC tech; the grid holds the LLC at baseline", i)
+		}
+	}
+	// Stash cells carry the capacity axis.
+	caps := map[int]bool{}
+	for _, s := range specs {
+		if s.Config.Org == Stash && s.Config.StashTech != nil {
+			caps[s.Config.StashTech.CapacityKB] = true
+		}
+	}
+	if !caps[16] || !caps[32] {
+		t.Errorf("stash capacity axis not expanded: got %v", caps)
+	}
+	// Deterministic: same inputs, same specs.
+	again, err := TechGrid([]string{"reuse"}, []MemOrg{Cache, Stash}, []string{"sram", "stt-mram"}, []int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		a, _ := specs[i].Fingerprint()
+		b, _ := again[i].Fingerprint()
+		if a != b {
+			t.Fatalf("grid expansion not deterministic at cell %d", i)
+		}
+	}
+
+	if _, err := TechGrid([]string{"reuse"}, []MemOrg{Cache}, []string{"unobtainium"}, nil); err == nil {
+		t.Error("unknown technology accepted")
+	}
+	if _, err := TechGrid([]string{"reuse"}, []MemOrg{Cache}, nil, nil); err == nil {
+		t.Error("empty technology list accepted")
+	}
+}
+
+func TestLocalMemKB(t *testing.T) {
+	if got := MicroConfig(Cache).LocalMemKB(); got != 32 {
+		t.Errorf("Cache local mem = %d KB, want 32", got)
+	}
+	if got := MicroConfig(Stash).LocalMemKB(); got != 48 {
+		t.Errorf("Stash local mem = %d KB, want 48", got)
+	}
+	c := MicroConfig(Stash)
+	c.StashTech = &TechSpec{Profile: "stt-mram", CapacityKB: 64}
+	c.L1Tech = &TechSpec{CapacityKB: 16}
+	if got := c.LocalMemKB(); got != 80 {
+		t.Errorf("overridden local mem = %d KB, want 80", got)
+	}
+}
+
+func TestTechProfilesListed(t *testing.T) {
+	names := TechProfiles()
+	if len(names) < 3 {
+		t.Fatalf("want at least sram/stt-mram/edram, got %v", names)
+	}
+	for _, want := range []string{"sram", "stt-mram", "edram"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("profile %s missing from TechProfiles(): %v", want, names)
+		}
+	}
+}
